@@ -1,0 +1,87 @@
+//! Compacting-issue-queue microbenchmarks: per-tick cost of the compaction
+//! walk at different occupancies and in both head/tail modes (the toggled
+//! mode adds wrap handling), plus the cost of a tag broadcast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powerbalance_uarch::{EntryState, IqActivity, IqEntry, IqMode, IssueQueue};
+
+fn entry(rob_id: u32) -> IqEntry {
+    IqEntry {
+        rob_id,
+        state: EntryState::Waiting,
+        src1_ready: true,
+        src2_ready: true,
+        src1_tag: None,
+        src2_tag: None,
+        is_mem: false,
+        needs_fp_mul: false,
+    }
+}
+
+/// Builds a queue at the given occupancy with a churn-ready state.
+fn queue_at(occupancy: usize, mode: IqMode) -> IssueQueue {
+    let mut iq = IssueQueue::new(32);
+    iq.set_mode(mode);
+    let mut act = IqActivity::default();
+    for i in 0..occupancy {
+        assert!(iq.insert(entry(i as u32), &mut act));
+    }
+    iq
+}
+
+fn compaction_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compaction_tick");
+    for mode in [IqMode::Normal, IqMode::Toggled] {
+        for occ in [8usize, 20, 31] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), occ),
+                &occ,
+                |b, &occ| {
+                    b.iter_batched(
+                        || queue_at(occ, mode),
+                        |mut iq| {
+                            // Issue the head, then churn three ticks of
+                            // aging + compaction (the steady-state pattern).
+                            let mut act = IqActivity::default();
+                            let head = iq.ready_positions().next().expect("occupied");
+                            iq.mark_issued(head, &mut act);
+                            for _ in 0..3 {
+                                iq.tick(6, &mut act);
+                            }
+                            act.total_moves()
+                        },
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn broadcast(c: &mut Criterion) {
+    c.bench_function("tag_broadcast_full_queue", |b| {
+        b.iter_batched(
+            || {
+                let mut iq = IssueQueue::new(32);
+                let mut act = IqActivity::default();
+                for i in 0..31 {
+                    let mut e = entry(i);
+                    e.src1_ready = false;
+                    e.src1_tag = Some(500 + i);
+                    assert!(iq.insert(e, &mut act));
+                }
+                iq
+            },
+            |mut iq| {
+                let mut act = IqActivity::default();
+                iq.broadcast(515, &mut act);
+                act.broadcasts
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, compaction_tick, broadcast);
+criterion_main!(benches);

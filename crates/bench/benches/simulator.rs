@@ -1,0 +1,50 @@
+//! Simulator throughput: simulated cycles per wall-clock second for a
+//! compute-bound and a memory-bound workload, and the cost of the full
+//! sense/react sampling loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use powerbalance::{experiments, Simulator};
+use powerbalance_uarch::{Core, CoreConfig};
+use powerbalance_workloads::spec2000;
+
+fn core_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_only");
+    for bench in ["eon", "mcf"] {
+        group.throughput(Throughput::Elements(100_000));
+        group.bench_function(bench, |b| {
+            b.iter_batched(
+                || {
+                    let core = Core::new(CoreConfig::default()).expect("valid config");
+                    let trace = spec2000::by_name(bench).expect("profile").trace(1);
+                    (core, trace)
+                },
+                |(mut core, mut trace)| {
+                    core.run(&mut trace, 100_000);
+                    core.stats().committed
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn full_stack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_stack");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("issue_queue_experiment_eon", |b| {
+        b.iter_batched(
+            || {
+                let sim = Simulator::new(experiments::issue_queue(true)).expect("valid config");
+                let trace = spec2000::by_name("eon").expect("profile").trace(1);
+                (sim, trace)
+            },
+            |(mut sim, mut trace)| sim.run(&mut trace, 100_000).committed,
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, core_only, full_stack);
+criterion_main!(benches);

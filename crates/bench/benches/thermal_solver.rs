@@ -1,0 +1,100 @@
+//! Thermal-solver ablation: the backward-Euler step used by the simulator
+//! (unconditionally stable, one linear solve per sampling window) versus a
+//! forward-Euler sub-stepping integrator (stable only with tiny steps), and
+//! the direct steady-state solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerbalance_thermal::{ev6, PackageConfig, ThermalModel};
+
+/// A deliberately naive explicit integrator for comparison: forward Euler
+/// with sub-steps small enough to stay stable on the stiff network.
+fn forward_euler_step(model_temps: &mut [f64], watts: &[f64], dt: f64, plan_model: &ThermalModel) {
+    let net = plan_model.network();
+    let n = net.node_count();
+    let g = net.conductance();
+    let cap = net.capacitance();
+    let ambient = net.ambient_power();
+    // Stability bound: dt_sub < min(C_i / G_ii).
+    let mut dt_max = f64::MAX;
+    for i in 0..n {
+        dt_max = dt_max.min(cap[i] / g[i * n + i]);
+    }
+    let steps = (dt / (0.5 * dt_max)).ceil().max(1.0) as usize;
+    let h = dt / steps as f64;
+    let mut temps = model_temps.to_vec();
+    let mut next = temps.clone();
+    for _ in 0..steps {
+        for i in 0..n {
+            let mut flow = ambient[i];
+            if i < watts.len() {
+                flow += watts[i];
+            }
+            for j in 0..n {
+                flow -= g[i * n + j] * temps[j];
+            }
+            next[i] = temps[i] + h * flow / cap[i];
+        }
+        std::mem::swap(&mut temps, &mut next);
+    }
+    model_temps.copy_from_slice(&temps);
+}
+
+fn solver_comparison(c: &mut Criterion) {
+    let plan = ev6::baseline();
+    let pkg = PackageConfig::default();
+    let watts = vec![0.8f64; plan.blocks().len()];
+    let dt = 2.4e-6; // one 10k-cycle sampling window at 4.2 GHz
+
+    c.bench_function("backward_euler_step", |b| {
+        let mut model = ThermalModel::new(&plan, pkg);
+        b.iter(|| {
+            model.step(&watts, dt);
+            model.temperature(0)
+        });
+    });
+
+    c.bench_function("forward_euler_substeps", |b| {
+        let model = ThermalModel::new(&plan, pkg);
+        let n = model.network().node_count();
+        let mut temps = vec![model.network().ambient(); n];
+        b.iter(|| {
+            forward_euler_step(&mut temps, &watts, dt, &model);
+            temps[0]
+        });
+    });
+
+    c.bench_function("steady_state_settle", |b| {
+        let mut model = ThermalModel::new(&plan, pkg);
+        b.iter(|| {
+            model.settle(&watts);
+            model.temperature(0)
+        });
+    });
+}
+
+/// Accuracy cross-check run once under the bench harness: both integrators
+/// must agree on the transient to within a few millikelvin.
+fn integrator_agreement(c: &mut Criterion) {
+    c.bench_function("integrator_agreement_check", |b| {
+        let plan = ev6::baseline();
+        let pkg = PackageConfig::default();
+        let watts = vec![0.8f64; plan.blocks().len()];
+        let dt = 2.4e-6;
+        b.iter(|| {
+            let mut implicit = ThermalModel::new(&plan, pkg);
+            let explicit_model = ThermalModel::new(&plan, pkg);
+            let n = explicit_model.network().node_count();
+            let mut explicit = vec![explicit_model.network().ambient(); n];
+            for _ in 0..50 {
+                implicit.step(&watts, dt);
+                forward_euler_step(&mut explicit, &watts, dt, &explicit_model);
+            }
+            let diff = (implicit.temperature(0) - explicit[0]).abs();
+            assert!(diff < 0.05, "integrators diverged by {diff} K");
+            diff
+        });
+    });
+}
+
+criterion_group!(benches, solver_comparison, integrator_agreement);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Ablations for the design choices called out in `DESIGN.md` §5/§6:
+//!
+//! 1. **Toggle proximity** — activity toggling only pays off near the
+//!    thermal limit (the wrap-wire cost is pure overhead far from it).
+//! 2. **Thermal time compression** — compressing the RC time constants must
+//!    not move steady-state temperatures, only the transient time base.
+//! 3. **Register-file staleness solutions** — the paper's solution 1
+//!    (write-through with a guard band) vs. solution 2 (write gating plus a
+//!    restore burst).
+//! 4. **Completely-balanced mapping** — the reference wiring the paper
+//!    rejects for its long wires; with fine-grain turnoff it degenerates to
+//!    a whole-core stall because every ALU needs every copy.
+
+use powerbalance::{experiments, MappingPolicy, SimConfig, Simulator};
+use powerbalance_bench::{run, DEFAULT_CYCLES};
+use powerbalance_workloads::spec2000;
+
+fn main() {
+    toggle_proximity();
+    time_compression();
+    staleness_solutions();
+    completely_balanced();
+}
+
+fn toggle_proximity() {
+    println!("Ablation 1: toggle proximity window (eon, IQ-constrained)");
+    println!("{:<12} {:>6} {:>9} {:>9}", "proximity K", "IPC", "toggles", "stalls");
+    for proximity in [1.0, 2.0, 4.0, 8.0, 20.0] {
+        let mut cfg = experiments::issue_queue(true);
+        cfg.mitigation.thresholds.toggle_proximity = proximity;
+        let r = run(cfg, "eon", DEFAULT_CYCLES);
+        println!("{:<12} {:>6.2} {:>9} {:>9}", proximity, r.ipc, r.toggles, r.freezes);
+    }
+    println!();
+}
+
+fn time_compression() {
+    println!("Ablation 2: thermal time compression (eon, base, no stalls)");
+    println!(
+        "{:<12} {:>10} {:>10}",
+        "compression", "IntQ1 (K)", "hottest"
+    );
+    for k in [100.0, 400.0, 1600.0] {
+        let mut cfg = experiments::issue_queue(false);
+        cfg.package.time_compression = k;
+        cfg.mitigation.thresholds.max_temp = 10_000.0; // observe steady state
+        let mut sim = Simulator::new(cfg).expect("valid config");
+        let mut trace = spec2000::by_name("eon").expect("profile").trace(42);
+        // Scale run length inversely with compression so every run covers
+        // the same number of thermal time constants.
+        let cycles = (800_000.0 * 400.0 / k) as u64;
+        let _ = sim.run(&mut trace, cycles);
+        let plan = sim.floorplan();
+        let q1 = sim.thermal().temperature(plan.index_of("IntQ1").expect("block"));
+        let hottest = plan.blocks()[sim.thermal().hottest_block()].name.clone();
+        println!("{:<12} {:>10.2} {:>10}", k, q1, hottest);
+    }
+    println!("(steady-state temperature must be independent of compression)");
+    println!();
+}
+
+fn staleness_solutions() {
+    println!("Ablation 3: register-file staleness solutions (eon, RF-constrained)");
+    println!("{:<34} {:>6} {:>9} {:>8}", "solution", "IPC", "turnoffs", "stalls");
+    for (label, stale) in [
+        ("1: guard band, writes continue", false),
+        ("2: gate writes, restore burst", true),
+    ] {
+        let mut cfg = experiments::regfile(MappingPolicy::Priority, true);
+        cfg.mitigation.rf_stale_copy = stale;
+        let r = run(cfg, "eon", DEFAULT_CYCLES);
+        println!("{:<34} {:>6.2} {:>9} {:>8}", label, r.ipc, r.rf_turnoffs, r.freezes);
+    }
+    println!();
+}
+
+fn completely_balanced() {
+    println!("Ablation 4: completely-balanced mapping (eon, RF-constrained)");
+    println!("{:<34} {:>6} {:>9} {:>8}", "wiring", "IPC", "turnoffs", "stalls");
+    let rows: [(&str, SimConfig); 3] = [
+        (
+            "priority + fine-grain turnoff",
+            experiments::regfile(MappingPolicy::Priority, true),
+        ),
+        (
+            "completely balanced (no turnoff)",
+            experiments::regfile(MappingPolicy::CompletelyBalanced, false),
+        ),
+        (
+            "completely balanced + turnoff",
+            experiments::regfile(MappingPolicy::CompletelyBalanced, true),
+        ),
+    ];
+    for (label, cfg) in rows {
+        let r = run(cfg, "eon", DEFAULT_CYCLES);
+        println!("{:<34} {:>6.2} {:>9} {:>8}", label, r.ipc, r.rf_turnoffs, r.freezes);
+    }
+    println!("(with completely-balanced wiring, turning off either copy idles every ALU;");
+    println!(" the paper rejects this wiring for its cross-datapath wire delay, which a");
+    println!(" cycle-level model does not penalize — hence its flattering IPC here)");
+}

@@ -1,0 +1,44 @@
+//! Figure 6: IPC of the issue-queue-constrained CPU with and without
+//! activity toggling, for all 22 benchmarks.
+//!
+//! Paper reference points: 13 of 22 benchmarks speed up; average speedup
+//! 9% over all benchmarks and 14% over the issue-queue-constrained subset;
+//! `eon` peaks at 25%; toggle counts range from 8 (`applu`) to 44 (`bzip`).
+
+use powerbalance::experiments;
+use powerbalance_bench::{constrained_subset, mean_speedup_pct, row, sweep, DEFAULT_CYCLES};
+
+fn main() {
+    let configs = vec![experiments::issue_queue(false), experiments::issue_queue(true)];
+    let rows = sweep(&configs, DEFAULT_CYCLES);
+
+    println!("Figure 6: issue-queue-constrained IPC (base vs. activity toggling)");
+    println!("{:<10} {:>7} {:>9} {:>9} {:>8} {:>8}", "bench", "base", "toggling", "speedup%", "toggles", "freezes");
+    let mut pairs = Vec::new();
+    let mut constrained_pairs = Vec::new();
+    let constrained = constrained_subset(&rows, 0);
+    for (name, results) in &rows {
+        let (base, tog) = (&results[0], &results[1]);
+        let speedup = (tog.ipc / base.ipc - 1.0) * 100.0;
+        println!(
+            "{} {:>8} {:>8}",
+            row(name, &[base.ipc, tog.ipc, speedup], 8, 2),
+            tog.toggles,
+            base.freezes
+        );
+        pairs.push((base.ipc, tog.ipc));
+        if constrained.contains(&name.as_str()) {
+            constrained_pairs.push((base.ipc, tog.ipc));
+        }
+    }
+    println!();
+    println!(
+        "average speedup, all benchmarks:        {:+.1}%  (paper: +9%)",
+        mean_speedup_pct(&pairs)
+    );
+    println!(
+        "average speedup, IQ-constrained subset: {:+.1}%  (paper: +14%; subset: {:?})",
+        mean_speedup_pct(&constrained_pairs),
+        constrained
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 7: IPC of the ALU-constrained CPU under round-robin (ideal),
+//! fine-grain turnoff, and base scheduling, for all 22 benchmarks.
+//!
+//! Paper reference points: fine-grain turnoff lands within ~1% of the
+//! round-robin upper bound and averages +40% over base (+74% over the
+//! ALU-constrained subset).
+
+use powerbalance::experiments::{self, AluPolicy};
+use powerbalance_bench::{constrained_subset, mean_speedup_pct, row, sweep, DEFAULT_CYCLES};
+
+fn main() {
+    let configs = vec![
+        experiments::alu(AluPolicy::Base),
+        experiments::alu(AluPolicy::FineGrainTurnoff),
+        experiments::alu(AluPolicy::RoundRobin),
+    ];
+    let rows = sweep(&configs, DEFAULT_CYCLES);
+
+    println!("Figure 7: ALU-constrained IPC (base / fine-grain turnoff / round-robin)");
+    println!(
+        "{:<10} {:>7} {:>8} {:>8} {:>9} {:>9}",
+        "bench", "base", "fg", "rr", "fg-spd%", "turnoffs"
+    );
+    let mut pairs = Vec::new();
+    let mut constrained_pairs = Vec::new();
+    let constrained = constrained_subset(&rows, 0);
+    for (name, results) in &rows {
+        let (base, fg, rr) = (&results[0], &results[1], &results[2]);
+        let speedup = (fg.ipc / base.ipc - 1.0) * 100.0;
+        println!(
+            "{} {:>9}",
+            row(name, &[base.ipc, fg.ipc, rr.ipc, speedup], 8, 2),
+            fg.alu_turnoffs
+        );
+        pairs.push((base.ipc, fg.ipc));
+        if constrained.contains(&name.as_str()) {
+            constrained_pairs.push((base.ipc, fg.ipc));
+        }
+    }
+    println!();
+    println!(
+        "fine-grain turnoff speedup, all:         {:+.1}%  (paper: +40%)",
+        mean_speedup_pct(&pairs)
+    );
+    println!(
+        "fine-grain turnoff speedup, constrained: {:+.1}%  (paper: +74%; subset: {:?})",
+        mean_speedup_pct(&constrained_pairs),
+        constrained
+    );
+    let rr_gap: Vec<(f64, f64)> = rows.iter().map(|(_, r)| (r[2].ipc, r[1].ipc)).collect();
+    println!(
+        "fine-grain vs. round-robin gap:          {:+.1}%  (paper: within ~1%)",
+        mean_speedup_pct(&rr_gap)
+    );
+}

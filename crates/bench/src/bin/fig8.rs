@@ -1,0 +1,69 @@
+//! Figure 8: IPC of the register-file-constrained CPU for the four
+//! mapping × turnoff combinations, for all 22 benchmarks.
+//!
+//! Paper reference points: without fine-grain turnoff, balanced mapping
+//! beats priority mapping (+9% all / +14% constrained); with fine-grain
+//! turnoff, priority mapping is best overall (+17%/+30% over priority-only,
+//! +7%/+14% over balanced-only, +1.8%/+3.1% over turnoff+balanced).
+
+use powerbalance::{experiments, MappingPolicy};
+use powerbalance_bench::{constrained_subset, mean_speedup_pct, row, sweep, DEFAULT_CYCLES};
+
+fn main() {
+    let configs = vec![
+        experiments::regfile(MappingPolicy::Priority, false),
+        experiments::regfile(MappingPolicy::Balanced, false),
+        experiments::regfile(MappingPolicy::Priority, true),
+        experiments::regfile(MappingPolicy::Balanced, true),
+    ];
+    let rows = sweep(&configs, DEFAULT_CYCLES);
+
+    println!("Figure 8: register-file-constrained IPC");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "bench", "prio", "bal", "fg+prio", "fg+bal", "turnoffs"
+    );
+    let mut over_prio = Vec::new();
+    let mut over_bal = Vec::new();
+    let mut over_fgbal = Vec::new();
+    let mut bal_over_prio = Vec::new();
+    let mut constrained_fg = Vec::new();
+    let constrained = constrained_subset(&rows, 0);
+    for (name, results) in &rows {
+        let (p, b, fp, fb) = (&results[0], &results[1], &results[2], &results[3]);
+        println!(
+            "{} {:>9}",
+            row(name, &[p.ipc, b.ipc, fp.ipc, fb.ipc], 8, 2),
+            fp.rf_turnoffs
+        );
+        over_prio.push((p.ipc, fp.ipc));
+        over_bal.push((b.ipc, fp.ipc));
+        over_fgbal.push((fb.ipc, fp.ipc));
+        bal_over_prio.push((p.ipc, b.ipc));
+        if constrained.contains(&name.as_str()) {
+            constrained_fg.push((p.ipc, fp.ipc));
+        }
+    }
+    println!();
+    println!(
+        "balanced-only over priority-only:      {:+.1}%  (paper: +9% all / +14% constrained)",
+        mean_speedup_pct(&bal_over_prio)
+    );
+    println!(
+        "fg+priority over priority-only (all):  {:+.1}%  (paper: +17%)",
+        mean_speedup_pct(&over_prio)
+    );
+    println!(
+        "fg+priority over priority-only (cons): {:+.1}%  (paper: +30%; subset: {:?})",
+        mean_speedup_pct(&constrained_fg),
+        constrained
+    );
+    println!(
+        "fg+priority over balanced-only:        {:+.1}%  (paper: +7%)",
+        mean_speedup_pct(&over_bal)
+    );
+    println!(
+        "fg+priority over fg+balanced:          {:+.1}%  (paper: +1.8%)",
+        mean_speedup_pct(&over_fgbal)
+    );
+}

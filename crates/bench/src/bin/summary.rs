@@ -1,0 +1,74 @@
+//! Headline summary: the paper's §6 claims, regenerated.
+//!
+//! Runs all three constrained designs over all 22 benchmarks and prints the
+//! average speedups of each technique over its baseline, next to the
+//! paper's numbers.
+
+use powerbalance::experiments::{self, AluPolicy};
+use powerbalance::MappingPolicy;
+use powerbalance_bench::{constrained_subset, mean_speedup_pct, sweep, DEFAULT_CYCLES};
+
+fn main() {
+    println!("Regenerating the paper's headline claims (all 22 benchmarks)...");
+    println!();
+
+    // Issue queue: activity toggling vs. base.
+    let rows = sweep(
+        &[experiments::issue_queue(false), experiments::issue_queue(true)],
+        DEFAULT_CYCLES,
+    );
+    let constrained = constrained_subset(&rows, 0);
+    let all: Vec<(f64, f64)> = rows.iter().map(|(_, r)| (r[0].ipc, r[1].ipc)).collect();
+    let cons: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|(n, _)| constrained.contains(&n.as_str()))
+        .map(|(_, r)| (r[0].ipc, r[1].ipc))
+        .collect();
+    println!(
+        "issue queue / activity toggling:   {:+5.1}% all, {:+5.1}% constrained (paper: +9% / +14%)",
+        mean_speedup_pct(&all),
+        mean_speedup_pct(&cons)
+    );
+
+    // ALUs: fine-grain turnoff vs. base.
+    let rows = sweep(
+        &[
+            experiments::alu(AluPolicy::Base),
+            experiments::alu(AluPolicy::FineGrainTurnoff),
+        ],
+        DEFAULT_CYCLES,
+    );
+    let constrained = constrained_subset(&rows, 0);
+    let all: Vec<(f64, f64)> = rows.iter().map(|(_, r)| (r[0].ipc, r[1].ipc)).collect();
+    let cons: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|(n, _)| constrained.contains(&n.as_str()))
+        .map(|(_, r)| (r[0].ipc, r[1].ipc))
+        .collect();
+    println!(
+        "ALUs / fine-grain turnoff:         {:+5.1}% all, {:+5.1}% constrained (paper: +40% / +74%)",
+        mean_speedup_pct(&all),
+        mean_speedup_pct(&cons)
+    );
+
+    // Register file: fg+priority vs. priority-only.
+    let rows = sweep(
+        &[
+            experiments::regfile(MappingPolicy::Priority, false),
+            experiments::regfile(MappingPolicy::Priority, true),
+        ],
+        DEFAULT_CYCLES,
+    );
+    let constrained = constrained_subset(&rows, 0);
+    let all: Vec<(f64, f64)> = rows.iter().map(|(_, r)| (r[0].ipc, r[1].ipc)).collect();
+    let cons: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|(n, _)| constrained.contains(&n.as_str()))
+        .map(|(_, r)| (r[0].ipc, r[1].ipc))
+        .collect();
+    println!(
+        "register file / fg + priority map: {:+5.1}% all, {:+5.1}% constrained (paper: +17% / +30%)",
+        mean_speedup_pct(&all),
+        mean_speedup_pct(&cons)
+    );
+}

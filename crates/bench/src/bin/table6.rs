@@ -1,0 +1,35 @@
+//! Table 6: average register-file copy temperatures and IPC for `eon` under
+//! the four mapping × turnoff combinations.
+//!
+//! Paper reference points: balanced mapping equalizes the copies with or
+//! without turnoff; priority mapping concentrates heat in copy 0; priority
+//! mapping + fine-grain turnoff has the highest IPC despite ~3x more
+//! turnoff events than balanced + turnoff.
+
+use powerbalance::{experiments, MappingPolicy};
+use powerbalance_bench::{run, DEFAULT_CYCLES};
+
+fn main() {
+    println!("Table 6: average register-file copy temperature for eon (K)");
+    println!(
+        "{:<36} {:>5} {:>9} {:>9} {:>9} {:>8}",
+        "technique", "IPC", "Copy0", "Copy1", "turnoffs", "freezes"
+    );
+    for (label, mapping, turnoff) in [
+        ("priority-mapping + fine-grain turnoff", MappingPolicy::Priority, true),
+        ("balanced-mapping + fine-grain turnoff", MappingPolicy::Balanced, true),
+        ("balanced-mapping only", MappingPolicy::Balanced, false),
+        ("priority-mapping only", MappingPolicy::Priority, false),
+    ] {
+        let r = run(experiments::regfile(mapping, turnoff), "eon", DEFAULT_CYCLES);
+        println!(
+            "{:<36} {:>5.2} {:>9.1} {:>9.1} {:>9} {:>8}",
+            label,
+            r.ipc,
+            r.avg_temp("IntReg0").expect("block exists"),
+            r.avg_temp("IntReg1").expect("block exists"),
+            r.rf_turnoffs,
+            r.freezes,
+        );
+    }
+}

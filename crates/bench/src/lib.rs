@@ -1,0 +1,125 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure from the MICRO
+//! 2005 evaluation; this library provides the common machinery: running a
+//! configuration over a benchmark, sweeping all 22 benchmarks in parallel,
+//! and formatting the paper-style rows.
+//!
+//! Runs are deterministic: a fixed seed per benchmark, fixed cycle budgets,
+//! and the simulator stack is seeded end-to-end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use powerbalance::{RunResult, SimConfig, Simulator};
+use powerbalance_workloads::spec2000;
+use std::thread;
+
+/// Default simulated cycles per run: long enough for several heat/stall
+/// cycles under the compressed thermal constants.
+pub const DEFAULT_CYCLES: u64 = 1_000_000;
+
+/// Default workload seed (any fixed value works; results are deterministic
+/// per seed).
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Runs one configuration on one benchmark for `cycles` cycles.
+///
+/// # Panics
+///
+/// Panics if the benchmark name is unknown or the configuration is invalid
+/// (these are programming errors in a bench binary).
+#[must_use]
+pub fn run(config: SimConfig, bench: &str, cycles: u64) -> RunResult {
+    let profile = spec2000::by_name(bench)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+    let mut sim = Simulator::new(config).expect("bench configs are valid");
+    let mut trace = profile.trace(DEFAULT_SEED);
+    sim.run(&mut trace, cycles)
+}
+
+/// Runs `configs` on every benchmark in [`spec2000::ALL`], in parallel.
+///
+/// Returns one row per benchmark: `(name, results)` with `results[i]` the
+/// outcome of `configs[i]`, preserving order.
+#[must_use]
+pub fn sweep(configs: &[SimConfig], cycles: u64) -> Vec<(String, Vec<RunResult>)> {
+    let names: Vec<&str> = spec2000::ALL.to_vec();
+    thread::scope(|scope| {
+        let handles: Vec<_> = names
+            .iter()
+            .map(|&name| {
+                let configs = configs.to_vec();
+                scope.spawn(move || {
+                    let results: Vec<RunResult> = configs
+                        .into_iter()
+                        .map(|cfg| run(cfg, name, cycles))
+                        .collect();
+                    (name.to_string(), results)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("bench worker panicked")).collect()
+    })
+}
+
+/// Arithmetic-mean speedup (in percent) of `new` over `old` IPC across rows.
+#[must_use]
+pub fn mean_speedup_pct(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = pairs.iter().map(|(old, new)| new / old - 1.0).sum();
+    sum / pairs.len() as f64 * 100.0
+}
+
+/// Formats a fixed-width row of floats for table output.
+#[must_use]
+pub fn row(name: &str, values: &[f64], width: usize, precision: usize) -> String {
+    let mut out = format!("{name:<10}");
+    for v in values {
+        out.push_str(&format!(" {v:>width$.precision$}"));
+    }
+    out
+}
+
+/// Benchmarks whose base run was actually limited by the thermal constraint
+/// (at least one temporal stall) — the paper's "constrained" subset.
+#[must_use]
+pub fn constrained_subset(
+    rows: &[(String, Vec<RunResult>)],
+    base_index: usize,
+) -> Vec<&str> {
+    rows.iter()
+        .filter(|(_, results)| results[base_index].freezes > 0)
+        .map(|(name, _)| name.as_str())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerbalance::experiments;
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = run(experiments::issue_queue(false), "gzip", 50_000);
+        let b = run(experiments::issue_queue(false), "gzip", 50_000);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.freezes, b.freezes);
+    }
+
+    #[test]
+    fn mean_speedup_math() {
+        assert!((mean_speedup_pct(&[(1.0, 1.1), (2.0, 2.2)]) - 10.0).abs() < 1e-9);
+        assert_eq!(mean_speedup_pct(&[]), 0.0);
+    }
+
+    #[test]
+    fn row_formatting() {
+        let r = row("eon", &[1.234, 5.6], 6, 2);
+        assert!(r.starts_with("eon"));
+        assert!(r.contains("1.23"));
+        assert!(r.contains("5.60"));
+    }
+}

@@ -1,0 +1,240 @@
+//! `powerbalance` — command-line driver for the simulator.
+//!
+//! ```text
+//! powerbalance run --bench eon --floorplan issue --toggling
+//! powerbalance run --bench perlbmk --floorplan alu --turnoff --cycles 2000000
+//! powerbalance run --bench eon --floorplan regfile --mapping priority --turnoff
+//! powerbalance list
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace admits no CLI
+//! dependencies); every flag maps 1:1 onto [`powerbalance::SimConfig`].
+
+use powerbalance::{
+    experiments::AluPolicy, FloorplanKind, MappingPolicy, MitigationConfig, SimConfig, Simulator,
+};
+use powerbalance_workloads::spec2000;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+powerbalance — thermal/performance simulator (MICRO 2005 reproduction)
+
+USAGE:
+  powerbalance list
+      List the 22 available benchmarks.
+
+  powerbalance run [FLAGS]
+      --bench <name>        benchmark to run (required; see `list`)
+      --floorplan <kind>    baseline | issue | alu | regfile  [baseline]
+      --cycles <n>          cycles to simulate                [1000000]
+      --seed <n>            workload seed                     [42]
+      --toggling            enable issue-queue activity toggling
+      --turnoff             enable fine-grain turnoff (ALUs + RF copies)
+      --round-robin         ideal round-robin ALU scheduling
+      --mapping <m>         balanced | priority | complete    [balanced]
+      --max-temp <K>        thermal limit in kelvin           [358]
+
+EXAMPLES:
+  powerbalance run --bench eon --floorplan issue --toggling
+  powerbalance run --bench perlbmk --floorplan alu --turnoff
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for name in spec2000::ALL {
+                println!("{name}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => match parse_run(&args[1..]).and_then(run) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!();
+                eprintln!("{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct RunArgs {
+    bench: String,
+    config: SimConfig,
+    cycles: u64,
+    seed: u64,
+}
+
+fn parse_run(args: &[String]) -> Result<RunArgs, String> {
+    let mut bench = None;
+    let mut floorplan = FloorplanKind::Baseline;
+    let mut cycles = 1_000_000u64;
+    let mut seed = 42u64;
+    let mut toggling = false;
+    let mut turnoff = false;
+    let mut round_robin = false;
+    let mut mapping = MappingPolicy::Balanced;
+    let mut max_temp = 358.0f64;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--bench" => bench = Some(value("--bench")?),
+            "--floorplan" => {
+                floorplan = match value("--floorplan")?.as_str() {
+                    "baseline" => FloorplanKind::Baseline,
+                    "issue" => FloorplanKind::IssueConstrained,
+                    "alu" => FloorplanKind::AluConstrained,
+                    "regfile" => FloorplanKind::RegfileConstrained,
+                    other => return Err(format!("unknown floorplan '{other}'")),
+                }
+            }
+            "--cycles" => {
+                cycles = value("--cycles")?
+                    .parse()
+                    .map_err(|e| format!("--cycles: {e}"))?
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--toggling" => toggling = true,
+            "--turnoff" => turnoff = true,
+            "--round-robin" => round_robin = true,
+            "--mapping" => {
+                mapping = match value("--mapping")?.as_str() {
+                    "balanced" => MappingPolicy::Balanced,
+                    "priority" => MappingPolicy::Priority,
+                    "complete" => MappingPolicy::CompletelyBalanced,
+                    other => return Err(format!("unknown mapping '{other}'")),
+                }
+            }
+            "--max-temp" => {
+                max_temp = value("--max-temp")?
+                    .parse()
+                    .map_err(|e| format!("--max-temp: {e}"))?
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+
+    let bench = bench.ok_or("--bench is required")?;
+    if spec2000::by_name(&bench).is_none() {
+        return Err(format!("unknown benchmark '{bench}' (see `powerbalance list`)"));
+    }
+
+    let mut config = SimConfig {
+        floorplan,
+        mitigation: MitigationConfig {
+            activity_toggling: toggling,
+            alu_turnoff: turnoff,
+            rf_turnoff: turnoff,
+            ..MitigationConfig::baseline()
+        },
+        ..SimConfig::default()
+    };
+    config.mitigation.thresholds.max_temp = max_temp;
+    config.core.mapping = mapping;
+    if round_robin {
+        // The ideal scheduler implies fine-grain turnoff availability, as in
+        // the paper's Figure 7 configuration.
+        config.core.select_policy = powerbalance::SelectPolicy::RoundRobin;
+        config.mitigation.alu_turnoff = true;
+        let _ = AluPolicy::RoundRobin; // documented linkage to the preset
+    }
+    config.validate()?;
+
+    Ok(RunArgs { bench, config, cycles, seed })
+}
+
+fn run(args: RunArgs) -> Result<(), String> {
+    let mut sim = Simulator::new(args.config).map_err(|e| e.to_string())?;
+    let profile = spec2000::by_name(&args.bench).expect("validated above");
+    let result = sim.run(&mut profile.trace(args.seed), args.cycles);
+
+    println!("benchmark:        {}", args.bench);
+    println!("cycles:           {}", result.cycles);
+    println!("committed:        {}", result.committed);
+    println!("IPC:              {:.3}", result.ipc);
+    println!(
+        "thermal stalls:   {} ({} cycles, {:.1}% of run)",
+        result.freezes,
+        result.frozen_cycles,
+        result.frozen_cycles as f64 / result.cycles as f64 * 100.0
+    );
+    println!("toggles:          {}", result.toggles);
+    println!("unit turnoffs:    {}", result.alu_turnoffs);
+    println!("rf-copy turnoffs: {}", result.rf_turnoffs);
+    println!("mispredict rate:  {:.2}%", result.mispredict_rate * 100.0);
+    println!("L1D miss rate:    {:.2}%", result.l1d_miss_rate * 100.0);
+    println!();
+    println!("{:<10} {:>9} {:>9}", "block", "avg (K)", "max (K)");
+    let mut temps = result.temperatures.clone();
+    temps.sort_by(|a, b| b.avg.partial_cmp(&a.avg).expect("finite temps"));
+    for t in temps.iter().take(10) {
+        println!("{:<10} {:>9.1} {:>9.1}", t.name, t.avg, t.max);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let a = parse_run(&strs(&[
+            "--bench", "eon", "--floorplan", "issue", "--toggling", "--cycles", "5000",
+            "--seed", "7", "--max-temp", "360",
+        ]))
+        .expect("valid command line");
+        assert_eq!(a.bench, "eon");
+        assert_eq!(a.cycles, 5000);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.config.floorplan, FloorplanKind::IssueConstrained);
+        assert!(a.config.mitigation.activity_toggling);
+        assert!((a.config.mitigation.thresholds.max_temp - 360.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_unknown_benchmark_and_flags() {
+        assert!(parse_run(&strs(&["--bench", "doom"])).is_err());
+        assert!(parse_run(&strs(&["--bench", "eon", "--frobnicate"])).is_err());
+        assert!(parse_run(&strs(&[])).is_err(), "--bench is required");
+    }
+
+    #[test]
+    fn round_robin_implies_turnoff() {
+        let a = parse_run(&strs(&["--bench", "perlbmk", "--round-robin"])).expect("valid");
+        assert!(a.config.mitigation.alu_turnoff);
+        assert_eq!(a.config.core.select_policy, powerbalance::SelectPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn mapping_values_parse() {
+        for (name, policy) in [
+            ("balanced", MappingPolicy::Balanced),
+            ("priority", MappingPolicy::Priority),
+            ("complete", MappingPolicy::CompletelyBalanced),
+        ] {
+            let a = parse_run(&strs(&["--bench", "eon", "--mapping", name])).expect("valid");
+            assert_eq!(a.config.core.mapping, policy);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Top-level simulation configuration.
+
+use powerbalance_mitigation::MitigationConfig;
+use powerbalance_power::EnergyTables;
+use powerbalance_thermal::ev6::FloorplanKind;
+use powerbalance_thermal::PackageConfig;
+use powerbalance_uarch::CoreConfig;
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to build a [`crate::Simulator`].
+///
+/// Defaults reproduce the paper's Table 2 machine: a 6-wide core at
+/// 4.2 GHz on the baseline EV6-like floorplan, temperatures sampled every
+/// 10 000 cycles (well under every compressed thermal time constant),
+/// temporal-stall-only mitigation.
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance::{FloorplanKind, MitigationConfig, SimConfig};
+///
+/// let cfg = SimConfig {
+///     floorplan: FloorplanKind::AluConstrained,
+///     mitigation: MitigationConfig::alu_turnoff_only(),
+///     ..SimConfig::default()
+/// };
+/// assert_eq!(cfg.frequency_hz, 4.2e9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The core microarchitecture.
+    pub core: CoreConfig,
+    /// Which floorplan variant to simulate on.
+    pub floorplan: FloorplanKind,
+    /// Thermal package parameters (incl. time compression).
+    pub package: PackageConfig,
+    /// Per-event energies.
+    pub energy: EnergyTables,
+    /// Enabled mitigation techniques and thresholds.
+    pub mitigation: MitigationConfig,
+    /// Clock frequency in hertz (paper Table 2: 4.2 GHz).
+    pub frequency_hz: f64,
+    /// Cycles between temperature samples. The paper samples every
+    /// 100 000 cycles; with time-compressed thermal constants we sample
+    /// 10× more often to keep the same samples-per-time-constant ratio.
+    pub sample_interval: u64,
+    /// After the first sample window, jump the thermal model to the steady
+    /// state of that window's power (fast warm-up to each workload's own
+    /// operating point). When `false` the die starts at ambient.
+    pub warm_start: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            core: CoreConfig::default(),
+            floorplan: FloorplanKind::Baseline,
+            package: PackageConfig::default(),
+            energy: EnergyTables::default(),
+            mitigation: MitigationConfig::baseline(),
+            frequency_hz: 4.2e9,
+            sample_interval: 10_000,
+            warm_start: true,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates the composite configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant across all subsystems.
+    pub fn validate(&self) -> Result<(), String> {
+        self.core.validate()?;
+        self.package.validate()?;
+        self.energy.validate()?;
+        self.mitigation.thresholds.validate()?;
+        if self.frequency_hz <= 0.0 || self.frequency_hz.is_nan() {
+            return Err("frequency_hz must be positive".into());
+        }
+        if self.sample_interval == 0 {
+            return Err("sample_interval must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        SimConfig::default().validate().expect("default config is valid");
+    }
+
+    #[test]
+    fn invalid_subsystem_bubbles_up() {
+        let mut cfg = SimConfig::default();
+        cfg.core.iq_size = 7;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::default();
+        cfg.sample_interval = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

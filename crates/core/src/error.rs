@@ -1,0 +1,43 @@
+//! Error type for the facade.
+
+use std::fmt;
+
+/// Errors from building or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A configuration value violated an invariant; the message names it.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<String> for Error {
+    fn from(msg: String) -> Self {
+        Error::Config(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Config("iq_size must be even".into());
+        assert!(e.to_string().contains("iq_size"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error<E: std::error::Error>(_e: E) {}
+        takes_error(Error::Config("x".into()));
+    }
+}

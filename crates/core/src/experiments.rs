@@ -1,0 +1,137 @@
+//! Preset configurations for every experiment in the paper's evaluation.
+//!
+//! Each function returns the [`SimConfig`] for one bar/row of a figure or
+//! table; the `powerbalance-bench` binaries sweep these over the 22
+//! benchmarks to regenerate the paper's results.
+
+use crate::SimConfig;
+use powerbalance_mitigation::MitigationConfig;
+use powerbalance_thermal::ev6::FloorplanKind;
+use powerbalance_uarch::{MappingPolicy, SelectPolicy};
+use serde::{Deserialize, Serialize};
+
+/// ALU-experiment scheduling policy (paper §4.2 / Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluPolicy {
+    /// Static priority, whole-core stall on any hot ALU (baseline).
+    Base,
+    /// Static priority with fine-grain turnoff of hot ALUs.
+    FineGrainTurnoff,
+    /// Ideal round-robin issue (upper bound), with fine-grain turnoff.
+    RoundRobin,
+}
+
+/// Issue-queue experiment (paper §4.1, Table 4, Figure 6).
+///
+/// `toggling = false` is the base configuration; `true` enables activity
+/// toggling on both queues. Both run on the issue-queue-constrained
+/// floorplan.
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance::experiments;
+///
+/// let base = experiments::issue_queue(false);
+/// let toggling = experiments::issue_queue(true);
+/// assert!(!base.mitigation.activity_toggling);
+/// assert!(toggling.mitigation.activity_toggling);
+/// ```
+#[must_use]
+pub fn issue_queue(toggling: bool) -> SimConfig {
+    SimConfig {
+        floorplan: FloorplanKind::IssueConstrained,
+        mitigation: if toggling {
+            MitigationConfig::toggling_only()
+        } else {
+            MitigationConfig::baseline()
+        },
+        ..SimConfig::default()
+    }
+}
+
+/// ALU experiment (paper §4.2, Table 5, Figure 7) on the ALU-constrained
+/// floorplan.
+#[must_use]
+pub fn alu(policy: AluPolicy) -> SimConfig {
+    let mut cfg = SimConfig {
+        floorplan: FloorplanKind::AluConstrained,
+        ..SimConfig::default()
+    };
+    match policy {
+        AluPolicy::Base => {
+            cfg.mitigation = MitigationConfig::baseline();
+        }
+        AluPolicy::FineGrainTurnoff => {
+            cfg.mitigation = MitigationConfig::alu_turnoff_only();
+        }
+        AluPolicy::RoundRobin => {
+            cfg.mitigation = MitigationConfig::alu_turnoff_only();
+            cfg.core.select_policy = SelectPolicy::RoundRobin;
+        }
+    }
+    cfg
+}
+
+/// Register-file experiment (paper §4.3, Table 6, Figure 8) on the
+/// register-file-constrained floorplan: one of the four mapping × turnoff
+/// combinations.
+#[must_use]
+pub fn regfile(mapping: MappingPolicy, turnoff: bool) -> SimConfig {
+    let mut cfg = SimConfig {
+        floorplan: FloorplanKind::RegfileConstrained,
+        mitigation: if turnoff {
+            MitigationConfig::rf_turnoff_only()
+        } else {
+            MitigationConfig::baseline()
+        },
+        ..SimConfig::default()
+    };
+    cfg.core.mapping = mapping;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        issue_queue(false).validate().expect("iq base");
+        issue_queue(true).validate().expect("iq toggling");
+        for p in [AluPolicy::Base, AluPolicy::FineGrainTurnoff, AluPolicy::RoundRobin] {
+            alu(p).validate().unwrap_or_else(|e| panic!("alu {p:?}: {e}"));
+        }
+        for m in [
+            MappingPolicy::Balanced,
+            MappingPolicy::Priority,
+            MappingPolicy::CompletelyBalanced,
+        ] {
+            for t in [false, true] {
+                regfile(m, t).validate().unwrap_or_else(|e| panic!("rf {m:?}/{t}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn presets_pick_the_right_floorplan() {
+        assert_eq!(issue_queue(true).floorplan, FloorplanKind::IssueConstrained);
+        assert_eq!(alu(AluPolicy::Base).floorplan, FloorplanKind::AluConstrained);
+        assert_eq!(
+            regfile(MappingPolicy::Priority, true).floorplan,
+            FloorplanKind::RegfileConstrained
+        );
+    }
+
+    #[test]
+    fn round_robin_sets_select_policy() {
+        assert_eq!(alu(AluPolicy::RoundRobin).core.select_policy, SelectPolicy::RoundRobin);
+        assert_eq!(alu(AluPolicy::FineGrainTurnoff).core.select_policy, SelectPolicy::Static);
+    }
+
+    #[test]
+    fn regfile_presets_set_mapping() {
+        assert_eq!(regfile(MappingPolicy::Balanced, false).core.mapping, MappingPolicy::Balanced);
+        assert_eq!(regfile(MappingPolicy::Priority, true).core.mapping, MappingPolicy::Priority);
+    }
+}

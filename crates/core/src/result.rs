@@ -1,0 +1,125 @@
+//! Run results.
+
+use serde::{Deserialize, Serialize};
+
+/// Temperature statistics for one floorplan block over a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockTemperature {
+    /// Block name (e.g. `"IntQ1"`).
+    pub name: String,
+    /// Average temperature over non-stalled execution (K) — the paper's
+    /// Table 4/5/6 metric.
+    pub avg: f64,
+    /// Peak temperature seen at any sample (K).
+    pub max: f64,
+}
+
+/// Results of one simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance::{experiments, Simulator};
+/// use powerbalance_workloads::spec2000;
+///
+/// let mut sim = Simulator::new(experiments::issue_queue(false))?;
+/// let result = sim.run(&mut spec2000::by_name("art").unwrap().trace(1), 50_000);
+/// assert!(result.cycles > 0);
+/// assert!(result.avg_temp("IntQ0").is_some());
+/// # Ok::<(), powerbalance::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Cycles simulated (including stall time).
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Committed IPC, the paper's primary performance metric.
+    pub ipc: f64,
+    /// Cycles lost to temporal (whole-core) stalls.
+    pub frozen_cycles: u64,
+    /// Issue-queue head/tail toggles.
+    pub toggles: u64,
+    /// Functional-unit turnoff events.
+    pub alu_turnoffs: u64,
+    /// Register-file copy turnoff events.
+    pub rf_turnoffs: u64,
+    /// Temporal stall events.
+    pub freezes: u64,
+    /// Per-block temperature statistics.
+    pub temperatures: Vec<BlockTemperature>,
+    /// Issues per integer ALU (priority-order asymmetry).
+    pub int_issued_per_unit: [u64; 6],
+    /// Reads per integer register-file copy.
+    pub int_rf_reads: [u64; 2],
+    /// Branch misprediction rate.
+    pub mispredict_rate: f64,
+    /// L1 data-cache miss rate.
+    pub l1d_miss_rate: f64,
+}
+
+impl RunResult {
+    /// Average temperature of the named block, if present.
+    #[must_use]
+    pub fn avg_temp(&self, name: &str) -> Option<f64> {
+        self.temperatures.iter().find(|t| t.name == name).map(|t| t.avg)
+    }
+
+    /// Peak temperature of the named block, if present.
+    #[must_use]
+    pub fn max_temp(&self, name: &str) -> Option<f64> {
+        self.temperatures.iter().find(|t| t.name == name).map(|t| t.max)
+    }
+
+    /// The hottest block by average temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result has no temperature entries.
+    #[must_use]
+    pub fn hottest(&self) -> &BlockTemperature {
+        self.temperatures
+            .iter()
+            .max_by(|a, b| a.avg.partial_cmp(&b.avg).expect("temps are finite"))
+            .expect("runs always record temperatures")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> RunResult {
+        RunResult {
+            cycles: 1000,
+            committed: 800,
+            ipc: 0.8,
+            frozen_cycles: 0,
+            toggles: 2,
+            alu_turnoffs: 0,
+            rf_turnoffs: 0,
+            freezes: 0,
+            temperatures: vec![
+                BlockTemperature { name: "IntQ0".into(), avg: 350.0, max: 351.0 },
+                BlockTemperature { name: "IntQ1".into(), avg: 352.0, max: 353.5 },
+            ],
+            int_issued_per_unit: [100, 80, 60, 40, 20, 10],
+            int_rf_reads: [400, 200],
+            mispredict_rate: 0.01,
+            l1d_miss_rate: 0.02,
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let r = result();
+        assert_eq!(r.avg_temp("IntQ1"), Some(352.0));
+        assert_eq!(r.max_temp("IntQ1"), Some(353.5));
+        assert_eq!(r.avg_temp("nope"), None);
+    }
+
+    #[test]
+    fn hottest_is_by_average() {
+        assert_eq!(result().hottest().name, "IntQ1");
+    }
+}

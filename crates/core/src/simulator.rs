@@ -1,0 +1,314 @@
+//! The top-level simulator: core + power + thermal + mitigation.
+
+use crate::{BlockTemperature, Error, RunResult, SimConfig};
+use powerbalance_isa::TraceSource;
+use powerbalance_mitigation::{Sensors, ThermalManager};
+use powerbalance_power::PowerModel;
+use powerbalance_thermal::{ev6, Floorplan, ThermalModel};
+use powerbalance_uarch::Core;
+
+/// A complete thermal/performance simulation of one CPU configuration.
+///
+/// Drives the cycle-level core, converts its activity into per-block power
+/// each sampling window, steps the RC thermal model, and lets the
+/// mitigation manager react to the new temperatures — the same
+/// sense/react loop the paper's SimpleScalar + Wattch + HotSpot setup runs.
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance::{Simulator, SimConfig};
+/// use powerbalance_workloads::spec2000;
+///
+/// let mut sim = Simulator::new(SimConfig::default())?;
+/// let result = sim.run(&mut spec2000::by_name("gzip").unwrap().trace(7), 50_000);
+/// assert!(result.ipc > 0.0);
+/// # Ok::<(), powerbalance::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+    plan: Floorplan,
+    core: Core,
+    power: PowerModel,
+    thermal: ThermalModel,
+    manager: ThermalManager,
+    /// Per-block running sums for averages over non-stalled samples.
+    temp_sum: Vec<f64>,
+    temp_samples: u64,
+    temp_max: Vec<f64>,
+    warmed: bool,
+    /// Optional per-sample temperature trace: `(cycle, temps)` rows.
+    history: Option<Vec<(u64, Vec<f64>)>>,
+}
+
+impl Simulator {
+    /// Builds a simulator from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if any subsystem rejects its parameters.
+    pub fn new(config: SimConfig) -> Result<Self, Error> {
+        config.validate()?;
+        let plan = ev6::build(config.floorplan);
+        let core = Core::new(config.core.clone())?;
+        let power = PowerModel::new(&plan, config.energy, config.frequency_hz)?;
+        let thermal = ThermalModel::new(&plan, config.package);
+        let sensors = Sensors::new(&plan)?;
+        let manager = ThermalManager::new(config.mitigation, sensors);
+        let blocks = plan.blocks().len();
+        Ok(Simulator {
+            config,
+            plan,
+            core,
+            power,
+            thermal,
+            manager,
+            temp_sum: vec![0.0; blocks],
+            temp_samples: 0,
+            temp_max: vec![f64::MIN; blocks],
+            warmed: false,
+            history: None,
+        })
+    }
+
+    /// The configuration this simulator was built with.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The floorplan in use.
+    #[must_use]
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.plan
+    }
+
+    /// Immutable access to the core (stats, predictor, caches).
+    #[must_use]
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Immutable access to the thermal model (current temperatures).
+    #[must_use]
+    pub fn thermal(&self) -> &ThermalModel {
+        &self.thermal
+    }
+
+    /// The mitigation manager (toggle/turnoff/freeze counters).
+    #[must_use]
+    pub fn manager(&self) -> &ThermalManager {
+        &self.manager
+    }
+
+    /// Starts recording one `(cycle, temperatures)` row per thermal sample.
+    ///
+    /// Useful for plotting heating/cooling transients; off by default
+    /// because long runs accumulate one row per sampling window.
+    pub fn record_history(&mut self) {
+        if self.history.is_none() {
+            self.history = Some(Vec::new());
+        }
+    }
+
+    /// The recorded temperature trace, if [`record_history`] was called:
+    /// `(cycle, per-block temperatures)` rows in sample order.
+    ///
+    /// [`record_history`]: Simulator::record_history
+    #[must_use]
+    pub fn history(&self) -> Option<&[(u64, Vec<f64>)]> {
+        self.history.as_deref()
+    }
+
+    /// Runs for up to `cycles` cycles (or until the trace drains) and
+    /// returns the accumulated results.
+    ///
+    /// Can be called repeatedly to extend a run; statistics accumulate.
+    pub fn run<T: TraceSource>(&mut self, trace: &mut T, cycles: u64) -> RunResult {
+        let start = self.core.stats().cycles;
+        while self.core.stats().cycles - start < cycles && !self.core.is_done() {
+            let window = self
+                .config
+                .sample_interval
+                .min(cycles - (self.core.stats().cycles - start));
+            for _ in 0..window {
+                self.core.cycle(trace);
+                if self.core.is_done() {
+                    break;
+                }
+            }
+            self.sample();
+        }
+        self.result()
+    }
+
+    /// One sense/react step: power → thermal → mitigation → statistics.
+    fn sample(&mut self) {
+        let activity = self.core.take_activity();
+        if activity.cycles == 0 {
+            return;
+        }
+        let watts = self.power.block_power(&activity);
+        let dt = activity.cycles as f64 / self.config.frequency_hz;
+
+        if self.config.warm_start && !self.warmed {
+            // Jump to this workload's own steady state instead of heating
+            // from ambient for millions of cycles.
+            self.warmed = true;
+            self.thermal.settle(&watts);
+        } else {
+            self.thermal.step(&watts, dt);
+        }
+
+        let was_frozen = self.core.is_frozen();
+        let temps: Vec<f64> = self.thermal.temperatures().to_vec();
+        let now = self.core.stats().cycles;
+        self.manager
+            .on_sample(&mut self.core, &temps, now, &activity.int_iq, &activity.fp_iq);
+
+        // The paper's table temperatures average over execution (non
+        // -stalled) time; track the peak unconditionally.
+        if !was_frozen {
+            for (sum, t) in self.temp_sum.iter_mut().zip(&temps) {
+                *sum += t;
+            }
+            self.temp_samples += 1;
+        }
+        for (max, t) in self.temp_max.iter_mut().zip(&temps) {
+            *max = max.max(*t);
+        }
+        if let Some(history) = &mut self.history {
+            history.push((now, temps));
+        }
+    }
+
+    /// Snapshot of the accumulated results.
+    #[must_use]
+    pub fn result(&self) -> RunResult {
+        let stats = self.core.stats();
+        let samples = self.temp_samples.max(1) as f64;
+        let temperatures = self
+            .plan
+            .blocks()
+            .iter()
+            .enumerate()
+            .map(|(i, b)| BlockTemperature {
+                name: b.name.clone(),
+                avg: if self.temp_samples == 0 {
+                    self.thermal.temperature(i)
+                } else {
+                    self.temp_sum[i] / samples
+                },
+                max: if self.temp_max[i] == f64::MIN {
+                    self.thermal.temperature(i)
+                } else {
+                    self.temp_max[i]
+                },
+            })
+            .collect();
+        let mstats = self.manager.stats();
+        RunResult {
+            cycles: stats.cycles,
+            committed: stats.committed,
+            ipc: stats.ipc(),
+            frozen_cycles: stats.frozen_cycles,
+            toggles: mstats.toggles,
+            alu_turnoffs: mstats.alu_turnoffs,
+            rf_turnoffs: mstats.rf_turnoffs,
+            freezes: mstats.freezes,
+            temperatures,
+            int_issued_per_unit: stats.int_issued_per_unit,
+            int_rf_reads: stats.int_rf_reads,
+            mispredict_rate: self.core.bpred().mispredict_rate(),
+            l1d_miss_rate: self.core.memory().l1d().miss_rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments;
+    use powerbalance_workloads::spec2000;
+
+    #[test]
+    fn runs_and_reports() {
+        let mut sim = Simulator::new(SimConfig::default()).expect("valid config");
+        let mut trace = spec2000::by_name("gzip").expect("profile").trace(3);
+        let r = sim.run(&mut trace, 60_000);
+        assert!(r.cycles >= 60_000);
+        assert!(r.committed > 1_000);
+        assert_eq!(r.temperatures.len(), sim.floorplan().blocks().len());
+        assert!(r.avg_temp("IntQ0").expect("block exists") > 318.0);
+    }
+
+    #[test]
+    fn run_extends_cumulatively() {
+        let mut sim = Simulator::new(SimConfig::default()).expect("valid config");
+        let mut trace = spec2000::by_name("gzip").expect("profile").trace(3);
+        let first = sim.run(&mut trace, 30_000);
+        let second = sim.run(&mut trace, 30_000);
+        assert!(second.cycles >= first.cycles + 30_000);
+        assert!(second.committed > first.committed);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let build = || {
+            let mut sim =
+                Simulator::new(experiments::issue_queue(true)).expect("valid config");
+            let mut trace = spec2000::by_name("mesa").expect("profile").trace(11);
+            sim.run(&mut trace, 80_000)
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.toggles, b.toggles);
+        assert_eq!(a.freezes, b.freezes);
+        for (x, y) in a.temperatures.iter().zip(&b.temperatures) {
+            assert!((x.avg - y.avg).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn history_records_one_row_per_sample() {
+        let mut sim = Simulator::new(SimConfig::default()).expect("valid config");
+        sim.record_history();
+        let mut trace = spec2000::by_name("gzip").expect("profile").trace(3);
+        let r = sim.run(&mut trace, 50_000);
+        let history = sim.history().expect("recording enabled");
+        let expected = r.cycles / sim.config().sample_interval;
+        assert_eq!(history.len() as u64, expected);
+        // Rows are cycle-ordered and sized per block.
+        let blocks = sim.floorplan().blocks().len();
+        let mut last = 0;
+        for (cycle, temps) in history {
+            assert!(*cycle > last || last == 0);
+            last = *cycle;
+            assert_eq!(temps.len(), blocks);
+        }
+    }
+
+    #[test]
+    fn history_is_off_by_default() {
+        let mut sim = Simulator::new(SimConfig::default()).expect("valid config");
+        let mut trace = spec2000::by_name("gzip").expect("profile").trace(3);
+        let _ = sim.run(&mut trace, 20_000);
+        assert!(sim.history().is_none());
+    }
+
+    #[test]
+    fn warm_start_heats_the_die_immediately() {
+        let mut cfg = SimConfig::default();
+        cfg.warm_start = true;
+        let mut sim = Simulator::new(cfg).expect("valid config");
+        let mut trace = spec2000::by_name("crafty").expect("profile").trace(5);
+        let r = sim.run(&mut trace, 30_000);
+        assert!(
+            r.hottest().avg > 330.0,
+            "warm start should reach operating temperature: {:?}",
+            r.hottest()
+        );
+    }
+}

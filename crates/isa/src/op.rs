@@ -1,0 +1,213 @@
+//! Operation classes and their execution characteristics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The functional-unit domain an operation executes in.
+///
+/// The simulated core has distinct integer and floating-point back ends —
+/// separate issue queues, separate functional-unit pools, and (for the
+/// integer side) replicated register-file copies. The paper notes that
+/// "floating point ALUs do not represent free spatial slack in integer
+/// programs because floating ALUs can not be used for integer programs (and
+/// vice-versa)"; this enum encodes that hard split.
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_isa::{ExecDomain, OpClass};
+///
+/// assert_eq!(OpClass::Load.domain(), ExecDomain::Int);
+/// assert_eq!(OpClass::FpAdd.domain(), ExecDomain::Fp);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ExecDomain {
+    /// Integer back end: arithmetic, memory, and control operations.
+    Int,
+    /// Floating-point back end: FP adds, multiplies, and divides.
+    Fp,
+}
+
+impl fmt::Display for ExecDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecDomain::Int => f.write_str("int"),
+            ExecDomain::Fp => f.write_str("fp"),
+        }
+    }
+}
+
+/// Classification of a micro-op by the functional unit it occupies.
+///
+/// Latencies follow the Alpha-21264-style values SimpleScalar uses; they are
+/// pipeline-visible execution latencies, not cache latencies (memory timing
+/// is resolved by the cache hierarchy in `powerbalance-uarch`).
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_isa::OpClass;
+///
+/// assert_eq!(OpClass::IntAlu.latency(), 1);
+/// assert_eq!(OpClass::IntMul.latency(), 7);
+/// assert!(OpClass::Store.is_mem());
+/// assert!(OpClass::Branch.is_ctrl());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Simple integer ALU operation (add, logical, shift, compare).
+    IntAlu,
+    /// Integer multiply (longer-latency, still occupies an integer ALU slot).
+    IntMul,
+    /// Memory load; occupies an integer ALU slot for address generation and
+    /// a data-cache port.
+    Load,
+    /// Memory store; occupies an integer ALU slot for address generation and
+    /// a data-cache port.
+    Store,
+    /// Conditional or unconditional branch; resolved on an integer ALU.
+    Branch,
+    /// Floating-point add/subtract/convert; executes on an FP adder.
+    FpAdd,
+    /// Floating-point multiply; executes on the FP multiplier.
+    FpMul,
+    /// Floating-point divide; long-latency, executes on the FP multiplier.
+    FpDiv,
+}
+
+impl OpClass {
+    /// All operation classes, in a fixed order convenient for tables.
+    pub const ALL: [OpClass; 8] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+    ];
+
+    /// Execution latency in cycles, excluding any cache/memory time.
+    #[must_use]
+    pub const fn latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu | OpClass::Branch => 1,
+            OpClass::Load | OpClass::Store => 1, // address generation; cache adds the rest
+            OpClass::IntMul => 7,
+            OpClass::FpAdd => 4,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 12,
+        }
+    }
+
+    /// The back-end domain this class executes in.
+    #[must_use]
+    pub const fn domain(self) -> ExecDomain {
+        match self {
+            OpClass::IntAlu
+            | OpClass::IntMul
+            | OpClass::Load
+            | OpClass::Store
+            | OpClass::Branch => ExecDomain::Int,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => ExecDomain::Fp,
+        }
+    }
+
+    /// `true` for classes executing in the integer domain.
+    #[must_use]
+    pub const fn is_int(self) -> bool {
+        matches!(self.domain(), ExecDomain::Int)
+    }
+
+    /// `true` for classes executing in the floating-point domain.
+    #[must_use]
+    pub const fn is_fp(self) -> bool {
+        matches!(self.domain(), ExecDomain::Fp)
+    }
+
+    /// `true` for memory operations (loads and stores).
+    #[must_use]
+    pub const fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// `true` for control-flow operations.
+    #[must_use]
+    pub const fn is_ctrl(self) -> bool {
+        matches!(self, OpClass::Branch)
+    }
+
+    /// `true` for classes that must issue to the FP multiplier rather than
+    /// an FP adder.
+    #[must_use]
+    pub const fn needs_fp_mul(self) -> bool {
+        matches!(self, OpClass::FpMul | OpClass::FpDiv)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMul => "int-mul",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::FpAdd => "fp-add",
+            OpClass::FpMul => "fp-mul",
+            OpClass::FpDiv => "fp-div",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_are_positive() {
+        for class in OpClass::ALL {
+            assert!(class.latency() >= 1, "{class} has zero latency");
+        }
+    }
+
+    #[test]
+    fn domains_partition_classes() {
+        for class in OpClass::ALL {
+            assert_ne!(class.is_int(), class.is_fp(), "{class} must be in exactly one domain");
+        }
+    }
+
+    #[test]
+    fn mem_ops_are_integer_domain() {
+        assert!(OpClass::Load.is_mem() && OpClass::Load.is_int());
+        assert!(OpClass::Store.is_mem() && OpClass::Store.is_int());
+        assert!(!OpClass::IntAlu.is_mem());
+    }
+
+    #[test]
+    fn fp_mul_routing() {
+        assert!(OpClass::FpMul.needs_fp_mul());
+        assert!(OpClass::FpDiv.needs_fp_mul());
+        assert!(!OpClass::FpAdd.needs_fp_mul());
+        assert!(!OpClass::IntMul.needs_fp_mul());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for class in OpClass::ALL {
+            let s = class.to_string();
+            assert!(!s.is_empty());
+            assert!(seen.insert(s), "duplicate display for {class:?}");
+        }
+    }
+
+    #[test]
+    fn long_latency_ops_are_longer_than_simple_alu() {
+        assert!(OpClass::IntMul.latency() > OpClass::IntAlu.latency());
+        assert!(OpClass::FpDiv.latency() > OpClass::FpAdd.latency());
+    }
+}

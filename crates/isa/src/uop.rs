@@ -1,0 +1,248 @@
+//! The micro-op: one dynamic instruction as seen by the pipeline.
+
+use crate::{ArchReg, OpClass};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A memory reference carried by a load or store micro-op.
+///
+/// Addresses are virtual byte addresses; the cache hierarchy derives set and
+/// tag bits from them. The access size is fixed at 8 bytes (Alpha-like) and
+/// therefore not stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Virtual byte address accessed.
+    pub addr: u64,
+}
+
+impl MemRef {
+    /// Creates a memory reference to `addr`.
+    #[must_use]
+    pub const fn new(addr: u64) -> Self {
+        MemRef { addr }
+    }
+}
+
+/// Branch metadata carried by a control-flow micro-op.
+///
+/// The trace is execution-driven on the *correct* path: `taken` is the true
+/// outcome. The front end runs a real predictor against this outcome; a
+/// mismatch costs the pipeline a redirect after the branch resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// True architectural outcome of the branch.
+    pub taken: bool,
+    /// Branch target address (used to index the BTB).
+    pub target: u64,
+}
+
+impl BranchInfo {
+    /// Creates branch metadata with the given outcome and target.
+    #[must_use]
+    pub const fn new(taken: bool, target: u64) -> Self {
+        BranchInfo { taken, target }
+    }
+}
+
+/// One dynamic micro-op flowing through the simulated pipeline.
+///
+/// A micro-op names at most one destination register and two source
+/// registers. Memory ops carry a [`MemRef`]; branches carry a
+/// [`BranchInfo`]. The program counter `pc` is synthetic but consistent
+/// (the workload generator emits realistic instruction-address streams so
+/// the I-cache and branch predictor behave sensibly).
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_isa::{ArchReg, MemRef, MicroOp, OpClass};
+///
+/// let load = MicroOp::new(OpClass::Load)
+///     .with_dest(ArchReg::int(5))
+///     .with_src1(ArchReg::int(2))
+///     .with_mem(MemRef::new(0x1000));
+/// assert!(load.mem().is_some());
+/// assert_eq!(load.dest(), Some(ArchReg::int(5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MicroOp {
+    class: OpClass,
+    pc: u64,
+    dest: Option<ArchReg>,
+    src1: Option<ArchReg>,
+    src2: Option<ArchReg>,
+    mem: Option<MemRef>,
+    branch: Option<BranchInfo>,
+}
+
+impl MicroOp {
+    /// Creates a micro-op of the given class with no operands and `pc == 0`.
+    #[must_use]
+    pub const fn new(class: OpClass) -> Self {
+        MicroOp {
+            class,
+            pc: 0,
+            dest: None,
+            src1: None,
+            src2: None,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// Sets the program counter (builder style).
+    #[must_use]
+    pub const fn with_pc(mut self, pc: u64) -> Self {
+        self.pc = pc;
+        self
+    }
+
+    /// Sets the destination register (builder style).
+    #[must_use]
+    pub const fn with_dest(mut self, reg: ArchReg) -> Self {
+        self.dest = Some(reg);
+        self
+    }
+
+    /// Sets the first source register (builder style).
+    #[must_use]
+    pub const fn with_src1(mut self, reg: ArchReg) -> Self {
+        self.src1 = Some(reg);
+        self
+    }
+
+    /// Sets the second source register (builder style).
+    #[must_use]
+    pub const fn with_src2(mut self, reg: ArchReg) -> Self {
+        self.src2 = Some(reg);
+        self
+    }
+
+    /// Attaches a memory reference (builder style).
+    #[must_use]
+    pub const fn with_mem(mut self, mem: MemRef) -> Self {
+        self.mem = Some(mem);
+        self
+    }
+
+    /// Attaches branch metadata (builder style).
+    #[must_use]
+    pub const fn with_branch(mut self, branch: BranchInfo) -> Self {
+        self.branch = Some(branch);
+        self
+    }
+
+    /// Operation class.
+    #[must_use]
+    pub const fn class(&self) -> OpClass {
+        self.class
+    }
+
+    /// Program counter of this micro-op.
+    #[must_use]
+    pub const fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Destination register, if any.
+    #[must_use]
+    pub const fn dest(&self) -> Option<ArchReg> {
+        self.dest
+    }
+
+    /// First source register, if any.
+    #[must_use]
+    pub const fn src1(&self) -> Option<ArchReg> {
+        self.src1
+    }
+
+    /// Second source register, if any.
+    #[must_use]
+    pub const fn src2(&self) -> Option<ArchReg> {
+        self.src2
+    }
+
+    /// Number of register source operands (0, 1, or 2).
+    #[must_use]
+    pub const fn src_count(&self) -> u8 {
+        self.src1.is_some() as u8 + self.src2.is_some() as u8
+    }
+
+    /// Memory reference, if this is a load or store.
+    #[must_use]
+    pub const fn mem(&self) -> Option<MemRef> {
+        self.mem
+    }
+
+    /// Branch metadata, if this is a control-flow op.
+    #[must_use]
+    pub const fn branch(&self) -> Option<BranchInfo> {
+        self.branch
+    }
+}
+
+impl fmt::Display for MicroOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}: {}", self.pc, self.class)?;
+        if let Some(d) = self.dest {
+            write!(f, " {d} <-")?;
+        }
+        if let Some(s) = self.src1 {
+            write!(f, " {s}")?;
+        }
+        if let Some(s) = self.src2 {
+            write!(f, ", {s}")?;
+        }
+        if let Some(m) = self.mem {
+            write!(f, " [{:#x}]", m.addr)?;
+        }
+        if let Some(b) = self.branch {
+            write!(f, " ({} -> {:#x})", if b.taken { "T" } else { "NT" }, b.target)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let op = MicroOp::new(OpClass::Branch)
+            .with_pc(0x400)
+            .with_src1(ArchReg::int(1))
+            .with_branch(BranchInfo::new(true, 0x800));
+        assert_eq!(op.class(), OpClass::Branch);
+        assert_eq!(op.pc(), 0x400);
+        assert_eq!(op.src1(), Some(ArchReg::int(1)));
+        assert_eq!(op.src2(), None);
+        assert_eq!(op.branch(), Some(BranchInfo::new(true, 0x800)));
+        assert_eq!(op.src_count(), 1);
+    }
+
+    #[test]
+    fn src_count_matches_operands() {
+        let none = MicroOp::new(OpClass::IntAlu);
+        let one = none.with_src1(ArchReg::int(0));
+        let two = one.with_src2(ArchReg::int(1));
+        assert_eq!(none.src_count(), 0);
+        assert_eq!(one.src_count(), 1);
+        assert_eq!(two.src_count(), 2);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let op = MicroOp::new(OpClass::Load)
+            .with_dest(ArchReg::int(2))
+            .with_mem(MemRef::new(64));
+        assert!(op.to_string().contains("load"));
+    }
+
+    #[test]
+    fn micro_op_is_small() {
+        // The workload generator materializes buffers of these; keep them
+        // compact so simulation stays cache-friendly.
+        assert!(std::mem::size_of::<MicroOp>() <= 56);
+    }
+}

@@ -1,0 +1,183 @@
+//! Mitigation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Temperature thresholds and timing for the techniques.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Maximum junction temperature, K (paper Table 2: 358 K).
+    pub max_temp: f64,
+    /// Issue-queue toggle trigger: toggle when the tail half is this many
+    /// kelvin hotter than the head half (paper §3: 0.5 K).
+    pub toggle_delta: f64,
+    /// Hysteresis for re-enabling a turned-off unit or copy: it must cool
+    /// to `max_temp - reenable_margin` first.
+    pub reenable_margin: f64,
+    /// Activity toggling engages only when the hot half is within this many
+    /// kelvin of `max_temp`. Far from the threshold a toggle buys nothing
+    /// and the wrap-around long wires cost energy, so the controller saves
+    /// toggles for when they extend run time ("before either half
+    /// overheats", §2.1.1).
+    pub toggle_proximity: f64,
+    /// Cycles the core stays frozen per temporal stall. The paper stalls
+    /// for the 10 ms package cooling time; under thermal time compression
+    /// `k` at frequency `f` that is `10 ms * f / k` cycles (105 000 cycles
+    /// for the defaults of 4.2 GHz and k = 400).
+    pub cooling_cycles: u64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            max_temp: 358.0,
+            toggle_delta: 0.5,
+            reenable_margin: 1.0,
+            toggle_proximity: 2.0,
+            cooling_cycles: 105_000,
+        }
+    }
+}
+
+impl Thresholds {
+    /// Validates the thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_temp <= 0.0 || self.max_temp.is_nan() {
+            return Err("max_temp must be positive".into());
+        }
+        if self.toggle_delta <= 0.0 || self.toggle_delta.is_nan() {
+            return Err("toggle_delta must be positive".into());
+        }
+        if self.reenable_margin <= 0.0 || self.reenable_margin.is_nan() {
+            return Err("reenable_margin must be positive".into());
+        }
+        if self.toggle_proximity <= 0.0 || self.toggle_proximity.is_nan() {
+            return Err("toggle_proximity must be positive".into());
+        }
+        if self.cooling_cycles == 0 {
+            return Err("cooling_cycles must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Which techniques the [`crate::ThermalManager`] applies.
+///
+/// The temporal stall backstop is always armed; the booleans enable the
+/// paper's spatial techniques individually so every configuration in the
+/// evaluation (base, toggling, fine-grain turnoff, mapping × turnoff) is
+/// expressible.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MitigationConfig {
+    /// Activity toggling for both issue queues (§2.1.1).
+    pub activity_toggling: bool,
+    /// Fine-grain turnoff for integer and FP functional units (§2.2).
+    pub alu_turnoff: bool,
+    /// Fine-grain turnoff for integer register-file copies (§2.3).
+    pub rf_turnoff: bool,
+    /// Use the paper's *second* staleness solution for cooling register-file
+    /// copies: disallow writes while the copy cools and copy the architected
+    /// values back in at the end of the cooling interval. When `false`
+    /// (default) the first solution applies: the shutdown threshold sits
+    /// slightly below critical and writes continue.
+    pub rf_stale_copy: bool,
+    /// Thresholds and timing.
+    pub thresholds: Thresholds,
+}
+
+impl MitigationConfig {
+    /// Temporal-only baseline: every overheat stalls the whole core.
+    #[must_use]
+    pub fn baseline() -> Self {
+        MitigationConfig {
+            activity_toggling: false,
+            alu_turnoff: false,
+            rf_turnoff: false,
+            rf_stale_copy: false,
+            thresholds: Thresholds::default(),
+        }
+    }
+
+    /// All three spatial techniques enabled.
+    #[must_use]
+    pub fn spatial_all() -> Self {
+        MitigationConfig {
+            activity_toggling: true,
+            alu_turnoff: true,
+            rf_turnoff: true,
+            rf_stale_copy: false,
+            thresholds: Thresholds::default(),
+        }
+    }
+
+    /// Only activity toggling (the paper's §4.1 configuration).
+    #[must_use]
+    pub fn toggling_only() -> Self {
+        MitigationConfig {
+            activity_toggling: true,
+            ..MitigationConfig::baseline()
+        }
+    }
+
+    /// Only ALU fine-grain turnoff (the paper's §4.2 configuration).
+    #[must_use]
+    pub fn alu_turnoff_only() -> Self {
+        MitigationConfig {
+            alu_turnoff: true,
+            ..MitigationConfig::baseline()
+        }
+    }
+
+    /// Only register-file copy turnoff (the paper's §4.3 configurations,
+    /// combined with a mapping policy chosen on the core).
+    #[must_use]
+    pub fn rf_turnoff_only() -> Self {
+        MitigationConfig {
+            rf_turnoff: true,
+            ..MitigationConfig::baseline()
+        }
+    }
+}
+
+impl Default for MitigationConfig {
+    fn default() -> Self {
+        MitigationConfig::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let t = Thresholds::default();
+        assert!((t.max_temp - 358.0).abs() < 1e-12);
+        assert!((t.toggle_delta - 0.5).abs() < 1e-12);
+        t.validate().expect("defaults valid");
+    }
+
+    #[test]
+    fn presets_enable_the_right_techniques() {
+        assert!(!MitigationConfig::baseline().activity_toggling);
+        assert!(MitigationConfig::toggling_only().activity_toggling);
+        assert!(!MitigationConfig::toggling_only().alu_turnoff);
+        assert!(MitigationConfig::alu_turnoff_only().alu_turnoff);
+        assert!(MitigationConfig::rf_turnoff_only().rf_turnoff);
+        let all = MitigationConfig::spatial_all();
+        assert!(all.activity_toggling && all.alu_turnoff && all.rf_turnoff);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut t = Thresholds::default();
+        t.toggle_delta = 0.0;
+        assert!(t.validate().is_err());
+        let mut t = Thresholds::default();
+        t.cooling_cycles = 0;
+        assert!(t.validate().is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! Power-density mitigation techniques from the MICRO 2005 paper.
+//!
+//! Three *spatial* techniques exploit utilization asymmetry inside back-end
+//! resources, each implemented as part of the [`ThermalManager`]:
+//!
+//! * **Activity toggling** (§2.1.1): when one issue-queue half runs more
+//!   than a threshold (0.5 K) hotter than the other, flip the head/tail
+//!   configuration so compaction activity moves to the cooler half.
+//! * **Fine-grain turnoff** (§2.2): mark an overheated ALU busy so its
+//!   select tree grants nothing; re-enable it once it cools. The processor
+//!   keeps running on the remaining units instead of stalling outright.
+//! * **Register-file copy turnoff** (§2.3): disable an overheated
+//!   register-file copy by busy-marking the ALUs wired to it (combined with
+//!   the [`MappingPolicy`] chosen at core construction).
+//!
+//! The *temporal* backstop (`Pentium 4`-style, §3) freezes the whole core
+//! for the package's thermal cooling time whenever a resource overheats
+//! beyond what the enabled spatial techniques can absorb — which is also
+//! exactly the baseline behaviour when the spatial techniques are disabled.
+//!
+//! [`MappingPolicy`]: powerbalance_uarch::MappingPolicy
+//!
+//! # Examples
+//!
+//! ```
+//! use powerbalance_mitigation::{MitigationConfig, Sensors, ThermalManager};
+//! use powerbalance_thermal::ev6;
+//!
+//! let plan = ev6::issue_constrained();
+//! let sensors = Sensors::new(&plan).expect("ev6 block names");
+//! let manager = ThermalManager::new(MitigationConfig::spatial_all(), sensors);
+//! assert_eq!(manager.stats().toggles, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod manager;
+mod sensors;
+
+pub use config::{MitigationConfig, Thresholds};
+pub use manager::{MitigationStats, ThermalManager};
+pub use sensors::Sensors;

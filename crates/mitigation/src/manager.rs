@@ -1,0 +1,506 @@
+//! The thermal manager: applies techniques at each sensor sample.
+
+use crate::{MitigationConfig, Sensors};
+use powerbalance_isa::ExecDomain;
+use powerbalance_uarch::{Core, IqActivity, UnitKind};
+use serde::{Deserialize, Serialize};
+
+/// The register-file shutdown threshold sits this many kelvin below the
+/// critical temperature so writes can continue into a cooling copy (the
+/// paper's first staleness solution, §2.3).
+const RF_GUARD: f64 = 0.2;
+
+/// Event counters for a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MitigationStats {
+    /// Issue-queue head/tail toggles (both domains).
+    pub toggles: u64,
+    /// Integer-queue toggles only.
+    pub int_toggles: u64,
+    /// Functional-unit turnoff events.
+    pub alu_turnoffs: u64,
+    /// Register-file copy turnoff events.
+    pub rf_turnoffs: u64,
+    /// Temporal (whole-core) stall events.
+    pub freezes: u64,
+}
+
+/// Applies the configured techniques to a [`Core`] on every thermal sample.
+///
+/// Call [`on_sample`](ThermalManager::on_sample) with the current block
+/// temperatures (indexed per the floorplan the [`Sensors`] were resolved
+/// against) after each thermal-model step. The manager flips issue-queue
+/// modes, disables/re-enables units and register-file copies, and freezes
+/// the core for the cooling time when overheating exceeds what the enabled
+/// spatial techniques can absorb.
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_mitigation::{MitigationConfig, Sensors, ThermalManager};
+/// use powerbalance_thermal::ev6;
+/// use powerbalance_uarch::{Core, CoreConfig};
+///
+/// let plan = ev6::alu_constrained();
+/// let sensors = Sensors::new(&plan).expect("ev6 names");
+/// let mut manager = ThermalManager::new(MitigationConfig::alu_turnoff_only(), sensors);
+/// let mut core = Core::new(CoreConfig::default()).expect("valid config");
+/// let cool = vec![340.0; plan.blocks().len()];
+/// let idle = powerbalance_uarch::IqActivity::default();
+/// manager.on_sample(&mut core, &cool, 0, &idle, &idle);
+/// assert!(!core.is_frozen());
+/// ```
+#[derive(Debug)]
+pub struct ThermalManager {
+    cfg: MitigationConfig,
+    sensors: Sensors,
+    stats: MitigationStats,
+    frozen_until: Option<u64>,
+}
+
+impl ThermalManager {
+    /// Creates a manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thresholds are invalid.
+    #[must_use]
+    pub fn new(cfg: MitigationConfig, sensors: Sensors) -> Self {
+        cfg.thresholds.validate().expect("invalid thresholds");
+        ThermalManager {
+            cfg,
+            sensors,
+            stats: MitigationStats::default(),
+            frozen_until: None,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &MitigationConfig {
+        &self.cfg
+    }
+
+    /// Event counters so far.
+    #[must_use]
+    pub fn stats(&self) -> &MitigationStats {
+        &self.stats
+    }
+
+    /// Applies the techniques given the temperatures at cycle `now`.
+    ///
+    /// `temps` must be indexed like the floorplan used to build the
+    /// [`Sensors`]. `int_iq`/`fp_iq` are the activity counters of the window
+    /// that just ended; the toggling controller uses them to locate the
+    /// compaction-active queue half (the tail region in the paper's
+    /// full-queue regime).
+    pub fn on_sample(
+        &mut self,
+        core: &mut Core,
+        temps: &[f64],
+        now: u64,
+        int_iq: &IqActivity,
+        fp_iq: &IqActivity,
+    ) {
+        let th = self.cfg.thresholds;
+
+        // 1. Handle an ongoing temporal stall.
+        if let Some(until) = self.frozen_until {
+            if now < until {
+                self.reenable_cooled(core, temps);
+                return;
+            }
+            self.frozen_until = None;
+            core.set_frozen(false);
+        }
+
+        // 2. Activity toggling: flip head/tail when the compaction-active
+        //    half runs hotter than the quiet half by more than the
+        //    threshold. In the paper's full-queue regime the active half is
+        //    the tail region; the controller reads the per-half compaction
+        //    counts directly, which generalizes the same trigger to
+        //    partially-occupied queues. Toggling relocates the occupied
+        //    region to the other half either way.
+        if self.cfg.activity_toggling {
+            for (domain, q, act) in [
+                (ExecDomain::Int, self.sensors.int_q, int_iq),
+                (ExecDomain::Fp, self.sensors.fp_q, fp_iq),
+            ] {
+                let moves = [
+                    act.compact_moves[0] + act.mux_selects[0],
+                    act.compact_moves[1] + act.mux_selects[1],
+                ];
+                if moves[0] + moves[1] == 0 {
+                    continue; // idle queue: nothing to balance
+                }
+                let active = usize::from(moves[1] > moves[0]);
+                let quiet = 1 - active;
+                if temps[q[active]] >= th.max_temp - th.toggle_proximity
+                    && temps[q[active]] - temps[q[quiet]] > th.toggle_delta
+                {
+                    let mode = core.iq_mode(domain);
+                    core.set_iq_mode(domain, mode.flipped());
+                    self.stats.toggles += 1;
+                    if domain == ExecDomain::Int {
+                        self.stats.int_toggles += 1;
+                    }
+                }
+            }
+        }
+
+        // 3. Fine-grain turnoff for functional units.
+        if self.cfg.alu_turnoff {
+            let units: Vec<(UnitKind, usize, usize)> = self
+                .sensors
+                .int_alus
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (UnitKind::IntAlu, i, b))
+                .chain(
+                    self.sensors
+                        .fp_adders
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &b)| (UnitKind::FpAdd, i, b)),
+                )
+                .chain(std::iter::once((UnitKind::FpMul, 0, self.sensors.fp_mul)))
+                .collect();
+            for (kind, idx, block) in units {
+                if core.unit_enabled(kind, idx) {
+                    if temps[block] >= th.max_temp {
+                        core.set_unit_enabled(kind, idx, false);
+                        self.stats.alu_turnoffs += 1;
+                    }
+                } else if temps[block] <= th.max_temp - th.reenable_margin {
+                    core.set_unit_enabled(kind, idx, true);
+                }
+            }
+        }
+
+        // 4. Fine-grain turnoff for register-file copies. Staleness is
+        //    handled per the configured solution (§2.3): either the
+        //    shutdown threshold sits slightly below critical and writes
+        //    continue (solution 1, default), or writes are gated during
+        //    cooling and the copy is refreshed with a write burst at
+        //    re-enable (solution 2).
+        if self.cfg.rf_turnoff {
+            let guard = if self.cfg.rf_stale_copy { 0.0 } else { RF_GUARD };
+            for (copy, &block) in self.sensors.int_reg.iter().enumerate() {
+                if core.rf_copy_enabled(copy) {
+                    if temps[block] >= th.max_temp - guard {
+                        core.set_rf_copy_enabled(copy, false);
+                        if self.cfg.rf_stale_copy {
+                            core.set_rf_copy_writes_enabled(copy, false);
+                        }
+                        self.stats.rf_turnoffs += 1;
+                    }
+                } else if temps[block] <= th.max_temp - th.reenable_margin {
+                    core.set_rf_copy_enabled(copy, true);
+                    if self.cfg.rf_stale_copy {
+                        core.set_rf_copy_writes_enabled(copy, true);
+                        core.charge_rf_copy_restore(copy);
+                    }
+                }
+            }
+        }
+
+        // 5. Temporal backstop: freeze when overheating exceeds what the
+        //    enabled spatial techniques can absorb.
+        if self.needs_freeze(core, temps) {
+            core.set_frozen(true);
+            self.frozen_until = Some(now + th.cooling_cycles);
+            self.stats.freezes += 1;
+        }
+    }
+
+    /// While frozen, cooled units and copies may come back online so the
+    /// thaw resumes at full width.
+    fn reenable_cooled(&mut self, core: &mut Core, temps: &[f64]) {
+        let limit = self.cfg.thresholds.max_temp - self.cfg.thresholds.reenable_margin;
+        if self.cfg.alu_turnoff {
+            for (i, &b) in self.sensors.int_alus.iter().enumerate() {
+                if !core.unit_enabled(UnitKind::IntAlu, i) && temps[b] <= limit {
+                    core.set_unit_enabled(UnitKind::IntAlu, i, true);
+                }
+            }
+            for (i, &b) in self.sensors.fp_adders.iter().enumerate() {
+                if !core.unit_enabled(UnitKind::FpAdd, i) && temps[b] <= limit {
+                    core.set_unit_enabled(UnitKind::FpAdd, i, true);
+                }
+            }
+            if !core.unit_enabled(UnitKind::FpMul, 0) && temps[self.sensors.fp_mul] <= limit {
+                core.set_unit_enabled(UnitKind::FpMul, 0, true);
+            }
+        }
+        if self.cfg.rf_turnoff {
+            for (copy, &b) in self.sensors.int_reg.iter().enumerate() {
+                if !core.rf_copy_enabled(copy) && temps[b] <= limit {
+                    core.set_rf_copy_enabled(copy, true);
+                    if self.cfg.rf_stale_copy {
+                        core.set_rf_copy_writes_enabled(copy, true);
+                        core.charge_rf_copy_restore(copy);
+                    }
+                }
+            }
+        }
+    }
+
+    fn needs_freeze(&self, core: &Core, temps: &[f64]) -> bool {
+        let max = self.cfg.thresholds.max_temp;
+
+        // Issue-queue halves cannot be turned off individually: any
+        // overheated half forces a stall (§2.1.1), toggling or not.
+        for &b in self.sensors.int_q.iter().chain(self.sensors.fp_q.iter()) {
+            if temps[b] >= max {
+                return true;
+            }
+        }
+
+        if self.cfg.alu_turnoff {
+            // Stall only when an entire unit class is turned off.
+            let all_int_off = (0..self.sensors.int_alus.len())
+                .all(|i| !core.unit_enabled(UnitKind::IntAlu, i));
+            let all_fp_off = (0..self.sensors.fp_adders.len())
+                .all(|i| !core.unit_enabled(UnitKind::FpAdd, i));
+            if all_int_off || all_fp_off {
+                return true;
+            }
+        } else {
+            for (&b, _) in self
+                .sensors
+                .int_alus
+                .iter()
+                .zip(0..)
+                .chain(self.sensors.fp_adders.iter().zip(0..))
+            {
+                if temps[b] >= max {
+                    return true;
+                }
+            }
+            if temps[self.sensors.fp_mul] >= max {
+                return true;
+            }
+        }
+
+        if self.cfg.rf_turnoff {
+            if (0..2).all(|c| !core.rf_copy_enabled(c)) {
+                return true;
+            }
+        } else {
+            for &b in &self.sensors.int_reg {
+                if temps[b] >= max {
+                    return true;
+                }
+            }
+        }
+
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerbalance_thermal::ev6;
+    use powerbalance_uarch::{CoreConfig, IqMode};
+
+    fn setup(cfg: MitigationConfig) -> (ThermalManager, Core, Vec<f64>, powerbalance_thermal::Floorplan) {
+        let plan = ev6::baseline();
+        let sensors = Sensors::new(&plan).expect("ev6 names");
+        let manager = ThermalManager::new(cfg, sensors);
+        let core = Core::new(CoreConfig::default()).expect("valid config");
+        let temps = vec![340.0; plan.blocks().len()];
+        (manager, core, temps, plan)
+    }
+
+    /// Activity with compaction concentrated in the given half, so the
+    /// toggling controller sees that half as the active one.
+    fn active_half(half: usize) -> IqActivity {
+        let mut a = IqActivity::default();
+        a.compact_moves[half] = 1000;
+        a.mux_selects[half] = 1000;
+        a
+    }
+
+    /// Convenience: sample with the top half active (the paper's tail-hot
+    /// full-queue regime).
+    fn sample(m: &mut ThermalManager, core: &mut Core, temps: &[f64], now: u64) {
+        let act = active_half(1);
+        m.on_sample(core, temps, now, &act, &act);
+    }
+
+    #[test]
+    fn cool_chip_triggers_nothing() {
+        let (mut m, mut core, temps, _) = setup(MitigationConfig::spatial_all());
+        sample(&mut m, &mut core, &temps, 0);
+        assert_eq!(*m.stats(), MitigationStats::default());
+        assert!(!core.is_frozen());
+    }
+
+    #[test]
+    fn toggling_flips_on_tail_head_delta() {
+        let (mut m, mut core, mut temps, plan) = setup(MitigationConfig::toggling_only());
+        let q0 = plan.index_of("IntQ0").expect("block");
+        let q1 = plan.index_of("IntQ1").expect("block");
+        // Normal mode: tail is the top half (IntQ1). Make it hot and near
+        // the thermal limit (toggles engage only within toggle_proximity).
+        temps[q1] = 356.5;
+        temps[q0] = 355.5;
+        sample(&mut m, &mut core, &temps, 0);
+        assert_eq!(core.iq_mode(ExecDomain::Int), IqMode::Toggled);
+        assert_eq!(m.stats().int_toggles, 1);
+
+        // After the toggle the compaction activity physically relocates to
+        // the bottom half; once that half runs hot, toggle back.
+        temps[q0] = 357.2;
+        let act = active_half(0);
+        m.on_sample(&mut core, &temps, 1, &act, &act);
+        assert_eq!(core.iq_mode(ExecDomain::Int), IqMode::Normal);
+        assert_eq!(m.stats().int_toggles, 2);
+    }
+
+    #[test]
+    fn toggling_respects_threshold() {
+        let (mut m, mut core, mut temps, plan) = setup(MitigationConfig::toggling_only());
+        let q1 = plan.index_of("IntQ1").expect("block");
+        temps[q1] = 356.9; // near the limit, but only 0.4 K hotter
+        temps[plan.index_of("IntQ0").expect("block")] = 356.5;
+        sample(&mut m, &mut core, &temps, 0);
+        assert_eq!(core.iq_mode(ExecDomain::Int), IqMode::Normal);
+        assert_eq!(m.stats().toggles, 0);
+    }
+
+    #[test]
+    fn alu_turnoff_disables_then_reenables_with_hysteresis() {
+        let (mut m, mut core, mut temps, plan) = setup(MitigationConfig::alu_turnoff_only());
+        let a0 = plan.index_of("IntExec0").expect("block");
+        temps[a0] = 358.0;
+        sample(&mut m, &mut core, &temps, 0);
+        assert!(!core.unit_enabled(UnitKind::IntAlu, 0));
+        assert_eq!(m.stats().alu_turnoffs, 1);
+        assert!(!core.is_frozen(), "other ALUs keep the core running");
+
+        // Cooling to just under max is not enough (hysteresis).
+        temps[a0] = 357.5;
+        sample(&mut m, &mut core, &temps, 1);
+        assert!(!core.unit_enabled(UnitKind::IntAlu, 0));
+
+        temps[a0] = 356.9;
+        sample(&mut m, &mut core, &temps, 2);
+        assert!(core.unit_enabled(UnitKind::IntAlu, 0));
+    }
+
+    #[test]
+    fn baseline_freezes_on_any_hot_alu() {
+        let (mut m, mut core, mut temps, plan) = setup(MitigationConfig::baseline());
+        temps[plan.index_of("IntExec0").expect("block")] = 358.0;
+        sample(&mut m, &mut core, &temps, 0);
+        assert!(core.is_frozen());
+        assert_eq!(m.stats().freezes, 1);
+    }
+
+    #[test]
+    fn freeze_expires_after_cooling_time() {
+        let (mut m, mut core, mut temps, plan) = setup(MitigationConfig::baseline());
+        temps[plan.index_of("IntExec0").expect("block")] = 358.0;
+        sample(&mut m, &mut core, &temps, 0);
+        assert!(core.is_frozen());
+        // Still frozen mid-way.
+        temps[plan.index_of("IntExec0").expect("block")] = 340.0;
+        sample(&mut m, &mut core, &temps, 50_000);
+        assert!(core.is_frozen());
+        // Expired: thaw.
+        sample(&mut m, &mut core, &temps, 105_001);
+        assert!(!core.is_frozen());
+        assert_eq!(m.stats().freezes, 1);
+    }
+
+    #[test]
+    fn turnoff_avoids_freeze_until_all_units_hot() {
+        let (mut m, mut core, mut temps, plan) = setup(MitigationConfig::alu_turnoff_only());
+        for i in 0..6 {
+            temps[plan.index_of(&format!("IntExec{i}")).expect("block")] = 358.0;
+        }
+        sample(&mut m, &mut core, &temps, 0);
+        assert_eq!(m.stats().alu_turnoffs, 6);
+        assert!(core.is_frozen(), "all integer ALUs off forces the temporal stall");
+    }
+
+    #[test]
+    fn rf_turnoff_switches_copies_and_freezes_only_when_both_off() {
+        let (mut m, mut core, mut temps, plan) = setup(MitigationConfig::rf_turnoff_only());
+        let r0 = plan.index_of("IntReg0").expect("block");
+        let r1 = plan.index_of("IntReg1").expect("block");
+        temps[r0] = 357.9; // above max - RF_GUARD
+        sample(&mut m, &mut core, &temps, 0);
+        assert!(!core.rf_copy_enabled(0));
+        assert!(core.rf_copy_enabled(1));
+        assert!(!core.is_frozen());
+
+        temps[r1] = 357.9;
+        sample(&mut m, &mut core, &temps, 1);
+        assert!(!core.rf_copy_enabled(1));
+        assert!(core.is_frozen(), "both copies off forces the temporal stall");
+        assert_eq!(m.stats().rf_turnoffs, 2);
+    }
+
+    #[test]
+    fn stale_copy_solution_gates_writes_and_restores_on_reenable() {
+        let mut cfg = MitigationConfig::rf_turnoff_only();
+        cfg.rf_stale_copy = true;
+        let (mut m, mut core, mut temps, plan) = setup(cfg);
+        let r0 = plan.index_of("IntReg0").expect("block");
+        temps[r0] = 358.0;
+        sample(&mut m, &mut core, &temps, 0);
+        assert!(!core.rf_copy_enabled(0));
+        assert!(!core.rf_copy_writes_enabled(0), "writes gated while cooling");
+        assert!(core.rf_copy_writes_enabled(1));
+
+        temps[r0] = 356.5;
+        sample(&mut m, &mut core, &temps, 1);
+        assert!(core.rf_copy_enabled(0));
+        assert!(core.rf_copy_writes_enabled(0), "writes restored after cooling");
+        // The refresh burst was charged to the restored copy.
+        let act = core.take_activity();
+        assert!(
+            act.int_rf_writes[0] >= u64::from(powerbalance_isa::INT_ARCH_REGS),
+            "restore burst must be accounted: {:?}",
+            act.int_rf_writes
+        );
+    }
+
+    #[test]
+    fn first_solution_keeps_writes_flowing() {
+        let (mut m, mut core, mut temps, plan) = setup(MitigationConfig::rf_turnoff_only());
+        temps[plan.index_of("IntReg0").expect("block")] = 358.0;
+        sample(&mut m, &mut core, &temps, 0);
+        assert!(!core.rf_copy_enabled(0));
+        assert!(core.rf_copy_writes_enabled(0), "solution 1: writes continue");
+    }
+
+    #[test]
+    fn overheated_issue_queue_half_always_freezes() {
+        // Even with toggling: halves cannot be turned off (§2.1.1).
+        let (mut m, mut core, mut temps, plan) = setup(MitigationConfig::toggling_only());
+        temps[plan.index_of("IntQ1").expect("block")] = 358.2;
+        sample(&mut m, &mut core, &temps, 0);
+        assert!(core.is_frozen());
+    }
+
+    #[test]
+    fn units_reenable_while_frozen() {
+        let (mut m, mut core, mut temps, plan) = setup(MitigationConfig::alu_turnoff_only());
+        for i in 0..6 {
+            temps[plan.index_of(&format!("IntExec{i}")).expect("block")] = 358.0;
+        }
+        sample(&mut m, &mut core, &temps, 0);
+        assert!(core.is_frozen());
+        // Mid-freeze cooling brings units back online for the thaw.
+        for i in 0..6 {
+            temps[plan.index_of(&format!("IntExec{i}")).expect("block")] = 350.0;
+        }
+        sample(&mut m, &mut core, &temps, 10_000);
+        assert!(core.unit_enabled(UnitKind::IntAlu, 0));
+        assert!(core.is_frozen(), "freeze lasts the full cooling time");
+    }
+}

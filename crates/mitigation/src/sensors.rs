@@ -1,0 +1,93 @@
+//! On-chip temperature sensor placement.
+
+use powerbalance_thermal::Floorplan;
+
+/// Resolved sensor indices for the back-end resources the techniques watch.
+///
+/// The paper justifies per-resource-copy sensors by pointing at POWER5's 24
+/// on-chip sensors; here a sensor is simply a block index into the thermal
+/// model's temperature vector.
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_mitigation::Sensors;
+/// use powerbalance_thermal::ev6;
+///
+/// let plan = ev6::baseline();
+/// let sensors = Sensors::new(&plan).expect("ev6 names are present");
+/// assert_eq!(sensors.int_alus.len(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sensors {
+    /// Integer issue-queue halves `[bottom, top]`.
+    pub int_q: [usize; 2],
+    /// FP issue-queue halves `[bottom, top]`.
+    pub fp_q: [usize; 2],
+    /// Integer register-file copies.
+    pub int_reg: [usize; 2],
+    /// Integer ALUs 0..5 (priority order).
+    pub int_alus: Vec<usize>,
+    /// FP adders 0..3 (priority order).
+    pub fp_adders: Vec<usize>,
+    /// FP multiplier.
+    pub fp_mul: usize,
+}
+
+impl Sensors {
+    /// Resolves sensor indices against `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the missing block name if the plan lacks one.
+    pub fn new(plan: &Floorplan) -> Result<Self, String> {
+        let find = |name: &str| {
+            plan.index_of(name)
+                .ok_or_else(|| format!("floorplan is missing block {name}"))
+        };
+        Ok(Sensors {
+            int_q: [find("IntQ0")?, find("IntQ1")?],
+            fp_q: [find("FPQ0")?, find("FPQ1")?],
+            int_reg: [find("IntReg0")?, find("IntReg1")?],
+            int_alus: (0..6)
+                .map(|i| find(&format!("IntExec{i}")))
+                .collect::<Result<_, _>>()?,
+            fp_adders: (0..4)
+                .map(|i| find(&format!("FPAdd{i}")))
+                .collect::<Result<_, _>>()?,
+            fp_mul: find("FPMul")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerbalance_thermal::ev6;
+
+    #[test]
+    fn resolves_all_backend_blocks() {
+        let plan = ev6::baseline();
+        let s = Sensors::new(&plan).expect("ev6 names");
+        let all: Vec<usize> = s
+            .int_q
+            .iter()
+            .chain(s.fp_q.iter())
+            .chain(s.int_reg.iter())
+            .chain(s.int_alus.iter())
+            .chain(s.fp_adders.iter())
+            .chain(std::iter::once(&s.fp_mul))
+            .copied()
+            .collect();
+        let unique: std::collections::HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(all.len(), unique.len(), "sensors must map to distinct blocks");
+        assert!(all.iter().all(|&i| i < plan.blocks().len()));
+    }
+
+    #[test]
+    fn missing_block_reported_by_name() {
+        let plan = Floorplan::from_rows(1e-3, &[(1e-3, vec![("IntQ0", 1.0)])]);
+        let err = Sensors::new(&plan).expect_err("incomplete plan");
+        assert!(err.contains("IntQ1"), "error should name the missing block: {err}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Event-based energy accounting for the `powerbalance` simulator.
+//!
+//! This crate plays the role Wattch played in the MICRO 2005 paper: it
+//! converts microarchitectural activity into per-block power. The issue
+//! queue's per-event energies are the paper's own Table 3 values
+//! ([`EnergyTables`]); the remaining blocks use Wattch-class per-access
+//! energies for a 90 nm part. Aggressive clock gating is implicit: blocks
+//! dissipate dynamic energy only for the events the core actually performed
+//! (the activity counters are event counts, not cycle counts), plus an
+//! area-proportional leakage floor.
+//!
+//! The key fidelity requirement, inherited from the paper's §3.1, is
+//! *intra-resource* resolution: issue-queue energy is attributed to the
+//! physical queue half whose entries moved, register-file energy to the
+//! copy whose ports were read, ALU energy to the individual unit — because
+//! the whole point is the asymmetry between copies that aggregated models
+//! hide.
+//!
+//! # Examples
+//!
+//! ```
+//! use powerbalance_power::{EnergyTables, PowerModel};
+//! use powerbalance_thermal::ev6;
+//! use powerbalance_uarch::ActivitySample;
+//!
+//! let plan = ev6::baseline();
+//! let model = PowerModel::new(&plan, EnergyTables::default(), 4.2e9).expect("ev6 block names");
+//! let mut sample = ActivitySample { cycles: 10_000, ..Default::default() };
+//! sample.int_alu_ops[0] = 9_000; // ALU0 nearly saturated
+//! let watts = model.block_power(&sample);
+//! let alu0 = watts[plan.index_of("IntExec0").unwrap()];
+//! let alu5 = watts[plan.index_of("IntExec5").unwrap()];
+//! assert!(alu0 > alu5, "power follows activity");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod tables;
+
+pub use model::PowerModel;
+pub use tables::EnergyTables;

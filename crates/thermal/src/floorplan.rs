@@ -1,0 +1,263 @@
+//! Floorplan geometry: rectangular blocks and adjacency.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometric tolerance (meters) when deciding whether two blocks touch.
+const EPS: f64 = 1e-9;
+
+/// One rectangular floorplan block.
+///
+/// Coordinates are in meters with the origin at the die's lower-left corner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Block name (e.g. `"IntQ0"`).
+    pub name: String,
+    /// Left edge (m).
+    pub x: f64,
+    /// Bottom edge (m).
+    pub y: f64,
+    /// Width (m).
+    pub w: f64,
+    /// Height (m).
+    pub h: f64,
+}
+
+impl Block {
+    /// Area in square meters.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Center coordinates.
+    #[must_use]
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Length of the shared edge with `other` (0 when not adjacent).
+    #[must_use]
+    pub fn shared_edge(&self, other: &Block) -> f64 {
+        let vertical_touch = (self.x + self.w - other.x).abs() < EPS
+            || (other.x + other.w - self.x).abs() < EPS;
+        if vertical_touch {
+            let lo = self.y.max(other.y);
+            let hi = (self.y + self.h).min(other.y + other.h);
+            if hi - lo > EPS {
+                return hi - lo;
+            }
+        }
+        let horizontal_touch = (self.y + self.h - other.y).abs() < EPS
+            || (other.y + other.h - self.y).abs() < EPS;
+        if horizontal_touch {
+            let lo = self.x.max(other.x);
+            let hi = (self.x + self.w).min(other.x + other.w);
+            if hi - lo > EPS {
+                return hi - lo;
+            }
+        }
+        0.0
+    }
+}
+
+/// A complete floorplan: a set of non-overlapping blocks.
+///
+/// Build one from explicit blocks ([`Floorplan::new`]) or from rows of
+/// relative widths ([`Floorplan::from_rows`], which is how the EV6-like
+/// plans in [`crate::ev6`] are constructed).
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_thermal::Floorplan;
+///
+/// let plan = Floorplan::from_rows(
+///     8e-3,
+///     &[
+///         (2e-3, vec![("A", 1.0), ("B", 1.0)]),
+///         (1e-3, vec![("C", 3.0), ("D", 1.0)]),
+///     ],
+/// );
+/// assert_eq!(plan.blocks().len(), 4);
+/// assert!(plan.index_of("C").is_some());
+/// let (i, j) = (plan.index_of("A").unwrap(), plan.index_of("C").unwrap());
+/// assert!(plan.blocks()[i].shared_edge(&plan.blocks()[j]) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    blocks: Vec<Block>,
+}
+
+impl Floorplan {
+    /// Creates a floorplan from explicit blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if blocks overlap, have non-positive dimensions, or share a
+    /// name.
+    #[must_use]
+    pub fn new(blocks: Vec<Block>) -> Self {
+        assert!(!blocks.is_empty(), "floorplan needs at least one block");
+        for b in &blocks {
+            assert!(b.w > 0.0 && b.h > 0.0, "block {} has non-positive size", b.name);
+        }
+        for (i, a) in blocks.iter().enumerate() {
+            for b in &blocks[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate block name {}", a.name);
+                let overlap_x = (a.x + a.w).min(b.x + b.w) - a.x.max(b.x);
+                let overlap_y = (a.y + a.h).min(b.y + b.h) - a.y.max(b.y);
+                assert!(
+                    overlap_x < EPS || overlap_y < EPS,
+                    "blocks {} and {} overlap",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+        Floorplan { blocks }
+    }
+
+    /// Builds a floorplan from bottom-to-top rows.
+    ///
+    /// Each row is `(height_m, [(name, relative_width), ...])`; the
+    /// relative widths are scaled so every row spans `die_width_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty rows or non-positive widths/heights.
+    #[must_use]
+    pub fn from_rows(die_width_m: f64, rows: &[(f64, Vec<(&str, f64)>)]) -> Self {
+        assert!(die_width_m > 0.0, "die width must be positive");
+        let mut blocks = Vec::new();
+        let mut y = 0.0;
+        for (height, entries) in rows {
+            assert!(*height > 0.0, "row height must be positive");
+            assert!(!entries.is_empty(), "row must contain blocks");
+            let total: f64 = entries.iter().map(|(_, w)| *w).sum();
+            assert!(total > 0.0, "row widths must be positive");
+            let mut x = 0.0;
+            for (name, rel) in entries {
+                assert!(*rel > 0.0, "block {name} must have positive width");
+                let w = die_width_m * rel / total;
+                blocks.push(Block {
+                    name: (*name).to_string(),
+                    x,
+                    y,
+                    w,
+                    h: *height,
+                });
+                x += w;
+            }
+            y += height;
+        }
+        Floorplan::new(blocks)
+    }
+
+    /// The blocks, in construction order (this order defines node indices
+    /// in the thermal network).
+    #[must_use]
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Index of the block named `name`.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.blocks.iter().position(|b| b.name == name)
+    }
+
+    /// Total die area in square meters.
+    #[must_use]
+    pub fn total_area(&self) -> f64 {
+        self.blocks.iter().map(Block::area).sum()
+    }
+
+    /// All adjacent pairs `(i, j, shared_edge_m)` with `i < j`.
+    #[must_use]
+    pub fn adjacency(&self) -> Vec<(usize, usize, f64)> {
+        let mut pairs = Vec::new();
+        for i in 0..self.blocks.len() {
+            for j in i + 1..self.blocks.len() {
+                let e = self.blocks[i].shared_edge(&self.blocks[j]);
+                if e > 0.0 {
+                    pairs.push((i, j, e));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(name: &str, x: f64, y: f64, w: f64, h: f64) -> Block {
+        Block { name: name.into(), x, y, w, h }
+    }
+
+    #[test]
+    fn shared_edges_detected() {
+        let a = block("a", 0.0, 0.0, 1.0, 1.0);
+        let right = block("r", 1.0, 0.0, 1.0, 1.0);
+        let above = block("u", 0.0, 1.0, 1.0, 1.0);
+        let diagonal = block("d", 1.0, 1.0, 1.0, 1.0);
+        let far = block("f", 5.0, 5.0, 1.0, 1.0);
+        assert!((a.shared_edge(&right) - 1.0).abs() < 1e-12);
+        assert!((a.shared_edge(&above) - 1.0).abs() < 1e-12);
+        assert_eq!(a.shared_edge(&far), 0.0);
+        // Corner touch has zero shared edge.
+        assert_eq!(a.shared_edge(&diagonal), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_edge_length() {
+        let a = block("a", 0.0, 0.0, 1.0, 2.0);
+        let b = block("b", 1.0, 1.0, 1.0, 2.0);
+        assert!((a.shared_edge(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_rows_partitions_die() {
+        let plan = Floorplan::from_rows(
+            10.0,
+            &[(1.0, vec![("a", 1.0), ("b", 4.0)]), (2.0, vec![("c", 1.0)])],
+        );
+        let a = &plan.blocks()[plan.index_of("a").expect("a exists")];
+        let b = &plan.blocks()[plan.index_of("b").expect("b exists")];
+        let c = &plan.blocks()[plan.index_of("c").expect("c exists")];
+        assert!((a.w - 2.0).abs() < 1e-12);
+        assert!((b.w - 8.0).abs() < 1e-12);
+        assert!((c.w - 10.0).abs() < 1e-12);
+        assert!((plan.total_area() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacency_within_and_between_rows() {
+        let plan = Floorplan::from_rows(
+            4.0,
+            &[(1.0, vec![("a", 1.0), ("b", 1.0)]), (1.0, vec![("c", 1.0)])],
+        );
+        let adj = plan.adjacency();
+        // a-b share a vertical edge; a-c and b-c share horizontal edges.
+        assert_eq!(adj.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_blocks_rejected() {
+        let _ = Floorplan::new(vec![
+            block("a", 0.0, 0.0, 2.0, 2.0),
+            block("b", 1.0, 1.0, 2.0, 2.0),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_rejected() {
+        let _ = Floorplan::new(vec![
+            block("a", 0.0, 0.0, 1.0, 1.0),
+            block("a", 2.0, 0.0, 1.0, 1.0),
+        ]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Small dense linear algebra: LU factorization with partial pivoting.
+//!
+//! The thermal networks here have a few dozen nodes, so a simple dense
+//! factorization is both fast enough (microseconds) and dependency-free.
+
+/// LU factors of a square matrix, with a row-permutation vector.
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_thermal::LuFactors;
+///
+/// // Solve [[2, 1], [1, 3]] x = [3, 5] -> x = [0.8, 1.4]
+/// let lu = LuFactors::factor(vec![2.0, 1.0, 1.0, 3.0], 2).expect("non-singular");
+/// let x = lu.solve(&[3.0, 5.0]);
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    /// Combined L (below diagonal, unit diagonal implied) and U storage,
+    /// row-major.
+    lu: Vec<f64>,
+    /// Row permutation applied during pivoting.
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factors an `n` x `n` row-major matrix.
+    ///
+    /// Returns `None` if the matrix is singular (a pivot underflows).
+    #[must_use]
+    pub fn factor(mut a: Vec<f64>, n: usize) -> Option<Self> {
+        assert_eq!(a.len(), n * n, "matrix must be n*n");
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column at/below the
+            // diagonal.
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for row in col + 1..n {
+                let v = a[row * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return None;
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    a.swap(col * n + k, pivot_row * n + k);
+                }
+                perm.swap(col, pivot_row);
+            }
+            let inv_pivot = 1.0 / a[col * n + col];
+            for row in col + 1..n {
+                let factor = a[row * n + col] * inv_pivot;
+                a[row * n + col] = factor;
+                for k in col + 1..n {
+                    a[row * n + k] -= factor * a[col * n + k];
+                }
+            }
+        }
+        Some(LuFactors { n, lu: a, perm })
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` for `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    #[must_use]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let n = self.n;
+        // Apply permutation, then forward-substitute L, then back-substitute U.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for row in 1..n {
+            let mut sum = x[row];
+            for (col, xc) in x.iter().enumerate().take(row) {
+                sum -= self.lu[row * n + col] * xc;
+            }
+            x[row] = sum;
+        }
+        for row in (0..n).rev() {
+            let mut sum = x[row];
+            for (col, xc) in x.iter().enumerate().skip(row + 1) {
+                sum -= self.lu[row * n + col] * xc;
+            }
+            x[row] = sum / self.lu[row * n + row];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_vec(a: &[f64], x: &[f64], n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn identity_solve() {
+        let lu = LuFactors::factor(vec![1.0, 0.0, 0.0, 1.0], 2).expect("identity");
+        assert_eq!(lu.solve(&[3.0, 4.0]), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn random_system_round_trips() {
+        // Deterministic pseudo-random SPD-ish matrix.
+        let n = 12;
+        let mut seed = 42u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = rnd();
+            }
+            a[i * n + i] += n as f64; // diagonal dominance
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let b = mat_vec(&a, &x_true, n);
+        let lu = LuFactors::factor(a, n).expect("well-conditioned");
+        let x = lu.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [[0, 1], [1, 0]] requires a row swap.
+        let lu = LuFactors::factor(vec![0.0, 1.0, 1.0, 0.0], 2).expect("permutation matrix");
+        let x = lu.solve(&[5.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        assert!(LuFactors::factor(vec![1.0, 2.0, 2.0, 4.0], 2).is_none());
+    }
+}

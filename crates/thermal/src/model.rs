@@ -1,0 +1,305 @@
+//! Transient thermal integration.
+
+use crate::linalg::LuFactors;
+use crate::{Floorplan, PackageConfig, ThermalNetwork};
+
+/// A transient thermal simulation over a floorplan.
+///
+/// Integration uses backward (implicit) Euler:
+/// `(C/Δt + G) · T⁺ = (C/Δt) · T + P`, which is unconditionally stable, so
+/// one step per sampling window suffices no matter how stiff the network.
+/// The factorization of `(C/Δt + G)` is cached per Δt.
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_thermal::{ev6, PackageConfig, ThermalModel};
+///
+/// let plan = ev6::baseline();
+/// let mut model = ThermalModel::new(&plan, PackageConfig::default());
+/// let mut watts = vec![0.2; plan.blocks().len()];
+/// watts[plan.index_of("IntExec0").unwrap()] = 3.0; // one hot ALU
+/// for _ in 0..200 {
+///     model.step(&watts, 1e-4);
+/// }
+/// let hot = model.temperature(plan.index_of("IntExec0").unwrap());
+/// let cool = model.temperature(plan.index_of("IntExec5").unwrap());
+/// assert!(hot > cool + 1.0, "overdriven block must run hotter");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    network: ThermalNetwork,
+    temps: Vec<f64>,
+    block_count: usize,
+    cached_dt: f64,
+    cached_lu: Option<LuFactors>,
+}
+
+impl ThermalModel {
+    /// Builds a model with every node at the ambient temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `package` fails validation.
+    #[must_use]
+    pub fn new(plan: &Floorplan, package: PackageConfig) -> Self {
+        let network = ThermalNetwork::new(plan, &package);
+        let temps = vec![package.ambient; network.node_count()];
+        ThermalModel {
+            block_count: plan.blocks().len(),
+            network,
+            temps,
+            cached_dt: 0.0,
+            cached_lu: None,
+        }
+    }
+
+    /// Number of floorplan blocks (power vector length for [`step`]).
+    ///
+    /// [`step`]: ThermalModel::step
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.block_count
+    }
+
+    /// The underlying network.
+    #[must_use]
+    pub fn network(&self) -> &ThermalNetwork {
+        &self.network
+    }
+
+    /// Current temperature (K) of block `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn temperature(&self, index: usize) -> f64 {
+        assert!(index < self.block_count, "block index out of range");
+        self.temps[index]
+    }
+
+    /// Temperatures of all blocks.
+    #[must_use]
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temps[..self.block_count]
+    }
+
+    /// Index of the hottest block.
+    #[must_use]
+    pub fn hottest_block(&self) -> usize {
+        self.temperatures()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("temps are finite"))
+            .map(|(i, _)| i)
+            .expect("at least one block")
+    }
+
+    /// Sets every node to `t` kelvin.
+    pub fn set_uniform(&mut self, t: f64) {
+        self.temps.fill(t);
+    }
+
+    /// Advances the model by `dt` seconds with `watts[i]` dissipated in
+    /// block `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts.len() != block_count` or `dt <= 0`.
+    pub fn step(&mut self, watts: &[f64], dt: f64) {
+        assert_eq!(watts.len(), self.block_count, "one power entry per block");
+        assert!(dt > 0.0, "dt must be positive");
+        let n = self.network.node_count();
+
+        if self.cached_lu.is_none() || (self.cached_dt - dt).abs() > 1e-18 {
+            let g = self.network.conductance();
+            let c = self.network.capacitance();
+            let mut a = g.to_vec();
+            for i in 0..n {
+                a[i * n + i] += c[i] / dt;
+            }
+            self.cached_lu = Some(LuFactors::factor(a, n).expect("network matrix is SPD"));
+            self.cached_dt = dt;
+        }
+
+        let c = self.network.capacitance();
+        let ambient_power = self.network.ambient_power();
+        let mut rhs = vec![0.0; n];
+        for i in 0..n {
+            rhs[i] = c[i] / dt * self.temps[i] + ambient_power[i];
+        }
+        for (i, w) in watts.iter().enumerate() {
+            rhs[i] += w;
+        }
+        self.temps = self
+            .cached_lu
+            .as_ref()
+            .expect("factor computed above")
+            .solve(&rhs);
+    }
+
+    /// Solves directly for the steady-state temperatures under constant
+    /// `watts` and jumps the model there (useful for warm initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts.len() != block_count`.
+    pub fn settle(&mut self, watts: &[f64]) {
+        assert_eq!(watts.len(), self.block_count, "one power entry per block");
+        let n = self.network.node_count();
+        let lu = LuFactors::factor(self.network.conductance().to_vec(), n)
+            .expect("grounded Laplacian is non-singular");
+        let mut rhs = self.network.ambient_power().to_vec();
+        for (i, w) in watts.iter().enumerate() {
+            rhs[i] += w;
+        }
+        self.temps = lu.solve(&rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Floorplan;
+
+    fn plan() -> Floorplan {
+        Floorplan::from_rows(
+            4e-3,
+            &[
+                (1e-3, vec![("a", 1.0), ("b", 1.0), ("c", 1.0), ("d", 1.0)]),
+                (1e-3, vec![("e", 1.0)]),
+            ],
+        )
+    }
+
+    fn model() -> ThermalModel {
+        ThermalModel::new(&plan(), PackageConfig::default())
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        let m = model();
+        for &t in m.temperatures() {
+            assert!((t - 318.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_power_stays_at_ambient() {
+        let mut m = model();
+        let zeros = vec![0.0; 5];
+        for _ in 0..100 {
+            m.step(&zeros, 1e-3);
+        }
+        for &t in m.temperatures() {
+            assert!((t - 318.0).abs() < 1e-6, "{t}");
+        }
+    }
+
+    #[test]
+    fn heating_is_monotone_toward_steady_state() {
+        let mut m = model();
+        let watts = vec![1.0; 5];
+        let mut prev = m.temperature(0);
+        for _ in 0..50 {
+            m.step(&watts, 1e-3);
+            let t = m.temperature(0);
+            assert!(t >= prev - 1e-12, "heating must be monotone");
+            prev = t;
+        }
+        assert!(prev > 318.5, "blocks should have warmed");
+
+        let mut settled = model();
+        settled.settle(&watts);
+        // Long transient approaches the direct steady solution.
+        for _ in 0..100_000 {
+            m.step(&watts, 1e-2);
+        }
+        assert!(
+            (m.temperature(0) - settled.temperature(0)).abs() < 0.01,
+            "transient must converge to steady state: {} vs {}",
+            m.temperature(0),
+            settled.temperature(0)
+        );
+    }
+
+    #[test]
+    fn hot_block_is_hotter_than_idle_neighbours() {
+        let mut m = model();
+        let mut watts = vec![0.1; 5];
+        watts[1] = 2.0; // block b overdriven
+        for _ in 0..500 {
+            m.step(&watts, 1e-4);
+        }
+        let hot = m.temperature(1);
+        assert_eq!(m.hottest_block(), 1);
+        for i in [0usize, 2, 3] {
+            assert!(hot > m.temperature(i) + 0.5, "asymmetry must persist laterally");
+        }
+    }
+
+    #[test]
+    fn cooling_follows_power_removal() {
+        let mut m = model();
+        let watts = vec![2.0; 5];
+        for _ in 0..200 {
+            m.step(&watts, 1e-3);
+        }
+        let hot = m.temperature(0);
+        let zeros = vec![0.0; 5];
+        for _ in 0..200 {
+            m.step(&zeros, 1e-3);
+        }
+        assert!(m.temperature(0) < hot - 0.5, "block must cool after power drops");
+    }
+
+    #[test]
+    fn big_step_is_stable() {
+        // Backward Euler must not oscillate or blow up with huge dt.
+        let mut m = model();
+        let watts = vec![5.0; 5];
+        m.step(&watts, 1e3);
+        for &t in m.temperatures() {
+            assert!(t.is_finite() && t > 318.0 && t < 1000.0, "stable result, got {t}");
+        }
+    }
+
+    #[test]
+    fn settle_matches_power_balance() {
+        // In steady state, total heat leaving via convection equals total
+        // injected power.
+        let mut m = model();
+        let watts = vec![1.5, 0.5, 0.0, 0.25, 2.0];
+        m.settle(&watts);
+        let total: f64 = watts.iter().sum();
+        let sink_t = m.temps[m.network.sink_index()];
+        let out = (sink_t - 318.0) / 0.8;
+        assert!((out - total).abs() < 1e-6, "energy balance: {out} vs {total}");
+    }
+
+    #[test]
+    fn time_compression_speeds_transients_without_moving_steady_state() {
+        let plan = plan();
+        let mut slow_pkg = PackageConfig::default();
+        slow_pkg.time_compression = 1.0;
+        let mut fast_pkg = PackageConfig::default();
+        fast_pkg.time_compression = 100.0;
+        let mut slow = ThermalModel::new(&plan, slow_pkg);
+        let mut fast = ThermalModel::new(&plan, fast_pkg);
+        let watts = vec![1.0; 5];
+        // Same wall-clock budget: the compressed model is much closer to
+        // steady state.
+        for _ in 0..20 {
+            slow.step(&watts, 1e-3);
+            fast.step(&watts, 1e-3);
+        }
+        assert!(fast.temperature(0) > slow.temperature(0) + 0.1);
+        // Steady states agree.
+        let mut s2 = ThermalModel::new(&plan, slow_pkg);
+        let mut f2 = ThermalModel::new(&plan, fast_pkg);
+        s2.settle(&watts);
+        f2.settle(&watts);
+        assert!((s2.temperature(0) - f2.temperature(0)).abs() < 1e-9);
+    }
+}

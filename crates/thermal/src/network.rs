@@ -1,0 +1,207 @@
+//! RC network construction from a floorplan and package.
+
+use crate::{Floorplan, PackageConfig};
+
+/// The lumped thermal RC network.
+///
+/// Node layout: one node per floorplan block (indices match
+/// [`Floorplan::blocks`]), then the spreader node, then the sink node.
+/// Ambient is an ideal temperature source, folded into the sink's
+/// conductance and power terms rather than modeled as a node.
+///
+/// Conductances:
+/// * lateral, block ↔ block: `lateral_scale · k_si · t_die · shared_edge /
+///   center_distance` (the scale models spreading resistance);
+/// * vertical, block → spreader: `area / r_vertical_per_area`;
+/// * spreader → sink and sink → ambient from the package config.
+///
+/// Capacitances: silicon blocks `c_si · area · t_die`; spreader and sink
+/// lumped values. All capacitances are divided by the package's
+/// `time_compression` so heating/cooling transients play out across short
+/// simulations with unchanged steady states.
+#[derive(Debug, Clone)]
+pub struct ThermalNetwork {
+    n: usize,
+    /// Conductance (Laplacian) matrix G, row-major `n×n`, including the
+    /// ambient leak on the sink's diagonal.
+    g: Vec<f64>,
+    /// Per-node capacitance (J/K, already time-compressed).
+    c: Vec<f64>,
+    /// Constant power injected by the ambient source (only the sink node
+    /// has a nonzero entry: `ambient / r_convection`).
+    ambient_power: Vec<f64>,
+    ambient: f64,
+    spreader_index: usize,
+    sink_index: usize,
+}
+
+impl ThermalNetwork {
+    /// Builds the RC network for `plan` under `package`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the package parameters are invalid.
+    #[must_use]
+    pub fn new(plan: &Floorplan, package: &PackageConfig) -> Self {
+        package.validate().expect("invalid package parameters");
+        let blocks = plan.blocks();
+        let nb = blocks.len();
+        let n = nb + 2;
+        let spreader = nb;
+        let sink = nb + 1;
+        let mut g = vec![0.0; n * n];
+        let mut c = vec![0.0; n];
+
+        let add_conductance = |g: &mut Vec<f64>, i: usize, j: usize, value: f64| {
+            g[i * n + i] += value;
+            g[j * n + j] += value;
+            g[i * n + j] -= value;
+            g[j * n + i] -= value;
+        };
+
+        // Lateral conduction between adjacent blocks.
+        for (i, j, edge) in plan.adjacency() {
+            let (xi, yi) = blocks[i].center();
+            let (xj, yj) = blocks[j].center();
+            let dist = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+            let value =
+                package.lateral_scale * package.k_silicon * package.die_thickness * edge / dist;
+            add_conductance(&mut g, i, j, value);
+        }
+
+        // Vertical conduction into the spreader; block capacitances.
+        for (i, b) in blocks.iter().enumerate() {
+            let gv = b.area() / package.r_vertical_per_area;
+            add_conductance(&mut g, i, spreader, gv);
+            c[i] = package.c_silicon * b.area() * package.die_thickness / package.time_compression;
+        }
+
+        // Spreader -> sink -> ambient.
+        add_conductance(&mut g, spreader, sink, package.g_spreader_sink);
+        let g_amb = 1.0 / package.convection_resistance;
+        g[sink * n + sink] += g_amb;
+        c[spreader] = package.c_spreader / package.time_compression;
+        c[sink] = package.c_sink / package.time_compression;
+
+        let mut ambient_power = vec![0.0; n];
+        ambient_power[sink] = package.ambient * g_amb;
+
+        ThermalNetwork {
+            n,
+            g,
+            c,
+            ambient_power,
+            ambient: package.ambient,
+            spreader_index: spreader,
+            sink_index: sink,
+        }
+    }
+
+    /// Total node count (blocks + spreader + sink).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Index of the spreader node.
+    #[must_use]
+    pub fn spreader_index(&self) -> usize {
+        self.spreader_index
+    }
+
+    /// Index of the sink node.
+    #[must_use]
+    pub fn sink_index(&self) -> usize {
+        self.sink_index
+    }
+
+    /// Ambient temperature (K).
+    #[must_use]
+    pub fn ambient(&self) -> f64 {
+        self.ambient
+    }
+
+    /// The conductance matrix (row-major `n×n`).
+    #[must_use]
+    pub fn conductance(&self) -> &[f64] {
+        &self.g
+    }
+
+    /// Per-node capacitances (J/K, time-compressed).
+    #[must_use]
+    pub fn capacitance(&self) -> &[f64] {
+        &self.c
+    }
+
+    /// The constant ambient power injection vector.
+    #[must_use]
+    pub fn ambient_power(&self) -> &[f64] {
+        &self.ambient_power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Floorplan;
+
+    fn tiny_plan() -> Floorplan {
+        Floorplan::from_rows(
+            2e-3,
+            &[(1e-3, vec![("a", 1.0), ("b", 1.0)])],
+        )
+    }
+
+    #[test]
+    fn matrix_is_symmetric_laplacian_plus_ambient_leak() {
+        let net = ThermalNetwork::new(&tiny_plan(), &PackageConfig::default());
+        let n = net.node_count();
+        let g = net.conductance();
+        for i in 0..n {
+            for j in 0..n {
+                assert!((g[i * n + j] - g[j * n + i]).abs() < 1e-15, "asymmetric at {i},{j}");
+            }
+        }
+        // Row sums are zero except the sink row (ambient leak).
+        for i in 0..n {
+            let sum: f64 = (0..n).map(|j| g[i * n + j]).sum();
+            if i == net.sink_index() {
+                assert!(sum > 0.0, "sink row leaks to ambient");
+            } else {
+                assert!(sum.abs() < 1e-9, "row {i} should sum to zero: {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_dominates_lateral() {
+        // The premise of the paper's spatial techniques: a block sheds far
+        // more heat vertically than sideways.
+        let plan = tiny_plan();
+        let pkg = PackageConfig::default();
+        let net = ThermalNetwork::new(&plan, &pkg);
+        let n = net.node_count();
+        let g = net.conductance();
+        let lateral = -g[1]; // a <-> b
+        let vertical = -g[net.spreader_index()]; // a <-> spreader
+        assert!(lateral > 0.0 && vertical > 0.0);
+        assert!(
+            vertical > 2.0 * lateral,
+            "vertical {vertical} should dominate lateral {lateral}"
+        );
+    }
+
+    #[test]
+    fn compression_scales_capacitance_only() {
+        let plan = tiny_plan();
+        let mut pkg = PackageConfig::default();
+        pkg.time_compression = 1.0;
+        let base = ThermalNetwork::new(&plan, &pkg);
+        pkg.time_compression = 100.0;
+        let fast = ThermalNetwork::new(&plan, &pkg);
+        for (cb, cf) in base.capacitance().iter().zip(fast.capacitance()) {
+            assert!((cb / cf - 100.0).abs() < 1e-9);
+        }
+        assert_eq!(base.conductance(), fast.conductance());
+    }
+}

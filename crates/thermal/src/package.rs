@@ -1,0 +1,124 @@
+//! Package and material parameters for the thermal model.
+
+use serde::{Deserialize, Serialize};
+
+/// Thermal package configuration.
+///
+/// Defaults follow HotSpot-class values for a 90 nm part with the paper's
+/// package numbers (Table 2: 6.9 mm heat-sink base, 0.8 K/W convection
+/// resistance) and a `time_compression` factor that shrinks every thermal
+/// time constant so that millisecond-scale transients play out over the
+/// few-million-cycle runs this reproduction uses (see `DESIGN.md` §2).
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_thermal::PackageConfig;
+///
+/// let pkg = PackageConfig::default();
+/// assert!((pkg.convection_resistance - 0.8).abs() < 1e-12);
+/// assert!(pkg.time_compression >= 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackageConfig {
+    /// Die (silicon) thickness in meters.
+    pub die_thickness: f64,
+    /// Silicon thermal conductivity, W/(m·K).
+    pub k_silicon: f64,
+    /// Silicon volumetric heat capacity, J/(m³·K).
+    pub c_silicon: f64,
+    /// Effective vertical resistance from a block through the thermal
+    /// interface into the spreader, per unit area: K·m²/W.
+    pub r_vertical_per_area: f64,
+    /// Correction factor (< 1) applied to the naive lateral conductance
+    /// `k·t·edge/dist` to account for lateral spreading/constriction
+    /// resistance, as HotSpot's lateral-R formulation does. Smaller values
+    /// mean more vertical dominance.
+    pub lateral_scale: f64,
+    /// Heat-spreader lumped capacitance, J/K.
+    pub c_spreader: f64,
+    /// Spreader-to-sink conductance, W/K.
+    pub g_spreader_sink: f64,
+    /// Heat-sink lumped capacitance, J/K (scaled for the paper's 6.9 mm
+    /// base thickness).
+    pub c_sink: f64,
+    /// Sink-to-ambient convection resistance, K/W (paper Table 2: 0.8).
+    pub convection_resistance: f64,
+    /// Ambient temperature, K.
+    pub ambient: f64,
+    /// Thermal time-compression factor: all capacitances are divided by
+    /// this, shrinking every time constant proportionally so that heating
+    /// and cooling transients fit in short simulations. `1.0` disables
+    /// compression.
+    pub time_compression: f64,
+}
+
+impl Default for PackageConfig {
+    fn default() -> Self {
+        PackageConfig {
+            die_thickness: 0.5e-3,
+            k_silicon: 100.0,
+            c_silicon: 1.75e6,
+            r_vertical_per_area: 2.5e-5,
+            lateral_scale: 0.32,
+            c_spreader: 3.0,
+            g_spreader_sink: 15.0,
+            c_sink: 60.0,
+            convection_resistance: 0.8,
+            ambient: 318.0,
+            time_compression: 400.0,
+        }
+    }
+}
+
+impl PackageConfig {
+    /// Validates physical sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first non-positive parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        let checks = [
+            ("die_thickness", self.die_thickness),
+            ("k_silicon", self.k_silicon),
+            ("c_silicon", self.c_silicon),
+            ("r_vertical_per_area", self.r_vertical_per_area),
+            ("lateral_scale", self.lateral_scale),
+            ("c_spreader", self.c_spreader),
+            ("g_spreader_sink", self.g_spreader_sink),
+            ("c_sink", self.c_sink),
+            ("convection_resistance", self.convection_resistance),
+            ("ambient", self.ambient),
+            ("time_compression", self.time_compression),
+        ];
+        for (name, v) in checks {
+            if v <= 0.0 || v.is_nan() {
+                return Err(format!("{name} must be positive, got {v}"));
+            }
+        }
+        if self.time_compression < 1.0 {
+            return Err("time_compression must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        PackageConfig::default().validate().expect("default package is sane");
+    }
+
+    #[test]
+    fn rejects_nonpositive() {
+        let mut p = PackageConfig::default();
+        p.k_silicon = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = PackageConfig::default();
+        p.time_compression = 0.5;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Set-associative caches and the two-level memory hierarchy.
+
+use crate::config::CacheConfig;
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Line present.
+    Hit,
+    /// Line absent; it has been filled (the caller charges the next level).
+    Miss,
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// The cache stores tags only — the simulator never needs data values. Each
+/// access updates LRU state; misses allocate (write-allocate for stores).
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_uarch::{Cache, CacheConfig, CacheOutcome};
+///
+/// let mut c = Cache::new(CacheConfig::l1_default());
+/// assert_eq!(c.access(0x1000), CacheOutcome::Miss);
+/// assert_eq!(c.access(0x1000), CacheOutcome::Hit);
+/// assert_eq!(c.access(0x1008), CacheOutcome::Hit, "same 64-byte line");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: usize,
+    /// `tags[set * ways + way]`; `u64::MAX` marks an empty way.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags` (larger = more recent).
+    stamps: Vec<u64>,
+    clock: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not yield a power-of-two set count.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = (config.size_bytes / (u64::from(config.ways) * config.line_bytes)) as usize;
+        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            config,
+            sets,
+            tags: vec![u64::MAX; sets * config.ways as usize],
+            stamps: vec![0; sets * config.ways as usize],
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Looks up `addr`, allocating on a miss.
+    pub fn access(&mut self, addr: u64) -> CacheOutcome {
+        self.accesses += 1;
+        self.clock += 1;
+        let line = addr / self.config.line_bytes;
+        let set = (line as usize) & (self.sets - 1);
+        let tag = line;
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+
+        for way in 0..ways {
+            if self.tags[base + way] == tag {
+                self.stamps[base + way] = self.clock;
+                return CacheOutcome::Hit;
+            }
+        }
+
+        self.misses += 1;
+        // Replace the LRU (or first empty) way.
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for way in 0..ways {
+            if self.tags[base + way] == u64::MAX {
+                victim = way;
+                break;
+            }
+            if self.stamps[base + way] < oldest {
+                oldest = self.stamps[base + way];
+                victim = way;
+            }
+        }
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        CacheOutcome::Miss
+    }
+
+    /// Total accesses so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate in `[0, 1]` (0 before any access).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Latency outcome of a hierarchy access, with the levels that were touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Total latency in cycles.
+    pub latency: u32,
+    /// Whether the L2 was accessed (L1 missed).
+    pub touched_l2: bool,
+    /// Whether main memory was accessed (L2 missed).
+    pub touched_memory: bool,
+}
+
+/// The L1I/L1D + unified L2 + memory hierarchy.
+///
+/// Instruction and data L1s are private; both miss into the shared L2. The
+/// model is latency-only (no bandwidth contention or MSHRs): each access
+/// independently resolves to an L1, L2, or memory latency. That is the same
+/// fidelity class as the SimpleScalar setup the paper used.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    memory_latency: u32,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy from per-level configs and memory latency.
+    #[must_use]
+    pub fn new(l1i: CacheConfig, l1d: CacheConfig, l2: CacheConfig, memory_latency: u32) -> Self {
+        MemoryHierarchy {
+            l1i: Cache::new(l1i),
+            l1d: Cache::new(l1d),
+            l2: Cache::new(l2),
+            memory_latency,
+        }
+    }
+
+    /// Instruction fetch of the line containing `pc`.
+    pub fn fetch(&mut self, pc: u64) -> MemAccess {
+        let l1 = self.l1i.config.latency;
+        match self.l1i.access(pc) {
+            CacheOutcome::Hit => MemAccess { latency: l1, touched_l2: false, touched_memory: false },
+            CacheOutcome::Miss => self.l2_fill(pc, l1),
+        }
+    }
+
+    /// Data access (load or store) to `addr`.
+    pub fn data_access(&mut self, addr: u64) -> MemAccess {
+        let l1 = self.l1d.config.latency;
+        match self.l1d.access(addr) {
+            CacheOutcome::Hit => MemAccess { latency: l1, touched_l2: false, touched_memory: false },
+            CacheOutcome::Miss => self.l2_fill(addr, l1),
+        }
+    }
+
+    fn l2_fill(&mut self, addr: u64, l1_latency: u32) -> MemAccess {
+        let l2_latency = self.l2.config.latency;
+        match self.l2.access(addr) {
+            CacheOutcome::Hit => MemAccess {
+                latency: l1_latency + l2_latency,
+                touched_l2: true,
+                touched_memory: false,
+            },
+            CacheOutcome::Miss => MemAccess {
+                latency: l1_latency + l2_latency + self.memory_latency,
+                touched_l2: true,
+                touched_memory: true,
+            },
+        }
+    }
+
+    /// The instruction L1.
+    #[must_use]
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// The data L1.
+    #[must_use]
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The unified L2.
+    #[must_use]
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheConfig {
+        CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, latency: 1 }
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = Cache::new(tiny());
+        assert_eq!(c.access(0), CacheOutcome::Miss);
+        assert_eq!(c.access(0), CacheOutcome::Hit);
+        assert_eq!(c.access(63), CacheOutcome::Hit);
+        assert_eq!(c.access(64), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = Cache::new(tiny()); // 8 sets, 2 ways
+        // Three lines mapping to set 0 (stride = sets * line = 512).
+        let (a, b, d) = (0u64, 512, 1024);
+        assert_eq!(c.access(a), CacheOutcome::Miss);
+        assert_eq!(c.access(b), CacheOutcome::Miss);
+        assert_eq!(c.access(a), CacheOutcome::Hit); // a is now MRU
+        assert_eq!(c.access(d), CacheOutcome::Miss); // evicts b
+        assert_eq!(c.access(a), CacheOutcome::Hit);
+        assert_eq!(c.access(b), CacheOutcome::Miss, "b was the LRU victim");
+    }
+
+    #[test]
+    fn working_set_behaviour() {
+        // A working set that fits sees ~100% hits after warmup; one that
+        // doesn't thrashes.
+        let mut c = Cache::new(tiny()); // 1 KB
+        let fits: Vec<u64> = (0..8).map(|i| i * 64).collect();
+        for &a in &fits {
+            let _ = c.access(a);
+        }
+        for &a in &fits {
+            assert_eq!(c.access(a), CacheOutcome::Hit);
+        }
+
+        let mut c2 = Cache::new(tiny());
+        // 64 lines covering 4 KB with only 1 KB of cache: every set sees 8
+        // distinct lines on a 2-way cache — repeated scans keep missing.
+        let big: Vec<u64> = (0..64).map(|i| i * 64).collect();
+        for _ in 0..4 {
+            for &a in &big {
+                let _ = c2.access(a);
+            }
+        }
+        assert!(c2.miss_rate() > 0.9, "thrashing scan should miss: {}", c2.miss_rate());
+    }
+
+    #[test]
+    fn hierarchy_latencies_stack() {
+        let mut h = MemoryHierarchy::new(
+            CacheConfig::l1_default(),
+            CacheConfig::l1_default(),
+            CacheConfig::l2_default(),
+            250,
+        );
+        let cold = h.data_access(0x4000_0000);
+        assert_eq!(cold.latency, 2 + 12 + 250);
+        assert!(cold.touched_memory);
+        let warm = h.data_access(0x4000_0000);
+        assert_eq!(warm.latency, 2);
+        assert!(!warm.touched_l2);
+    }
+
+    #[test]
+    fn l1_miss_l2_hit() {
+        let mut h = MemoryHierarchy::new(
+            CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, latency: 2 },
+            CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, latency: 2 },
+            CacheConfig::l2_default(),
+            250,
+        );
+        // Fill a 4 KB region: it fits in L2 but thrashes tiny L1.
+        for i in 0..64u64 {
+            let _ = h.data_access(i * 64);
+        }
+        let again = h.data_access(0);
+        assert!(again.touched_l2, "L1 should have evicted line 0");
+        assert!(!again.touched_memory, "L2 should still hold line 0");
+        assert_eq!(again.latency, 2 + 12);
+    }
+
+    #[test]
+    fn icache_and_dcache_are_separate() {
+        let mut h = MemoryHierarchy::new(
+            CacheConfig::l1_default(),
+            CacheConfig::l1_default(),
+            CacheConfig::l2_default(),
+            250,
+        );
+        let _ = h.fetch(0x100);
+        assert_eq!(h.l1i().accesses(), 1);
+        assert_eq!(h.l1d().accesses(), 0);
+        let _ = h.data_access(0x100);
+        assert_eq!(h.l1d().accesses(), 1);
+    }
+}

@@ -1,0 +1,327 @@
+//! Core configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How integer ALUs are wired to register-file copies (paper Figure 4).
+///
+/// Every ALU needs two read ports. With two register-file copies the wiring
+/// choice determines which copy heats when the statically-prioritized select
+/// logic concentrates issue on the low-numbered ALUs:
+///
+/// * [`Balanced`](MappingPolicy::Balanced) interleaves priorities across
+///   copies (ALUs 0,2,4 → copy 0; ALUs 1,3,5 → copy 1), so both copies heat
+///   at similar, slower rates — "simplified balanced mapping".
+/// * [`Priority`](MappingPolicy::Priority) groups priorities (ALUs 0,1,2 →
+///   copy 0; ALUs 3,4,5 → copy 1), concentrating reads in copy 0 until it
+///   overheats — the paper's counter-intuitive recommendation when combined
+///   with fine-grain turnoff.
+/// * [`CompletelyBalanced`](MappingPolicy::CompletelyBalanced) gives every
+///   ALU one read port on *each* copy; perfectly symmetric but requires the
+///   long cross-datapath wires the paper rejects (modeled for comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MappingPolicy {
+    /// Interleave high- and low-priority ALUs across copies.
+    Balanced,
+    /// Group high-priority ALUs on copy 0, low-priority on copy 1.
+    Priority,
+    /// One read port per ALU on every copy (long-wire reference design).
+    CompletelyBalanced,
+}
+
+impl MappingPolicy {
+    /// Register-file copy serving reads for `alu` under this mapping, given
+    /// `alus` total ALUs and `copies` register-file copies.
+    ///
+    /// For [`CompletelyBalanced`](MappingPolicy::CompletelyBalanced) reads
+    /// are split across all copies; this returns the copy for the *first*
+    /// read port (the second goes to the next copy, wrapping).
+    #[must_use]
+    pub fn copy_for_alu(self, alu: usize, alus: usize, copies: usize) -> usize {
+        debug_assert!(alu < alus);
+        match self {
+            MappingPolicy::Balanced => alu % copies,
+            MappingPolicy::Priority => (alu * copies) / alus,
+            MappingPolicy::CompletelyBalanced => alu % copies,
+        }
+    }
+}
+
+/// Instruction-select policy across the per-ALU select trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectPolicy {
+    /// Conventional static priority: tree 0 (ALU 0) selects first, then
+    /// tree 1 masked by tree 0's grant, and so on. Simple, but concentrates
+    /// utilization on low-numbered ALUs.
+    Static,
+    /// Ideal round-robin: the tree ordering rotates every cycle, spreading
+    /// utilization evenly. The paper treats this as an upper bound that
+    /// would require "completely redesigning the select trees".
+    RoundRobin,
+}
+
+/// Head/tail configuration of a compacting issue queue (paper §2.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IqMode {
+    /// Conventional: head (oldest, highest priority) at physical entry 0.
+    Normal,
+    /// Activity-toggled: head at the middle of the queue; compaction wraps
+    /// from the bottom of the queue to the topmost entries over the long
+    /// wrap wires.
+    Toggled,
+}
+
+impl IqMode {
+    /// The other mode.
+    #[must_use]
+    pub fn flipped(self) -> IqMode {
+        match self {
+            IqMode::Normal => IqMode::Toggled,
+            IqMode::Toggled => IqMode::Normal,
+        }
+    }
+}
+
+/// Cache geometry and timing for one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Access latency in cycles (on a hit).
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// 64 KB, 4-way, 2-cycle L1 (paper Table 2).
+    #[must_use]
+    pub const fn l1_default() -> Self {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 4,
+            line_bytes: 64,
+            latency: 2,
+        }
+    }
+
+    /// 2 MB, 8-way unified L2 (paper Table 2).
+    #[must_use]
+    pub const fn l2_default() -> Self {
+        CacheConfig {
+            size_bytes: 2 * 1024 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            latency: 12,
+        }
+    }
+}
+
+/// Full configuration of the simulated core.
+///
+/// Defaults follow the paper's Table 2: 6-wide out-of-order issue, 128-entry
+/// active list with a 64-entry load/store queue, 32-entry integer and
+/// floating-point issue queues, 6 integer ALUs, 4 FP adders, two integer
+/// register-file copies, 64 KB 2-cycle L1s, 2 MB L2, 250-cycle memory.
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_uarch::{CoreConfig, MappingPolicy};
+///
+/// let cfg = CoreConfig {
+///     mapping: MappingPolicy::Priority,
+///     ..CoreConfig::default()
+/// };
+/// assert_eq!(cfg.int_alus, 6);
+/// cfg.validate().expect("default config is valid");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions renamed/dispatched per cycle.
+    pub dispatch_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Active-list (reorder buffer) entries.
+    pub rob_size: usize,
+    /// Load/store queue entries.
+    pub lsq_size: usize,
+    /// Entries in each of the integer and FP issue queues.
+    pub iq_size: usize,
+    /// Integer ALUs (arithmetic, load/store, and branch units).
+    pub int_alus: usize,
+    /// Floating-point adders.
+    pub fp_adders: usize,
+    /// Integer register-file copies.
+    pub int_rf_copies: usize,
+    /// ALU-to-register-file-copy wiring.
+    pub mapping: MappingPolicy,
+    /// Select-tree ordering policy.
+    pub select_policy: SelectPolicy,
+    /// Data-cache read ports (bounds memory issues per cycle).
+    pub dcache_ports: usize,
+    /// Cycles between fetch and earliest dispatch (front-end depth).
+    pub frontend_delay: u32,
+    /// Cycles an issued entry stays in the queue before it is marked
+    /// invalid and becomes compactable (load-replay safety window).
+    pub replay_window: u32,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles.
+    pub memory_latency: u32,
+    /// gshare global-history bits.
+    pub bpred_history_bits: u32,
+    /// Branch-target-buffer entries.
+    pub btb_entries: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            fetch_width: 6,
+            dispatch_width: 6,
+            commit_width: 6,
+            rob_size: 128,
+            lsq_size: 64,
+            iq_size: 32,
+            int_alus: 6,
+            fp_adders: 4,
+            int_rf_copies: 2,
+            mapping: MappingPolicy::Balanced,
+            select_policy: SelectPolicy::Static,
+            dcache_ports: 2,
+            frontend_delay: 3,
+            replay_window: 2,
+            l1i: CacheConfig::l1_default(),
+            l1d: CacheConfig::l1_default(),
+            l2: CacheConfig::l2_default(),
+            memory_latency: 250,
+            bpred_history_bits: 12,
+            btb_entries: 2048,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant: zero-sized
+    /// structures, an odd issue-queue size (halves must be equal), more
+    /// register-file copies than ALUs, or a cache with non-power-of-two
+    /// geometry.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fetch_width == 0 || self.dispatch_width == 0 || self.commit_width == 0 {
+            return Err("pipeline widths must be positive".into());
+        }
+        if self.rob_size == 0 || self.lsq_size == 0 {
+            return Err("active list and LSQ must be non-empty".into());
+        }
+        if self.iq_size < 4 || !self.iq_size.is_multiple_of(2) {
+            return Err("issue queue size must be an even number >= 4".into());
+        }
+        if self.int_alus == 0 || self.fp_adders == 0 {
+            return Err("need at least one unit of each kind".into());
+        }
+        if self.int_rf_copies == 0 || self.int_rf_copies > self.int_alus {
+            return Err("register-file copies must be in 1..=int_alus".into());
+        }
+        if !self.int_alus.is_multiple_of(self.int_rf_copies) {
+            return Err("ALU count must divide evenly across register-file copies".into());
+        }
+        if self.dcache_ports == 0 {
+            return Err("need at least one data-cache port".into());
+        }
+        for (name, c) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
+            let sets = c.size_bytes / (u64::from(c.ways) * c.line_bytes);
+            if sets == 0 || !sets.is_power_of_two() || !c.line_bytes.is_power_of_two() {
+                return Err(format!("{name}: sets and line size must be powers of two"));
+            }
+        }
+        if self.bpred_history_bits == 0 || self.bpred_history_bits > 20 {
+            return Err("bpred history bits must be in 1..=20".into());
+        }
+        if !self.btb_entries.is_power_of_two() {
+            return Err("BTB entries must be a power of two".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_table2() {
+        let c = CoreConfig::default();
+        c.validate().expect("default must validate");
+        assert_eq!(c.dispatch_width, 6);
+        assert_eq!(c.rob_size, 128);
+        assert_eq!(c.lsq_size, 64);
+        assert_eq!(c.iq_size, 32);
+        assert_eq!(c.l1d.size_bytes, 64 * 1024);
+        assert_eq!(c.l1d.ways, 4);
+        assert_eq!(c.l1d.latency, 2);
+        assert_eq!(c.l2.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.l2.ways, 8);
+        assert_eq!(c.memory_latency, 250);
+        assert_eq!(c.int_alus, 6);
+        assert_eq!(c.fp_adders, 4);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = CoreConfig::default();
+        c.iq_size = 31;
+        assert!(c.validate().is_err());
+
+        let mut c = CoreConfig::default();
+        c.int_rf_copies = 4; // 6 ALUs do not divide across 4 copies
+        assert!(c.validate().is_err());
+
+        let mut c = CoreConfig::default();
+        c.l1d.size_bytes = 60 * 1024;
+        assert!(c.validate().is_err());
+
+        let mut c = CoreConfig::default();
+        c.btb_entries = 1000;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn balanced_mapping_interleaves() {
+        let m = MappingPolicy::Balanced;
+        let copies: Vec<usize> = (0..6).map(|a| m.copy_for_alu(a, 6, 2)).collect();
+        assert_eq!(copies, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn priority_mapping_groups() {
+        let m = MappingPolicy::Priority;
+        let copies: Vec<usize> = (0..6).map(|a| m.copy_for_alu(a, 6, 2)).collect();
+        assert_eq!(copies, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn priority_mapping_matches_figure4_with_four_alus() {
+        // Figure 4 uses 4 ALUs and 2 copies: priority 0,1 -> copy 0; 2,3 -> copy 1.
+        let m = MappingPolicy::Priority;
+        let copies: Vec<usize> = (0..4).map(|a| m.copy_for_alu(a, 4, 2)).collect();
+        assert_eq!(copies, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn iq_mode_flips() {
+        assert_eq!(IqMode::Normal.flipped(), IqMode::Toggled);
+        assert_eq!(IqMode::Toggled.flipped(), IqMode::Normal);
+    }
+}

@@ -1,0 +1,344 @@
+//! Functional units and register-file copy wiring.
+
+use crate::config::MappingPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Kind of functional unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnitKind {
+    /// Integer ALU (arithmetic, load/store address generation, branches).
+    IntAlu,
+    /// Floating-point adder.
+    FpAdd,
+    /// Floating-point multiplier (also executes divides, non-pipelined).
+    FpMul,
+}
+
+/// The pool of functional units with enable (fine-grain turnoff) and busy
+/// state.
+///
+/// All units are pipelined (accept one operation per cycle) except the FP
+/// multiplier executing a divide, which occupies the unit for the divide's
+/// full latency.
+///
+/// Fine-grain turnoff (paper §2.2) is exactly the `enabled` flag: a
+/// turned-off unit "is marked busy", so its select tree grants nothing and
+/// lower-priority trees pick up its instructions.
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_uarch::{FuPool, UnitKind};
+///
+/// let mut pool = FuPool::new(6, 4);
+/// assert!(pool.is_available(UnitKind::IntAlu, 0));
+/// pool.set_enabled(UnitKind::IntAlu, 0, false); // fine-grain turnoff
+/// assert!(!pool.is_available(UnitKind::IntAlu, 0));
+/// assert!(pool.is_available(UnitKind::IntAlu, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    int_enabled: Vec<bool>,
+    fp_add_enabled: Vec<bool>,
+    fp_mul_enabled: bool,
+    fp_mul_busy: u32,
+}
+
+impl FuPool {
+    /// Creates a pool with `int_alus` integer ALUs, `fp_adders` FP adders,
+    /// and one FP multiplier, all enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    #[must_use]
+    pub fn new(int_alus: usize, fp_adders: usize) -> Self {
+        assert!(int_alus > 0 && fp_adders > 0, "need at least one unit of each kind");
+        FuPool {
+            int_enabled: vec![true; int_alus],
+            fp_add_enabled: vec![true; fp_adders],
+            fp_mul_enabled: true,
+            fp_mul_busy: 0,
+        }
+    }
+
+    /// Number of integer ALUs.
+    #[must_use]
+    pub fn int_alus(&self) -> usize {
+        self.int_enabled.len()
+    }
+
+    /// Number of FP adders.
+    #[must_use]
+    pub fn fp_adders(&self) -> usize {
+        self.fp_add_enabled.len()
+    }
+
+    /// Enables or disables a unit (fine-grain turnoff). For `FpMul` the
+    /// index is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the unit kind.
+    pub fn set_enabled(&mut self, kind: UnitKind, index: usize, enabled: bool) {
+        match kind {
+            UnitKind::IntAlu => self.int_enabled[index] = enabled,
+            UnitKind::FpAdd => self.fp_add_enabled[index] = enabled,
+            UnitKind::FpMul => self.fp_mul_enabled = enabled,
+        }
+    }
+
+    /// Whether a unit is enabled (ignoring transient busy state).
+    #[must_use]
+    pub fn is_enabled(&self, kind: UnitKind, index: usize) -> bool {
+        match kind {
+            UnitKind::IntAlu => self.int_enabled[index],
+            UnitKind::FpAdd => self.fp_add_enabled[index],
+            UnitKind::FpMul => self.fp_mul_enabled,
+        }
+    }
+
+    /// Whether a unit can accept an operation this cycle.
+    #[must_use]
+    pub fn is_available(&self, kind: UnitKind, index: usize) -> bool {
+        match kind {
+            UnitKind::IntAlu => self.int_enabled[index],
+            UnitKind::FpAdd => self.fp_add_enabled[index],
+            UnitKind::FpMul => self.fp_mul_enabled && self.fp_mul_busy == 0,
+        }
+    }
+
+    /// Occupies the FP multiplier for `cycles` (used by divides).
+    pub fn occupy_fp_mul(&mut self, cycles: u32) {
+        self.fp_mul_busy = self.fp_mul_busy.max(cycles);
+    }
+
+    /// Advances busy countdowns by one cycle.
+    pub fn tick(&mut self) {
+        self.fp_mul_busy = self.fp_mul_busy.saturating_sub(1);
+    }
+
+    /// Indices of enabled integer ALUs, in select-priority order starting
+    /// at `rotation` (0 for static priority).
+    pub fn int_units_in_order(&self, rotation: usize) -> impl Iterator<Item = usize> + '_ {
+        let n = self.int_enabled.len();
+        (0..n)
+            .map(move |i| (i + rotation) % n)
+            .filter(move |&u| self.int_enabled[u])
+    }
+
+    /// Indices of enabled FP adders, in select-priority order starting at
+    /// `rotation`.
+    pub fn fp_add_units_in_order(&self, rotation: usize) -> impl Iterator<Item = usize> + '_ {
+        let n = self.fp_add_enabled.len();
+        (0..n)
+            .map(move |i| (i + rotation) % n)
+            .filter(move |&u| self.fp_add_enabled[u])
+    }
+}
+
+/// Wiring between integer ALUs and register-file copies.
+///
+/// Encapsulates the three Figure-4 mappings plus fine-grain turnoff of
+/// copies: a disabled copy "marks busy" every ALU wired to it.
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_uarch::{MappingPolicy, RegFileWiring};
+///
+/// let mut wiring = RegFileWiring::new(MappingPolicy::Priority, 6, 2);
+/// assert!(wiring.alu_usable(0));
+/// wiring.set_copy_enabled(0, false); // copy 0 overheated
+/// assert!(!wiring.alu_usable(0), "high-priority ALUs lose their copy");
+/// assert!(wiring.alu_usable(3), "low-priority ALUs still run on copy 1");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegFileWiring {
+    mapping: MappingPolicy,
+    alus: usize,
+    copies: usize,
+    enabled: Vec<bool>,
+}
+
+impl RegFileWiring {
+    /// Creates the wiring for `alus` ALUs over `copies` register-file
+    /// copies under `mapping`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies` is zero or does not divide `alus`.
+    #[must_use]
+    pub fn new(mapping: MappingPolicy, alus: usize, copies: usize) -> Self {
+        assert!(copies > 0 && alus.is_multiple_of(copies), "ALUs must divide across copies");
+        RegFileWiring {
+            mapping,
+            alus,
+            copies,
+            enabled: vec![true; copies],
+        }
+    }
+
+    /// The active mapping policy.
+    #[must_use]
+    pub fn mapping(&self) -> MappingPolicy {
+        self.mapping
+    }
+
+    /// Replaces the mapping policy (the paper compares policies on
+    /// otherwise-identical hardware).
+    pub fn set_mapping(&mut self, mapping: MappingPolicy) {
+        self.mapping = mapping;
+    }
+
+    /// Number of register-file copies.
+    #[must_use]
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// Enables or disables a copy (fine-grain turnoff of the register
+    /// file, implemented by marking busy the ALUs mapped to it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copy` is out of range.
+    pub fn set_copy_enabled(&mut self, copy: usize, enabled: bool) {
+        self.enabled[copy] = enabled;
+    }
+
+    /// Whether a copy is enabled.
+    #[must_use]
+    pub fn copy_enabled(&self, copy: usize) -> bool {
+        self.enabled[copy]
+    }
+
+    /// Whether `alu` can issue, i.e. every copy it reads from is enabled.
+    #[must_use]
+    pub fn alu_usable(&self, alu: usize) -> bool {
+        match self.mapping {
+            MappingPolicy::Balanced | MappingPolicy::Priority => {
+                self.enabled[self.mapping.copy_for_alu(alu, self.alus, self.copies)]
+            }
+            // Completely-balanced wiring reads one port on *every* copy, so
+            // any disabled copy stalls every ALU.
+            MappingPolicy::CompletelyBalanced => self.enabled.iter().all(|&e| e),
+        }
+    }
+
+    /// Register-file copies charged for `reads` operand reads by `alu`.
+    ///
+    /// Returns `(copy, count)` pairs. Under the simple mappings both reads
+    /// hit the ALU's own copy; under completely-balanced wiring reads
+    /// spread one per copy.
+    #[must_use]
+    pub fn read_charges(&self, alu: usize, reads: u8) -> Vec<(usize, u64)> {
+        match self.mapping {
+            MappingPolicy::Balanced | MappingPolicy::Priority => {
+                let copy = self.mapping.copy_for_alu(alu, self.alus, self.copies);
+                if reads == 0 {
+                    Vec::new()
+                } else {
+                    vec![(copy, u64::from(reads))]
+                }
+            }
+            MappingPolicy::CompletelyBalanced => {
+                let base = alu % self.copies;
+                (0..usize::from(reads))
+                    .map(|i| ((base + i) % self.copies, 1))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_turnoff_and_restore() {
+        let mut p = FuPool::new(6, 4);
+        p.set_enabled(UnitKind::IntAlu, 2, false);
+        assert!(!p.is_available(UnitKind::IntAlu, 2));
+        p.set_enabled(UnitKind::IntAlu, 2, true);
+        assert!(p.is_available(UnitKind::IntAlu, 2));
+    }
+
+    #[test]
+    fn static_order_skips_disabled_units() {
+        let mut p = FuPool::new(4, 4);
+        p.set_enabled(UnitKind::IntAlu, 0, false);
+        let order: Vec<usize> = p.int_units_in_order(0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn round_robin_order_rotates() {
+        let p = FuPool::new(4, 4);
+        let order: Vec<usize> = p.int_units_in_order(2).collect();
+        assert_eq!(order, vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn fp_mul_divide_occupies_unit() {
+        let mut p = FuPool::new(1, 1);
+        assert!(p.is_available(UnitKind::FpMul, 0));
+        p.occupy_fp_mul(3);
+        assert!(!p.is_available(UnitKind::FpMul, 0));
+        p.tick();
+        p.tick();
+        assert!(!p.is_available(UnitKind::FpMul, 0));
+        p.tick();
+        assert!(p.is_available(UnitKind::FpMul, 0));
+    }
+
+    #[test]
+    fn priority_wiring_turnoff_halves_the_machine() {
+        let mut w = RegFileWiring::new(MappingPolicy::Priority, 6, 2);
+        w.set_copy_enabled(0, false);
+        let usable: Vec<bool> = (0..6).map(|a| w.alu_usable(a)).collect();
+        assert_eq!(usable, vec![false, false, false, true, true, true]);
+    }
+
+    #[test]
+    fn balanced_wiring_turnoff_interleaves() {
+        let mut w = RegFileWiring::new(MappingPolicy::Balanced, 6, 2);
+        w.set_copy_enabled(1, false);
+        let usable: Vec<bool> = (0..6).map(|a| w.alu_usable(a)).collect();
+        assert_eq!(usable, vec![true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn completely_balanced_needs_all_copies() {
+        let mut w = RegFileWiring::new(MappingPolicy::CompletelyBalanced, 6, 2);
+        assert!(w.alu_usable(0));
+        w.set_copy_enabled(1, false);
+        assert!((0..6).all(|a| !w.alu_usable(a)));
+    }
+
+    #[test]
+    fn read_charges_follow_mapping() {
+        let w = RegFileWiring::new(MappingPolicy::Priority, 6, 2);
+        assert_eq!(w.read_charges(0, 2), vec![(0, 2)]);
+        assert_eq!(w.read_charges(5, 2), vec![(1, 2)]);
+        assert_eq!(w.read_charges(5, 0), vec![]);
+
+        let cb = RegFileWiring::new(MappingPolicy::CompletelyBalanced, 6, 2);
+        let mut charges = cb.read_charges(0, 2);
+        charges.sort_unstable();
+        assert_eq!(charges, vec![(0, 1), (1, 1)], "one read per copy");
+    }
+
+    #[test]
+    fn balanced_reads_concentrate_per_alu_but_spread_across_alus() {
+        let w = RegFileWiring::new(MappingPolicy::Balanced, 6, 2);
+        let mut per_copy = [0u64; 2];
+        for alu in 0..6 {
+            for (copy, n) in w.read_charges(alu, 2) {
+                per_copy[copy] += n;
+            }
+        }
+        assert_eq!(per_copy, [6, 6], "uniform ALU usage spreads evenly");
+    }
+}

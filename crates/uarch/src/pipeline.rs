@@ -1,0 +1,1051 @@
+//! The cycle-level out-of-order core.
+
+use crate::activity::ActivitySample;
+use crate::bpred::BranchPredictor;
+use crate::cache::MemoryHierarchy;
+use crate::config::{CoreConfig, IqMode, SelectPolicy};
+use crate::exec::{FuPool, RegFileWiring, UnitKind};
+use crate::iq::{EntryState, IqEntry, IssueQueue};
+use crate::rob::{ActiveList, RenameMap, RobState};
+use powerbalance_isa::{ExecDomain, MicroOp, OpClass, RegClass, TraceSource};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Cumulative statistics for a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Total cycles simulated (including frozen cycles).
+    pub cycles: u64,
+    /// Cycles spent frozen by the temporal (global-stall) technique.
+    pub frozen_cycles: u64,
+    /// Instructions fetched.
+    pub fetched: u64,
+    /// Instructions dispatched into the back end.
+    pub dispatched: u64,
+    /// Instructions issued to functional units.
+    pub issued: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Branches fetched.
+    pub branches: u64,
+    /// Cycles fetch was stalled waiting on a mispredicted branch.
+    pub redirect_stall_cycles: u64,
+    /// Cycles fetch was stalled on instruction-cache misses.
+    pub icache_stall_cycles: u64,
+    /// Issues per integer ALU (static-priority asymmetry shows up here).
+    pub int_issued_per_unit: [u64; 6],
+    /// Issues per FP adder.
+    pub fp_issued_per_unit: [u64; 4],
+    /// Issues to the FP multiplier.
+    pub fp_mul_issued: u64,
+    /// Sum of integer issue-queue occupancy over cycles (for averages).
+    pub int_iq_occupancy_sum: u64,
+    /// Sum of FP issue-queue occupancy over cycles.
+    pub fp_iq_occupancy_sum: u64,
+    /// Cumulative reads per integer register-file copy.
+    pub int_rf_reads: [u64; 2],
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Histogram of instructions issued per cycle (index = count, capped
+    /// at 6). Reveals whether issue is bursty or steady.
+    pub issue_histogram: [u64; 7],
+    /// Cycles where the integer queue had occupants but nothing ready.
+    pub int_iq_blocked_cycles: u64,
+    /// Sum of active-list occupancy over cycles (for averages).
+    pub rob_occupancy_sum: u64,
+    /// Dispatch-stall events by cause: `[rob_full, lsq_full, iq_full,
+    /// fetch_queue_empty_or_not_ready]`, counted once per dispatch cycle
+    /// that ended early.
+    pub dispatch_stalls: [u64; 4],
+}
+
+impl CoreStats {
+    /// Committed instructions per cycle (0 before the first cycle).
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean integer issue-queue occupancy.
+    #[must_use]
+    pub fn avg_int_iq_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.int_iq_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FetchedOp {
+    op: MicroOp,
+    uid: u64,
+    ready_at: u64,
+    is_redirect: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    rob_id: u32,
+    remaining: u32,
+}
+
+/// The simulated 6-wide out-of-order core.
+///
+/// Drive it with [`Core::cycle`] (one clock) or [`Core::run`]; inspect
+/// progress with [`Core::stats`]; drain per-window activity with
+/// [`Core::take_activity`]. Mitigation controllers steer the core through
+/// [`Core::set_iq_mode`], [`Core::set_unit_enabled`],
+/// [`Core::set_rf_copy_enabled`], and [`Core::set_frozen`].
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_uarch::{Core, CoreConfig};
+/// use powerbalance_isa::{MicroOp, OpClass, SliceTrace};
+///
+/// let mut core = Core::new(CoreConfig::default()).expect("valid config");
+/// let mut trace = SliceTrace::new(vec![MicroOp::new(OpClass::IntAlu); 100]);
+/// while !core.is_done() {
+///     core.cycle(&mut trace);
+/// }
+/// assert_eq!(core.stats().committed, 100);
+/// ```
+#[derive(Debug)]
+pub struct Core {
+    cfg: CoreConfig,
+    now: u64,
+    frozen: bool,
+    trace_done: bool,
+    next_uid: u64,
+
+    bpred: BranchPredictor,
+    mem: MemoryHierarchy,
+    int_iq: IssueQueue,
+    fp_iq: IssueQueue,
+    rob: ActiveList,
+    rename: RenameMap,
+    lsq_used: usize,
+    pool: FuPool,
+    wiring: RegFileWiring,
+    /// Write-port gating per integer register-file copy (the paper's
+    /// second staleness solution disables writes into a cooling copy).
+    rf_writes_enabled: [bool; 2],
+    rotation: usize,
+
+    fetch_queue: VecDeque<FetchedOp>,
+    fetch_stall: u32,
+    redirect_uid: Option<u64>,
+    last_fetch_line: u64,
+    in_flight: Vec<InFlight>,
+
+    activity: ActivitySample,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Builds a core from `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error if `cfg` violates a structural
+    /// invariant (see [`CoreConfig::validate`]).
+    pub fn new(cfg: CoreConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        if cfg.int_alus > 6 || cfg.fp_adders > 4 || cfg.int_rf_copies > 2 {
+            return Err("activity counters support at most 6 ALUs, 4 FP adders, 2 RF copies".into());
+        }
+        let mut int_iq = IssueQueue::new(cfg.iq_size);
+        let mut fp_iq = IssueQueue::new(cfg.iq_size);
+        int_iq.set_replay_window(cfg.replay_window);
+        fp_iq.set_replay_window(cfg.replay_window);
+        Ok(Core {
+            bpred: BranchPredictor::new(cfg.bpred_history_bits, cfg.btb_entries),
+            mem: MemoryHierarchy::new(cfg.l1i, cfg.l1d, cfg.l2, cfg.memory_latency),
+            int_iq,
+            fp_iq,
+            rob: ActiveList::new(cfg.rob_size),
+            rename: RenameMap::new(),
+            lsq_used: 0,
+            pool: FuPool::new(cfg.int_alus, cfg.fp_adders),
+            wiring: RegFileWiring::new(cfg.mapping, cfg.int_alus, cfg.int_rf_copies),
+            rf_writes_enabled: [true; 2],
+            rotation: 0,
+            fetch_queue: VecDeque::new(),
+            fetch_stall: 0,
+            redirect_uid: None,
+            last_fetch_line: u64::MAX,
+            in_flight: Vec::new(),
+            activity: ActivitySample::default(),
+            stats: CoreStats::default(),
+            cfg,
+            now: 0,
+            frozen: false,
+            trace_done: false,
+            next_uid: 0,
+        })
+    }
+
+    /// The configuration the core was built with.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// The branch predictor (for misprediction statistics).
+    #[must_use]
+    pub fn bpred(&self) -> &BranchPredictor {
+        &self.bpred
+    }
+
+    /// The memory hierarchy (for miss statistics).
+    #[must_use]
+    pub fn memory(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// Drains and resets the current activity window.
+    pub fn take_activity(&mut self) -> ActivitySample {
+        std::mem::take(&mut self.activity)
+    }
+
+    /// Freezes or thaws the whole core (the temporal stall technique: no
+    /// fetch, issue, execution progress, or commit while frozen).
+    pub fn set_frozen(&mut self, frozen: bool) {
+        self.frozen = frozen;
+    }
+
+    /// Whether the core is currently frozen.
+    #[must_use]
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Sets the head/tail mode of one issue queue (activity toggling).
+    pub fn set_iq_mode(&mut self, domain: ExecDomain, mode: IqMode) {
+        match domain {
+            ExecDomain::Int => self.int_iq.set_mode(mode),
+            ExecDomain::Fp => self.fp_iq.set_mode(mode),
+        }
+    }
+
+    /// Current head/tail mode of one issue queue.
+    #[must_use]
+    pub fn iq_mode(&self, domain: ExecDomain) -> IqMode {
+        match domain {
+            ExecDomain::Int => self.int_iq.mode(),
+            ExecDomain::Fp => self.fp_iq.mode(),
+        }
+    }
+
+    /// Enables or disables a functional unit (fine-grain turnoff).
+    pub fn set_unit_enabled(&mut self, kind: UnitKind, index: usize, enabled: bool) {
+        self.pool.set_enabled(kind, index, enabled);
+    }
+
+    /// Whether a functional unit is enabled.
+    #[must_use]
+    pub fn unit_enabled(&self, kind: UnitKind, index: usize) -> bool {
+        self.pool.is_enabled(kind, index)
+    }
+
+    /// Enables or disables an integer register-file copy (fine-grain
+    /// turnoff via busy-marking the ALUs wired to it).
+    pub fn set_rf_copy_enabled(&mut self, copy: usize, enabled: bool) {
+        self.wiring.set_copy_enabled(copy, enabled);
+    }
+
+    /// Whether an integer register-file copy is enabled.
+    #[must_use]
+    pub fn rf_copy_enabled(&self, copy: usize) -> bool {
+        self.wiring.copy_enabled(copy)
+    }
+
+    /// Gates or un-gates writes into an integer register-file copy.
+    ///
+    /// The paper's second staleness solution (§2.3) disallows writes to an
+    /// overheated copy while it cools; call
+    /// [`charge_rf_copy_restore`](Core::charge_rf_copy_restore) when
+    /// re-enabling to account for copying the architected values back in.
+    pub fn set_rf_copy_writes_enabled(&mut self, copy: usize, enabled: bool) {
+        self.rf_writes_enabled[copy] = enabled;
+    }
+
+    /// Whether writes into a register-file copy are currently enabled.
+    #[must_use]
+    pub fn rf_copy_writes_enabled(&self, copy: usize) -> bool {
+        self.rf_writes_enabled[copy]
+    }
+
+    /// Charges the burst of writes that refreshes a formerly-stale copy
+    /// (one write per architectural integer register). The paper notes
+    /// this cost is negligible amortized over a cooling interval; it is
+    /// still accounted for.
+    pub fn charge_rf_copy_restore(&mut self, copy: usize) {
+        self.activity.int_rf_writes[copy] +=
+            u64::from(powerbalance_isa::INT_ARCH_REGS);
+    }
+
+    /// The register-file wiring (mapping policy and turnoff state).
+    #[must_use]
+    pub fn wiring(&self) -> &RegFileWiring {
+        &self.wiring
+    }
+
+    /// Number of ready (issuable) entries in the integer queue right now.
+    #[must_use]
+    pub fn int_ready_count(&self) -> usize {
+        self.int_iq.ready_positions().count()
+    }
+
+    /// Current integer issue-queue occupancy (valid + pending-invalid).
+    #[must_use]
+    pub fn int_iq_occupancy(&self) -> usize {
+        self.int_iq.occupancy()
+    }
+
+    /// Instructions currently executing in functional units.
+    #[must_use]
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Active-list occupancy.
+    #[must_use]
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Fetch-queue occupancy.
+    #[must_use]
+    pub fn fetch_queue_len(&self) -> usize {
+        self.fetch_queue.len()
+    }
+
+    /// Diagnostic snapshot of the integer issue queue's occupied entries:
+    /// `(physical_position, rob_id, state, src1_tag, src2_tag, producer
+    /// states)`.
+    #[must_use]
+    pub fn debug_int_iq(&self) -> Vec<String> {
+        self.int_iq
+            .entries()
+            .map(|(p, e)| {
+                let tag_state = |tag: Option<u32>| match tag {
+                    None => "rdy".to_string(),
+                    Some(t) => format!("{t}:{:?}", self.rob.entry(t).state),
+                };
+                format!(
+                    "pos{p} rob{} {:?} s1={} s2={}",
+                    e.rob_id,
+                    e.state,
+                    tag_state(e.src1_tag),
+                    tag_state(e.src2_tag)
+                )
+            })
+            .collect()
+    }
+
+    /// `true` once the trace is exhausted and the pipeline has drained.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.trace_done && self.fetch_queue.is_empty() && self.rob.is_empty()
+    }
+
+    /// Runs until the trace drains or `max_cycles` elapse; returns cycles
+    /// executed by this call.
+    pub fn run<T: TraceSource>(&mut self, trace: &mut T, max_cycles: u64) -> u64 {
+        let start = self.now;
+        while !self.is_done() && self.now - start < max_cycles {
+            self.cycle(trace);
+        }
+        self.now - start
+    }
+
+    /// Advances the core by one clock cycle.
+    pub fn cycle<T: TraceSource>(&mut self, trace: &mut T) {
+        self.now += 1;
+        self.stats.cycles += 1;
+        self.activity.cycles += 1;
+
+        if self.frozen {
+            // The clock-gating control logic still burns its per-cycle
+            // energy; everything else is quiesced.
+            self.activity.int_iq.gating_cycles += 1;
+            self.activity.fp_iq.gating_cycles += 1;
+            self.stats.frozen_cycles += 1;
+            return;
+        }
+
+        let issued_before = self.stats.issued;
+        self.writeback();
+        self.commit();
+        self.issue_int();
+        self.issue_fp();
+        self.int_iq.tick(self.cfg.dispatch_width, &mut self.activity.int_iq);
+        self.fp_iq.tick(self.cfg.dispatch_width, &mut self.activity.fp_iq);
+        self.pool.tick();
+        self.dispatch();
+        self.fetch(trace);
+
+        if self.cfg.select_policy == SelectPolicy::RoundRobin {
+            self.rotation = self.rotation.wrapping_add(1);
+        }
+        let issued_now = (self.stats.issued - issued_before).min(6) as usize;
+        self.stats.issue_histogram[issued_now] += 1;
+        if issued_now == 0 && self.int_iq.occupancy() > 0 {
+            self.stats.int_iq_blocked_cycles += 1;
+        }
+        self.stats.int_iq_occupancy_sum += self.int_iq.occupancy() as u64;
+        self.stats.fp_iq_occupancy_sum += self.fp_iq.occupancy() as u64;
+        self.stats.rob_occupancy_sum += self.rob.len() as u64;
+    }
+
+    /// Completes in-flight operations whose latency has elapsed.
+    fn writeback(&mut self) {
+        let mut completed: Vec<u32> = Vec::new();
+        self.in_flight.retain_mut(|f| {
+            f.remaining -= 1;
+            if f.remaining == 0 {
+                completed.push(f.rob_id);
+                false
+            } else {
+                true
+            }
+        });
+
+        for rob_id in completed {
+            self.rob.set_state(rob_id, RobState::Completed);
+            let entry = *self.rob.entry(rob_id);
+            if let Some(dest) = entry.op.dest() {
+                self.rename.release(dest, rob_id);
+                match dest.class() {
+                    RegClass::Int => {
+                        self.int_iq.broadcast(rob_id, &mut self.activity.int_iq);
+                        for copy in 0..self.wiring.copies() {
+                            if self.rf_writes_enabled[copy] {
+                                self.activity.int_rf_writes[copy] += 1;
+                            }
+                        }
+                    }
+                    RegClass::Fp => {
+                        self.fp_iq.broadcast(rob_id, &mut self.activity.fp_iq);
+                        self.activity.fp_rf_writes += 1;
+                    }
+                }
+            }
+            if entry.is_redirect && self.redirect_uid == Some(entry.uid) {
+                self.redirect_uid = None;
+            }
+        }
+    }
+
+    /// Retires completed instructions in order.
+    fn commit(&mut self) {
+        let mut stores_this_cycle = 0usize;
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.commit_ready() else { break };
+            let entry = *self.rob.entry(head);
+            if entry.op.class() == OpClass::Store {
+                if stores_this_cycle == self.cfg.dcache_ports {
+                    break;
+                }
+                let mem_ref = entry.op.mem().expect("store has an address");
+                let access = self.mem.data_access(mem_ref.addr);
+                self.activity.dcache_accesses += 1;
+                if access.touched_l2 {
+                    self.activity.l2_accesses += 1;
+                }
+                stores_this_cycle += 1;
+                self.stats.stores += 1;
+            }
+            if entry.op.class().is_mem() {
+                self.lsq_used -= 1;
+                self.activity.lsq_ops += 1;
+            }
+            let _ = self.rob.retire();
+            self.stats.committed += 1;
+            self.activity.commits += 1;
+            self.activity.rob_ops += 1;
+        }
+    }
+
+    /// Integer-side select and issue: one select tree per ALU, serialized
+    /// in priority order (or rotated for ideal round-robin).
+    fn issue_int(&mut self) {
+        let rotation = match self.cfg.select_policy {
+            SelectPolicy::Static => 0,
+            SelectPolicy::RoundRobin => self.rotation % self.cfg.int_alus,
+        };
+        let units: Vec<usize> = self
+            .pool
+            .int_units_in_order(rotation)
+            .filter(|&u| self.wiring.alu_usable(u))
+            .collect();
+        if units.is_empty() {
+            return;
+        }
+        let ready: Vec<usize> = self.int_iq.ready_positions().collect();
+        let mut unit_idx = 0usize;
+        let mut mem_issued = 0usize;
+        for pos in ready {
+            if unit_idx == units.len() {
+                break;
+            }
+            let entry = *self.int_iq.entry(pos).expect("ready position is occupied");
+            if entry.is_mem && mem_issued == self.cfg.dcache_ports {
+                continue; // cache ports exhausted; tree masks this request
+            }
+            let unit = units[unit_idx];
+            unit_idx += 1;
+            if entry.is_mem {
+                mem_issued += 1;
+            }
+            self.int_iq.mark_issued(pos, &mut self.activity.int_iq);
+            self.rob.set_state(entry.rob_id, RobState::Issued);
+            let op = self.rob.entry(entry.rob_id).op;
+
+            // Register-file reads through this ALU's wired copy.
+            for (copy, n) in self.wiring.read_charges(unit, op.src_count()) {
+                self.activity.int_rf_reads[copy] += n;
+                self.stats.int_rf_reads[copy] += n;
+            }
+
+            let latency = match op.class() {
+                OpClass::Load => {
+                    let mem_ref = op.mem().expect("load has an address");
+                    let access = self.mem.data_access(mem_ref.addr);
+                    self.activity.dcache_accesses += 1;
+                    if access.touched_l2 {
+                        self.activity.l2_accesses += 1;
+                    }
+                    self.stats.loads += 1;
+                    1 + access.latency
+                }
+                class => class.latency(),
+            };
+            self.in_flight.push(InFlight { rob_id: entry.rob_id, remaining: latency });
+            self.activity.int_alu_ops[unit] += 1;
+            self.stats.int_issued_per_unit[unit] += 1;
+            self.stats.issued += 1;
+        }
+    }
+
+    /// FP-side select and issue: 4 adder trees plus the multiplier tree.
+    fn issue_fp(&mut self) {
+        let rotation = match self.cfg.select_policy {
+            SelectPolicy::Static => 0,
+            SelectPolicy::RoundRobin => self.rotation % self.cfg.fp_adders,
+        };
+        let adders: Vec<usize> = self.pool.fp_add_units_in_order(rotation).collect();
+        let mut adder_idx = 0usize;
+        let mut mul_used = false;
+        let ready: Vec<usize> = self.fp_iq.ready_positions().collect();
+        for pos in ready {
+            let entry = *self.fp_iq.entry(pos).expect("ready position is occupied");
+            let unit: Option<(UnitKind, usize)> = if entry.needs_fp_mul {
+                if !mul_used && self.pool.is_available(UnitKind::FpMul, 0) {
+                    mul_used = true;
+                    Some((UnitKind::FpMul, 0))
+                } else {
+                    None
+                }
+            } else if adder_idx < adders.len() {
+                let u = adders[adder_idx];
+                adder_idx += 1;
+                Some((UnitKind::FpAdd, u))
+            } else {
+                None
+            };
+            let Some((kind, unit)) = unit else {
+                if adder_idx >= adders.len() && mul_used {
+                    break;
+                }
+                continue;
+            };
+
+            self.fp_iq.mark_issued(pos, &mut self.activity.fp_iq);
+            self.rob.set_state(entry.rob_id, RobState::Issued);
+            let op = self.rob.entry(entry.rob_id).op;
+            self.activity.fp_rf_reads += u64::from(op.src_count());
+
+            let latency = op.class().latency();
+            if op.class() == OpClass::FpDiv {
+                self.pool.occupy_fp_mul(latency);
+            }
+            self.in_flight.push(InFlight { rob_id: entry.rob_id, remaining: latency });
+            match kind {
+                UnitKind::FpAdd => {
+                    self.activity.fp_add_ops[unit] += 1;
+                    self.stats.fp_issued_per_unit[unit] += 1;
+                }
+                UnitKind::FpMul => {
+                    self.activity.fp_mul_ops += 1;
+                    self.stats.fp_mul_issued += 1;
+                }
+                UnitKind::IntAlu => unreachable!("FP queue never issues to integer ALUs"),
+            }
+            self.stats.issued += 1;
+        }
+    }
+
+    /// Renames and dispatches fetched instructions into the back end.
+    fn dispatch(&mut self) {
+        for _ in 0..self.cfg.dispatch_width {
+            let Some(front) = self.fetch_queue.front() else {
+                self.stats.dispatch_stalls[3] += 1;
+                break;
+            };
+            if front.ready_at > self.now {
+                self.stats.dispatch_stalls[3] += 1;
+                break;
+            }
+            let op = front.op;
+            if self.rob.is_full() {
+                self.stats.dispatch_stalls[0] += 1;
+                break;
+            }
+            if op.class().is_mem() && self.lsq_used == self.cfg.lsq_size {
+                self.stats.dispatch_stalls[1] += 1;
+                break;
+            }
+            let queue_ok = match op.class().domain() {
+                ExecDomain::Int => self.int_iq.can_insert(),
+                ExecDomain::Fp => self.fp_iq.can_insert(),
+            };
+            if !queue_ok {
+                self.stats.dispatch_stalls[2] += 1;
+                break;
+            }
+
+            let fetched = self.fetch_queue.pop_front().expect("checked non-empty");
+            let rob_id = self
+                .rob
+                .alloc(fetched.uid, op, fetched.is_redirect)
+                .expect("checked not full");
+
+            let src1_tag = op.src1().and_then(|r| self.rename.resolve(r));
+            let src2_tag = op.src2().and_then(|r| self.rename.resolve(r));
+            if let Some(dest) = op.dest() {
+                self.rename.claim(dest, rob_id);
+            }
+            if op.class().is_mem() {
+                self.lsq_used += 1;
+                self.activity.lsq_ops += 1;
+            }
+
+            let entry = IqEntry {
+                rob_id,
+                state: EntryState::Waiting,
+                src1_ready: src1_tag.is_none(),
+                src2_ready: src2_tag.is_none(),
+                src1_tag,
+                src2_tag,
+                is_mem: op.class().is_mem(),
+                needs_fp_mul: op.class().needs_fp_mul(),
+            };
+            let inserted = match op.class().domain() {
+                ExecDomain::Int => self.int_iq.insert(entry, &mut self.activity.int_iq),
+                ExecDomain::Fp => self.fp_iq.insert(entry, &mut self.activity.fp_iq),
+            };
+            debug_assert!(inserted, "can_insert was checked");
+            self.activity.rename_ops += 1;
+            self.activity.rob_ops += 1;
+            self.stats.dispatched += 1;
+        }
+    }
+
+    /// Pulls correct-path micro-ops from the trace into the fetch queue.
+    fn fetch<T: TraceSource>(&mut self, trace: &mut T) {
+        if self.redirect_uid.is_some() {
+            self.stats.redirect_stall_cycles += 1;
+            return;
+        }
+        if self.fetch_stall > 0 {
+            self.fetch_stall -= 1;
+            self.stats.icache_stall_cycles += 1;
+            return;
+        }
+        if self.trace_done {
+            return;
+        }
+        let capacity = self.cfg.fetch_width * 8;
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_queue.len() >= capacity {
+                break;
+            }
+            let Some(op) = trace.next_op() else {
+                self.trace_done = true;
+                break;
+            };
+
+            // Instruction cache: one access per new line.
+            let line = op.pc() / self.cfg.l1i.line_bytes;
+            if line != self.last_fetch_line {
+                self.last_fetch_line = line;
+                let access = self.mem.fetch(op.pc());
+                self.activity.icache_accesses += 1;
+                if access.touched_l2 {
+                    self.activity.l2_accesses += 1;
+                }
+                if access.latency > self.cfg.l1i.latency {
+                    self.fetch_stall = access.latency - self.cfg.l1i.latency;
+                }
+            }
+
+            let uid = self.next_uid;
+            self.next_uid += 1;
+            self.stats.fetched += 1;
+
+            let mut is_redirect = false;
+            if let Some(branch) = op.branch() {
+                self.stats.branches += 1;
+                self.activity.bpred_lookups += 1;
+                if !self.bpred.predict_and_update(op.pc(), branch) {
+                    is_redirect = true;
+                    self.redirect_uid = Some(uid);
+                }
+            }
+
+            self.fetch_queue.push_back(FetchedOp {
+                op,
+                uid,
+                ready_at: self.now + u64::from(self.cfg.frontend_delay),
+                is_redirect,
+            });
+
+            if is_redirect || self.fetch_stall > 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerbalance_isa::{ArchReg, BranchInfo, MemRef, SliceTrace};
+
+    fn run_ops(ops: Vec<MicroOp>) -> Core {
+        let mut core = Core::new(CoreConfig::default()).expect("valid config");
+        let mut trace = SliceTrace::new(ops);
+        let mut guard = 0;
+        while !core.is_done() {
+            core.cycle(&mut trace);
+            guard += 1;
+            assert!(guard < 1_000_000, "pipeline deadlocked");
+        }
+        core
+    }
+
+    #[test]
+    fn commits_every_instruction_exactly_once() {
+        let ops: Vec<MicroOp> = (0..500)
+            .map(|i| {
+                MicroOp::new(OpClass::IntAlu)
+                    .with_pc(0x400_000 + i * 4)
+                    .with_dest(ArchReg::int((i % 20) as u8))
+            })
+            .collect();
+        let core = run_ops(ops);
+        assert_eq!(core.stats().committed, 500);
+        assert_eq!(core.stats().dispatched, 500);
+        assert_eq!(core.stats().issued, 500);
+    }
+
+    #[test]
+    fn independent_ops_reach_high_ipc() {
+        // Independent single-cycle ops on a 6-wide machine should commit at
+        // several IPC once the cold instruction-cache misses amortize.
+        let ops: Vec<MicroOp> = (0..20_000)
+            .map(|i| {
+                MicroOp::new(OpClass::IntAlu)
+                    .with_pc(0x400_000 + (i % 64) * 4)
+                    .with_dest(ArchReg::int((i % 26) as u8))
+            })
+            .collect();
+        let core = run_ops(ops);
+        let ipc = core.stats().ipc();
+        assert!(ipc > 3.0, "independent ops should flow wide: ipc={ipc}");
+    }
+
+    #[test]
+    fn dependent_chain_limits_ipc_to_about_one() {
+        // Each op reads the previous op's result: serial chain, IPC <= 1.
+        let ops: Vec<MicroOp> = (0..2000)
+            .map(|i| {
+                MicroOp::new(OpClass::IntAlu)
+                    .with_pc(0x400_000 + (i % 64) * 4)
+                    .with_dest(ArchReg::int(1))
+                    .with_src1(ArchReg::int(1))
+            })
+            .collect();
+        let core = run_ops(ops);
+        let ipc = core.stats().ipc();
+        assert!(ipc < 1.05, "serial chain cannot exceed 1 IPC: {ipc}");
+        assert!(ipc > 0.5, "chain should still flow once per cycle-ish: {ipc}");
+    }
+
+    #[test]
+    fn static_priority_concentrates_on_low_alus() {
+        // Three interleaved serial chains: ~3 instructions ready per cycle,
+        // which is the paper's typical case ("in most cycles at most one or
+        // two instructions are available for issue"). Static priority then
+        // funnels everything to the low-numbered ALUs.
+        let ops: Vec<MicroOp> = (0..5000)
+            .map(|i| {
+                MicroOp::new(OpClass::IntAlu)
+                    .with_pc(0x400_000 + (i % 64) * 4)
+                    .with_dest(ArchReg::int((i % 3) as u8))
+                    .with_src1(ArchReg::int((i % 3) as u8))
+            })
+            .collect();
+        let core = run_ops(ops);
+        let per_unit = core.stats().int_issued_per_unit;
+        assert!(
+            per_unit[0] >= per_unit[1]
+                && per_unit[1] >= per_unit[2]
+                && per_unit[2] >= per_unit[3],
+            "static priority must be monotone: {per_unit:?}"
+        );
+        assert!(
+            per_unit[0] > 3 * per_unit[5].max(1),
+            "ALU0 should dominate ALU5: {per_unit:?}"
+        );
+    }
+
+    #[test]
+    fn round_robin_spreads_across_alus() {
+        let mut cfg = CoreConfig::default();
+        cfg.select_policy = SelectPolicy::RoundRobin;
+        let mut core = Core::new(cfg).expect("valid config");
+        let ops: Vec<MicroOp> = (0..5000)
+            .map(|i| {
+                MicroOp::new(OpClass::IntAlu)
+                    .with_pc(0x400_000 + (i % 64) * 4)
+                    .with_dest(ArchReg::int((i % 26) as u8))
+            })
+            .collect();
+        let mut trace = SliceTrace::new(ops);
+        while !core.is_done() {
+            core.cycle(&mut trace);
+        }
+        let per_unit = core.stats().int_issued_per_unit;
+        let max = *per_unit.iter().max().expect("nonempty");
+        let min = *per_unit.iter().min().expect("nonempty");
+        assert!(
+            (max - min) as f64 / max as f64 <= 0.35,
+            "round-robin should spread issues: {per_unit:?}"
+        );
+    }
+
+    #[test]
+    fn turned_off_alu_receives_no_issues() {
+        let mut core = Core::new(CoreConfig::default()).expect("valid config");
+        core.set_unit_enabled(UnitKind::IntAlu, 0, false);
+        let ops: Vec<MicroOp> = (0..2000)
+            .map(|i| {
+                MicroOp::new(OpClass::IntAlu)
+                    .with_pc(0x400_000 + (i % 64) * 4)
+                    .with_dest(ArchReg::int((i % 26) as u8))
+            })
+            .collect();
+        let mut trace = SliceTrace::new(ops);
+        while !core.is_done() {
+            core.cycle(&mut trace);
+        }
+        assert_eq!(core.stats().int_issued_per_unit[0], 0);
+        assert_eq!(core.stats().committed, 2000, "work shifts to other ALUs");
+    }
+
+    #[test]
+    fn disabled_rf_copy_masks_its_alus() {
+        let mut cfg = CoreConfig::default();
+        cfg.mapping = crate::config::MappingPolicy::Priority;
+        let mut core = Core::new(cfg).expect("valid config");
+        core.set_rf_copy_enabled(0, false);
+        let ops: Vec<MicroOp> = (0..2000)
+            .map(|i| {
+                MicroOp::new(OpClass::IntAlu)
+                    .with_pc(0x400_000 + (i % 64) * 4)
+                    .with_dest(ArchReg::int((i % 26) as u8))
+            })
+            .collect();
+        let mut trace = SliceTrace::new(ops);
+        while !core.is_done() {
+            core.cycle(&mut trace);
+        }
+        let per_unit = core.stats().int_issued_per_unit;
+        assert_eq!(per_unit[0] + per_unit[1] + per_unit[2], 0, "copy-0 ALUs masked");
+        assert_eq!(core.stats().committed, 2000);
+        assert_eq!(core.stats().int_rf_reads[0], 0, "no reads from the disabled copy");
+    }
+
+    #[test]
+    fn loads_hit_the_data_cache_and_misses_cost_cycles() {
+        let mk_load = |i: u64, addr: u64| {
+            MicroOp::new(OpClass::Load)
+                .with_pc(0x400_000 + (i % 64) * 4)
+                .with_dest(ArchReg::int((i % 26) as u8))
+                .with_mem(MemRef::new(addr))
+        };
+        // Hot: all loads to one line. Cold: every load to a new L2-missing line.
+        let hot: Vec<MicroOp> = (0..500).map(|i| mk_load(i, 0x1000)).collect();
+        let cold: Vec<MicroOp> = (0..500)
+            .map(|i| mk_load(i, 0x4000_0000 + i * 4096))
+            .collect();
+        let hot_core = run_ops(hot);
+        let cold_core = run_ops(cold);
+        assert!(
+            cold_core.stats().cycles > hot_core.stats().cycles,
+            "misses must slow execution: {} vs {}",
+            cold_core.stats().cycles,
+            hot_core.stats().cycles
+        );
+        assert!(cold_core.memory().l1d().miss_rate() > 0.9);
+        assert!(hot_core.memory().l1d().miss_rate() < 0.1);
+    }
+
+    #[test]
+    fn mispredicted_branches_stall_fetch() {
+        // Branches with pseudo-random outcomes: mispredicts must show up
+        // as redirect stalls and depress IPC.
+        let mut x = 7u64;
+        let ops: Vec<MicroOp> = (0..2000)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if i % 4 == 3 {
+                    MicroOp::new(OpClass::Branch)
+                        .with_pc(0x400_000 + (i % 64) * 4)
+                        .with_src1(ArchReg::int(1))
+                        .with_branch(BranchInfo::new((x >> 62) & 1 == 1, 0x400_100))
+                } else {
+                    MicroOp::new(OpClass::IntAlu)
+                        .with_pc(0x400_000 + (i % 64) * 4)
+                        .with_dest(ArchReg::int((i % 26) as u8))
+                }
+            })
+            .collect();
+        let core = run_ops(ops);
+        assert!(core.stats().redirect_stall_cycles > 100);
+        assert!(core.bpred().mispredict_rate() > 0.1);
+    }
+
+    #[test]
+    fn frozen_core_makes_no_progress() {
+        let mut core = Core::new(CoreConfig::default()).expect("valid config");
+        let ops: Vec<MicroOp> = (0..100).map(|_| MicroOp::new(OpClass::IntAlu)).collect();
+        let mut trace = SliceTrace::new(ops);
+        core.set_frozen(true);
+        for _ in 0..50 {
+            core.cycle(&mut trace);
+        }
+        assert_eq!(core.stats().committed, 0);
+        assert_eq!(core.stats().frozen_cycles, 50);
+        core.set_frozen(false);
+        while !core.is_done() {
+            core.cycle(&mut trace);
+        }
+        assert_eq!(core.stats().committed, 100);
+    }
+
+    #[test]
+    fn fp_ops_use_fp_units_only() {
+        let ops: Vec<MicroOp> = (0..1000)
+            .map(|i| {
+                let class = if i % 3 == 0 { OpClass::FpMul } else { OpClass::FpAdd };
+                MicroOp::new(class)
+                    .with_pc(0x400_000 + (i % 64) * 4)
+                    .with_dest(ArchReg::fp((i % 26) as u8))
+                    .with_src2(ArchReg::fp(((i + 1) % 26) as u8))
+            })
+            .collect();
+        let core = run_ops(ops);
+        assert_eq!(core.stats().committed, 1000);
+        assert_eq!(core.stats().int_issued_per_unit, [0; 6]);
+        assert!(core.stats().fp_mul_issued > 0);
+        assert!(core.stats().fp_issued_per_unit.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn gated_rf_copy_receives_no_writes_until_restored() {
+        let mut core = Core::new(CoreConfig::default()).expect("valid config");
+        core.set_rf_copy_writes_enabled(1, false);
+        let ops: Vec<MicroOp> = (0..200)
+            .map(|i| {
+                MicroOp::new(OpClass::IntAlu)
+                    .with_pc(0x400_000 + (i % 64) * 4)
+                    .with_dest(ArchReg::int((i % 26) as u8))
+            })
+            .collect();
+        let mut trace = SliceTrace::new(ops);
+        while !core.is_done() {
+            core.cycle(&mut trace);
+        }
+        let act = core.take_activity();
+        assert_eq!(act.int_rf_writes[1], 0, "gated copy must see no writes");
+        assert_eq!(act.int_rf_writes[0], 200, "other copy keeps writing");
+
+        core.set_rf_copy_writes_enabled(1, true);
+        core.charge_rf_copy_restore(1);
+        let act = core.take_activity();
+        assert_eq!(
+            act.int_rf_writes[1],
+            u64::from(powerbalance_isa::INT_ARCH_REGS),
+            "restore burst writes every architectural register"
+        );
+    }
+
+    #[test]
+    fn activity_sample_drains_and_resets() {
+        let mut core = Core::new(CoreConfig::default()).expect("valid config");
+        let ops: Vec<MicroOp> = (0..200).map(|_| MicroOp::new(OpClass::IntAlu)).collect();
+        let mut trace = SliceTrace::new(ops);
+        while !core.is_done() {
+            core.cycle(&mut trace);
+        }
+        let sample = core.take_activity();
+        assert_eq!(sample.commits, 200);
+        assert!(sample.cycles > 0);
+        let empty = core.take_activity();
+        assert_eq!(empty.commits, 0);
+        assert_eq!(empty.cycles, 0);
+    }
+
+    #[test]
+    fn dependent_load_consumer_waits_for_the_load() {
+        // load -> dependent ALU op, repeated; consumer cannot issue before
+        // the load completes (L1 hit: ~3 cycle load-to-use).
+        let mut ops = Vec::new();
+        for i in 0..300u64 {
+            ops.push(
+                MicroOp::new(OpClass::Load)
+                    .with_pc(0x400_000 + (i % 64) * 8)
+                    .with_dest(ArchReg::int(1))
+                    .with_mem(MemRef::new(0x1000)),
+            );
+            ops.push(
+                MicroOp::new(OpClass::IntAlu)
+                    .with_pc(0x400_004 + (i % 64) * 8)
+                    .with_dest(ArchReg::int(1))
+                    .with_src1(ArchReg::int(1)),
+            );
+        }
+        let core = run_ops(ops);
+        // Each pair forms a serial chain of ~4 cycles; IPC well below 1.
+        assert!(core.stats().ipc() < 0.8, "ipc={}", core.stats().ipc());
+        assert_eq!(core.stats().committed, 600);
+    }
+}

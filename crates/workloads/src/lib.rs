@@ -1,0 +1,47 @@
+//! Synthetic SPEC CPU2000-like workloads for the `powerbalance` simulator.
+//!
+//! The MICRO 2005 paper this project reproduces evaluated its techniques on
+//! 22 SPEC CPU2000 benchmarks running under SimpleScalar. SPEC binaries and
+//! an Alpha functional front end are out of scope for this reproduction, so
+//! this crate substitutes a *deterministic synthetic trace generator*: each
+//! benchmark is described by a [`WorkloadProfile`] capturing the properties
+//! the paper's results actually depend on —
+//!
+//! * instruction mix (integer vs. floating point, memory, control),
+//! * instruction-level parallelism (dependency-distance distribution),
+//! * branch predictability,
+//! * memory locality (how often accesses fall in L1/L2/memory), and
+//! * phase structure (sustained vs. bursty issue activity).
+//!
+//! The paper's per-benchmark conclusions cluster entirely on these axes:
+//! benchmarks that keep a back-end resource busy enough to overheat it
+//! benefit from the spatial techniques, the rest are unaffected. See
+//! `DESIGN.md` §2 for the substitution rationale.
+//!
+//! Everything is seeded and reproducible: the same profile + seed always
+//! produces the identical micro-op stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use powerbalance_isa::TraceSource;
+//! use powerbalance_workloads::spec2000;
+//!
+//! let mut trace = spec2000::by_name("mesa").expect("known benchmark").trace(42);
+//! let op = trace.next_op().expect("generator is infinite");
+//! println!("first op: {op}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod phase;
+mod profile;
+mod rng;
+pub mod spec2000;
+
+pub use generator::TraceGenerator;
+pub use phase::PhaseModel;
+pub use profile::{MemLocality, OpMix, WorkloadProfile};
+pub use rng::Xoshiro256;

@@ -1,0 +1,125 @@
+//! Phase (burst) structure of a workload.
+
+use serde::{Deserialize, Serialize};
+
+/// Periodic phase behaviour of a workload.
+///
+/// Real programs alternate between high-activity bursts and quieter
+/// stretches; the paper leans on this ("some benchmarks such as *facerec*
+/// have high-IPC bursts of activity that cause overheating regardless of
+/// temperature balance"). A `PhaseModel` is a square wave over the dynamic
+/// instruction stream: for `hot_fraction` of each `period_ops`-long period
+/// the generator uses the profile's *hot* ILP parameters, otherwise its
+/// *cold* ones.
+///
+/// A model with `hot_fraction == 1.0` describes a steady workload.
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_workloads::PhaseModel;
+///
+/// let bursty = PhaseModel::bursty(100_000, 0.3);
+/// assert!(bursty.is_hot(10_000));
+/// assert!(!bursty.is_hot(50_000));
+/// assert!(PhaseModel::steady().is_hot(123_456));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseModel {
+    period_ops: u64,
+    hot_fraction: f64,
+}
+
+impl PhaseModel {
+    /// A workload with no phase structure: always in the hot (nominal) phase.
+    #[must_use]
+    pub const fn steady() -> Self {
+        PhaseModel {
+            period_ops: 1,
+            hot_fraction: 1.0,
+        }
+    }
+
+    /// A bursty workload: each period of `period_ops` dynamic instructions
+    /// starts with a hot burst covering `hot_fraction` of the period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ops == 0` or `hot_fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn bursty(period_ops: u64, hot_fraction: f64) -> Self {
+        assert!(period_ops > 0, "period must be positive");
+        assert!(
+            (0.0..=1.0).contains(&hot_fraction),
+            "hot_fraction must be in [0,1]"
+        );
+        PhaseModel {
+            period_ops,
+            hot_fraction,
+        }
+    }
+
+    /// Whether the instruction at dynamic index `op_index` falls in the hot
+    /// phase.
+    #[must_use]
+    pub fn is_hot(&self, op_index: u64) -> bool {
+        let pos = op_index % self.period_ops;
+        (pos as f64) < self.hot_fraction * self.period_ops as f64
+    }
+
+    /// Period length in dynamic instructions.
+    #[must_use]
+    pub const fn period_ops(&self) -> u64 {
+        self.period_ops
+    }
+
+    /// Fraction of each period spent in the hot phase.
+    #[must_use]
+    pub const fn hot_fraction(&self) -> f64 {
+        self.hot_fraction
+    }
+}
+
+impl Default for PhaseModel {
+    fn default() -> Self {
+        PhaseModel::steady()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_is_always_hot() {
+        let m = PhaseModel::steady();
+        for i in [0, 1, 1_000_000, u64::MAX] {
+            assert!(m.is_hot(i));
+        }
+    }
+
+    #[test]
+    fn bursty_duty_cycle_matches() {
+        let m = PhaseModel::bursty(1000, 0.25);
+        let hot = (0..10_000u64).filter(|&i| m.is_hot(i)).count();
+        assert_eq!(hot, 2500);
+    }
+
+    #[test]
+    fn zero_fraction_is_never_hot() {
+        let m = PhaseModel::bursty(100, 0.0);
+        assert!((0..1000u64).all(|i| !m.is_hot(i)));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = PhaseModel::bursty(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_fraction")]
+    fn bad_fraction_panics() {
+        let _ = PhaseModel::bursty(10, 1.5);
+    }
+}

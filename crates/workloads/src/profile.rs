@@ -1,0 +1,437 @@
+//! Workload profiles: the knobs that describe a benchmark.
+
+use crate::{PhaseModel, TraceGenerator};
+use serde::{Deserialize, Serialize};
+
+/// Relative frequencies of each operation class in a workload.
+///
+/// Weights need not sum to 1; the generator normalizes them. A weight of 0
+/// removes the class entirely (e.g. pure-integer benchmarks have all FP
+/// weights at 0, matching the paper's note that FP units provide no spatial
+/// slack for integer programs).
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_workloads::OpMix;
+///
+/// let mix = OpMix::integer_heavy();
+/// assert!(mix.fp_add == 0.0 && mix.int_alu > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Simple integer ALU ops.
+    pub int_alu: f64,
+    /// Integer multiplies.
+    pub int_mul: f64,
+    /// Loads.
+    pub load: f64,
+    /// Stores.
+    pub store: f64,
+    /// Branches.
+    pub branch: f64,
+    /// FP adds.
+    pub fp_add: f64,
+    /// FP multiplies.
+    pub fp_mul: f64,
+    /// FP divides.
+    pub fp_div: f64,
+}
+
+impl OpMix {
+    /// A typical integer-program mix (no FP).
+    #[must_use]
+    pub const fn integer_heavy() -> Self {
+        OpMix {
+            int_alu: 0.42,
+            int_mul: 0.01,
+            load: 0.26,
+            store: 0.12,
+            branch: 0.19,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+        }
+    }
+
+    /// A typical FP-program mix (loop-dominated numeric code). Divides are
+    /// rare, as in real SPEC FP code — they serialize on the single
+    /// non-pipelined multiplier and would otherwise dominate commit stalls.
+    #[must_use]
+    pub const fn fp_heavy() -> Self {
+        OpMix {
+            int_alu: 0.227,
+            int_mul: 0.0,
+            load: 0.27,
+            store: 0.09,
+            branch: 0.06,
+            fp_add: 0.23,
+            fp_mul: 0.12,
+            fp_div: 0.003,
+        }
+    }
+
+    /// Sum of all weights.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.int_alu
+            + self.int_mul
+            + self.load
+            + self.store
+            + self.branch
+            + self.fp_add
+            + self.fp_mul
+            + self.fp_div
+    }
+
+    /// `true` if any weight is negative or all weights are zero.
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        let weights = [
+            self.int_alu,
+            self.int_mul,
+            self.load,
+            self.store,
+            self.branch,
+            self.fp_add,
+            self.fp_mul,
+            self.fp_div,
+        ];
+        weights.iter().any(|&w| w < 0.0) || self.total() <= 0.0
+    }
+}
+
+/// Memory-locality model: where data accesses land in the hierarchy.
+///
+/// Accesses are drawn from three nested working sets: a *hot* set that fits
+/// in L1, a *warm* set that fits in L2, and a *cold* set that misses to
+/// memory. Probabilities are for the hot and warm sets; the remainder goes
+/// cold. This coarse model reproduces the L1/L2/memory hit mix that
+/// determines how often load-dependent instructions stall — which is what
+/// drives issue-queue occupancy and back-end utilization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemLocality {
+    /// Probability an access falls in the L1-resident hot set.
+    pub p_hot: f64,
+    /// Probability an access falls in the L2-resident warm set.
+    pub p_warm: f64,
+}
+
+impl MemLocality {
+    /// Cache-friendly locality: nearly everything hits in L1, and memory
+    /// misses are rare enough that the 128-entry active list hides them.
+    #[must_use]
+    pub const fn cache_friendly() -> Self {
+        MemLocality {
+            p_hot: 0.988,
+            p_warm: 0.011,
+        }
+    }
+
+    /// Memory-bound locality: frequent L2 and memory misses (mcf-like).
+    #[must_use]
+    pub const fn memory_bound() -> Self {
+        MemLocality {
+            p_hot: 0.70,
+            p_warm: 0.12,
+        }
+    }
+
+    /// Probability an access misses to main memory.
+    #[must_use]
+    pub fn p_cold(&self) -> f64 {
+        (1.0 - self.p_hot - self.p_warm).max(0.0)
+    }
+
+    /// `true` if the probabilities are outside `[0, 1]` or overlap.
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        !(0.0..=1.0).contains(&self.p_hot)
+            || !(0.0..=1.0).contains(&self.p_warm)
+            || self.p_hot + self.p_warm > 1.0
+    }
+}
+
+/// Full description of a synthetic benchmark.
+///
+/// Construct with [`WorkloadProfile::builder`] or pick one of the 22
+/// SPEC CPU2000-like presets in [`crate::spec2000`]. Call
+/// [`WorkloadProfile::trace`] to obtain a deterministic [`TraceGenerator`].
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance_isa::TraceSource;
+/// use powerbalance_workloads::{OpMix, WorkloadProfile};
+///
+/// let profile = WorkloadProfile::builder("toy")
+///     .mix(OpMix::integer_heavy())
+///     .dependency_distance(4.0)
+///     .build();
+/// let mut gen = profile.trace(1);
+/// assert!(gen.next_op().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    name: String,
+    mix: OpMix,
+    dep_mean_hot: f64,
+    dep_mean_cold: f64,
+    immediate_fraction: f64,
+    hard_branch_fraction: f64,
+    locality: MemLocality,
+    phases: PhaseModel,
+    code_footprint: u64,
+    loop_period_scale: f64,
+}
+
+impl WorkloadProfile {
+    /// Starts building a profile named `name`, with integer-heavy defaults.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> WorkloadProfileBuilder {
+        WorkloadProfileBuilder {
+            profile: WorkloadProfile {
+                name: name.into(),
+                mix: OpMix::integer_heavy(),
+                dep_mean_hot: 6.0,
+                dep_mean_cold: 6.0,
+                immediate_fraction: 0.3,
+                hard_branch_fraction: 0.08,
+                locality: MemLocality::cache_friendly(),
+                phases: PhaseModel::steady(),
+                code_footprint: 16 * 1024,
+                loop_period_scale: 1.0,
+            },
+        }
+    }
+
+    /// Benchmark name (e.g. `"mesa"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Instruction mix.
+    #[must_use]
+    pub fn mix(&self) -> &OpMix {
+        &self.mix
+    }
+
+    /// Mean register dependency distance during hot phases.
+    ///
+    /// Larger distances mean more independent instructions in flight —
+    /// higher ILP and heavier back-end utilization.
+    #[must_use]
+    pub fn dep_mean_hot(&self) -> f64 {
+        self.dep_mean_hot
+    }
+
+    /// Mean register dependency distance during cold phases.
+    #[must_use]
+    pub fn dep_mean_cold(&self) -> f64 {
+        self.dep_mean_cold
+    }
+
+    /// Fraction of source operands that are immediates (no register read).
+    #[must_use]
+    pub fn immediate_fraction(&self) -> f64 {
+        self.immediate_fraction
+    }
+
+    /// Fraction of dynamic branches drawn from hard-to-predict static
+    /// branches (50/50 outcomes); the rest are strongly biased and a gshare
+    /// predictor learns them quickly.
+    #[must_use]
+    pub fn hard_branch_fraction(&self) -> f64 {
+        self.hard_branch_fraction
+    }
+
+    /// Memory-locality model.
+    #[must_use]
+    pub fn locality(&self) -> &MemLocality {
+        &self.locality
+    }
+
+    /// Phase (burst) structure.
+    #[must_use]
+    pub fn phases(&self) -> &PhaseModel {
+        &self.phases
+    }
+
+    /// Static code footprint in bytes (drives I-cache behaviour).
+    #[must_use]
+    pub fn code_footprint(&self) -> u64 {
+        self.code_footprint
+    }
+
+    /// Multiplier on loop trip counts. Loop-dominated code (long-running
+    /// inner loops) mispredicts loop exits less often, keeping the front
+    /// end streaming and the issue queue full.
+    #[must_use]
+    pub fn loop_period_scale(&self) -> f64 {
+        self.loop_period_scale
+    }
+
+    /// Creates a deterministic trace generator for this profile.
+    ///
+    /// The same `(profile, seed)` pair always yields the identical stream.
+    #[must_use]
+    pub fn trace(&self, seed: u64) -> TraceGenerator {
+        TraceGenerator::new(self.clone(), seed)
+    }
+}
+
+/// Builder for [`WorkloadProfile`]; see [`WorkloadProfile::builder`].
+#[derive(Debug, Clone)]
+pub struct WorkloadProfileBuilder {
+    profile: WorkloadProfile,
+}
+
+impl WorkloadProfileBuilder {
+    /// Sets the instruction mix.
+    #[must_use]
+    pub fn mix(mut self, mix: OpMix) -> Self {
+        self.profile.mix = mix;
+        self
+    }
+
+    /// Sets the mean dependency distance for both hot and cold phases.
+    #[must_use]
+    pub fn dependency_distance(mut self, mean: f64) -> Self {
+        self.profile.dep_mean_hot = mean;
+        self.profile.dep_mean_cold = mean;
+        self
+    }
+
+    /// Sets distinct hot-phase and cold-phase dependency distances.
+    #[must_use]
+    pub fn dependency_distances(mut self, hot: f64, cold: f64) -> Self {
+        self.profile.dep_mean_hot = hot;
+        self.profile.dep_mean_cold = cold;
+        self
+    }
+
+    /// Sets the fraction of operands that are immediates.
+    #[must_use]
+    pub fn immediate_fraction(mut self, f: f64) -> Self {
+        self.profile.immediate_fraction = f;
+        self
+    }
+
+    /// Sets the fraction of dynamic branches that are hard to predict.
+    #[must_use]
+    pub fn hard_branches(mut self, f: f64) -> Self {
+        self.profile.hard_branch_fraction = f;
+        self
+    }
+
+    /// Sets the memory-locality model.
+    #[must_use]
+    pub fn locality(mut self, locality: MemLocality) -> Self {
+        self.profile.locality = locality;
+        self
+    }
+
+    /// Sets the phase model.
+    #[must_use]
+    pub fn phases(mut self, phases: PhaseModel) -> Self {
+        self.profile.phases = phases;
+        self
+    }
+
+    /// Sets the static code footprint in bytes.
+    #[must_use]
+    pub fn code_footprint(mut self, bytes: u64) -> Self {
+        self.profile.code_footprint = bytes;
+        self
+    }
+
+    /// Sets the loop trip-count multiplier.
+    #[must_use]
+    pub fn loop_period_scale(mut self, scale: f64) -> Self {
+        self.profile.loop_period_scale = scale;
+        self
+    }
+
+    /// Finalizes the profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix or locality parameters are degenerate, a dependency
+    /// distance is below 1, or a probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn build(self) -> WorkloadProfile {
+        let p = self.profile;
+        assert!(!p.mix.is_degenerate(), "degenerate op mix for '{}'", p.name);
+        assert!(!p.locality.is_degenerate(), "degenerate locality for '{}'", p.name);
+        assert!(p.dep_mean_hot >= 1.0 && p.dep_mean_cold >= 1.0, "dependency distance must be >= 1");
+        assert!((0.0..=1.0).contains(&p.immediate_fraction), "immediate_fraction out of range");
+        assert!((0.0..=1.0).contains(&p.hard_branch_fraction), "hard_branch_fraction out of range");
+        assert!(p.code_footprint >= 1024, "code footprint must be at least 1 KiB");
+        assert!(p.loop_period_scale >= 1.0, "loop_period_scale must be >= 1");
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let p = WorkloadProfile::builder("x").build();
+        assert_eq!(p.name(), "x");
+        assert!(p.dep_mean_hot() >= 1.0);
+    }
+
+    #[test]
+    fn mix_totals() {
+        assert!((OpMix::integer_heavy().total() - 1.0).abs() < 1e-9);
+        assert!((OpMix::fp_heavy().total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_mix_detected() {
+        let mut m = OpMix::integer_heavy();
+        m.int_alu = -1.0;
+        assert!(m.is_degenerate());
+        let zero = OpMix {
+            int_alu: 0.0,
+            int_mul: 0.0,
+            load: 0.0,
+            store: 0.0,
+            branch: 0.0,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+        };
+        assert!(zero.is_degenerate());
+    }
+
+    #[test]
+    fn locality_cold_probability() {
+        let l = MemLocality { p_hot: 0.8, p_warm: 0.15 };
+        assert!((l.p_cold() - 0.05).abs() < 1e-12);
+        assert!(!l.is_degenerate());
+    }
+
+    #[test]
+    fn degenerate_locality_detected() {
+        assert!(MemLocality { p_hot: 0.9, p_warm: 0.2 }.is_degenerate());
+        assert!(MemLocality { p_hot: -0.1, p_warm: 0.2 }.is_degenerate());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate op mix")]
+    fn builder_rejects_bad_mix() {
+        let mut m = OpMix::integer_heavy();
+        m.load = -0.5;
+        let _ = WorkloadProfile::builder("bad").mix(m).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency distance")]
+    fn builder_rejects_bad_distance() {
+        let _ = WorkloadProfile::builder("bad").dependency_distance(0.5).build();
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the workload generator.
+
+use powerbalance_isa::{OpClass, TraceSource};
+use powerbalance_workloads::{MemLocality, OpMix, PhaseModel, WorkloadProfile, Xoshiro256};
+use proptest::prelude::*;
+
+fn arbitrary_mix() -> impl Strategy<Value = OpMix> {
+    (
+        0.05f64..1.0,
+        0.0f64..0.2,
+        0.05f64..0.5,
+        0.01f64..0.3,
+        0.02f64..0.3,
+        0.0f64..0.5,
+        0.0f64..0.3,
+        0.0f64..0.05,
+    )
+        .prop_map(|(int_alu, int_mul, load, store, branch, fp_add, fp_mul, fp_div)| OpMix {
+            int_alu,
+            int_mul,
+            load,
+            store,
+            branch,
+            fp_add,
+            fp_mul,
+            fp_div,
+        })
+}
+
+fn arbitrary_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        arbitrary_mix(),
+        1.0f64..20.0,
+        0.0f64..0.6,
+        0.0f64..0.3,
+        0.5f64..0.99,
+        1u64..8,
+    )
+        .prop_map(|(mix, dep, imm, hard, p_hot, footprint_kib)| {
+            let p_warm = (1.0 - p_hot) * 0.5;
+            WorkloadProfile::builder("prop")
+                .mix(mix)
+                .dependency_distance(dep)
+                .immediate_fraction(imm)
+                .hard_branches(hard)
+                .locality(MemLocality { p_hot, p_warm })
+                .code_footprint(footprint_kib * 1024)
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any valid profile yields a generator whose stream is deterministic.
+    #[test]
+    fn any_profile_is_deterministic(profile in arbitrary_profile(), seed in any::<u64>()) {
+        let mut a = profile.trace(seed);
+        let mut b = profile.trace(seed);
+        for _ in 0..500 {
+            prop_assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    /// Structural invariants hold for every generated op: memory ops carry
+    /// addresses, branches carry outcomes, nothing else does, and register
+    /// classes match the op's domain.
+    #[test]
+    fn op_structure_invariants(profile in arbitrary_profile(), seed in any::<u64>()) {
+        let mut gen = profile.trace(seed);
+        for _ in 0..2_000 {
+            let op = gen.next_op().expect("infinite stream");
+            prop_assert_eq!(op.mem().is_some(), op.class().is_mem());
+            prop_assert_eq!(op.branch().is_some(), op.class().is_ctrl());
+            if let Some(dest) = op.dest() {
+                if op.class().is_fp() {
+                    prop_assert_eq!(dest.class(), powerbalance_isa::RegClass::Fp);
+                }
+            }
+            match op.class() {
+                OpClass::Store | OpClass::Branch => prop_assert!(op.dest().is_none()),
+                OpClass::IntAlu | OpClass::IntMul | OpClass::Load
+                | OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => {
+                    prop_assert!(op.dest().is_some());
+                }
+            }
+        }
+    }
+
+    /// The RNG's `below(n)` never exceeds its bound.
+    #[test]
+    fn rng_below_is_bounded(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = Xoshiro256::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    /// Geometric samples stay within [1, max].
+    #[test]
+    fn rng_geometric_is_bounded(seed in any::<u64>(), mean in 1.0f64..50.0, max in 1u64..100) {
+        let mut rng = Xoshiro256::new(seed);
+        for _ in 0..100 {
+            let v = rng.geometric(mean, max);
+            prop_assert!(v >= 1 && v <= max);
+        }
+    }
+
+    /// Phase models partition the instruction stream consistently with
+    /// their duty fraction.
+    #[test]
+    fn phase_duty_matches_fraction(period in 10u64..100_000, duty in 0.0f64..1.0) {
+        let m = PhaseModel::bursty(period, duty);
+        let hot = (0..period).filter(|&i| m.is_hot(i)).count() as f64;
+        let expected = duty * period as f64;
+        prop_assert!((hot - expected).abs() <= 1.0, "hot {hot} vs expected {expected}");
+    }
+}

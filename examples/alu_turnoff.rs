@@ -1,0 +1,61 @@
+//! Fine-grain ALU turnoff in action: compare the base design (any hot ALU
+//! stalls the whole core) against fine-grain turnoff and the ideal
+//! round-robin scheduler on an ALU-constrained CPU.
+//!
+//! This regenerates the story of the paper's §4.2 for one benchmark: the
+//! statically-prioritized select trees concentrate work on ALU0 until it
+//! overheats; turnoff marks it busy and the work spills to the cooler ALUs.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example alu_turnoff
+//! ```
+
+use powerbalance::experiments::{self, AluPolicy};
+use powerbalance::{Error, Simulator};
+use powerbalance_workloads::spec2000;
+
+fn main() -> Result<(), Error> {
+    let bench = "perlbmk";
+    println!("ALU-constrained CPU running {bench} (1M cycles each):\n");
+    let mut base_ipc = None;
+    for (label, policy) in [
+        ("base (stall on any hot ALU)", AluPolicy::Base),
+        ("fine-grain turnoff", AluPolicy::FineGrainTurnoff),
+        ("round-robin (ideal)", AluPolicy::RoundRobin),
+    ] {
+        let mut sim = Simulator::new(experiments::alu(policy))?;
+        let profile = spec2000::by_name(bench).expect("known benchmark");
+        let result = sim.run(&mut profile.trace(42), 1_000_000);
+
+        println!("{label}:");
+        println!(
+            "  IPC {:.2}{}   stalls {}   unit turnoffs {}",
+            result.ipc,
+            match base_ipc {
+                Some(b) => format!(" ({:+.0}% vs base)", (result.ipc / b - 1.0) * 100.0),
+                None => String::new(),
+            },
+            result.freezes,
+            result.alu_turnoffs
+        );
+        print!("  per-ALU issue share: ");
+        let total: u64 = result.int_issued_per_unit.iter().sum::<u64>().max(1);
+        for (i, n) in result.int_issued_per_unit.iter().enumerate() {
+            print!("ALU{i} {:>4.1}%  ", *n as f64 / total as f64 * 100.0);
+        }
+        println!();
+        print!("  per-ALU avg temp:    ");
+        for i in 0..6 {
+            print!(
+                "{:>6.1}K ",
+                result.avg_temp(&format!("IntExec{i}")).expect("block exists")
+            );
+        }
+        println!("\n");
+        if base_ipc.is_none() {
+            base_ipc = Some(result.ipc);
+        }
+    }
+    Ok(())
+}

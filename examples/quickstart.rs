@@ -1,0 +1,42 @@
+//! Quickstart: simulate one benchmark on a thermally-constrained CPU and
+//! watch activity toggling balance the issue-queue halves.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use powerbalance::{experiments, Error, Simulator};
+use powerbalance_workloads::spec2000;
+
+fn main() -> Result<(), Error> {
+    // An issue-queue-constrained CPU (the paper's §4.1 design) running the
+    // eon-like workload, first without and then with activity toggling.
+    for (label, toggling) in [("base", false), ("activity toggling", true)] {
+        let config = experiments::issue_queue(toggling);
+        let mut sim = Simulator::new(config)?;
+        let profile = spec2000::by_name("eon").expect("eon is a known benchmark");
+        let result = sim.run(&mut profile.trace(42), 1_000_000);
+
+        println!("== {label} ==");
+        println!("  IPC:                {:.2}", result.ipc);
+        println!("  committed:          {}", result.committed);
+        println!(
+            "  thermal stalls:     {} ({} cycles frozen)",
+            result.freezes, result.frozen_cycles
+        );
+        println!("  head/tail toggles:  {}", result.toggles);
+        println!(
+            "  issue-queue halves: head {:.1} K / tail {:.1} K (avg)",
+            result.avg_temp("IntQ0").expect("block exists"),
+            result.avg_temp("IntQ1").expect("block exists"),
+        );
+        println!(
+            "  hottest block:      {} at {:.1} K (avg)",
+            result.hottest().name,
+            result.hottest().avg
+        );
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Record and display a thermal transient: watch the issue queue heat up,
+//! hit the 358 K limit, stall, cool, and repeat — and how activity toggling
+//! changes the trajectory.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example thermal_trace
+//! ```
+
+use powerbalance::{experiments, Error, Simulator};
+use powerbalance_workloads::spec2000;
+
+fn main() -> Result<(), Error> {
+    for (label, toggling) in [("base", false), ("activity toggling", true)] {
+        let mut sim = Simulator::new(experiments::issue_queue(toggling))?;
+        sim.record_history();
+        let profile = spec2000::by_name("eon").expect("known benchmark");
+        let result = sim.run(&mut profile.trace(42), 600_000);
+
+        let plan = sim.floorplan();
+        let q1 = plan.index_of("IntQ1").expect("block exists");
+        let history = sim.history().expect("recording enabled");
+
+        println!("== {label}: IntQ1 temperature over time (eon) ==");
+        println!("   each row = 30k cycles; bar spans 345..360 K; '|' marks the 358 K limit");
+        for chunk in history.chunks(3) {
+            let (cycle, temps) = chunk.last().expect("chunks are non-empty");
+            let t = temps[q1];
+            let width = (((t - 345.0) / 15.0) * 50.0).clamp(0.0, 50.0) as usize;
+            let limit = (((358.0 - 345.0) / 15.0) * 50.0) as usize;
+            let mut bar: Vec<char> = vec![' '; 51];
+            for slot in bar.iter_mut().take(width) {
+                *slot = '#';
+            }
+            bar[limit] = '|';
+            let bar: String = bar.into_iter().collect();
+            println!("{cycle:>8} {bar} {t:6.1} K");
+        }
+        println!(
+            "   IPC {:.2}, {} stalls, {} toggles\n",
+            result.ipc, result.freezes, result.toggles
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! End-to-end integration tests spanning the full crate stack:
+//! workloads -> core -> power -> thermal -> mitigation.
+
+use powerbalance::{experiments, FloorplanKind, SimConfig, Simulator};
+use powerbalance_workloads::spec2000;
+
+fn sim(config: SimConfig) -> Simulator {
+    Simulator::new(config).expect("experiment presets are valid")
+}
+
+#[test]
+fn all_benchmarks_run_on_the_default_machine() {
+    for name in spec2000::ALL {
+        let mut s = sim(SimConfig::default());
+        let profile = spec2000::by_name(name).expect("known benchmark");
+        let r = s.run(&mut profile.trace(1), 40_000);
+        assert!(r.committed > 100, "{name} barely committed: {}", r.committed);
+        assert!(r.ipc > 0.0 && r.ipc < 6.0, "{name} IPC out of range: {}", r.ipc);
+        // Temperatures must be physical: above ambient, below silicon melt.
+        for t in &r.temperatures {
+            assert!(t.avg > 300.0 && t.avg < 500.0, "{name}/{}: {:.1}", t.name, t.avg);
+            assert!(t.max >= t.avg - 1e-9, "{name}/{}: max below avg", t.name);
+        }
+    }
+}
+
+#[test]
+fn constrained_floorplans_make_the_right_resource_hottest() {
+    // A high-activity benchmark heats the resource the floorplan variant
+    // shrank, and nothing else, to the top of the ranking.
+    let cases = [
+        (FloorplanKind::IssueConstrained, "eon", "IntQ"),
+        (FloorplanKind::AluConstrained, "eon", "IntExec"),
+        (FloorplanKind::RegfileConstrained, "eon", "IntReg"),
+    ];
+    for (kind, bench, prefix) in cases {
+        let mut cfg = SimConfig::default();
+        cfg.floorplan = kind;
+        // Disable thermal stalls so the steady state is observable.
+        cfg.mitigation.thresholds.max_temp = 10_000.0;
+        let mut s = sim(cfg);
+        let profile = spec2000::by_name(bench).expect("known benchmark");
+        let r = s.run(&mut profile.trace(42), 400_000);
+        let hottest = r.hottest();
+        assert!(
+            hottest.name.starts_with(prefix),
+            "{kind:?}: hottest was {} not {prefix}*",
+            hottest.name
+        );
+    }
+}
+
+#[test]
+fn thermal_stalls_cost_performance() {
+    // The same workload with and without the 358 K limit: the constrained
+    // run must stall and lose IPC.
+    let unconstrained = {
+        let mut cfg = experiments::issue_queue(false);
+        cfg.mitigation.thresholds.max_temp = 10_000.0;
+        let mut s = sim(cfg);
+        s.run(&mut spec2000::by_name("eon").expect("profile").trace(42), 600_000)
+    };
+    let constrained = {
+        let mut s = sim(experiments::issue_queue(false));
+        s.run(&mut spec2000::by_name("eon").expect("profile").trace(42), 600_000)
+    };
+    assert_eq!(unconstrained.freezes, 0);
+    assert!(constrained.freezes > 0, "eon must hit the thermal limit");
+    assert!(constrained.frozen_cycles > 0);
+    assert!(
+        constrained.ipc < unconstrained.ipc * 0.95,
+        "stalls must cost IPC: {} vs {}",
+        constrained.ipc,
+        unconstrained.ipc
+    );
+}
+
+#[test]
+fn memory_bound_benchmarks_never_overheat() {
+    // art and mcf cannot keep any back-end resource hot (the paper's
+    // unconstrained set); they should run without a single stall on every
+    // constrained floorplan.
+    for kind in [
+        FloorplanKind::IssueConstrained,
+        FloorplanKind::AluConstrained,
+        FloorplanKind::RegfileConstrained,
+    ] {
+        for bench in ["art", "mcf"] {
+            let mut cfg = SimConfig::default();
+            cfg.floorplan = kind;
+            let mut s = sim(cfg);
+            let r = s.run(&mut spec2000::by_name(bench).expect("profile").trace(42), 300_000);
+            assert_eq!(r.freezes, 0, "{bench} on {kind:?} should stay cool");
+        }
+    }
+}
+
+#[test]
+fn tail_half_runs_hotter_in_the_base_configuration() {
+    // The paper's Table 4 asymmetry: under the conventional head/tail
+    // configuration the tail half (IntQ1) of a full queue runs hotter.
+    let mut cfg = experiments::issue_queue(false);
+    cfg.mitigation.thresholds.max_temp = 10_000.0; // observe pure heating
+    let mut s = sim(cfg);
+    let r = s.run(&mut spec2000::by_name("eon").expect("profile").trace(42), 500_000);
+    let head = r.avg_temp("IntQ0").expect("block exists");
+    let tail = r.avg_temp("IntQ1").expect("block exists");
+    assert!(
+        tail > head + 0.2,
+        "tail should run hotter than head: tail {tail:.2} vs head {head:.2}"
+    );
+}

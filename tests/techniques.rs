@@ -1,0 +1,167 @@
+//! Integration tests pinning the paper's qualitative results: each
+//! technique must beat its baseline on constrained workloads and be neutral
+//! on unconstrained ones.
+
+use powerbalance::experiments::{self, AluPolicy};
+use powerbalance::{MappingPolicy, Simulator};
+use powerbalance_workloads::spec2000;
+
+const CYCLES: u64 = 1_000_000;
+
+fn ipc(config: powerbalance::SimConfig, bench: &str) -> powerbalance::RunResult {
+    let mut sim = Simulator::new(config).expect("experiment presets are valid");
+    let mut trace = spec2000::by_name(bench).expect("known benchmark").trace(42);
+    sim.run(&mut trace, CYCLES)
+}
+
+// --- §4.1: activity toggling ---
+
+#[test]
+fn toggling_balances_queue_half_temperatures() {
+    // Paper Table 4: toggling equalizes the halves.
+    let base = ipc(experiments::issue_queue(false), "eon");
+    let tog = ipc(experiments::issue_queue(true), "eon");
+    let base_gap = (base.avg_temp("IntQ1").expect("block") - base.avg_temp("IntQ0").expect("block")).abs();
+    let tog_gap = (tog.avg_temp("IntQ1").expect("block") - tog.avg_temp("IntQ0").expect("block")).abs();
+    assert!(tog.toggles > 0, "eon must trigger toggles");
+    assert!(
+        tog_gap < base_gap,
+        "toggling must shrink the half gap: {tog_gap:.2} vs {base_gap:.2}"
+    );
+}
+
+#[test]
+fn toggling_helps_issue_queue_constrained_benchmarks() {
+    // Paper Figure 6: constrained benchmarks speed up with toggling.
+    let mut gains = 0;
+    for bench in ["eon", "perlbmk", "crafty"] {
+        let base = ipc(experiments::issue_queue(false), bench);
+        let tog = ipc(experiments::issue_queue(true), bench);
+        assert!(base.freezes > 0, "{bench} must be IQ-constrained");
+        if tog.ipc > base.ipc * 1.02 {
+            gains += 1;
+        }
+        assert!(
+            tog.ipc > base.ipc * 0.97,
+            "{bench}: toggling must not cost real performance: {} vs {}",
+            tog.ipc,
+            base.ipc
+        );
+    }
+    assert!(gains >= 2, "toggling should speed up most constrained benchmarks");
+}
+
+#[test]
+fn toggling_is_neutral_on_unconstrained_benchmarks() {
+    for bench in ["art", "mcf"] {
+        let base = ipc(experiments::issue_queue(false), bench);
+        let tog = ipc(experiments::issue_queue(true), bench);
+        assert_eq!(tog.toggles, 0, "{bench} should never toggle");
+        assert!((tog.ipc - base.ipc).abs() < 1e-9, "{bench} must be unaffected");
+    }
+}
+
+// --- §4.2: fine-grain ALU turnoff ---
+
+#[test]
+fn fine_grain_turnoff_beats_base_on_alu_constrained_benchmarks() {
+    for bench in ["perlbmk", "eon"] {
+        let base = ipc(experiments::alu(AluPolicy::Base), bench);
+        let fg = ipc(experiments::alu(AluPolicy::FineGrainTurnoff), bench);
+        assert!(base.freezes > 0, "{bench} must be ALU-constrained");
+        assert!(fg.alu_turnoffs > 0, "{bench} must exercise turnoff");
+        assert!(
+            fg.ipc > base.ipc * 1.10,
+            "{bench}: turnoff must clearly win: {} vs {}",
+            fg.ipc,
+            base.ipc
+        );
+    }
+}
+
+#[test]
+fn fine_grain_turnoff_tracks_round_robin() {
+    // Paper: fine-grain turnoff comes within ~1% of the ideal round-robin;
+    // allow a little more slack for run-to-run structure.
+    for bench in ["perlbmk", "eon", "crafty"] {
+        let fg = ipc(experiments::alu(AluPolicy::FineGrainTurnoff), bench);
+        let rr = ipc(experiments::alu(AluPolicy::RoundRobin), bench);
+        let gap = (fg.ipc / rr.ipc - 1.0).abs();
+        assert!(gap < 0.10, "{bench}: fg-vs-rr gap too large: {gap:.3}");
+    }
+}
+
+#[test]
+fn static_priority_concentrates_heat_on_alu0() {
+    // Paper Table 5: ALU0 runs several kelvin hotter than ALU5 under static
+    // priority, even for unconstrained parser.
+    let r = ipc(experiments::alu(AluPolicy::Base), "parser");
+    let hot = r.avg_temp("IntExec0").expect("block");
+    let cold = r.avg_temp("IntExec5").expect("block");
+    assert!(hot > cold + 1.0, "ALU0 {hot:.1} should be well above ALU5 {cold:.1}");
+    assert_eq!(r.freezes, 0, "parser is not ALU-constrained");
+}
+
+#[test]
+fn round_robin_equalizes_alu_temperatures() {
+    let r = ipc(experiments::alu(AluPolicy::RoundRobin), "perlbmk");
+    let temps: Vec<f64> = (0..6)
+        .map(|i| r.avg_temp(&format!("IntExec{i}")).expect("block"))
+        .collect();
+    let spread = temps.iter().cloned().fold(f64::MIN, f64::max)
+        - temps.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 1.5, "round-robin should flatten ALU temps, spread {spread:.2}");
+}
+
+// --- §4.3: register-file mapping and turnoff ---
+
+#[test]
+fn priority_mapping_with_turnoff_is_the_best_combination() {
+    // Paper Table 6 / Figure 8 ordering for a constrained benchmark.
+    let prio = ipc(experiments::regfile(MappingPolicy::Priority, false), "eon");
+    let prio_fg = ipc(experiments::regfile(MappingPolicy::Priority, true), "eon");
+    let bal_fg = ipc(experiments::regfile(MappingPolicy::Balanced, true), "eon");
+    assert!(prio.freezes > 0, "eon must be RF-constrained");
+    assert!(prio_fg.rf_turnoffs > 0, "turnoff must engage");
+    assert!(
+        prio_fg.ipc > prio.ipc * 1.05,
+        "fg+priority must beat priority-only: {} vs {}",
+        prio_fg.ipc,
+        prio.ipc
+    );
+    assert!(
+        prio_fg.ipc >= bal_fg.ipc * 0.99,
+        "fg+priority must not lose to fg+balanced: {} vs {}",
+        prio_fg.ipc,
+        bal_fg.ipc
+    );
+}
+
+#[test]
+fn balanced_mapping_equalizes_copy_temperatures() {
+    let bal = ipc(experiments::regfile(MappingPolicy::Balanced, false), "eon");
+    let prio = ipc(experiments::regfile(MappingPolicy::Priority, false), "eon");
+    let bal_gap = (bal.avg_temp("IntReg0").expect("block") - bal.avg_temp("IntReg1").expect("block")).abs();
+    let prio_gap = (prio.avg_temp("IntReg0").expect("block") - prio.avg_temp("IntReg1").expect("block")).abs();
+    assert!(
+        bal_gap < prio_gap,
+        "balanced mapping must equalize the copies: {bal_gap:.2} vs {prio_gap:.2}"
+    );
+}
+
+#[test]
+fn priority_mapping_concentrates_reads_on_copy0() {
+    let r = ipc(experiments::regfile(MappingPolicy::Priority, false), "eon");
+    assert!(
+        r.int_rf_reads[0] > 2 * r.int_rf_reads[1],
+        "priority mapping should route most reads to copy 0: {:?}",
+        r.int_rf_reads
+    );
+    let b = ipc(experiments::regfile(MappingPolicy::Balanced, false), "eon");
+    let ratio = b.int_rf_reads[0] as f64 / b.int_rf_reads[1].max(1) as f64;
+    assert!(
+        (0.6..=1.6).contains(&ratio),
+        "balanced mapping should split reads roughly evenly: {:?}",
+        b.int_rf_reads
+    );
+}
