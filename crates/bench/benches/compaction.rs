@@ -33,27 +33,23 @@ fn compaction_tick(c: &mut Criterion) {
     let mut group = c.benchmark_group("compaction_tick");
     for mode in [IqMode::Normal, IqMode::Toggled] {
         for occ in [8usize, 20, 31] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{mode:?}"), occ),
-                &occ,
-                |b, &occ| {
-                    b.iter_batched(
-                        || queue_at(occ, mode),
-                        |mut iq| {
-                            // Issue the head, then churn three ticks of
-                            // aging + compaction (the steady-state pattern).
-                            let mut act = IqActivity::default();
-                            let head = iq.ready_positions().next().expect("occupied");
-                            iq.mark_issued(head, &mut act);
-                            for _ in 0..3 {
-                                iq.tick(6, &mut act);
-                            }
-                            act.total_moves()
-                        },
-                        criterion::BatchSize::SmallInput,
-                    );
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{mode:?}"), occ), &occ, |b, &occ| {
+                b.iter_batched(
+                    || queue_at(occ, mode),
+                    |mut iq| {
+                        // Issue the head, then churn three ticks of
+                        // aging + compaction (the steady-state pattern).
+                        let mut act = IqActivity::default();
+                        let head = iq.ready_positions().next().expect("occupied");
+                        iq.mark_issued(head, &mut act);
+                        for _ in 0..3 {
+                            iq.tick(6, &mut act);
+                        }
+                        act.total_moves()
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            });
         }
     }
     group.finish();

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use powerbalance_uarch::{
-    EntryState, FuPool, IqActivity, IqEntry, IssueQueue, RegFileWiring, MappingPolicy,
+    EntryState, FuPool, IqActivity, IqEntry, IssueQueue, MappingPolicy, RegFileWiring,
 };
 
 fn ready_entry(rob_id: u32, is_mem: bool) -> IqEntry {
@@ -22,43 +22,37 @@ fn ready_entry(rob_id: u32, is_mem: bool) -> IqEntry {
 fn select_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("select_scan");
     for ready_count in [2usize, 8, 31] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(ready_count),
-            &ready_count,
-            |b, &n| {
-                let mut iq = IssueQueue::new(32);
-                let mut act = IqActivity::default();
-                for i in 0..n {
-                    assert!(iq.insert(ready_entry(i as u32, i % 3 == 0), &mut act));
-                }
-                let pool = FuPool::new(6, 4);
-                let wiring = RegFileWiring::new(MappingPolicy::Balanced, 6, 2);
-                b.iter(|| {
-                    // The serialized tree walk: units in priority order pick
-                    // ready entries in age order, respecting cache ports.
-                    let units: Vec<usize> = pool
-                        .int_units_in_order(0)
-                        .filter(|&u| wiring.alu_usable(u))
-                        .collect();
-                    let mut picked = 0usize;
-                    let mut mem = 0usize;
-                    for pos in iq.ready_positions() {
-                        if picked == units.len() {
-                            break;
-                        }
-                        let e = iq.entry(pos).expect("ready position occupied");
-                        if e.is_mem && mem == 2 {
-                            continue;
-                        }
-                        if e.is_mem {
-                            mem += 1;
-                        }
-                        picked += 1;
+        group.bench_with_input(BenchmarkId::from_parameter(ready_count), &ready_count, |b, &n| {
+            let mut iq = IssueQueue::new(32);
+            let mut act = IqActivity::default();
+            for i in 0..n {
+                assert!(iq.insert(ready_entry(i as u32, i % 3 == 0), &mut act));
+            }
+            let pool = FuPool::new(6, 4);
+            let wiring = RegFileWiring::new(MappingPolicy::Balanced, 6, 2);
+            b.iter(|| {
+                // The serialized tree walk: units in priority order pick
+                // ready entries in age order, respecting cache ports.
+                let units: Vec<usize> =
+                    pool.int_units_in_order(0).filter(|&u| wiring.alu_usable(u)).collect();
+                let mut picked = 0usize;
+                let mut mem = 0usize;
+                for pos in iq.ready_positions() {
+                    if picked == units.len() {
+                        break;
                     }
-                    picked
-                });
-            },
-        );
+                    let e = iq.entry(pos).expect("ready position occupied");
+                    if e.is_mem && mem == 2 {
+                        continue;
+                    }
+                    if e.is_mem {
+                        mem += 1;
+                    }
+                    picked += 1;
+                }
+                picked
+            });
+        });
     }
     group.finish();
 }

@@ -11,91 +11,123 @@
 //!    rejects for its long wires; with fine-grain turnoff it degenerates to
 //!    a whole-core stall because every ALU needs every copy.
 
-use powerbalance::{experiments, MappingPolicy, SimConfig, Simulator};
-use powerbalance_bench::{run, DEFAULT_CYCLES};
-use powerbalance_workloads::spec2000;
+use powerbalance::{experiments, MappingPolicy};
+use powerbalance_bench::BenchArgs;
+use powerbalance_harness::CampaignResult;
 
 fn main() {
-    toggle_proximity();
-    time_compression();
-    staleness_solutions();
-    completely_balanced();
+    let args = BenchArgs::parse_or_exit(
+        "ablation — design-choice ablations from DESIGN.md sections 5 and 6",
+    );
+    let campaigns = [
+        toggle_proximity(&args),
+        time_compression(&args),
+        staleness_solutions(&args),
+        completely_balanced(&args),
+    ];
+    args.finish(&campaigns.iter().collect::<Vec<_>>());
 }
 
-fn toggle_proximity() {
-    println!("Ablation 1: toggle proximity window (eon, IQ-constrained)");
-    println!("{:<12} {:>6} {:>9} {:>9}", "proximity K", "IPC", "toggles", "stalls");
+fn toggle_proximity(args: &BenchArgs) -> CampaignResult {
+    let mut spec = args.spec("ablation-toggle-proximity").benchmark("eon");
     for proximity in [1.0, 2.0, 4.0, 8.0, 20.0] {
         let mut cfg = experiments::issue_queue(true);
         cfg.mitigation.thresholds.toggle_proximity = proximity;
-        let r = run(cfg, "eon", DEFAULT_CYCLES);
-        println!("{:<12} {:>6.2} {:>9} {:>9}", proximity, r.ipc, r.toggles, r.freezes);
+        spec = spec.config(format!("{proximity} K"), cfg);
+    }
+    let result = args.run(&spec);
+
+    println!("Ablation 1: toggle proximity window (eon, IQ-constrained)");
+    println!("{:<12} {:>6} {:>9} {:>9}", "proximity K", "IPC", "toggles", "stalls");
+    for job in &result.jobs {
+        let r = &job.result;
+        println!("{:<12} {:>6.2} {:>9} {:>9}", job.config, r.ipc, r.toggles, r.freezes);
     }
     println!();
+    result
 }
 
-fn time_compression() {
-    println!("Ablation 2: thermal time compression (eon, base, no stalls)");
-    println!(
-        "{:<12} {:>10} {:>10}",
-        "compression", "IntQ1 (K)", "hottest"
-    );
+fn time_compression(args: &BenchArgs) -> CampaignResult {
+    let mut spec = args.spec("ablation-time-compression").benchmark("eon");
     for k in [100.0, 400.0, 1600.0] {
         let mut cfg = experiments::issue_queue(false);
         cfg.package.time_compression = k;
         cfg.mitigation.thresholds.max_temp = 10_000.0; // observe steady state
-        let mut sim = Simulator::new(cfg).expect("valid config");
-        let mut trace = spec2000::by_name("eon").expect("profile").trace(42);
-        // Scale run length inversely with compression so every run covers
-        // the same number of thermal time constants.
+                                                       // Scale run length inversely with compression so every run covers
+                                                       // the same number of thermal time constants.
         let cycles = (800_000.0 * 400.0 / k) as u64;
-        let _ = sim.run(&mut trace, cycles);
-        let plan = sim.floorplan();
-        let q1 = sim.thermal().temperature(plan.index_of("IntQ1").expect("block"));
-        let hottest = plan.blocks()[sim.thermal().hottest_block()].name.clone();
-        println!("{:<12} {:>10.2} {:>10}", k, q1, hottest);
+        spec = spec.config_with_cycles(format!("{k}x"), cfg, cycles);
+    }
+    let result = args.run(&spec);
+
+    println!("Ablation 2: thermal time compression (eon, base, no stalls)");
+    println!("{:<12} {:>10} {:>10}", "compression", "IntQ1 (K)", "hottest");
+    for job in &result.jobs {
+        let r = &job.result;
+        let hottest = r
+            .temperatures
+            .iter()
+            .max_by(|a, b| a.last.partial_cmp(&b.last).expect("temps are finite"))
+            .expect("runs record temperatures");
+        println!(
+            "{:<12} {:>10.2} {:>10}",
+            job.config,
+            r.last_temp("IntQ1").expect("block exists"),
+            hottest.name
+        );
     }
     println!("(steady-state temperature must be independent of compression)");
     println!();
+    result
 }
 
-fn staleness_solutions() {
-    println!("Ablation 3: register-file staleness solutions (eon, RF-constrained)");
-    println!("{:<34} {:>6} {:>9} {:>8}", "solution", "IPC", "turnoffs", "stalls");
-    for (label, stale) in [
-        ("1: guard band, writes continue", false),
-        ("2: gate writes, restore burst", true),
-    ] {
+fn staleness_solutions(args: &BenchArgs) -> CampaignResult {
+    let mut spec = args.spec("ablation-rf-staleness").benchmark("eon");
+    for (label, stale) in
+        [("1: guard band, writes continue", false), ("2: gate writes, restore burst", true)]
+    {
         let mut cfg = experiments::regfile(MappingPolicy::Priority, true);
         cfg.mitigation.rf_stale_copy = stale;
-        let r = run(cfg, "eon", DEFAULT_CYCLES);
-        println!("{:<34} {:>6.2} {:>9} {:>8}", label, r.ipc, r.rf_turnoffs, r.freezes);
+        spec = spec.config(label, cfg);
+    }
+    let result = args.run(&spec);
+
+    println!("Ablation 3: register-file staleness solutions (eon, RF-constrained)");
+    println!("{:<34} {:>6} {:>9} {:>8}", "solution", "IPC", "turnoffs", "stalls");
+    for job in &result.jobs {
+        let r = &job.result;
+        println!("{:<34} {:>6.2} {:>9} {:>8}", job.config, r.ipc, r.rf_turnoffs, r.freezes);
     }
     println!();
+    result
 }
 
-fn completely_balanced() {
-    println!("Ablation 4: completely-balanced mapping (eon, RF-constrained)");
-    println!("{:<34} {:>6} {:>9} {:>8}", "wiring", "IPC", "turnoffs", "stalls");
-    let rows: [(&str, SimConfig); 3] = [
-        (
+fn completely_balanced(args: &BenchArgs) -> CampaignResult {
+    let spec = args
+        .spec("ablation-completely-balanced")
+        .config(
             "priority + fine-grain turnoff",
             experiments::regfile(MappingPolicy::Priority, true),
-        ),
-        (
+        )
+        .config(
             "completely balanced (no turnoff)",
             experiments::regfile(MappingPolicy::CompletelyBalanced, false),
-        ),
-        (
+        )
+        .config(
             "completely balanced + turnoff",
             experiments::regfile(MappingPolicy::CompletelyBalanced, true),
-        ),
-    ];
-    for (label, cfg) in rows {
-        let r = run(cfg, "eon", DEFAULT_CYCLES);
-        println!("{:<34} {:>6.2} {:>9} {:>8}", label, r.ipc, r.rf_turnoffs, r.freezes);
+        )
+        .benchmark("eon");
+    let result = args.run(&spec);
+
+    println!("Ablation 4: completely-balanced mapping (eon, RF-constrained)");
+    println!("{:<34} {:>6} {:>9} {:>8}", "wiring", "IPC", "turnoffs", "stalls");
+    for job in &result.jobs {
+        let r = &job.result;
+        println!("{:<34} {:>6.2} {:>9} {:>8}", job.config, r.ipc, r.rf_turnoffs, r.freezes);
     }
     println!("(with completely-balanced wiring, turning off either copy idles every ALU;");
     println!(" the paper rejects this wiring for its cross-datapath wire delay, which a");
     println!(" cycle-level model does not penalize — hence its flattering IPC here)");
+    result
 }

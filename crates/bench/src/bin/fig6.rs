@@ -6,28 +6,40 @@
 //! `eon` peaks at 25%; toggle counts range from 8 (`applu`) to 44 (`bzip`).
 
 use powerbalance::experiments;
-use powerbalance_bench::{constrained_subset, mean_speedup_pct, row, sweep, DEFAULT_CYCLES};
+use powerbalance_bench::{row, BenchArgs};
+use powerbalance_harness::speedup::{format_pct, mean_speedup_pct, speedup_pct};
 
 fn main() {
-    let configs = vec![experiments::issue_queue(false), experiments::issue_queue(true)];
-    let rows = sweep(&configs, DEFAULT_CYCLES);
+    let args = BenchArgs::parse_or_exit(
+        "fig6 — issue-queue-constrained IPC, base vs. activity toggling (Figure 6)",
+    );
+    let spec = args
+        .spec("fig6")
+        .config("base", experiments::issue_queue(false))
+        .config("toggling", experiments::issue_queue(true))
+        .all_benchmarks();
+    let result = args.run(&spec);
 
     println!("Figure 6: issue-queue-constrained IPC (base vs. activity toggling)");
-    println!("{:<10} {:>7} {:>9} {:>9} {:>8} {:>8}", "bench", "base", "toggling", "speedup%", "toggles", "freezes");
+    println!(
+        "{:<10} {:>7} {:>9} {:>9} {:>8} {:>8}",
+        "bench", "base", "toggling", "speedup%", "toggles", "freezes"
+    );
     let mut pairs = Vec::new();
     let mut constrained_pairs = Vec::new();
-    let constrained = constrained_subset(&rows, 0);
-    for (name, results) in &rows {
-        let (base, tog) = (&results[0], &results[1]);
-        let speedup = (tog.ipc / base.ipc - 1.0) * 100.0;
+    let constrained: Vec<&str> =
+        result.constrained_subset(0).into_iter().map(|(name, _)| name).collect();
+    for (name, results) in result.rows() {
+        let (base, tog) = (results[0], results[1]);
         println!(
-            "{} {:>8} {:>8}",
-            row(name, &[base.ipc, tog.ipc, speedup], 8, 2),
+            "{} {} {:>8} {:>8}",
+            row(name, &[base.ipc, tog.ipc], 8, 2),
+            format_pct(speedup_pct(base.ipc, tog.ipc), 8, 2),
             tog.toggles,
             base.freezes
         );
         pairs.push((base.ipc, tog.ipc));
-        if constrained.contains(&name.as_str()) {
+        if constrained.contains(&name) {
             constrained_pairs.push((base.ipc, tog.ipc));
         }
     }
@@ -37,8 +49,8 @@ fn main() {
         mean_speedup_pct(&pairs)
     );
     println!(
-        "average speedup, IQ-constrained subset: {:+.1}%  (paper: +14%; subset: {:?})",
+        "average speedup, IQ-constrained subset: {:+.1}%  (paper: +14%; subset: {constrained:?})",
         mean_speedup_pct(&constrained_pairs),
-        constrained
     );
+    args.finish(&[&result]);
 }

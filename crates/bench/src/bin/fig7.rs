@@ -6,15 +6,20 @@
 //! ALU-constrained subset).
 
 use powerbalance::experiments::{self, AluPolicy};
-use powerbalance_bench::{constrained_subset, mean_speedup_pct, row, sweep, DEFAULT_CYCLES};
+use powerbalance_bench::{row, BenchArgs};
+use powerbalance_harness::speedup::{format_pct, mean_speedup_pct, speedup_pct};
 
 fn main() {
-    let configs = vec![
-        experiments::alu(AluPolicy::Base),
-        experiments::alu(AluPolicy::FineGrainTurnoff),
-        experiments::alu(AluPolicy::RoundRobin),
-    ];
-    let rows = sweep(&configs, DEFAULT_CYCLES);
+    let args = BenchArgs::parse_or_exit(
+        "fig7 — ALU-constrained IPC: base, fine-grain turnoff, round-robin (Figure 7)",
+    );
+    let spec = args
+        .spec("fig7")
+        .config("base", experiments::alu(AluPolicy::Base))
+        .config("fine-grain", experiments::alu(AluPolicy::FineGrainTurnoff))
+        .config("round-robin", experiments::alu(AluPolicy::RoundRobin))
+        .all_benchmarks();
+    let result = args.run(&spec);
 
     println!("Figure 7: ALU-constrained IPC (base / fine-grain turnoff / round-robin)");
     println!(
@@ -23,17 +28,20 @@ fn main() {
     );
     let mut pairs = Vec::new();
     let mut constrained_pairs = Vec::new();
-    let constrained = constrained_subset(&rows, 0);
-    for (name, results) in &rows {
-        let (base, fg, rr) = (&results[0], &results[1], &results[2]);
-        let speedup = (fg.ipc / base.ipc - 1.0) * 100.0;
+    let mut rr_gap = Vec::new();
+    let constrained: Vec<&str> =
+        result.constrained_subset(0).into_iter().map(|(name, _)| name).collect();
+    for (name, results) in result.rows() {
+        let (base, fg, rr) = (results[0], results[1], results[2]);
         println!(
-            "{} {:>9}",
-            row(name, &[base.ipc, fg.ipc, rr.ipc, speedup], 8, 2),
+            "{} {} {:>9}",
+            row(name, &[base.ipc, fg.ipc, rr.ipc], 8, 2),
+            format_pct(speedup_pct(base.ipc, fg.ipc), 9, 2),
             fg.alu_turnoffs
         );
         pairs.push((base.ipc, fg.ipc));
-        if constrained.contains(&name.as_str()) {
+        rr_gap.push((rr.ipc, fg.ipc));
+        if constrained.contains(&name) {
             constrained_pairs.push((base.ipc, fg.ipc));
         }
     }
@@ -43,13 +51,12 @@ fn main() {
         mean_speedup_pct(&pairs)
     );
     println!(
-        "fine-grain turnoff speedup, constrained: {:+.1}%  (paper: +74%; subset: {:?})",
+        "fine-grain turnoff speedup, constrained: {:+.1}%  (paper: +74%; subset: {constrained:?})",
         mean_speedup_pct(&constrained_pairs),
-        constrained
     );
-    let rr_gap: Vec<(f64, f64)> = rows.iter().map(|(_, r)| (r[2].ipc, r[1].ipc)).collect();
     println!(
         "fine-grain vs. round-robin gap:          {:+.1}%  (paper: within ~1%)",
         mean_speedup_pct(&rr_gap)
     );
+    args.finish(&[&result]);
 }

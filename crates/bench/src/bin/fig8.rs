@@ -7,16 +7,21 @@
 //! +7%/+14% over balanced-only, +1.8%/+3.1% over turnoff+balanced).
 
 use powerbalance::{experiments, MappingPolicy};
-use powerbalance_bench::{constrained_subset, mean_speedup_pct, row, sweep, DEFAULT_CYCLES};
+use powerbalance_bench::{row, BenchArgs};
+use powerbalance_harness::speedup::mean_speedup_pct;
 
 fn main() {
-    let configs = vec![
-        experiments::regfile(MappingPolicy::Priority, false),
-        experiments::regfile(MappingPolicy::Balanced, false),
-        experiments::regfile(MappingPolicy::Priority, true),
-        experiments::regfile(MappingPolicy::Balanced, true),
-    ];
-    let rows = sweep(&configs, DEFAULT_CYCLES);
+    let args = BenchArgs::parse_or_exit(
+        "fig8 — register-file-constrained IPC for mapping x turnoff combinations (Figure 8)",
+    );
+    let spec = args
+        .spec("fig8")
+        .config("priority", experiments::regfile(MappingPolicy::Priority, false))
+        .config("balanced", experiments::regfile(MappingPolicy::Balanced, false))
+        .config("fg+priority", experiments::regfile(MappingPolicy::Priority, true))
+        .config("fg+balanced", experiments::regfile(MappingPolicy::Balanced, true))
+        .all_benchmarks();
+    let result = args.run(&spec);
 
     println!("Figure 8: register-file-constrained IPC");
     println!(
@@ -28,19 +33,16 @@ fn main() {
     let mut over_fgbal = Vec::new();
     let mut bal_over_prio = Vec::new();
     let mut constrained_fg = Vec::new();
-    let constrained = constrained_subset(&rows, 0);
-    for (name, results) in &rows {
-        let (p, b, fp, fb) = (&results[0], &results[1], &results[2], &results[3]);
-        println!(
-            "{} {:>9}",
-            row(name, &[p.ipc, b.ipc, fp.ipc, fb.ipc], 8, 2),
-            fp.rf_turnoffs
-        );
+    let constrained: Vec<&str> =
+        result.constrained_subset(0).into_iter().map(|(name, _)| name).collect();
+    for (name, results) in result.rows() {
+        let (p, b, fp, fb) = (results[0], results[1], results[2], results[3]);
+        println!("{} {:>9}", row(name, &[p.ipc, b.ipc, fp.ipc, fb.ipc], 8, 2), fp.rf_turnoffs);
         over_prio.push((p.ipc, fp.ipc));
         over_bal.push((b.ipc, fp.ipc));
         over_fgbal.push((fb.ipc, fp.ipc));
         bal_over_prio.push((p.ipc, b.ipc));
-        if constrained.contains(&name.as_str()) {
+        if constrained.contains(&name) {
             constrained_fg.push((p.ipc, fp.ipc));
         }
     }
@@ -54,9 +56,8 @@ fn main() {
         mean_speedup_pct(&over_prio)
     );
     println!(
-        "fg+priority over priority-only (cons): {:+.1}%  (paper: +30%; subset: {:?})",
+        "fg+priority over priority-only (cons): {:+.1}%  (paper: +30%; subset: {constrained:?})",
         mean_speedup_pct(&constrained_fg),
-        constrained
     );
     println!(
         "fg+priority over balanced-only:        {:+.1}%  (paper: +7%)",
@@ -66,4 +67,5 @@ fn main() {
         "fg+priority over fg+balanced:          {:+.1}%  (paper: +1.8%)",
         mean_speedup_pct(&over_fgbal)
     );
+    args.finish(&[&result]);
 }

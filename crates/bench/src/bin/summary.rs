@@ -6,69 +6,60 @@
 
 use powerbalance::experiments::{self, AluPolicy};
 use powerbalance::MappingPolicy;
-use powerbalance_bench::{constrained_subset, mean_speedup_pct, sweep, DEFAULT_CYCLES};
+use powerbalance_bench::BenchArgs;
+use powerbalance_harness::speedup::mean_speedup_pct;
+use powerbalance_harness::CampaignResult;
+
+/// Mean speedups of config 1 over config 0, over all rows and over the
+/// constrained subset (rows whose baseline hit temporal stalls).
+fn means(result: &CampaignResult) -> (f64, f64) {
+    let all: Vec<(f64, f64)> = result.rows().iter().map(|(_, r)| (r[0].ipc, r[1].ipc)).collect();
+    let cons: Vec<(f64, f64)> =
+        result.constrained_subset(0).iter().map(|(_, r)| (r[0].ipc, r[1].ipc)).collect();
+    (mean_speedup_pct(&all), mean_speedup_pct(&cons))
+}
 
 fn main() {
+    let args =
+        BenchArgs::parse_or_exit("summary — the paper's section-6 headline claims, regenerated");
     println!("Regenerating the paper's headline claims (all 22 benchmarks)...");
     println!();
 
-    // Issue queue: activity toggling vs. base.
-    let rows = sweep(
-        &[experiments::issue_queue(false), experiments::issue_queue(true)],
-        DEFAULT_CYCLES,
+    let iq = args.run(
+        &args
+            .spec("summary-iq")
+            .config("base", experiments::issue_queue(false))
+            .config("toggling", experiments::issue_queue(true))
+            .all_benchmarks(),
     );
-    let constrained = constrained_subset(&rows, 0);
-    let all: Vec<(f64, f64)> = rows.iter().map(|(_, r)| (r[0].ipc, r[1].ipc)).collect();
-    let cons: Vec<(f64, f64)> = rows
-        .iter()
-        .filter(|(n, _)| constrained.contains(&n.as_str()))
-        .map(|(_, r)| (r[0].ipc, r[1].ipc))
-        .collect();
+    let (all, cons) = means(&iq);
     println!(
-        "issue queue / activity toggling:   {:+5.1}% all, {:+5.1}% constrained (paper: +9% / +14%)",
-        mean_speedup_pct(&all),
-        mean_speedup_pct(&cons)
+        "issue queue / activity toggling:   {all:+5.1}% all, {cons:+5.1}% constrained (paper: +9% / +14%)"
     );
 
-    // ALUs: fine-grain turnoff vs. base.
-    let rows = sweep(
-        &[
-            experiments::alu(AluPolicy::Base),
-            experiments::alu(AluPolicy::FineGrainTurnoff),
-        ],
-        DEFAULT_CYCLES,
+    let alu = args.run(
+        &args
+            .spec("summary-alu")
+            .config("base", experiments::alu(AluPolicy::Base))
+            .config("fine-grain", experiments::alu(AluPolicy::FineGrainTurnoff))
+            .all_benchmarks(),
     );
-    let constrained = constrained_subset(&rows, 0);
-    let all: Vec<(f64, f64)> = rows.iter().map(|(_, r)| (r[0].ipc, r[1].ipc)).collect();
-    let cons: Vec<(f64, f64)> = rows
-        .iter()
-        .filter(|(n, _)| constrained.contains(&n.as_str()))
-        .map(|(_, r)| (r[0].ipc, r[1].ipc))
-        .collect();
+    let (all, cons) = means(&alu);
     println!(
-        "ALUs / fine-grain turnoff:         {:+5.1}% all, {:+5.1}% constrained (paper: +40% / +74%)",
-        mean_speedup_pct(&all),
-        mean_speedup_pct(&cons)
+        "ALUs / fine-grain turnoff:         {all:+5.1}% all, {cons:+5.1}% constrained (paper: +40% / +74%)"
     );
 
-    // Register file: fg+priority vs. priority-only.
-    let rows = sweep(
-        &[
-            experiments::regfile(MappingPolicy::Priority, false),
-            experiments::regfile(MappingPolicy::Priority, true),
-        ],
-        DEFAULT_CYCLES,
+    let rf = args.run(
+        &args
+            .spec("summary-rf")
+            .config("priority", experiments::regfile(MappingPolicy::Priority, false))
+            .config("fg+priority", experiments::regfile(MappingPolicy::Priority, true))
+            .all_benchmarks(),
     );
-    let constrained = constrained_subset(&rows, 0);
-    let all: Vec<(f64, f64)> = rows.iter().map(|(_, r)| (r[0].ipc, r[1].ipc)).collect();
-    let cons: Vec<(f64, f64)> = rows
-        .iter()
-        .filter(|(n, _)| constrained.contains(&n.as_str()))
-        .map(|(_, r)| (r[0].ipc, r[1].ipc))
-        .collect();
+    let (all, cons) = means(&rf);
     println!(
-        "register file / fg + priority map: {:+5.1}% all, {:+5.1}% constrained (paper: +17% / +30%)",
-        mean_speedup_pct(&all),
-        mean_speedup_pct(&cons)
+        "register file / fg + priority map: {all:+5.1}% all, {cons:+5.1}% constrained (paper: +17% / +30%)"
     );
+
+    args.finish(&[&iq, &alu, &rf]);
 }

@@ -13,26 +13,32 @@
 //! (for FP benchmarks the FP queue is the hot one in this reproduction).
 
 use powerbalance::experiments;
-use powerbalance_bench::{run, DEFAULT_CYCLES};
+use powerbalance_bench::BenchArgs;
 
 fn main() {
+    let args = BenchArgs::parse_or_exit(
+        "table4 — average temperature of the issue-queue halves (Table 4)",
+    );
+    // The paper's three rows plus eon/perlbmk, the benchmarks whose integer
+    // queue carries the clearest tail/head asymmetry in this reproduction.
+    let spec = args
+        .spec("table4")
+        .config("activity-toggling", experiments::issue_queue(true))
+        .config("base", experiments::issue_queue(false))
+        .benchmarks(["art", "facerec", "mesa", "eon", "perlbmk"]);
+    let result = args.run(&spec);
+
     println!("Table 4: average temp. of issue-queue halves (K)");
     println!(
         "{:<10} {:<18} {:>9} {:>9} {:>9} {:>9} {:>7}",
         "bench", "technique", "IntTail", "IntHead", "FPTail", "FPHead", "IPC"
     );
-    // The paper's three rows plus eon/perlbmk, the benchmarks whose integer
-    // queue carries the clearest tail/head asymmetry in this reproduction.
-    for bench in ["art", "facerec", "mesa", "eon", "perlbmk"] {
-        for (label, cfg) in [
-            ("activity-toggling", experiments::issue_queue(true)),
-            ("base", experiments::issue_queue(false)),
-        ] {
-            let r = run(cfg, bench, DEFAULT_CYCLES);
+    for (bench, results) in result.rows() {
+        for (named, r) in result.spec.configs.iter().zip(results) {
             println!(
                 "{:<10} {:<18} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>7.2}",
                 bench,
-                label,
+                named.name,
                 r.avg_temp("IntQ1").expect("block exists"),
                 r.avg_temp("IntQ0").expect("block exists"),
                 r.avg_temp("FPQ1").expect("block exists"),
@@ -41,4 +47,5 @@ fn main() {
             );
         }
     }
+    args.finish(&[&result]);
 }

@@ -9,28 +9,42 @@
 //! round-robin's IPC while the base stalls.
 
 use powerbalance::experiments::{self, AluPolicy};
-use powerbalance_bench::{run, DEFAULT_CYCLES};
+use powerbalance_bench::BenchArgs;
 
 fn main() {
+    let args = BenchArgs::parse_or_exit(
+        "table5 — average integer-ALU temperatures on the ALU-constrained CPU (Table 5)",
+    );
+    let spec = args
+        .spec("table5")
+        .config("round-robin (ideal)", experiments::alu(AluPolicy::RoundRobin))
+        .config("fine-grain turnoff", experiments::alu(AluPolicy::FineGrainTurnoff))
+        .config("base", experiments::alu(AluPolicy::Base))
+        .benchmarks(["parser", "perlbmk"]);
+    let result = args.run(&spec);
+
     println!("Table 5: average integer-ALU temperatures (K) on the ALU-constrained CPU");
     println!(
         "{:<10} {:<20} {:>5} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
         "bench", "technique", "IPC", "ALU0", "ALU1", "ALU2", "ALU3", "ALU4", "ALU5"
     );
-    for bench in ["parser", "perlbmk"] {
-        for (label, policy) in [
-            ("round-robin (ideal)", AluPolicy::RoundRobin),
-            ("fine-grain turnoff", AluPolicy::FineGrainTurnoff),
-            ("base", AluPolicy::Base),
-        ] {
-            let r = run(experiments::alu(policy), bench, DEFAULT_CYCLES);
-            let temps: Vec<f64> = (0..6)
-                .map(|i| r.avg_temp(&format!("IntExec{i}")).expect("block exists"))
-                .collect();
+    for (bench, results) in result.rows() {
+        for (named, r) in result.spec.configs.iter().zip(results) {
+            let temps: Vec<f64> =
+                (0..6).map(|i| r.avg_temp(&format!("IntExec{i}")).expect("block exists")).collect();
             println!(
                 "{:<10} {:<20} {:>5.2} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}",
-                bench, label, r.ipc, temps[0], temps[1], temps[2], temps[3], temps[4], temps[5]
+                bench,
+                named.name,
+                r.ipc,
+                temps[0],
+                temps[1],
+                temps[2],
+                temps[3],
+                temps[4],
+                temps[5]
             );
         }
     }
+    args.finish(&[&result]);
 }

@@ -7,24 +7,37 @@
 //! turnoff events than balanced + turnoff.
 
 use powerbalance::{experiments, MappingPolicy};
-use powerbalance_bench::{run, DEFAULT_CYCLES};
+use powerbalance_bench::BenchArgs;
 
 fn main() {
+    let args = BenchArgs::parse_or_exit(
+        "table6 — average register-file copy temperatures for eon (Table 6)",
+    );
+    let spec = args
+        .spec("table6")
+        .config(
+            "priority-mapping + fine-grain turnoff",
+            experiments::regfile(MappingPolicy::Priority, true),
+        )
+        .config(
+            "balanced-mapping + fine-grain turnoff",
+            experiments::regfile(MappingPolicy::Balanced, true),
+        )
+        .config("balanced-mapping only", experiments::regfile(MappingPolicy::Balanced, false))
+        .config("priority-mapping only", experiments::regfile(MappingPolicy::Priority, false))
+        .benchmark("eon");
+    let result = args.run(&spec);
+
     println!("Table 6: average register-file copy temperature for eon (K)");
     println!(
-        "{:<36} {:>5} {:>9} {:>9} {:>9} {:>8}",
+        "{:<37} {:>5} {:>9} {:>9} {:>9} {:>8}",
         "technique", "IPC", "Copy0", "Copy1", "turnoffs", "freezes"
     );
-    for (label, mapping, turnoff) in [
-        ("priority-mapping + fine-grain turnoff", MappingPolicy::Priority, true),
-        ("balanced-mapping + fine-grain turnoff", MappingPolicy::Balanced, true),
-        ("balanced-mapping only", MappingPolicy::Balanced, false),
-        ("priority-mapping only", MappingPolicy::Priority, false),
-    ] {
-        let r = run(experiments::regfile(mapping, turnoff), "eon", DEFAULT_CYCLES);
+    let (_, results) = result.rows().remove(0);
+    for (named, r) in result.spec.configs.iter().zip(results) {
         println!(
-            "{:<36} {:>5.2} {:>9.1} {:>9.1} {:>9} {:>8}",
-            label,
+            "{:<37} {:>5.2} {:>9.1} {:>9.1} {:>9} {:>8}",
+            named.name,
             r.ipc,
             r.avg_temp("IntReg0").expect("block exists"),
             r.avg_temp("IntReg1").expect("block exists"),
@@ -32,4 +45,5 @@ fn main() {
             r.freezes,
         );
     }
+    args.finish(&[&result]);
 }

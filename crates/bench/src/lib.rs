@@ -1,76 +1,162 @@
-//! Shared harness for regenerating the paper's tables and figures.
+//! Shared front-end for the table/figure regeneration binaries.
 //!
 //! Each binary in `src/bin/` reproduces one table or figure from the MICRO
-//! 2005 evaluation; this library provides the common machinery: running a
-//! configuration over a benchmark, sweeping all 22 benchmarks in parallel,
-//! and formatting the paper-style rows.
+//! 2005 evaluation. The actual orchestration — building the (benchmark ×
+//! config) cross-product, running it on a bounded worker pool, and
+//! serializing the results — lives in [`powerbalance_harness`]; this
+//! library adds the pieces the binaries share on top of it: a common
+//! command-line front-end ([`BenchArgs`]) and the paper-style row
+//! formatter ([`row`]).
 //!
-//! Runs are deterministic: a fixed seed per benchmark, fixed cycle budgets,
-//! and the simulator stack is seeded end-to-end.
+//! Runs are deterministic: one seed for the whole campaign (default
+//! [`DEFAULT_SEED`], overridable with `--seed`), fixed cycle budgets, and
+//! the simulator stack is seeded end-to-end — so results are independent
+//! of the worker-pool size.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use powerbalance::{RunResult, SimConfig, Simulator};
-use powerbalance_workloads::spec2000;
-use std::thread;
+use powerbalance_harness::{run_campaign, CampaignResult, CampaignSpec, RunnerOptions};
+use std::path::PathBuf;
 
-/// Default simulated cycles per run: long enough for several heat/stall
-/// cycles under the compressed thermal constants.
-pub const DEFAULT_CYCLES: u64 = 1_000_000;
+pub use powerbalance_harness::{DEFAULT_CYCLES, DEFAULT_SEED};
 
-/// Default workload seed (any fixed value works; results are deterministic
-/// per seed).
-pub const DEFAULT_SEED: u64 = 42;
+/// Options block shared by every bench binary's `--help` output.
+pub const OPTIONS_HELP: &str = "\
+OPTIONS:
+  --cycles <n>    simulated cycles per run            [1000000]
+  --seed <n>      workload seed                       [42]
+  --threads <n>   worker-pool size     [POWERBALANCE_THREADS or all cores]
+  --json <path>   also write the full campaign results as JSON
+  --quiet         suppress per-job progress lines on stderr
+  --help          show this help";
 
-/// Runs one configuration on one benchmark for `cycles` cycles.
-///
-/// # Panics
-///
-/// Panics if the benchmark name is unknown or the configuration is invalid
-/// (these are programming errors in a bench binary).
-#[must_use]
-pub fn run(config: SimConfig, bench: &str, cycles: u64) -> RunResult {
-    let profile = spec2000::by_name(bench)
-        .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
-    let mut sim = Simulator::new(config).expect("bench configs are valid");
-    let mut trace = profile.trace(DEFAULT_SEED);
-    sim.run(&mut trace, cycles)
+/// Command-line arguments common to every bench binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Simulated cycles per run.
+    pub cycles: u64,
+    /// Workload seed, threaded into every trace.
+    pub seed: u64,
+    /// Worker-pool size override (`--threads`).
+    pub threads: Option<usize>,
+    /// Where to write the JSON artifact, if requested (`--json`).
+    pub json: Option<PathBuf>,
+    /// Suppress per-job progress lines (`--quiet`).
+    pub quiet: bool,
 }
 
-/// Runs `configs` on every benchmark in [`spec2000::ALL`], in parallel.
-///
-/// Returns one row per benchmark: `(name, results)` with `results[i]` the
-/// outcome of `configs[i]`, preserving order.
-#[must_use]
-pub fn sweep(configs: &[SimConfig], cycles: u64) -> Vec<(String, Vec<RunResult>)> {
-    let names: Vec<&str> = spec2000::ALL.to_vec();
-    thread::scope(|scope| {
-        let handles: Vec<_> = names
-            .iter()
-            .map(|&name| {
-                let configs = configs.to_vec();
-                scope.spawn(move || {
-                    let results: Vec<RunResult> = configs
-                        .into_iter()
-                        .map(|cfg| run(cfg, name, cycles))
-                        .collect();
-                    (name.to_string(), results)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("bench worker panicked")).collect()
-    })
-}
-
-/// Arithmetic-mean speedup (in percent) of `new` over `old` IPC across rows.
-#[must_use]
-pub fn mean_speedup_pct(pairs: &[(f64, f64)]) -> f64 {
-    if pairs.is_empty() {
-        return 0.0;
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            cycles: DEFAULT_CYCLES,
+            seed: DEFAULT_SEED,
+            threads: None,
+            json: None,
+            quiet: false,
+        }
     }
-    let sum: f64 = pairs.iter().map(|(old, new)| new / old - 1.0).sum();
-    sum / pairs.len() as f64 * 100.0
+}
+
+impl BenchArgs {
+    /// Parses the shared flags from an argument list (no program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending flag or value. `--help` is
+    /// reported as an error too, so callers can print usage and exit 0.
+    pub fn parse_from(args: &[String]) -> Result<BenchArgs, String> {
+        let mut parsed = BenchArgs::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value =
+                |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
+            match flag.as_str() {
+                "--cycles" => {
+                    parsed.cycles =
+                        value("--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?;
+                }
+                "--seed" => {
+                    parsed.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--threads" => {
+                    parsed.threads =
+                        Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?);
+                }
+                "--json" => parsed.json = Some(PathBuf::from(value("--json")?)),
+                "--quiet" => parsed.quiet = true,
+                "--help" | "-h" => return Err("help".to_string()),
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Parses `std::env::args`, printing `about` plus the shared options on
+    /// `--help` (exit 0) or a parse error (exit 2).
+    #[must_use]
+    pub fn parse_or_exit(about: &str) -> BenchArgs {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse_from(&args) {
+            Ok(parsed) => parsed,
+            Err(msg) => {
+                let help = msg == "help";
+                if !help {
+                    eprintln!("error: {msg}");
+                    eprintln!();
+                }
+                eprintln!("{about}");
+                eprintln!();
+                eprintln!("{OPTIONS_HELP}");
+                std::process::exit(i32::from(!help) * 2);
+            }
+        }
+    }
+
+    /// Starts a campaign spec carrying this invocation's cycles and seed.
+    #[must_use]
+    pub fn spec(&self, name: &str) -> CampaignSpec {
+        CampaignSpec::new(name).cycles(self.cycles).seed(self.seed)
+    }
+
+    /// The runner options for this invocation.
+    #[must_use]
+    pub fn runner_options(&self) -> RunnerOptions {
+        RunnerOptions { threads: self.threads, progress: !self.quiet }
+    }
+
+    /// Runs `spec` on the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation — a programming error in a
+    /// bench binary, which builds its specs from compiled-in presets.
+    #[must_use]
+    pub fn run(&self, spec: &CampaignSpec) -> CampaignResult {
+        run_campaign(spec, &self.runner_options()).expect("bench campaign specs are valid")
+    }
+
+    /// Writes the `--json` artifact, if one was requested: a single
+    /// `CampaignResult` object when the binary ran one campaign, or an
+    /// array of them (in run order) when it ran several.
+    ///
+    /// An unwritable output path is a hard error (exit 1) — for a batch
+    /// tool a silently missing artifact is worse than a dead run — but it
+    /// is reported as a plain message, not a panic backtrace.
+    pub fn finish(&self, campaigns: &[&CampaignResult]) {
+        let Some(path) = &self.json else { return };
+        let text = match campaigns {
+            [only] => only.to_json(),
+            many => serde::json::to_string_pretty(&many.to_vec()),
+        };
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        if !self.quiet {
+            eprintln!("wrote {}", path.display());
+        }
+    }
 }
 
 /// Formats a fixed-width row of floats for table output.
@@ -83,36 +169,58 @@ pub fn row(name: &str, values: &[f64], width: usize, precision: usize) -> String
     out
 }
 
-/// Benchmarks whose base run was actually limited by the thermal constraint
-/// (at least one temporal stall) — the paper's "constrained" subset.
-#[must_use]
-pub fn constrained_subset(
-    rows: &[(String, Vec<RunResult>)],
-    base_index: usize,
-) -> Vec<&str> {
-    rows.iter()
-        .filter(|(_, results)| results[base_index].freezes > 0)
-        .map(|(name, _)| name.as_str())
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use powerbalance::experiments;
 
-    #[test]
-    fn run_is_deterministic() {
-        let a = run(experiments::issue_queue(false), "gzip", 50_000);
-        let b = run(experiments::issue_queue(false), "gzip", 50_000);
-        assert_eq!(a.committed, b.committed);
-        assert_eq!(a.freezes, b.freezes);
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
     }
 
     #[test]
-    fn mean_speedup_math() {
-        assert!((mean_speedup_pct(&[(1.0, 1.1), (2.0, 2.2)]) - 10.0).abs() < 1e-9);
-        assert_eq!(mean_speedup_pct(&[]), 0.0);
+    fn parses_all_shared_flags() {
+        let a = BenchArgs::parse_from(&strs(&[
+            "--cycles",
+            "5000",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--json",
+            "out.json",
+            "--quiet",
+        ]))
+        .expect("valid command line");
+        assert_eq!(a.cycles, 5000);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.threads, Some(2));
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("out.json")));
+        assert!(a.quiet);
+    }
+
+    #[test]
+    fn defaults_match_the_paper_budget() {
+        let a = BenchArgs::parse_from(&[]).expect("empty is valid");
+        assert_eq!(a, BenchArgs::default());
+        assert_eq!(a.cycles, DEFAULT_CYCLES);
+        assert_eq!(a.seed, DEFAULT_SEED);
+    }
+
+    #[test]
+    fn rejects_bad_flags_and_values() {
+        assert!(BenchArgs::parse_from(&strs(&["--frobnicate"])).is_err());
+        assert!(BenchArgs::parse_from(&strs(&["--cycles"])).is_err());
+        assert!(BenchArgs::parse_from(&strs(&["--cycles", "many"])).is_err());
+        assert_eq!(BenchArgs::parse_from(&strs(&["--help"])), Err("help".to_string()));
+    }
+
+    #[test]
+    fn spec_carries_cycles_and_seed() {
+        let a = BenchArgs { cycles: 123, seed: 9, ..BenchArgs::default() };
+        let spec = a.spec("t");
+        assert_eq!(spec.cycles, 123);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.name, "t");
     }
 
     #[test]

@@ -4,16 +4,22 @@
 //! powerbalance run --bench eon --floorplan issue --toggling
 //! powerbalance run --bench perlbmk --floorplan alu --turnoff --cycles 2000000
 //! powerbalance run --bench eon --floorplan regfile --mapping priority --turnoff
+//! powerbalance run --bench eon --bench gzip --floorplan issue --json out.json
 //! powerbalance list
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace admits no CLI
 //! dependencies); every flag maps 1:1 onto [`powerbalance::SimConfig`].
+//! Execution and reporting go through `powerbalance-harness`: the run is a
+//! one-config campaign, so `--json` artifacts, `--threads`, and the
+//! wall-time/throughput metrics are the same ones the bench binaries emit.
 
 use powerbalance::{
-    experiments::AluPolicy, FloorplanKind, MappingPolicy, MitigationConfig, SimConfig, Simulator,
+    experiments::AluPolicy, FloorplanKind, MappingPolicy, MitigationConfig, SimConfig,
 };
+use powerbalance_harness::{run_campaign, CampaignSpec, JobResult, RunnerOptions};
 use powerbalance_workloads::spec2000;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -24,7 +30,8 @@ USAGE:
       List the 22 available benchmarks.
 
   powerbalance run [FLAGS]
-      --bench <name>        benchmark to run (required; see `list`)
+      --bench <name>        benchmark to run (required; see `list`);
+                            repeat the flag to run several in one campaign
       --floorplan <kind>    baseline | issue | alu | regfile  [baseline]
       --cycles <n>          cycles to simulate                [1000000]
       --seed <n>            workload seed                     [42]
@@ -33,10 +40,14 @@ USAGE:
       --round-robin         ideal round-robin ALU scheduling
       --mapping <m>         balanced | priority | complete    [balanced]
       --max-temp <K>        thermal limit in kelvin           [358]
+      --threads <n>         worker-pool size for multi-benchmark runs
+                            [POWERBALANCE_THREADS or all cores]
+      --json <path>         write the full campaign results as JSON
 
 EXAMPLES:
   powerbalance run --bench eon --floorplan issue --toggling
   powerbalance run --bench perlbmk --floorplan alu --turnoff
+  powerbalance run --bench eon --bench gzip --floorplan issue --json out.json
 ";
 
 fn main() -> ExitCode {
@@ -65,14 +76,17 @@ fn main() -> ExitCode {
 }
 
 struct RunArgs {
-    bench: String,
+    benches: Vec<String>,
+    label: String,
     config: SimConfig,
     cycles: u64,
     seed: u64,
+    threads: Option<usize>,
+    json: Option<PathBuf>,
 }
 
 fn parse_run(args: &[String]) -> Result<RunArgs, String> {
-    let mut bench = None;
+    let mut benches = Vec::new();
     let mut floorplan = FloorplanKind::Baseline;
     let mut cycles = 1_000_000u64;
     let mut seed = 42u64;
@@ -81,16 +95,15 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut round_robin = false;
     let mut mapping = MappingPolicy::Balanced;
     let mut max_temp = 358.0f64;
+    let mut threads = None;
+    let mut json = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
-            "--bench" => bench = Some(value("--bench")?),
+            "--bench" => benches.push(value("--bench")?),
             "--floorplan" => {
                 floorplan = match value("--floorplan")?.as_str() {
                     "baseline" => FloorplanKind::Baseline,
@@ -101,15 +114,9 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
                 }
             }
             "--cycles" => {
-                cycles = value("--cycles")?
-                    .parse()
-                    .map_err(|e| format!("--cycles: {e}"))?
+                cycles = value("--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?
             }
-            "--seed" => {
-                seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
-            }
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--toggling" => toggling = true,
             "--turnoff" => turnoff = true,
             "--round-robin" => round_robin = true,
@@ -122,17 +129,23 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
                 }
             }
             "--max-temp" => {
-                max_temp = value("--max-temp")?
-                    .parse()
-                    .map_err(|e| format!("--max-temp: {e}"))?
+                max_temp = value("--max-temp")?.parse().map_err(|e| format!("--max-temp: {e}"))?
             }
+            "--threads" => {
+                threads = Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
+            "--json" => json = Some(PathBuf::from(value("--json")?)),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
 
-    let bench = bench.ok_or("--bench is required")?;
-    if spec2000::by_name(&bench).is_none() {
-        return Err(format!("unknown benchmark '{bench}' (see `powerbalance list`)"));
+    if benches.is_empty() {
+        return Err("--bench is required".to_string());
+    }
+    for bench in &benches {
+        if spec2000::by_name(bench).is_none() {
+            return Err(format!("unknown benchmark '{bench}' (see `powerbalance list`)"));
+        }
     }
 
     let mut config = SimConfig {
@@ -156,15 +169,54 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     }
     config.validate()?;
 
-    Ok(RunArgs { bench, config, cycles, seed })
+    // A short config label for reports and JSON artifacts, e.g.
+    // "issue+toggling".
+    let mut label = match floorplan {
+        FloorplanKind::Baseline => "baseline",
+        FloorplanKind::IssueConstrained => "issue",
+        FloorplanKind::AluConstrained => "alu",
+        FloorplanKind::RegfileConstrained => "regfile",
+    }
+    .to_string();
+    if toggling {
+        label.push_str("+toggling");
+    }
+    if turnoff {
+        label.push_str("+turnoff");
+    }
+    if round_robin {
+        label.push_str("+round-robin");
+    }
+
+    Ok(RunArgs { benches, label, config, cycles, seed, threads, json })
 }
 
 fn run(args: RunArgs) -> Result<(), String> {
-    let mut sim = Simulator::new(args.config).map_err(|e| e.to_string())?;
-    let profile = spec2000::by_name(&args.bench).expect("validated above");
-    let result = sim.run(&mut profile.trace(args.seed), args.cycles);
+    let spec = CampaignSpec::new("cli-run")
+        .config(&args.label, args.config)
+        .benchmarks(args.benches)
+        .cycles(args.cycles)
+        .seed(args.seed);
+    let options = RunnerOptions { threads: args.threads, progress: spec.job_count() > 1 };
+    let campaign = run_campaign(&spec, &options).map_err(|e| e.to_string())?;
 
-    println!("benchmark:        {}", args.bench);
+    for (i, job) in campaign.jobs.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        report(job);
+    }
+    if let Some(path) = &args.json {
+        campaign.write_json(path).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn report(job: &JobResult) {
+    let result = &job.result;
+    println!("benchmark:        {}", job.bench);
+    println!("config:           {}", job.config);
     println!("cycles:           {}", result.cycles);
     println!("committed:        {}", result.committed);
     println!("IPC:              {:.3}", result.ipc);
@@ -179,6 +231,11 @@ fn run(args: RunArgs) -> Result<(), String> {
     println!("rf-copy turnoffs: {}", result.rf_turnoffs);
     println!("mispredict rate:  {:.2}%", result.mispredict_rate * 100.0);
     println!("L1D miss rate:    {:.2}%", result.l1d_miss_rate * 100.0);
+    println!(
+        "wall time:        {:.0} ms ({:.1} Mcycles/s)",
+        job.wall_nanos as f64 / 1e6,
+        job.sim_cycles_per_sec / 1e6
+    );
     println!();
     println!("{:<10} {:>9} {:>9}", "block", "avg (K)", "max (K)");
     let mut temps = result.temperatures.clone();
@@ -186,7 +243,6 @@ fn run(args: RunArgs) -> Result<(), String> {
     for t in temps.iter().take(10) {
         println!("{:<10} {:>9.1} {:>9.1}", t.name, t.avg, t.max);
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -200,16 +256,38 @@ mod tests {
     #[test]
     fn parses_a_full_command_line() {
         let a = parse_run(&strs(&[
-            "--bench", "eon", "--floorplan", "issue", "--toggling", "--cycles", "5000",
-            "--seed", "7", "--max-temp", "360",
+            "--bench",
+            "eon",
+            "--floorplan",
+            "issue",
+            "--toggling",
+            "--cycles",
+            "5000",
+            "--seed",
+            "7",
+            "--max-temp",
+            "360",
+            "--threads",
+            "2",
+            "--json",
+            "out.json",
         ]))
         .expect("valid command line");
-        assert_eq!(a.bench, "eon");
+        assert_eq!(a.benches, vec!["eon"]);
         assert_eq!(a.cycles, 5000);
         assert_eq!(a.seed, 7);
+        assert_eq!(a.threads, Some(2));
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("out.json")));
+        assert_eq!(a.label, "issue+toggling");
         assert_eq!(a.config.floorplan, FloorplanKind::IssueConstrained);
         assert!(a.config.mitigation.activity_toggling);
         assert!((a.config.mitigation.thresholds.max_temp - 360.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bench_flag_repeats_into_a_campaign() {
+        let a = parse_run(&strs(&["--bench", "eon", "--bench", "gzip"])).expect("valid");
+        assert_eq!(a.benches, vec!["eon", "gzip"]);
     }
 
     #[test]

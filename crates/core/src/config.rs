@@ -101,8 +101,7 @@ mod tests {
         cfg.core.iq_size = 7;
         assert!(cfg.validate().is_err());
 
-        let mut cfg = SimConfig::default();
-        cfg.sample_interval = 0;
+        let cfg = SimConfig { sample_interval: 0, ..SimConfig::default() };
         assert!(cfg.validate().is_err());
     }
 }

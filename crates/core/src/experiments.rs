@@ -54,10 +54,7 @@ pub fn issue_queue(toggling: bool) -> SimConfig {
 /// floorplan.
 #[must_use]
 pub fn alu(policy: AluPolicy) -> SimConfig {
-    let mut cfg = SimConfig {
-        floorplan: FloorplanKind::AluConstrained,
-        ..SimConfig::default()
-    };
+    let mut cfg = SimConfig { floorplan: FloorplanKind::AluConstrained, ..SimConfig::default() };
     match policy {
         AluPolicy::Base => {
             cfg.mitigation = MitigationConfig::baseline();
@@ -102,11 +99,9 @@ mod tests {
         for p in [AluPolicy::Base, AluPolicy::FineGrainTurnoff, AluPolicy::RoundRobin] {
             alu(p).validate().unwrap_or_else(|e| panic!("alu {p:?}: {e}"));
         }
-        for m in [
-            MappingPolicy::Balanced,
-            MappingPolicy::Priority,
-            MappingPolicy::CompletelyBalanced,
-        ] {
+        for m in
+            [MappingPolicy::Balanced, MappingPolicy::Priority, MappingPolicy::CompletelyBalanced]
+        {
             for t in [false, true] {
                 regfile(m, t).validate().unwrap_or_else(|e| panic!("rf {m:?}/{t}: {e}"));
             }

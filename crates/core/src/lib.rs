@@ -50,8 +50,11 @@ pub use result::{BlockTemperature, RunResult};
 pub use simulator::Simulator;
 
 // Re-export the subsystem vocabulary users need to configure runs.
+// `spec2000` rides along so downstream crates (harness, bench, cli) can
+// name benchmarks without depending on `powerbalance-workloads` directly.
 pub use powerbalance_mitigation::{MitigationConfig, Thresholds};
 pub use powerbalance_power::EnergyTables;
 pub use powerbalance_thermal::ev6::FloorplanKind;
 pub use powerbalance_thermal::PackageConfig;
 pub use powerbalance_uarch::{CoreConfig, IqMode, MappingPolicy, SelectPolicy};
+pub use powerbalance_workloads::spec2000;

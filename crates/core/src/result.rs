@@ -12,6 +12,9 @@ pub struct BlockTemperature {
     pub avg: f64,
     /// Peak temperature seen at any sample (K).
     pub max: f64,
+    /// Temperature at the end of the run (K) — the steady state, for runs
+    /// long enough to converge.
+    pub last: f64,
 }
 
 /// Results of one simulation run.
@@ -71,6 +74,12 @@ impl RunResult {
         self.temperatures.iter().find(|t| t.name == name).map(|t| t.max)
     }
 
+    /// End-of-run temperature of the named block, if present.
+    #[must_use]
+    pub fn last_temp(&self, name: &str) -> Option<f64> {
+        self.temperatures.iter().find(|t| t.name == name).map(|t| t.last)
+    }
+
     /// The hottest block by average temperature.
     ///
     /// # Panics
@@ -100,8 +109,8 @@ mod tests {
             rf_turnoffs: 0,
             freezes: 0,
             temperatures: vec![
-                BlockTemperature { name: "IntQ0".into(), avg: 350.0, max: 351.0 },
-                BlockTemperature { name: "IntQ1".into(), avg: 352.0, max: 353.5 },
+                BlockTemperature { name: "IntQ0".into(), avg: 350.0, max: 351.0, last: 350.5 },
+                BlockTemperature { name: "IntQ1".into(), avg: 352.0, max: 353.5, last: 352.4 },
             ],
             int_issued_per_unit: [100, 80, 60, 40, 20, 10],
             int_rf_reads: [400, 200],
@@ -115,6 +124,7 @@ mod tests {
         let r = result();
         assert_eq!(r.avg_temp("IntQ1"), Some(352.0));
         assert_eq!(r.max_temp("IntQ1"), Some(353.5));
+        assert_eq!(r.last_temp("IntQ1"), Some(352.4));
         assert_eq!(r.avg_temp("nope"), None);
     }
 

@@ -128,10 +128,8 @@ impl Simulator {
     pub fn run<T: TraceSource>(&mut self, trace: &mut T, cycles: u64) -> RunResult {
         let start = self.core.stats().cycles;
         while self.core.stats().cycles - start < cycles && !self.core.is_done() {
-            let window = self
-                .config
-                .sample_interval
-                .min(cycles - (self.core.stats().cycles - start));
+            let window =
+                self.config.sample_interval.min(cycles - (self.core.stats().cycles - start));
             for _ in 0..window {
                 self.core.cycle(trace);
                 if self.core.is_done() {
@@ -164,8 +162,7 @@ impl Simulator {
         let was_frozen = self.core.is_frozen();
         let temps: Vec<f64> = self.thermal.temperatures().to_vec();
         let now = self.core.stats().cycles;
-        self.manager
-            .on_sample(&mut self.core, &temps, now, &activity.int_iq, &activity.fp_iq);
+        self.manager.on_sample(&mut self.core, &temps, now, &activity.int_iq, &activity.fp_iq);
 
         // The paper's table temperatures average over execution (non
         // -stalled) time; track the peak unconditionally.
@@ -205,6 +202,7 @@ impl Simulator {
                 } else {
                     self.temp_max[i]
                 },
+                last: self.thermal.temperature(i),
             })
             .collect();
         let mstats = self.manager.stats();
@@ -256,8 +254,7 @@ mod tests {
     #[test]
     fn deterministic_across_instances() {
         let build = || {
-            let mut sim =
-                Simulator::new(experiments::issue_queue(true)).expect("valid config");
+            let mut sim = Simulator::new(experiments::issue_queue(true)).expect("valid config");
             let mut trace = spec2000::by_name("mesa").expect("profile").trace(11);
             sim.run(&mut trace, 80_000)
         };
@@ -300,8 +297,7 @@ mod tests {
 
     #[test]
     fn warm_start_heats_the_die_immediately() {
-        let mut cfg = SimConfig::default();
-        cfg.warm_start = true;
+        let cfg = SimConfig { warm_start: true, ..SimConfig::default() };
         let mut sim = Simulator::new(cfg).expect("valid config");
         let mut trace = spec2000::by_name("crafty").expect("profile").trace(5);
         let r = sim.run(&mut trace, 30_000);

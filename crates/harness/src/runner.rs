@@ -1,0 +1,207 @@
+//! The bounded parallel campaign runner.
+
+use crate::result::{CampaignResult, JobResult};
+use crate::spec::CampaignSpec;
+use powerbalance::{spec2000, Error, RunResult, SimConfig, Simulator};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Environment variable consulted for the worker-pool size when no explicit
+/// thread count is given.
+pub const THREADS_ENV_VAR: &str = "POWERBALANCE_THREADS";
+
+/// Options controlling how a campaign is executed (not *what* it computes —
+/// that lives in [`CampaignSpec`]).
+#[derive(Debug, Clone, Default)]
+pub struct RunnerOptions {
+    /// Worker-pool size; `None` falls back to [`THREADS_ENV_VAR`], then
+    /// [`std::thread::available_parallelism`].
+    pub threads: Option<usize>,
+    /// Emit one progress line per finished job on stderr.
+    pub progress: bool,
+}
+
+/// Resolves the worker-pool size: `explicit` if given, else the
+/// [`THREADS_ENV_VAR`] environment variable if set to a positive integer,
+/// else [`std::thread::available_parallelism`]. Always at least 1.
+#[must_use]
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| {
+            std::env::var(THREADS_ENV_VAR).ok().and_then(|v| v.trim().parse::<usize>().ok())
+        })
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
+        .max(1)
+}
+
+/// Runs one (benchmark × config) simulation outside any campaign: builds a
+/// fresh simulator, seeds the workload trace, runs for `cycles`.
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] if the benchmark is unknown or the config
+/// fails validation.
+pub fn run_one(
+    config: &SimConfig,
+    bench: &str,
+    cycles: u64,
+    seed: u64,
+) -> Result<RunResult, Error> {
+    let profile = spec2000::by_name(bench)
+        .ok_or_else(|| Error::Config(format!("unknown benchmark '{bench}'")))?;
+    let mut sim = Simulator::new(config.clone())?;
+    Ok(sim.run(&mut profile.trace(seed), cycles))
+}
+
+/// Runs every (benchmark × config) job of `spec` on a bounded worker pool
+/// and returns the results in deterministic spec order.
+///
+/// Workers pull jobs from a shared atomic cursor, so scheduling is at job
+/// granularity: a slow benchmark on one config does not serialize the rest
+/// of the campaign behind it. Each finished job lands in its own result
+/// slot, indexed by position in the spec, so the output order — and, since
+/// every simulation is seeded, the output *content* — is identical whether
+/// the pool has one worker or many.
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] if the spec fails validation. Individual jobs
+/// cannot fail after validation: every benchmark and config has already
+/// been checked.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the simulator itself is panic-free on
+/// validated configs).
+pub fn run_campaign(spec: &CampaignSpec, options: &RunnerOptions) -> Result<CampaignResult, Error> {
+    spec.validate()?;
+    let total = spec.job_count();
+    let threads = resolve_threads(options.threads).min(total).max(1);
+    let ncfg = spec.configs.len();
+
+    let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<JobResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
+
+    let campaign_start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= total {
+                    break;
+                }
+                let bench_index = index / ncfg;
+                let config_index = index % ncfg;
+                let bench = &spec.benchmarks[bench_index];
+                let named = &spec.configs[config_index];
+                let cycles = spec.cycles_for(config_index);
+
+                let start = Instant::now();
+                let result = run_one(&named.config, bench, cycles, spec.seed)
+                    .expect("spec was validated before dispatch");
+                let wall = start.elapsed();
+                let wall_secs = wall.as_secs_f64();
+                let sim_cycles_per_sec =
+                    if wall_secs > 0.0 { result.cycles as f64 / wall_secs } else { 0.0 };
+
+                if options.progress {
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    eprintln!(
+                        "[{} {finished}/{total}] {bench}/{}: IPC {:.3}, {:.0} ms, {:.1} Mcyc/s",
+                        spec.name,
+                        named.name,
+                        result.ipc,
+                        wall_secs * 1e3,
+                        sim_cycles_per_sec / 1e6,
+                    );
+                }
+
+                *slots[index].lock().expect("no worker panicked holding this lock") =
+                    Some(JobResult {
+                        bench: bench.clone(),
+                        config: named.name.clone(),
+                        bench_index,
+                        config_index,
+                        seed: spec.seed,
+                        cycles_requested: cycles,
+                        wall_nanos: wall.as_nanos() as u64,
+                        sim_cycles_per_sec,
+                        result,
+                    });
+            });
+        }
+    });
+
+    let jobs = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no worker panicked holding this lock")
+                .expect("every slot was filled before the scope ended")
+        })
+        .collect();
+    Ok(CampaignResult {
+        spec: spec.clone(),
+        threads,
+        wall_nanos: campaign_start.elapsed().as_nanos() as u64,
+        jobs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerbalance::experiments;
+
+    #[test]
+    fn resolve_prefers_explicit() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1, "explicit 0 clamps to 1");
+    }
+
+    #[test]
+    fn run_one_rejects_unknown_benchmark() {
+        let err = run_one(&experiments::issue_queue(false), "doom3", 1_000, 1);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn campaign_rejects_invalid_spec() {
+        let spec = CampaignSpec::new("empty");
+        assert!(run_campaign(&spec, &RunnerOptions::default()).is_err());
+    }
+
+    #[test]
+    fn campaign_results_land_in_spec_order() {
+        let spec = CampaignSpec::new("order")
+            .config("base", experiments::issue_queue(false))
+            .config("toggling", experiments::issue_queue(true))
+            .benchmarks(["eon", "gzip", "mesa"])
+            .cycles(20_000);
+        let result = run_campaign(&spec, &RunnerOptions { threads: Some(4), progress: false })
+            .expect("campaign runs");
+        assert_eq!(result.jobs.len(), 6);
+        for (i, job) in result.jobs.iter().enumerate() {
+            assert_eq!(job.bench_index, i / 2);
+            assert_eq!(job.config_index, i % 2);
+            assert_eq!(job.bench, spec.benchmarks[job.bench_index]);
+            assert_eq!(job.config, spec.configs[job.config_index].name);
+            assert!(job.result.cycles >= 20_000);
+            assert!(job.wall_nanos > 0);
+        }
+    }
+
+    #[test]
+    fn campaign_matches_run_one() {
+        let spec = CampaignSpec::new("match")
+            .config("base", experiments::issue_queue(false))
+            .benchmark("gzip")
+            .cycles(20_000)
+            .seed(9);
+        let campaign = run_campaign(&spec, &RunnerOptions::default()).expect("campaign runs");
+        let direct = run_one(&spec.configs[0].config, "gzip", 20_000, 9).expect("runs");
+        assert_eq!(campaign.jobs[0].result, direct);
+    }
+}

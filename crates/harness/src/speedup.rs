@@ -1,0 +1,78 @@
+//! IPC-speedup math shared by the figure binaries and the CLI.
+//!
+//! Speedups are undefined when the baseline made no forward progress (IPC
+//! 0 — a run that spent its whole budget frozen). Rather than dividing by
+//! zero and averaging infinities into the headline numbers, the helpers
+//! here make that case explicit: [`speedup_pct`] returns `None` and
+//! [`mean_speedup_pct`] averages over the defined pairs only.
+
+/// Percentage IPC change from `base_ipc` to `new_ipc`, or `None` when the
+/// baseline is zero, negative, or non-finite (no meaningful ratio exists).
+#[must_use]
+pub fn speedup_pct(base_ipc: f64, new_ipc: f64) -> Option<f64> {
+    if base_ipc > 0.0 && base_ipc.is_finite() && new_ipc.is_finite() {
+        Some((new_ipc / base_ipc - 1.0) * 100.0)
+    } else {
+        None
+    }
+}
+
+/// Mean percentage speedup over the `(base_ipc, new_ipc)` pairs with a
+/// defined speedup. Returns 0.0 when no pair is defined.
+#[must_use]
+pub fn mean_speedup_pct(pairs: &[(f64, f64)]) -> f64 {
+    let valid: Vec<f64> = pairs.iter().filter_map(|&(base, new)| speedup_pct(base, new)).collect();
+    if valid.is_empty() {
+        0.0
+    } else {
+        valid.iter().sum::<f64>() / valid.len() as f64
+    }
+}
+
+/// Renders a speedup as a fixed-width cell: `"+1.23"`-style percentages, or
+/// `"n/a"` when the baseline IPC was zero.
+#[must_use]
+pub fn format_pct(speedup: Option<f64>, width: usize, precision: usize) -> String {
+    match speedup {
+        Some(pct) => format!("{pct:>width$.precision$}"),
+        None => format!("{:>width$}", "n/a"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_and_negative_speedups() {
+        assert!((speedup_pct(1.0, 1.1).expect("defined") - 10.0).abs() < 1e-9);
+        assert!((speedup_pct(2.0, 1.0).expect("defined") + 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_or_bad_baseline_is_undefined() {
+        assert_eq!(speedup_pct(0.0, 1.0), None);
+        assert_eq!(speedup_pct(-1.0, 1.0), None);
+        assert_eq!(speedup_pct(f64::NAN, 1.0), None);
+        assert_eq!(speedup_pct(1.0, f64::INFINITY), None);
+    }
+
+    #[test]
+    fn mean_skips_undefined_pairs() {
+        let pairs = [(1.0, 1.2), (0.0, 5.0), (1.0, 0.8)];
+        // Defined pairs: +20% and -20% → mean 0.
+        assert!(mean_speedup_pct(&pairs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_of_no_defined_pairs_is_zero() {
+        assert_eq!(mean_speedup_pct(&[]), 0.0);
+        assert_eq!(mean_speedup_pct(&[(0.0, 1.0)]), 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_pct(Some(1.234), 8, 2), "    1.23");
+        assert_eq!(format_pct(None, 8, 2), "     n/a");
+    }
+}

@@ -141,10 +141,7 @@ mod tests {
     fn flat_index_is_dense() {
         assert_eq!(ArchReg::int(0).flat_index(), 0);
         assert_eq!(ArchReg::fp(0).flat_index(), INT_ARCH_REGS as usize);
-        assert_eq!(
-            ArchReg::fp(FP_ARCH_REGS - 1).flat_index(),
-            TOTAL_ARCH_REGS as usize - 1
-        );
+        assert_eq!(ArchReg::fp(FP_ARCH_REGS - 1).flat_index(), TOTAL_ARCH_REGS as usize - 1);
     }
 
     #[test]

@@ -90,9 +90,8 @@ mod tests {
 
     #[test]
     fn slice_trace_yields_in_order_then_none() {
-        let mut t: SliceTrace = (0..5)
-            .map(|i| MicroOp::new(OpClass::IntAlu).with_pc(i * 4))
-            .collect();
+        let mut t: SliceTrace =
+            (0..5).map(|i| MicroOp::new(OpClass::IntAlu).with_pc(i * 4)).collect();
         for i in 0..5 {
             assert_eq!(t.remaining(), 5 - i as usize);
             assert_eq!(t.next_op().unwrap().pc(), i * 4);
@@ -110,9 +109,8 @@ mod tests {
         assert!(pull(&mut t).is_some());
         assert!(pull(&mut t).is_none());
 
-        let mut boxed: Box<dyn TraceSource> = Box::new(SliceTrace::new(vec![
-            MicroOp::new(OpClass::FpAdd),
-        ]));
+        let mut boxed: Box<dyn TraceSource> =
+            Box::new(SliceTrace::new(vec![MicroOp::new(OpClass::FpAdd)]));
         assert_eq!(boxed.next_op().map(|op| op.class()), Some(OpClass::FpAdd));
     }
 

@@ -79,15 +79,7 @@ impl MicroOp {
     /// Creates a micro-op of the given class with no operands and `pc == 0`.
     #[must_use]
     pub const fn new(class: OpClass) -> Self {
-        MicroOp {
-            class,
-            pc: 0,
-            dest: None,
-            src1: None,
-            src2: None,
-            mem: None,
-            branch: None,
-        }
+        MicroOp { class, pc: 0, dest: None, src1: None, src2: None, mem: None, branch: None }
     }
 
     /// Sets the program counter (builder style).
@@ -233,9 +225,7 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        let op = MicroOp::new(OpClass::Load)
-            .with_dest(ArchReg::int(2))
-            .with_mem(MemRef::new(64));
+        let op = MicroOp::new(OpClass::Load).with_dest(ArchReg::int(2)).with_mem(MemRef::new(64));
         assert!(op.to_string().contains("load"));
     }
 

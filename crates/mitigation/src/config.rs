@@ -116,29 +116,20 @@ impl MitigationConfig {
     /// Only activity toggling (the paper's §4.1 configuration).
     #[must_use]
     pub fn toggling_only() -> Self {
-        MitigationConfig {
-            activity_toggling: true,
-            ..MitigationConfig::baseline()
-        }
+        MitigationConfig { activity_toggling: true, ..MitigationConfig::baseline() }
     }
 
     /// Only ALU fine-grain turnoff (the paper's §4.2 configuration).
     #[must_use]
     pub fn alu_turnoff_only() -> Self {
-        MitigationConfig {
-            alu_turnoff: true,
-            ..MitigationConfig::baseline()
-        }
+        MitigationConfig { alu_turnoff: true, ..MitigationConfig::baseline() }
     }
 
     /// Only register-file copy turnoff (the paper's §4.3 configurations,
     /// combined with a mapping policy chosen on the core).
     #[must_use]
     pub fn rf_turnoff_only() -> Self {
-        MitigationConfig {
-            rf_turnoff: true,
-            ..MitigationConfig::baseline()
-        }
+        MitigationConfig { rf_turnoff: true, ..MitigationConfig::baseline() }
     }
 }
 
@@ -173,11 +164,9 @@ mod tests {
 
     #[test]
     fn validation_rejects_nonsense() {
-        let mut t = Thresholds::default();
-        t.toggle_delta = 0.0;
+        let t = Thresholds { toggle_delta: 0.0, ..Thresholds::default() };
         assert!(t.validate().is_err());
-        let mut t = Thresholds::default();
-        t.cooling_cycles = 0;
+        let t = Thresholds { cooling_cycles: 0, ..Thresholds::default() };
         assert!(t.validate().is_err());
     }
 }

@@ -67,12 +67,7 @@ impl ThermalManager {
     #[must_use]
     pub fn new(cfg: MitigationConfig, sensors: Sensors) -> Self {
         cfg.thresholds.validate().expect("invalid thresholds");
-        ThermalManager {
-            cfg,
-            sensors,
-            stats: MitigationStats::default(),
-            frozen_until: None,
-        }
+        ThermalManager { cfg, sensors, stats: MitigationStats::default(), frozen_until: None }
     }
 
     /// The active configuration.
@@ -258,20 +253,16 @@ impl ThermalManager {
 
         if self.cfg.alu_turnoff {
             // Stall only when an entire unit class is turned off.
-            let all_int_off = (0..self.sensors.int_alus.len())
-                .all(|i| !core.unit_enabled(UnitKind::IntAlu, i));
-            let all_fp_off = (0..self.sensors.fp_adders.len())
-                .all(|i| !core.unit_enabled(UnitKind::FpAdd, i));
+            let all_int_off =
+                (0..self.sensors.int_alus.len()).all(|i| !core.unit_enabled(UnitKind::IntAlu, i));
+            let all_fp_off =
+                (0..self.sensors.fp_adders.len()).all(|i| !core.unit_enabled(UnitKind::FpAdd, i));
             if all_int_off || all_fp_off {
                 return true;
             }
         } else {
-            for (&b, _) in self
-                .sensors
-                .int_alus
-                .iter()
-                .zip(0..)
-                .chain(self.sensors.fp_adders.iter().zip(0..))
+            for (&b, _) in
+                self.sensors.int_alus.iter().zip(0..).chain(self.sensors.fp_adders.iter().zip(0..))
             {
                 if temps[b] >= max {
                     return true;
@@ -304,7 +295,9 @@ mod tests {
     use powerbalance_thermal::ev6;
     use powerbalance_uarch::{CoreConfig, IqMode};
 
-    fn setup(cfg: MitigationConfig) -> (ThermalManager, Core, Vec<f64>, powerbalance_thermal::Floorplan) {
+    fn setup(
+        cfg: MitigationConfig,
+    ) -> (ThermalManager, Core, Vec<f64>, powerbalance_thermal::Floorplan) {
         let plan = ev6::baseline();
         let sensors = Sensors::new(&plan).expect("ev6 names");
         let manager = ThermalManager::new(cfg, sensors);

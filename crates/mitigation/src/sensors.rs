@@ -42,19 +42,14 @@ impl Sensors {
     /// Returns the missing block name if the plan lacks one.
     pub fn new(plan: &Floorplan) -> Result<Self, String> {
         let find = |name: &str| {
-            plan.index_of(name)
-                .ok_or_else(|| format!("floorplan is missing block {name}"))
+            plan.index_of(name).ok_or_else(|| format!("floorplan is missing block {name}"))
         };
         Ok(Sensors {
             int_q: [find("IntQ0")?, find("IntQ1")?],
             fp_q: [find("FPQ0")?, find("FPQ1")?],
             int_reg: [find("IntReg0")?, find("IntReg1")?],
-            int_alus: (0..6)
-                .map(|i| find(&format!("IntExec{i}")))
-                .collect::<Result<_, _>>()?,
-            fp_adders: (0..4)
-                .map(|i| find(&format!("FPAdd{i}")))
-                .collect::<Result<_, _>>()?,
+            int_alus: (0..6).map(|i| find(&format!("IntExec{i}"))).collect::<Result<_, _>>()?,
+            fp_adders: (0..4).map(|i| find(&format!("FPAdd{i}"))).collect::<Result<_, _>>()?,
             fp_mul: find("FPMul")?,
         })
     }

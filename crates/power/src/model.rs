@@ -57,8 +57,7 @@ impl PowerModel {
             return Err(format!("frequency must be positive, got {frequency_hz}"));
         }
         let find = |name: &str| {
-            plan.index_of(name)
-                .ok_or_else(|| format!("floorplan is missing block {name}"))
+            plan.index_of(name).ok_or_else(|| format!("floorplan is missing block {name}"))
         };
         let arr2 = |prefix: &str| -> Result<[usize; 2], String> {
             Ok([find(&format!("{prefix}0"))?, find(&format!("{prefix}1"))?])
@@ -85,25 +84,10 @@ impl PowerModel {
             fp_q: arr2("FPQ")?,
             fp_reg: find("FPReg")?,
             fp_mul: find("FPMul")?,
-            fp_add: [
-                find("FPAdd0")?,
-                find("FPAdd1")?,
-                find("FPAdd2")?,
-                find("FPAdd3")?,
-            ],
+            fp_add: [find("FPAdd0")?, find("FPAdd1")?, find("FPAdd2")?, find("FPAdd3")?],
         };
-        let leakage = plan
-            .blocks()
-            .iter()
-            .map(|b| b.area() * tables.leakage_per_area)
-            .collect();
-        Ok(PowerModel {
-            tables,
-            frequency_hz,
-            idx,
-            leakage,
-            block_count: plan.blocks().len(),
-        })
+        let leakage = plan.blocks().iter().map(|b| b.area() * tables.leakage_per_area).collect();
+        Ok(PowerModel { tables, frequency_hz, idx, leakage, block_count: plan.blocks().len() })
     }
 
     /// The energy tables in use.
@@ -187,8 +171,7 @@ impl PowerModel {
         energy[self.idx.ldstq] += sample.lsq_ops as f64 * t.lsq_op;
 
         // Rename and active-list energy split across the two map blocks.
-        let map_energy =
-            sample.rename_ops as f64 * t.rename_op + sample.rob_ops as f64 * t.rob_op;
+        let map_energy = sample.rename_ops as f64 * t.rename_op + sample.rob_ops as f64 * t.rob_op;
         energy[self.idx.int_map] += map_energy * 0.5;
         energy[self.idx.fp_map] += map_energy * 0.5;
 
@@ -316,10 +299,8 @@ mod tests {
 
     #[test]
     fn missing_block_is_an_error() {
-        let plan = powerbalance_thermal::Floorplan::from_rows(
-            1e-3,
-            &[(1e-3, vec![("Icache", 1.0)])],
-        );
+        let plan =
+            powerbalance_thermal::Floorplan::from_rows(1e-3, &[(1e-3, vec![("Icache", 1.0)])]);
         assert!(PowerModel::new(&plan, EnergyTables::default(), 4.2e9).is_err());
     }
 

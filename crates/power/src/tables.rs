@@ -187,8 +187,7 @@ mod tests {
 
     #[test]
     fn negative_energy_rejected() {
-        let mut t = EnergyTables::default();
-        t.int_alu_op = -1.0;
+        let t = EnergyTables { int_alu_op: -1.0, ..EnergyTables::default() };
         assert!(t.validate().is_err());
     }
 }

@@ -38,8 +38,8 @@ impl Block {
     /// Length of the shared edge with `other` (0 when not adjacent).
     #[must_use]
     pub fn shared_edge(&self, other: &Block) -> f64 {
-        let vertical_touch = (self.x + self.w - other.x).abs() < EPS
-            || (other.x + other.w - self.x).abs() < EPS;
+        let vertical_touch =
+            (self.x + self.w - other.x).abs() < EPS || (other.x + other.w - self.x).abs() < EPS;
         if vertical_touch {
             let lo = self.y.max(other.y);
             let hi = (self.y + self.h).min(other.y + other.h);
@@ -47,8 +47,8 @@ impl Block {
                 return hi - lo;
             }
         }
-        let horizontal_touch = (self.y + self.h - other.y).abs() < EPS
-            || (other.y + other.h - self.y).abs() < EPS;
+        let horizontal_touch =
+            (self.y + self.h - other.y).abs() < EPS || (other.y + other.h - self.y).abs() < EPS;
         if horizontal_touch {
             let lo = self.x.max(other.x);
             let hi = (self.x + self.w).min(other.x + other.w);
@@ -139,13 +139,7 @@ impl Floorplan {
             for (name, rel) in entries {
                 assert!(*rel > 0.0, "block {name} must have positive width");
                 let w = die_width_m * rel / total;
-                blocks.push(Block {
-                    name: (*name).to_string(),
-                    x,
-                    y,
-                    w,
-                    h: *height,
-                });
+                blocks.push(Block { name: (*name).to_string(), x, y, w, h: *height });
                 x += w;
             }
             y += height;
@@ -246,18 +240,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "overlap")]
     fn overlapping_blocks_rejected() {
-        let _ = Floorplan::new(vec![
-            block("a", 0.0, 0.0, 2.0, 2.0),
-            block("b", 1.0, 1.0, 2.0, 2.0),
-        ]);
+        let _ =
+            Floorplan::new(vec![block("a", 0.0, 0.0, 2.0, 2.0), block("b", 1.0, 1.0, 2.0, 2.0)]);
     }
 
     #[test]
     #[should_panic(expected = "duplicate")]
     fn duplicate_names_rejected() {
-        let _ = Floorplan::new(vec![
-            block("a", 0.0, 0.0, 1.0, 1.0),
-            block("a", 2.0, 0.0, 1.0, 1.0),
-        ]);
+        let _ =
+            Floorplan::new(vec![block("a", 0.0, 0.0, 1.0, 1.0), block("a", 2.0, 0.0, 1.0, 1.0)]);
     }
 }

@@ -107,9 +107,7 @@ mod tests {
     use super::*;
 
     fn mat_vec(a: &[f64], x: &[f64], n: usize) -> Vec<f64> {
-        (0..n)
-            .map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum())
-            .collect()
+        (0..n).map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum()).collect()
     }
 
     #[test]

@@ -132,11 +132,7 @@ impl ThermalModel {
         for (i, w) in watts.iter().enumerate() {
             rhs[i] += w;
         }
-        self.temps = self
-            .cached_lu
-            .as_ref()
-            .expect("factor computed above")
-            .solve(&rhs);
+        self.temps = self.cached_lu.as_ref().expect("factor computed above").solve(&rhs);
     }
 
     /// Solves directly for the steady-state temperatures under constant
@@ -281,10 +277,8 @@ mod tests {
     #[test]
     fn time_compression_speeds_transients_without_moving_steady_state() {
         let plan = plan();
-        let mut slow_pkg = PackageConfig::default();
-        slow_pkg.time_compression = 1.0;
-        let mut fast_pkg = PackageConfig::default();
-        fast_pkg.time_compression = 100.0;
+        let slow_pkg = PackageConfig { time_compression: 1.0, ..PackageConfig::default() };
+        let fast_pkg = PackageConfig { time_compression: 100.0, ..PackageConfig::default() };
         let mut slow = ThermalModel::new(&plan, slow_pkg);
         let mut fast = ThermalModel::new(&plan, fast_pkg);
         let watts = vec![1.0; 5];

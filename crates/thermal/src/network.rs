@@ -146,10 +146,7 @@ mod tests {
     use crate::Floorplan;
 
     fn tiny_plan() -> Floorplan {
-        Floorplan::from_rows(
-            2e-3,
-            &[(1e-3, vec![("a", 1.0), ("b", 1.0)])],
-        )
+        Floorplan::from_rows(2e-3, &[(1e-3, vec![("a", 1.0), ("b", 1.0)])])
     }
 
     #[test]
@@ -180,22 +177,17 @@ mod tests {
         let plan = tiny_plan();
         let pkg = PackageConfig::default();
         let net = ThermalNetwork::new(&plan, &pkg);
-        let n = net.node_count();
         let g = net.conductance();
         let lateral = -g[1]; // a <-> b
         let vertical = -g[net.spreader_index()]; // a <-> spreader
         assert!(lateral > 0.0 && vertical > 0.0);
-        assert!(
-            vertical > 2.0 * lateral,
-            "vertical {vertical} should dominate lateral {lateral}"
-        );
+        assert!(vertical > 2.0 * lateral, "vertical {vertical} should dominate lateral {lateral}");
     }
 
     #[test]
     fn compression_scales_capacitance_only() {
         let plan = tiny_plan();
-        let mut pkg = PackageConfig::default();
-        pkg.time_compression = 1.0;
+        let mut pkg = PackageConfig { time_compression: 1.0, ..PackageConfig::default() };
         let base = ThermalNetwork::new(&plan, &pkg);
         pkg.time_compression = 100.0;
         let fast = ThermalNetwork::new(&plan, &pkg);

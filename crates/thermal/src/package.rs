@@ -114,11 +114,9 @@ mod tests {
 
     #[test]
     fn rejects_nonpositive() {
-        let mut p = PackageConfig::default();
-        p.k_silicon = 0.0;
+        let p = PackageConfig { k_silicon: 0.0, ..PackageConfig::default() };
         assert!(p.validate().is_err());
-        let mut p = PackageConfig::default();
-        p.time_compression = 0.5;
+        let p = PackageConfig { time_compression: 0.5, ..PackageConfig::default() };
         assert!(p.validate().is_err());
     }
 }

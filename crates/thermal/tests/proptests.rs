@@ -98,10 +98,8 @@ proptest! {
     #[test]
     fn compression_preserves_steady_state(watts in arbitrary_powers(26), k in 1.0f64..1000.0) {
         let plan = plan();
-        let mut a_pkg = PackageConfig::default();
-        a_pkg.time_compression = 1.0;
-        let mut b_pkg = PackageConfig::default();
-        b_pkg.time_compression = k;
+        let a_pkg = PackageConfig { time_compression: 1.0, ..PackageConfig::default() };
+        let b_pkg = PackageConfig { time_compression: k, ..PackageConfig::default() };
         let mut a = ThermalModel::new(&plan, a_pkg);
         let mut b = ThermalModel::new(&plan, b_pkg);
         a.settle(&watts);

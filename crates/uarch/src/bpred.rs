@@ -92,11 +92,7 @@ impl BranchPredictor {
         let btb_idx = ((pc >> 2) as usize) & (self.btb_tags.len() - 1);
         let btb_hit = self.btb_tags[btb_idx] == pc && self.btb_targets[btb_idx] == actual.target;
 
-        let correct = if actual.taken {
-            predicted_taken && btb_hit
-        } else {
-            !predicted_taken
-        };
+        let correct = if actual.taken { predicted_taken && btb_hit } else { !predicted_taken };
 
         counter.update(actual.taken);
         self.history = ((self.history << 1) | u64::from(actual.taken)) & self.history_mask;
@@ -157,9 +153,7 @@ mod tests {
         for _ in 0..16 {
             let _ = bp.predict_and_update(0x100, b);
         }
-        let correct = (0..100)
-            .filter(|_| bp.predict_and_update(0x100, b))
-            .count();
+        let correct = (0..100).filter(|_| bp.predict_and_update(0x100, b)).count();
         assert!(correct >= 99, "trained predictor should be near-perfect: {correct}");
     }
 
@@ -172,9 +166,7 @@ mod tests {
         for i in 0..64 {
             let _ = bp.predict_and_update(0x200, mk(i % 2 == 0));
         }
-        let correct = (64..164)
-            .filter(|i| bp.predict_and_update(0x200, mk(i % 2 == 0)))
-            .count();
+        let correct = (64..164).filter(|i| bp.predict_and_update(0x200, mk(i % 2 == 0))).count();
         assert!(correct >= 95, "alternation should be learned: {correct}");
     }
 

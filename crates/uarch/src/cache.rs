@@ -166,7 +166,9 @@ impl MemoryHierarchy {
     pub fn fetch(&mut self, pc: u64) -> MemAccess {
         let l1 = self.l1i.config.latency;
         match self.l1i.access(pc) {
-            CacheOutcome::Hit => MemAccess { latency: l1, touched_l2: false, touched_memory: false },
+            CacheOutcome::Hit => {
+                MemAccess { latency: l1, touched_l2: false, touched_memory: false }
+            }
             CacheOutcome::Miss => self.l2_fill(pc, l1),
         }
     }
@@ -175,7 +177,9 @@ impl MemoryHierarchy {
     pub fn data_access(&mut self, addr: u64) -> MemAccess {
         let l1 = self.l1d.config.latency;
         match self.l1d.access(addr) {
-            CacheOutcome::Hit => MemAccess { latency: l1, touched_l2: false, touched_memory: false },
+            CacheOutcome::Hit => {
+                MemAccess { latency: l1, touched_l2: false, touched_memory: false }
+            }
             CacheOutcome::Miss => self.l2_fill(addr, l1),
         }
     }
@@ -235,7 +239,7 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let mut c = Cache::new(tiny()); // 8 sets, 2 ways
-        // Three lines mapping to set 0 (stride = sets * line = 512).
+                                        // Three lines mapping to set 0 (stride = sets * line = 512).
         let (a, b, d) = (0u64, 512, 1024);
         assert_eq!(c.access(a), CacheOutcome::Miss);
         assert_eq!(c.access(b), CacheOutcome::Miss);

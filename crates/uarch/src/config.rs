@@ -98,23 +98,13 @@ impl CacheConfig {
     /// 64 KB, 4-way, 2-cycle L1 (paper Table 2).
     #[must_use]
     pub const fn l1_default() -> Self {
-        CacheConfig {
-            size_bytes: 64 * 1024,
-            ways: 4,
-            line_bytes: 64,
-            latency: 2,
-        }
+        CacheConfig { size_bytes: 64 * 1024, ways: 4, line_bytes: 64, latency: 2 }
     }
 
     /// 2 MB, 8-way unified L2 (paper Table 2).
     #[must_use]
     pub const fn l2_default() -> Self {
-        CacheConfig {
-            size_bytes: 2 * 1024 * 1024,
-            ways: 8,
-            line_bytes: 64,
-            latency: 12,
-        }
+        CacheConfig { size_bytes: 2 * 1024 * 1024, ways: 8, line_bytes: 64, latency: 12 }
     }
 }
 
@@ -280,20 +270,18 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = CoreConfig::default();
-        c.iq_size = 31;
+        let c = CoreConfig { iq_size: 31, ..CoreConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = CoreConfig::default();
-        c.int_rf_copies = 4; // 6 ALUs do not divide across 4 copies
+        // 6 ALUs do not divide across 4 copies.
+        let c = CoreConfig { int_rf_copies: 4, ..CoreConfig::default() };
         assert!(c.validate().is_err());
 
         let mut c = CoreConfig::default();
         c.l1d.size_bytes = 60 * 1024;
         assert!(c.validate().is_err());
 
-        let mut c = CoreConfig::default();
-        c.btb_entries = 1000;
+        let c = CoreConfig { btb_entries: 1000, ..CoreConfig::default() };
         assert!(c.validate().is_err());
     }
 

@@ -122,18 +122,14 @@ impl FuPool {
     /// at `rotation` (0 for static priority).
     pub fn int_units_in_order(&self, rotation: usize) -> impl Iterator<Item = usize> + '_ {
         let n = self.int_enabled.len();
-        (0..n)
-            .map(move |i| (i + rotation) % n)
-            .filter(move |&u| self.int_enabled[u])
+        (0..n).map(move |i| (i + rotation) % n).filter(move |&u| self.int_enabled[u])
     }
 
     /// Indices of enabled FP adders, in select-priority order starting at
     /// `rotation`.
     pub fn fp_add_units_in_order(&self, rotation: usize) -> impl Iterator<Item = usize> + '_ {
         let n = self.fp_add_enabled.len();
-        (0..n)
-            .map(move |i| (i + rotation) % n)
-            .filter(move |&u| self.fp_add_enabled[u])
+        (0..n).map(move |i| (i + rotation) % n).filter(move |&u| self.fp_add_enabled[u])
     }
 }
 
@@ -171,12 +167,7 @@ impl RegFileWiring {
     #[must_use]
     pub fn new(mapping: MappingPolicy, alus: usize, copies: usize) -> Self {
         assert!(copies > 0 && alus.is_multiple_of(copies), "ALUs must divide across copies");
-        RegFileWiring {
-            mapping,
-            alus,
-            copies,
-            enabled: vec![true; copies],
-        }
+        RegFileWiring { mapping, alus, copies, enabled: vec![true; copies] }
     }
 
     /// The active mapping policy.
@@ -244,9 +235,7 @@ impl RegFileWiring {
             }
             MappingPolicy::CompletelyBalanced => {
                 let base = alu % self.copies;
-                (0..usize::from(reads))
-                    .map(|i| ((base + i) % self.copies, 1))
-                    .collect()
+                (0..usize::from(reads)).map(|i| ((base + i) % self.copies, 1)).collect()
             }
         }
     }

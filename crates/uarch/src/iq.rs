@@ -103,12 +103,7 @@ impl IssueQueue {
     #[must_use]
     pub fn new(size: usize) -> Self {
         assert!(size >= 4 && size.is_multiple_of(2), "queue size must be an even number >= 4");
-        IssueQueue {
-            slots: vec![None; size],
-            mode: IqMode::Normal,
-            replay_window: 2,
-            occupancy: 0,
-        }
+        IssueQueue { slots: vec![None; size], mode: IqMode::Normal, replay_window: 2, occupancy: 0 }
     }
 
     /// Sets the load-replay safety window (cycles between issue and the
@@ -231,9 +226,7 @@ impl IssueQueue {
     ///
     /// Panics if the position holds no ready entry.
     pub fn mark_issued(&mut self, position: usize, activity: &mut IqActivity) {
-        let entry = self.slots[position]
-            .as_mut()
-            .expect("mark_issued on empty slot");
+        let entry = self.slots[position].as_mut().expect("mark_issued on empty slot");
         assert!(entry.is_ready(), "mark_issued on non-ready entry");
         entry.state = EntryState::Issued { age: 0 };
         activity.payload_accesses += 1; // payload RAM read
@@ -293,9 +286,7 @@ impl IssueQueue {
         // All moves are simultaneous: gaps vacated by this cycle's moves do
         // not cascade within the cycle.
         let s = self.slots.len();
-        let Some(last_occ) = (0..s)
-            .rev()
-            .find(|&r| self.slots[self.position_of_rank(r)].is_some())
+        let Some(last_occ) = (0..s).rev().find(|&r| self.slots[self.position_of_rank(r)].is_some())
         else {
             return;
         };
@@ -369,10 +360,7 @@ impl IssueQueue {
 
     /// Snapshot of all occupied entries (diagnostics).
     pub fn entries(&self) -> impl Iterator<Item = (usize, &IqEntry)> + '_ {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(p, slot)| slot.as_ref().map(|e| (p, e)))
+        self.slots.iter().enumerate().filter_map(|(p, slot)| slot.as_ref().map(|e| (p, e)))
     }
 }
 
@@ -394,11 +382,7 @@ mod tests {
     }
 
     fn waiting_on(rob_id: u32, tag: u32) -> IqEntry {
-        IqEntry {
-            src1_ready: false,
-            src1_tag: Some(tag),
-            ..entry(rob_id)
-        }
+        IqEntry { src1_ready: false, src1_tag: Some(tag), ..entry(rob_id) }
     }
 
     #[test]
@@ -444,10 +428,8 @@ mod tests {
         for i in 0..4 {
             assert!(iq.insert(entry(i), &mut act));
         }
-        let order: Vec<u32> = iq
-            .ready_positions()
-            .map(|p| iq.entry(p).expect("occupied").rob_id)
-            .collect();
+        let order: Vec<u32> =
+            iq.ready_positions().map(|p| iq.entry(p).expect("occupied").rob_id).collect();
         assert_eq!(order, vec![0, 1, 2, 3], "oldest first");
     }
 

@@ -295,8 +295,7 @@ impl Core {
     /// this cost is negligible amortized over a cooling interval; it is
     /// still accounted for.
     pub fn charge_rf_copy_restore(&mut self, copy: usize) {
-        self.activity.int_rf_writes[copy] +=
-            u64::from(powerbalance_isa::INT_ARCH_REGS);
+        self.activity.int_rf_writes[copy] += u64::from(powerbalance_isa::INT_ARCH_REGS);
     }
 
     /// The register-file wiring (mapping policy and turnoff state).
@@ -489,11 +488,8 @@ impl Core {
             SelectPolicy::Static => 0,
             SelectPolicy::RoundRobin => self.rotation % self.cfg.int_alus,
         };
-        let units: Vec<usize> = self
-            .pool
-            .int_units_in_order(rotation)
-            .filter(|&u| self.wiring.alu_usable(u))
-            .collect();
+        let units: Vec<usize> =
+            self.pool.int_units_in_order(rotation).filter(|&u| self.wiring.alu_usable(u)).collect();
         if units.is_empty() {
             return;
         }
@@ -631,10 +627,8 @@ impl Core {
             }
 
             let fetched = self.fetch_queue.pop_front().expect("checked non-empty");
-            let rob_id = self
-                .rob
-                .alloc(fetched.uid, op, fetched.is_redirect)
-                .expect("checked not full");
+            let rob_id =
+                self.rob.alloc(fetched.uid, op, fetched.is_redirect).expect("checked not full");
 
             let src1_tag = op.src1().and_then(|r| self.rename.resolve(r));
             let src2_tag = op.src2().and_then(|r| self.rename.resolve(r));
@@ -815,21 +809,15 @@ mod tests {
         let core = run_ops(ops);
         let per_unit = core.stats().int_issued_per_unit;
         assert!(
-            per_unit[0] >= per_unit[1]
-                && per_unit[1] >= per_unit[2]
-                && per_unit[2] >= per_unit[3],
+            per_unit[0] >= per_unit[1] && per_unit[1] >= per_unit[2] && per_unit[2] >= per_unit[3],
             "static priority must be monotone: {per_unit:?}"
         );
-        assert!(
-            per_unit[0] > 3 * per_unit[5].max(1),
-            "ALU0 should dominate ALU5: {per_unit:?}"
-        );
+        assert!(per_unit[0] > 3 * per_unit[5].max(1), "ALU0 should dominate ALU5: {per_unit:?}");
     }
 
     #[test]
     fn round_robin_spreads_across_alus() {
-        let mut cfg = CoreConfig::default();
-        cfg.select_policy = SelectPolicy::RoundRobin;
+        let cfg = CoreConfig { select_policy: SelectPolicy::RoundRobin, ..CoreConfig::default() };
         let mut core = Core::new(cfg).expect("valid config");
         let ops: Vec<MicroOp> = (0..5000)
             .map(|i| {
@@ -872,8 +860,8 @@ mod tests {
 
     #[test]
     fn disabled_rf_copy_masks_its_alus() {
-        let mut cfg = CoreConfig::default();
-        cfg.mapping = crate::config::MappingPolicy::Priority;
+        let cfg =
+            CoreConfig { mapping: crate::config::MappingPolicy::Priority, ..CoreConfig::default() };
         let mut core = Core::new(cfg).expect("valid config");
         core.set_rf_copy_enabled(0, false);
         let ops: Vec<MicroOp> = (0..2000)
@@ -903,9 +891,7 @@ mod tests {
         };
         // Hot: all loads to one line. Cold: every load to a new L2-missing line.
         let hot: Vec<MicroOp> = (0..500).map(|i| mk_load(i, 0x1000)).collect();
-        let cold: Vec<MicroOp> = (0..500)
-            .map(|i| mk_load(i, 0x4000_0000 + i * 4096))
-            .collect();
+        let cold: Vec<MicroOp> = (0..500).map(|i| mk_load(i, 0x4000_0000 + i * 4096)).collect();
         let hot_core = run_ops(hot);
         let cold_core = run_ops(cold);
         assert!(

@@ -66,12 +66,7 @@ impl ActiveList {
     #[must_use]
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "active list must be non-empty");
-        ActiveList {
-            entries: vec![None; size],
-            head: 0,
-            tail: 0,
-            len: 0,
-        }
+        ActiveList { entries: vec![None; size], head: 0, tail: 0, len: 0 }
     }
 
     /// Capacity.
@@ -106,12 +101,7 @@ impl ActiveList {
         }
         let id = self.tail;
         debug_assert!(self.entries[id].is_none());
-        self.entries[id] = Some(RobEntry {
-            uid,
-            op,
-            state: RobState::Dispatched,
-            is_redirect,
-        });
+        self.entries[id] = Some(RobEntry { uid, op, state: RobState::Dispatched, is_redirect });
         self.tail = (self.tail + 1) % self.entries.len();
         self.len += 1;
         Some(id as u32)
@@ -124,9 +114,7 @@ impl ActiveList {
     /// Panics if the slot is empty.
     #[must_use]
     pub fn entry(&self, rob_id: u32) -> &RobEntry {
-        self.entries[rob_id as usize]
-            .as_ref()
-            .expect("rob_id refers to a freed entry")
+        self.entries[rob_id as usize].as_ref().expect("rob_id refers to a freed entry")
     }
 
     /// Updates the lifecycle state of an entry.
@@ -135,10 +123,8 @@ impl ActiveList {
     ///
     /// Panics if the slot is empty.
     pub fn set_state(&mut self, rob_id: u32, state: RobState) {
-        self.entries[rob_id as usize]
-            .as_mut()
-            .expect("rob_id refers to a freed entry")
-            .state = state;
+        self.entries[rob_id as usize].as_mut().expect("rob_id refers to a freed entry").state =
+            state;
     }
 
     /// The head entry's id if it has completed and may retire.
@@ -156,9 +142,7 @@ impl ActiveList {
     ///
     /// Panics if the list is empty or the head has not completed.
     pub fn retire(&mut self) -> RobEntry {
-        let entry = self.entries[self.head]
-            .take()
-            .expect("retire on empty active list");
+        let entry = self.entries[self.head].take().expect("retire on empty active list");
         assert_eq!(entry.state, RobState::Completed, "in-order commit requires completion");
         self.head = (self.head + 1) % self.entries.len();
         self.len -= 1;
@@ -190,9 +174,7 @@ impl RenameMap {
     /// Creates a map with all registers ready.
     #[must_use]
     pub fn new() -> Self {
-        RenameMap {
-            map: [Producer::Ready; TOTAL_ARCH_REGS as usize],
-        }
+        RenameMap { map: [Producer::Ready; TOTAL_ARCH_REGS as usize] }
     }
 
     /// Resolves a source operand: `None` if the value is ready, or the

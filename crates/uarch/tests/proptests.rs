@@ -1,8 +1,6 @@
 //! Property-based tests on the issue queue and core invariants.
 
-use powerbalance_uarch::{
-    Cache, CacheConfig, EntryState, IqActivity, IqEntry, IqMode, IssueQueue,
-};
+use powerbalance_uarch::{Cache, CacheConfig, EntryState, IqActivity, IqEntry, IqMode, IssueQueue};
 use proptest::prelude::*;
 
 fn entry(rob_id: u32) -> IqEntry {

@@ -115,9 +115,9 @@ impl TraceGenerator {
             *slot = acc;
         }
         class_cdf[7] = 1.0 + f64::EPSILON; // guard against rounding
-        // One branch terminates each block of `len` non-branch ops, so the
-        // realized branch fraction is E[1/(len+1)]. Keeping len within +/-1
-        // of its mean makes that expectation track 1/(mean+1) closely.
+                                           // One branch terminates each block of `len` non-branch ops, so the
+                                           // realized branch fraction is E[1/(len+1)]. Keeping len within +/-1
+                                           // of its mean makes that expectation track 1/(mean+1) closely.
         let mean_block_len = if mix.branch > 0.0 {
             (total / mix.branch - 1.0).round().max(2.0) as u64
         } else {
@@ -125,11 +125,8 @@ impl TraceGenerator {
         };
 
         let fp_weight = mix.fp_add + mix.fp_mul + mix.fp_div;
-        let fp_load_fraction = if fp_weight > 0.0 {
-            (fp_weight / total * 2.0).min(0.8)
-        } else {
-            0.0
-        };
+        let fp_load_fraction =
+            if fp_weight > 0.0 { (fp_weight / total * 2.0).min(0.8) } else { 0.0 };
 
         let mut int_ring = [0u8; DEST_REG_POOL as usize];
         let mut fp_ring = [0u8; DEST_REG_POOL as usize];
@@ -290,11 +287,7 @@ impl TraceGenerator {
 impl TraceSource for TraceGenerator {
     fn next_op(&mut self) -> Option<MicroOp> {
         let hot = self.profile.phases().is_hot(self.op_index);
-        let dep_mean = if hot {
-            self.profile.dep_mean_hot()
-        } else {
-            self.profile.dep_mean_cold()
-        };
+        let dep_mean = if hot { self.profile.dep_mean_hot() } else { self.profile.dep_mean_cold() };
         let imm = self.profile.immediate_fraction();
         if self.op_index == 0 {
             self.ops_left_in_block = self.block_len(self.pc);
@@ -383,10 +376,7 @@ mod tests {
     use crate::{MemLocality, OpMix, PhaseModel};
 
     fn toy_profile() -> WorkloadProfile {
-        WorkloadProfile::builder("toy")
-            .mix(OpMix::integer_heavy())
-            .dependency_distance(5.0)
-            .build()
+        WorkloadProfile::builder("toy").mix(OpMix::integer_heavy()).dependency_distance(5.0).build()
     }
 
     fn collect(profile: &WorkloadProfile, seed: u64, n: usize) -> Vec<MicroOp> {
@@ -424,7 +414,9 @@ mod tests {
         let fp_loads = ops
             .iter()
             .filter(|o| o.class() == OpClass::Load)
-            .filter(|o| o.dest().map(|d| d.class() == powerbalance_isa::RegClass::Fp).unwrap_or(false))
+            .filter(|o| {
+                o.dest().map(|d| d.class() == powerbalance_isa::RegClass::Fp).unwrap_or(false)
+            })
             .count();
         assert!(fp_loads > 0, "some loads should feed the FP side");
     }
@@ -447,12 +439,9 @@ mod tests {
 
     #[test]
     fn locality_controls_address_regions() {
-        let friendly = WorkloadProfile::builder("f")
-            .locality(MemLocality::cache_friendly())
-            .build();
-        let bound = WorkloadProfile::builder("b")
-            .locality(MemLocality::memory_bound())
-            .build();
+        let friendly =
+            WorkloadProfile::builder("f").locality(MemLocality::cache_friendly()).build();
+        let bound = WorkloadProfile::builder("b").locality(MemLocality::memory_bound()).build();
         let count_cold = |p: &WorkloadProfile| {
             collect(p, 9, 50_000)
                 .iter()
@@ -474,10 +463,8 @@ mod tests {
 
     #[test]
     fn branch_outcomes_follow_bias() {
-        let easy = WorkloadProfile::builder("easy")
-            .hard_branches(0.0)
-            .code_footprint(2 * 1024)
-            .build();
+        let easy =
+            WorkloadProfile::builder("easy").hard_branches(0.0).code_footprint(2 * 1024).build();
         let ops = collect(&easy, 13, 200_000);
         // Group outcomes by static branch PC; biased branches should be
         // strongly one-sided.

@@ -34,10 +34,7 @@ impl PhaseModel {
     /// A workload with no phase structure: always in the hot (nominal) phase.
     #[must_use]
     pub const fn steady() -> Self {
-        PhaseModel {
-            period_ops: 1,
-            hot_fraction: 1.0,
-        }
+        PhaseModel { period_ops: 1, hot_fraction: 1.0 }
     }
 
     /// A bursty workload: each period of `period_ops` dynamic instructions
@@ -49,14 +46,8 @@ impl PhaseModel {
     #[must_use]
     pub fn bursty(period_ops: u64, hot_fraction: f64) -> Self {
         assert!(period_ops > 0, "period must be positive");
-        assert!(
-            (0.0..=1.0).contains(&hot_fraction),
-            "hot_fraction must be in [0,1]"
-        );
-        PhaseModel {
-            period_ops,
-            hot_fraction,
-        }
+        assert!((0.0..=1.0).contains(&hot_fraction), "hot_fraction must be in [0,1]");
+        PhaseModel { period_ops, hot_fraction }
     }
 
     /// Whether the instruction at dynamic index `op_index` falls in the hot

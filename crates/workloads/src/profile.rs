@@ -122,19 +122,13 @@ impl MemLocality {
     /// misses are rare enough that the 128-entry active list hides them.
     #[must_use]
     pub const fn cache_friendly() -> Self {
-        MemLocality {
-            p_hot: 0.988,
-            p_warm: 0.011,
-        }
+        MemLocality { p_hot: 0.988, p_warm: 0.011 }
     }
 
     /// Memory-bound locality: frequent L2 and memory misses (mcf-like).
     #[must_use]
     pub const fn memory_bound() -> Self {
-        MemLocality {
-            p_hot: 0.70,
-            p_warm: 0.12,
-        }
+        MemLocality { p_hot: 0.70, p_warm: 0.12 }
     }
 
     /// Probability an access misses to main memory.
@@ -364,7 +358,10 @@ impl WorkloadProfileBuilder {
         let p = self.profile;
         assert!(!p.mix.is_degenerate(), "degenerate op mix for '{}'", p.name);
         assert!(!p.locality.is_degenerate(), "degenerate locality for '{}'", p.name);
-        assert!(p.dep_mean_hot >= 1.0 && p.dep_mean_cold >= 1.0, "dependency distance must be >= 1");
+        assert!(
+            p.dep_mean_hot >= 1.0 && p.dep_mean_cold >= 1.0,
+            "dependency distance must be >= 1"
+        );
         assert!((0.0..=1.0).contains(&p.immediate_fraction), "immediate_fraction out of range");
         assert!((0.0..=1.0).contains(&p.hard_branch_fraction), "hard_branch_fraction out of range");
         assert!(p.code_footprint >= 1024, "code footprint must be at least 1 KiB");

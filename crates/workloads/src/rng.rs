@@ -38,18 +38,13 @@ impl Xoshiro256 {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        Xoshiro256 {
-            s: [next_sm(), next_sm(), next_sm(), next_sm()],
-        }
+        Xoshiro256 { s: [next_sm(), next_sm(), next_sm(), next_sm()] }
     }
 
     /// Next uniformly distributed 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

@@ -31,9 +31,8 @@ pub const ALL: [&str; 22] = [
 ];
 
 /// Integer-side SPEC2000 benchmarks among [`ALL`].
-pub const INTEGER: [&str; 11] = [
-    "bzip", "crafty", "eon", "gcc", "gzip", "mcf", "parser", "perlbmk", "twolf", "vortex", "vpr",
-];
+pub const INTEGER: [&str; 11] =
+    ["bzip", "crafty", "eon", "gcc", "gzip", "mcf", "parser", "perlbmk", "twolf", "vortex", "vpr"];
 
 /// Floating-point SPEC2000 benchmarks among [`ALL`].
 pub const FLOATING_POINT: [&str; 11] = [
@@ -226,9 +225,7 @@ pub fn by_name(name: &str) -> Option<WorkloadProfile> {
 /// ```
 #[must_use]
 pub fn all_profiles() -> Vec<WorkloadProfile> {
-    ALL.iter()
-        .map(|name| by_name(name).expect("ALL names are all defined"))
-        .collect()
+    ALL.iter().map(|name| by_name(name).expect("ALL names are all defined")).collect()
 }
 
 #[cfg(test)]
@@ -246,7 +243,8 @@ mod tests {
 
     #[test]
     fn int_fp_partition_is_exact() {
-        let mut combined: Vec<&str> = INTEGER.iter().chain(FLOATING_POINT.iter()).copied().collect();
+        let mut combined: Vec<&str> =
+            INTEGER.iter().chain(FLOATING_POINT.iter()).copied().collect();
         combined.sort_unstable();
         let mut all: Vec<&str> = ALL.to_vec();
         all.sort_unstable();
@@ -268,9 +266,8 @@ mod tests {
     fn fp_benchmarks_emit_fp_ops() {
         for name in FLOATING_POINT {
             let mut gen = by_name(name).expect("profile").trace(1);
-            let fp_count = (0..5000)
-                .filter(|_| gen.next_op().expect("infinite").class().is_fp())
-                .count();
+            let fp_count =
+                (0..5000).filter(|_| gen.next_op().expect("infinite").class().is_fp()).count();
             assert!(fp_count > 500, "{name} produced only {fp_count} FP ops");
         }
     }

@@ -28,15 +28,8 @@ fn arbitrary_mix() -> impl Strategy<Value = OpMix> {
 }
 
 fn arbitrary_profile() -> impl Strategy<Value = WorkloadProfile> {
-    (
-        arbitrary_mix(),
-        1.0f64..20.0,
-        0.0f64..0.6,
-        0.0f64..0.3,
-        0.5f64..0.99,
-        1u64..8,
-    )
-        .prop_map(|(mix, dep, imm, hard, p_hot, footprint_kib)| {
+    (arbitrary_mix(), 1.0f64..20.0, 0.0f64..0.6, 0.0f64..0.3, 0.5f64..0.99, 1u64..8).prop_map(
+        |(mix, dep, imm, hard, p_hot, footprint_kib)| {
             let p_warm = (1.0 - p_hot) * 0.5;
             WorkloadProfile::builder("prop")
                 .mix(mix)
@@ -46,7 +39,8 @@ fn arbitrary_profile() -> impl Strategy<Value = WorkloadProfile> {
                 .locality(MemLocality { p_hot, p_warm })
                 .code_footprint(footprint_kib * 1024)
                 .build()
-        })
+        },
+    )
 }
 
 proptest! {

@@ -47,10 +47,7 @@ fn main() -> Result<(), Error> {
         println!();
         print!("  per-ALU avg temp:    ");
         for i in 0..6 {
-            print!(
-                "{:>6.1}K ",
-                result.avg_temp(&format!("IntExec{i}")).expect("block exists")
-            );
+            print!("{:>6.1}K ", result.avg_temp(&format!("IntExec{i}")).expect("block exists"));
         }
         println!("\n");
         if base_ipc.is_none() {

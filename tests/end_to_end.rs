@@ -34,8 +34,7 @@ fn constrained_floorplans_make_the_right_resource_hottest() {
         (FloorplanKind::RegfileConstrained, "eon", "IntReg"),
     ];
     for (kind, bench, prefix) in cases {
-        let mut cfg = SimConfig::default();
-        cfg.floorplan = kind;
+        let mut cfg = SimConfig { floorplan: kind, ..SimConfig::default() };
         // Disable thermal stalls so the steady state is observable.
         cfg.mitigation.thresholds.max_temp = 10_000.0;
         let mut s = sim(cfg);
@@ -86,8 +85,7 @@ fn memory_bound_benchmarks_never_overheat() {
         FloorplanKind::RegfileConstrained,
     ] {
         for bench in ["art", "mcf"] {
-            let mut cfg = SimConfig::default();
-            cfg.floorplan = kind;
+            let cfg = SimConfig { floorplan: kind, ..SimConfig::default() };
             let mut s = sim(cfg);
             let r = s.run(&mut spec2000::by_name(bench).expect("profile").trace(42), 300_000);
             assert_eq!(r.freezes, 0, "{bench} on {kind:?} should stay cool");

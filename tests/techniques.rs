@@ -21,13 +21,12 @@ fn toggling_balances_queue_half_temperatures() {
     // Paper Table 4: toggling equalizes the halves.
     let base = ipc(experiments::issue_queue(false), "eon");
     let tog = ipc(experiments::issue_queue(true), "eon");
-    let base_gap = (base.avg_temp("IntQ1").expect("block") - base.avg_temp("IntQ0").expect("block")).abs();
-    let tog_gap = (tog.avg_temp("IntQ1").expect("block") - tog.avg_temp("IntQ0").expect("block")).abs();
+    let base_gap =
+        (base.avg_temp("IntQ1").expect("block") - base.avg_temp("IntQ0").expect("block")).abs();
+    let tog_gap =
+        (tog.avg_temp("IntQ1").expect("block") - tog.avg_temp("IntQ0").expect("block")).abs();
     assert!(tog.toggles > 0, "eon must trigger toggles");
-    assert!(
-        tog_gap < base_gap,
-        "toggling must shrink the half gap: {tog_gap:.2} vs {base_gap:.2}"
-    );
+    assert!(tog_gap < base_gap, "toggling must shrink the half gap: {tog_gap:.2} vs {base_gap:.2}");
 }
 
 #[test]
@@ -105,9 +104,8 @@ fn static_priority_concentrates_heat_on_alu0() {
 #[test]
 fn round_robin_equalizes_alu_temperatures() {
     let r = ipc(experiments::alu(AluPolicy::RoundRobin), "perlbmk");
-    let temps: Vec<f64> = (0..6)
-        .map(|i| r.avg_temp(&format!("IntExec{i}")).expect("block"))
-        .collect();
+    let temps: Vec<f64> =
+        (0..6).map(|i| r.avg_temp(&format!("IntExec{i}")).expect("block")).collect();
     let spread = temps.iter().cloned().fold(f64::MIN, f64::max)
         - temps.iter().cloned().fold(f64::MAX, f64::min);
     assert!(spread < 1.5, "round-robin should flatten ALU temps, spread {spread:.2}");
@@ -141,8 +139,10 @@ fn priority_mapping_with_turnoff_is_the_best_combination() {
 fn balanced_mapping_equalizes_copy_temperatures() {
     let bal = ipc(experiments::regfile(MappingPolicy::Balanced, false), "eon");
     let prio = ipc(experiments::regfile(MappingPolicy::Priority, false), "eon");
-    let bal_gap = (bal.avg_temp("IntReg0").expect("block") - bal.avg_temp("IntReg1").expect("block")).abs();
-    let prio_gap = (prio.avg_temp("IntReg0").expect("block") - prio.avg_temp("IntReg1").expect("block")).abs();
+    let bal_gap =
+        (bal.avg_temp("IntReg0").expect("block") - bal.avg_temp("IntReg1").expect("block")).abs();
+    let prio_gap =
+        (prio.avg_temp("IntReg0").expect("block") - prio.avg_temp("IntReg1").expect("block")).abs();
     assert!(
         bal_gap < prio_gap,
         "balanced mapping must equalize the copies: {bal_gap:.2} vs {prio_gap:.2}"

@@ -1,0 +1,606 @@
+//! A small, complete JSON value model, writer, and parser.
+//!
+//! This is the workspace's serializer for machine-readable artifacts
+//! (`--json` campaign outputs). Numbers distinguish unsigned, signed, and
+//! floating-point so `u64` counters round-trip exactly; non-finite floats
+//! serialize as `null` (JSON has no representation for them).
+
+use std::fmt;
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer literal.
+    U64(u64),
+    /// A negative integer literal.
+    I64(i64),
+    /// A floating-point literal.
+    F64(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, preserving insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error { message: message.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    /// Looks up a field of an object, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a required object field.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not an object or lacks `key`.
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key).ok_or_else(|| Error::custom(format!("missing field '{key}'")))
+    }
+
+    /// The elements of an array.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not an array.
+    pub fn as_array(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(other.type_error("array")),
+        }
+    }
+
+    /// The `idx`-th element of an array.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not an array or is too short.
+    pub fn item(&self, idx: usize) -> Result<&Value, Error> {
+        self.as_array()?
+            .get(idx)
+            .ok_or_else(|| Error::custom(format!("missing array element {idx}")))
+    }
+
+    /// The string payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a string.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => Err(other.type_error("string")),
+        }
+    }
+
+    /// The boolean payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a boolean.
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(other.type_error("boolean")),
+        }
+    }
+
+    /// The value as an unsigned integer (accepting integral floats).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a non-negative integer.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match self {
+            Value::U64(n) => Ok(*n),
+            Value::I64(n) if *n >= 0 => Ok(*n as u64),
+            Value::F64(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Ok(*x as u64)
+            }
+            other => Err(other.type_error("unsigned integer")),
+        }
+    }
+
+    /// The value as a signed integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not an integer in `i64` range.
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match self {
+            Value::I64(n) => Ok(*n),
+            Value::U64(n) => {
+                i64::try_from(*n).map_err(|_| Error::custom(format!("{n} overflows i64")))
+            }
+            Value::F64(x) if x.fract() == 0.0 && x.abs() <= i64::MAX as f64 => Ok(*x as i64),
+            other => Err(other.type_error("integer")),
+        }
+    }
+
+    /// The value as a float (accepting any numeric; `null` maps to NaN,
+    /// mirroring how non-finite floats are written).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not numeric or `null`.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(other.type_error("number")),
+        }
+    }
+
+    fn type_error(&self, expected: &str) -> Error {
+        let found = match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        Error::custom(format!("expected {expected}, found {found}"))
+    }
+
+    /// Writes compact JSON into `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::I64(n) => out.push_str(&n.to_string()),
+            Value::F64(x) => write_f64(*x, out),
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Writes human-readable JSON (two-space indent) into `out`.
+    pub fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Value::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed input or trailing garbage.
+    pub fn parse(input: &str) -> Result<Value, Error> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::custom(format!("trailing characters at byte {}", p.pos)));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // `{}` on f64 is the shortest representation that round-trips.
+        out.push_str(&x.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: crate::Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    value.serialize().write(&mut out);
+    out
+}
+
+/// Serializes `value` as pretty-printed JSON with a trailing newline.
+pub fn to_string_pretty<T: crate::Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    value.serialize().write_pretty(&mut out, 0);
+    out.push('\n');
+    out
+}
+
+/// Parses `input` and deserializes it as `T`.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: for<'de> crate::Deserialize<'de>>(input: &str) -> Result<T, Error> {
+    T::deserialize(&Value::parse(input)?)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!("expected '{}' at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(Error::custom(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::custom(format!("expected ',' or ']' at byte {}", self.pos)))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(Error::custom(format!("expected ',' or '}}' at byte {}", self.pos)))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Decode surrogate pairs; lone surrogates map to
+                            // the replacement character.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.eat_literal("\\u") {
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined).unwrap_or('\u{FFFD}')
+                                } else {
+                                    '\u{FFFD}'
+                                }
+                            } else {
+                                char::from_u32(cp).unwrap_or('\u{FFFD}')
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(Error::custom("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 character (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s =
+                        std::str::from_utf8(rest).map_err(|_| Error::custom("invalid utf-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::custom("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::custom("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::custom(format!("invalid number '{text}'")))
+        } else if negative {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| Error::custom(format!("invalid number '{text}'")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error::custom(format!("invalid number '{text}'")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Value::parse("null").unwrap(), Value::Null);
+        assert_eq!(Value::parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(Value::parse("42").unwrap(), Value::U64(42));
+        assert_eq!(Value::parse("-3").unwrap(), Value::I64(-3));
+        assert_eq!(Value::parse("2.5").unwrap(), Value::F64(2.5));
+        assert_eq!(Value::parse("1e3").unwrap(), Value::F64(1000.0));
+        assert_eq!(Value::parse("\"a\\nb\"").unwrap(), Value::String("a\nb".to_string()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = Value::parse(r#"{"a": [1, {"b": "x"}], "c": null}"#).unwrap();
+        assert_eq!(v.field("a").unwrap().item(0).unwrap().as_u64().unwrap(), 1);
+        assert_eq!(
+            v.field("a").unwrap().item(1).unwrap().field("b").unwrap().as_str().unwrap(),
+            "x"
+        );
+        assert_eq!(*v.field("c").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::String("quote\"and\\slash\n".to_string())),
+            ("counts".to_string(), Value::Array(vec![Value::U64(u64::MAX), Value::I64(-1)])),
+            ("ipc".to_string(), Value::F64(0.123456789012345)),
+            ("none".to_string(), Value::Null),
+            ("unicode".to_string(), Value::String("héllo ☃".to_string())),
+        ]);
+        let mut compact = String::new();
+        v.write(&mut compact);
+        assert_eq!(Value::parse(&compact).unwrap(), v);
+        let mut pretty = String::new();
+        v.write_pretty(&mut pretty, 0);
+        assert_eq!(Value::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        Value::F64(f64::NAN).write(&mut out);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("1 2").is_err());
+        assert!(Value::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(Value::parse(r#""😀""#).unwrap(), Value::String("😀".to_string()));
+    }
+}

@@ -1,0 +1,268 @@
+//! Vendored, offline stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the handful of external dependencies are vendored as minimal in-repo
+//! implementations (see `DESIGN.md` §7). This crate implements the subset of
+//! serde the workspace actually uses:
+//!
+//! * [`Serialize`] / [`Deserialize`] traits over a self-describing
+//!   [`json::Value`] data model (rather than serde's visitor machinery);
+//! * `#[derive(Serialize, Deserialize)]` via the companion `serde_derive`
+//!   proc-macro crate (enabled by the `derive` feature, mirroring upstream);
+//! * a complete JSON writer/parser in [`json`], which is the workspace's
+//!   serializer for `--json` campaign artifacts.
+//!
+//! The API is deliberately simpler than upstream serde: `serialize` builds a
+//! [`json::Value`] tree and `deserialize` reads one back. Every type in this
+//! workspace derives both, so swapping in the real serde later only requires
+//! reverting the workspace dependency entry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Value};
+
+/// A type that can be converted into a [`json::Value`] tree.
+pub trait Serialize {
+    /// Builds the value tree representing `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`json::Value`] tree.
+///
+/// The lifetime parameter mirrors upstream serde's `Deserialize<'de>` so
+/// that trait bounds written against real serde keep compiling; this
+/// implementation never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`json::Error`] if the value's shape does not match `Self`.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value.as_u64()?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "{n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let n = value.as_u64()?;
+        usize::try_from(n).map_err(|_| Error::custom(format!("{n} out of range for usize")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::I64(i64::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value.as_i64()?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "{n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.as_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_bool()
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.as_str()?.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_array()?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value.as_array()?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of {N} elements, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        parsed.try_into().map_err(|_| Error::custom("array length changed during parse"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value.as_array()?;
+        if items.len() != 2 {
+            return Err(Error::custom("expected 2-element array"));
+        }
+        Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0u64, 1, u64::MAX] {
+            let round: u64 = u64::deserialize(&v.serialize()).unwrap();
+            assert_eq!(round, v);
+        }
+        assert_eq!(i64::deserialize(&(-5i64).serialize()).unwrap(), -5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        let round: f64 = f64::deserialize(&1.25f64.serialize()).unwrap();
+        assert_eq!(round, 1.25);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()).unwrap(), v);
+        let a = [7u64; 4];
+        assert_eq!(<[u64; 4]>::deserialize(&a.serialize()).unwrap(), a);
+        let o: Option<String> = Some("hi".to_string());
+        assert_eq!(Option::<String>::deserialize(&o.serialize()).unwrap(), o);
+        let n: Option<String> = None;
+        assert_eq!(Option::<String>::deserialize(&n.serialize()).unwrap(), n);
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        assert!(u8::deserialize(&Value::U64(300)).is_err());
+        assert!(<[u64; 2]>::deserialize(&vec![1u64].serialize()).is_err());
+    }
+}

@@ -1,0 +1,375 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored in-repo serde.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build has
+//! no `syn`/`quote`), covering the shapes this workspace uses:
+//!
+//! * structs with named fields (any visibility);
+//! * tuple structs (newtypes serialize transparently, larger tuples as
+//!   arrays);
+//! * enums with unit, struct, and tuple variants, externally tagged like
+//!   upstream serde (`"Variant"` for unit, `{"Variant": ...}` otherwise).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported; deriving on
+//! such an item is a compile error with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::json::Value::Object(::std::vec![{pushes}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: String =
+                (0..*n).map(|i| format!("::serde::Serialize::serialize(&self.{i}),")).collect();
+            format!("::serde::json::Value::Array(::std::vec![{items}])")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| v.serialize_arm(&item.name)).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::json::Value {{ {body} }}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(__v.field(\"{f}\")?)?,"))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(__v.item({i})?)?,"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({inits}))")
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),", vn = v.name)
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, VariantFields::Unit))
+                .map(|v| v.deserialize_tagged_arm(name))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::json::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::json::Error::custom(\n\
+                             ::std::format!(\"unknown variant '{{__other}}' for {name}\"))),\n\
+                     }},\n\
+                     ::serde::json::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__fields[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::json::Error::custom(\n\
+                                 ::std::format!(\"unknown variant '{{__other}}' for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::json::Error::custom(\n\
+                         \"expected string or single-key object for enum {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize(__v: &::serde::json::Value)\n\
+                 -> ::std::result::Result<Self, ::serde::json::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+impl Variant {
+    fn serialize_arm(&self, enum_name: &str) -> String {
+        let vn = &self.name;
+        match &self.fields {
+            VariantFields::Unit => format!(
+                "{enum_name}::{vn} => ::serde::json::Value::String(\
+                     ::std::string::String::from(\"{vn}\")),"
+            ),
+            VariantFields::Named(fields) => {
+                let binds = fields.join(", ");
+                let pushes: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::serialize({f})),"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{enum_name}::{vn} {{ {binds} }} => ::serde::json::Value::Object(\
+                         ::std::vec![(::std::string::String::from(\"{vn}\"), \
+                         ::serde::json::Value::Object(::std::vec![{pushes}]))]),"
+                )
+            }
+            VariantFields::Tuple(1) => format!(
+                "{enum_name}::{vn}(__x0) => ::serde::json::Value::Object(\
+                     ::std::vec![(::std::string::String::from(\"{vn}\"), \
+                     ::serde::Serialize::serialize(__x0))]),"
+            ),
+            VariantFields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                let items: String =
+                    binds.iter().map(|b| format!("::serde::Serialize::serialize({b}),")).collect();
+                format!(
+                    "{enum_name}::{vn}({binds}) => ::serde::json::Value::Object(\
+                         ::std::vec![(::std::string::String::from(\"{vn}\"), \
+                         ::serde::json::Value::Array(::std::vec![{items}]))]),",
+                    binds = binds.join(", ")
+                )
+            }
+        }
+    }
+
+    fn deserialize_tagged_arm(&self, enum_name: &str) -> String {
+        let vn = &self.name;
+        match &self.fields {
+            VariantFields::Unit => unreachable!("unit variants deserialize from strings"),
+            VariantFields::Named(fields) => {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!("{f}: ::serde::Deserialize::deserialize(__inner.field(\"{f}\")?)?,")
+                    })
+                    .collect();
+                format!("\"{vn}\" => ::std::result::Result::Ok({enum_name}::{vn} {{ {inits} }}),")
+            }
+            VariantFields::Tuple(1) => format!(
+                "\"{vn}\" => ::std::result::Result::Ok({enum_name}::{vn}(\
+                     ::serde::Deserialize::deserialize(__inner)?)),"
+            ),
+            VariantFields::Tuple(n) => {
+                let inits: String = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(__inner.item({i})?)?,"))
+                    .collect();
+                format!("\"{vn}\" => ::std::result::Result::Ok({enum_name}::{vn}({inits})),")
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected 'struct' or 'enum', found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item { name, shape: Shape::NamedStruct(parse_named_fields(g.stream())) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item { name, shape: Shape::TupleStruct(count_tuple_fields(g.stream())) }
+            }
+            _ => panic!("serde_derive: unit struct `{name}` has nothing to serialize"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item { name, shape: Shape::Enum(parse_variants(g.stream())) }
+            }
+            _ => panic!("serde_derive: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive: cannot derive for '{other}' items"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`, doc comments) and any
+/// visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attributes_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from the token stream of a `{ ... }` field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        }
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected ':' after field name, found {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` (tracks `<...>`
+/// nesting, which is punctuation rather than a token group).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive: explicit discriminants are not supported");
+        }
+        variants.push(Variant { name, fields });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
