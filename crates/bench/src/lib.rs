@@ -29,6 +29,12 @@ OPTIONS:
   --threads <n>   worker-pool size     [POWERBALANCE_THREADS or all cores]
   --json <path>   also write the full campaign results as JSON
   --quiet         suppress per-job progress lines on stderr
+  --warmup <n>    mitigation-free warmup cycles per run, shared across
+                  configs differing only in mitigation          [0]
+  --checkpoint-dir <dir>
+                  persist warmup snapshots under <dir>
+  --resume        load matching warmup snapshots from --checkpoint-dir
+  --no-warm-cache compute every warmup privately (no sharing)
   --help          show this help";
 
 /// Command-line arguments common to every bench binary.
@@ -44,6 +50,14 @@ pub struct BenchArgs {
     pub json: Option<PathBuf>,
     /// Suppress per-job progress lines (`--quiet`).
     pub quiet: bool,
+    /// Mitigation-free warmup cycles before each measured run (`--warmup`).
+    pub warmup: u64,
+    /// Warmup-snapshot checkpoint directory (`--checkpoint-dir`).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Load matching snapshots from the checkpoint dir (`--resume`).
+    pub resume: bool,
+    /// Share warmup snapshots across jobs (`--no-warm-cache` clears it).
+    pub warm_cache: bool,
 }
 
 impl Default for BenchArgs {
@@ -54,6 +68,10 @@ impl Default for BenchArgs {
             threads: None,
             json: None,
             quiet: false,
+            warmup: 0,
+            checkpoint_dir: None,
+            resume: false,
+            warm_cache: true,
         }
     }
 }
@@ -85,9 +103,21 @@ impl BenchArgs {
                 }
                 "--json" => parsed.json = Some(PathBuf::from(value("--json")?)),
                 "--quiet" => parsed.quiet = true,
+                "--warmup" => {
+                    parsed.warmup =
+                        value("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?;
+                }
+                "--checkpoint-dir" => {
+                    parsed.checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")?));
+                }
+                "--resume" => parsed.resume = true,
+                "--no-warm-cache" => parsed.warm_cache = false,
                 "--help" | "-h" => return Err("help".to_string()),
                 other => return Err(format!("unknown flag '{other}'")),
             }
+        }
+        if parsed.resume && parsed.checkpoint_dir.is_none() {
+            return Err("--resume requires --checkpoint-dir".to_string());
         }
         Ok(parsed)
     }
@@ -113,16 +143,23 @@ impl BenchArgs {
         }
     }
 
-    /// Starts a campaign spec carrying this invocation's cycles and seed.
+    /// Starts a campaign spec carrying this invocation's cycles, seed, and
+    /// warmup budget.
     #[must_use]
     pub fn spec(&self, name: &str) -> CampaignSpec {
-        CampaignSpec::new(name).cycles(self.cycles).seed(self.seed)
+        CampaignSpec::new(name).cycles(self.cycles).seed(self.seed).warmup(self.warmup)
     }
 
     /// The runner options for this invocation.
     #[must_use]
     pub fn runner_options(&self) -> RunnerOptions {
-        RunnerOptions { threads: self.threads, progress: !self.quiet }
+        RunnerOptions {
+            threads: self.threads,
+            progress: !self.quiet,
+            warm_cache: self.warm_cache,
+            checkpoint_dir: self.checkpoint_dir.clone(),
+            resume: self.resume,
+        }
     }
 
     /// Runs `spec` on the worker pool.
@@ -216,11 +253,39 @@ mod tests {
 
     #[test]
     fn spec_carries_cycles_and_seed() {
-        let a = BenchArgs { cycles: 123, seed: 9, ..BenchArgs::default() };
+        let a = BenchArgs { cycles: 123, seed: 9, warmup: 4_000, ..BenchArgs::default() };
         let spec = a.spec("t");
         assert_eq!(spec.cycles, 123);
         assert_eq!(spec.seed, 9);
+        assert_eq!(spec.warmup_cycles, 4_000);
         assert_eq!(spec.name, "t");
+    }
+
+    #[test]
+    fn warm_start_flags_parse_and_reach_the_runner() {
+        let a = BenchArgs::parse_from(&strs(&[
+            "--warmup",
+            "20000",
+            "--checkpoint-dir",
+            "ckpts",
+            "--resume",
+            "--no-warm-cache",
+        ]))
+        .expect("valid command line");
+        assert_eq!(a.warmup, 20_000);
+        assert_eq!(a.checkpoint_dir.as_deref(), Some(std::path::Path::new("ckpts")));
+        assert!(a.resume);
+        assert!(!a.warm_cache);
+        let opts = a.runner_options();
+        assert!(!opts.warm_cache);
+        assert!(opts.resume);
+        assert_eq!(opts.checkpoint_dir.as_deref(), Some(std::path::Path::new("ckpts")));
+    }
+
+    #[test]
+    fn resume_requires_a_checkpoint_dir() {
+        let err = BenchArgs::parse_from(&strs(&["--resume"])).expect_err("must be rejected");
+        assert!(err.contains("--checkpoint-dir"), "unexpected message: {err}");
     }
 
     #[test]

@@ -43,6 +43,14 @@ USAGE:
       --threads <n>         worker-pool size for multi-benchmark runs
                             [POWERBALANCE_THREADS or all cores]
       --json <path>         write the full campaign results as JSON
+      --warmup <n>          mitigation-free warmup cycles before the
+                            measured run (shared across runs that differ
+                            only in mitigation)                [0]
+      --checkpoint-dir <d>  persist warmup snapshots under <d>
+      --resume              load matching warmup snapshots from
+                            --checkpoint-dir instead of recomputing
+      --no-warm-cache       compute every warmup privately (disables
+                            snapshot sharing and --checkpoint-dir)
 
 EXAMPLES:
   powerbalance run --bench eon --floorplan issue --toggling
@@ -83,6 +91,10 @@ struct RunArgs {
     seed: u64,
     threads: Option<usize>,
     json: Option<PathBuf>,
+    warmup: u64,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    warm_cache: bool,
 }
 
 fn parse_run(args: &[String]) -> Result<RunArgs, String> {
@@ -97,6 +109,10 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut max_temp = 358.0f64;
     let mut threads = None;
     let mut json = None;
+    let mut warmup = 0u64;
+    let mut checkpoint_dir = None;
+    let mut resume = false;
+    let mut warm_cache = true;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -135,6 +151,12 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
                 threads = Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?)
             }
             "--json" => json = Some(PathBuf::from(value("--json")?)),
+            "--warmup" => {
+                warmup = value("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?
+            }
+            "--checkpoint-dir" => checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")?)),
+            "--resume" => resume = true,
+            "--no-warm-cache" => warm_cache = false,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -188,7 +210,23 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         label.push_str("+round-robin");
     }
 
-    Ok(RunArgs { benches, label, config, cycles, seed, threads, json })
+    if resume && checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint-dir".to_string());
+    }
+
+    Ok(RunArgs {
+        benches,
+        label,
+        config,
+        cycles,
+        seed,
+        threads,
+        json,
+        warmup,
+        checkpoint_dir,
+        resume,
+        warm_cache,
+    })
 }
 
 fn run(args: RunArgs) -> Result<(), String> {
@@ -196,8 +234,15 @@ fn run(args: RunArgs) -> Result<(), String> {
         .config(&args.label, args.config)
         .benchmarks(args.benches)
         .cycles(args.cycles)
-        .seed(args.seed);
-    let options = RunnerOptions { threads: args.threads, progress: spec.job_count() > 1 };
+        .seed(args.seed)
+        .warmup(args.warmup);
+    let options = RunnerOptions {
+        threads: args.threads,
+        progress: spec.job_count() > 1,
+        warm_cache: args.warm_cache,
+        checkpoint_dir: args.checkpoint_dir,
+        resume: args.resume,
+    };
     let campaign = run_campaign(&spec, &options).map_err(|e| e.to_string())?;
 
     for (i, job) in campaign.jobs.iter().enumerate() {
@@ -302,6 +347,33 @@ mod tests {
         let a = parse_run(&strs(&["--bench", "perlbmk", "--round-robin"])).expect("valid");
         assert!(a.config.mitigation.alu_turnoff);
         assert_eq!(a.config.core.select_policy, powerbalance::SelectPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn warmup_and_checkpoint_flags_parse() {
+        let a = parse_run(&strs(&[
+            "--bench",
+            "eon",
+            "--warmup",
+            "300000",
+            "--checkpoint-dir",
+            "ckpt",
+            "--resume",
+        ]))
+        .expect("valid");
+        assert_eq!(a.warmup, 300_000);
+        assert_eq!(a.checkpoint_dir.as_deref(), Some(std::path::Path::new("ckpt")));
+        assert!(a.resume);
+        assert!(a.warm_cache);
+
+        let b = parse_run(&strs(&["--bench", "eon", "--no-warm-cache"])).expect("valid");
+        assert!(!b.warm_cache);
+        assert_eq!(b.warmup, 0, "warmup defaults off");
+
+        assert!(
+            parse_run(&strs(&["--bench", "eon", "--resume"])).is_err(),
+            "--resume without --checkpoint-dir is an error"
+        );
     }
 
     #[test]

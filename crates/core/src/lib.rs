@@ -43,11 +43,13 @@ mod error;
 pub mod experiments;
 mod result;
 mod simulator;
+mod snapshot;
 
 pub use config::SimConfig;
 pub use error::Error;
 pub use result::{BlockTemperature, RunResult};
 pub use simulator::Simulator;
+pub use snapshot::{SimulatorState, Snapshot, FORMAT_VERSION};
 
 // Re-export the subsystem vocabulary users need to configure runs.
 // `spec2000` rides along so downstream crates (harness, bench, cli) can

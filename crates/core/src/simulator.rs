@@ -1,6 +1,7 @@
 //! The top-level simulator: core + power + thermal + mitigation.
 
-use crate::{BlockTemperature, Error, RunResult, SimConfig};
+use crate::snapshot::{decode_bits, encode_bits};
+use crate::{BlockTemperature, Error, RunResult, SimConfig, SimulatorState};
 use powerbalance_isa::TraceSource;
 use powerbalance_mitigation::{Sensors, ThermalManager};
 use powerbalance_power::PowerModel;
@@ -136,13 +137,41 @@ impl Simulator {
                     break;
                 }
             }
-            self.sample();
+            self.sample(true);
         }
         self.result()
     }
 
-    /// One sense/react step: power → thermal → mitigation → statistics.
-    fn sample(&mut self) {
+    /// Runs for up to `cycles` cycles like [`run`](Simulator::run), but
+    /// **never consults the mitigation manager**: power is accounted and
+    /// the thermal model steps normally, yet no toggles, turnoffs, or
+    /// freezes happen and no mitigation counters move.
+    ///
+    /// This makes the resulting state independent of
+    /// [`SimConfig::mitigation`], which is what lets one warmed snapshot
+    /// seed measured runs of *every* technique variant
+    /// ([`crate::Snapshot::resume_with_config`]). Statistics (IPC,
+    /// temperature averages) keep accumulating across the warmup/measured
+    /// boundary, exactly as if [`run`](Simulator::run) had been called
+    /// throughout with mitigation disabled for the first `cycles` cycles.
+    pub fn run_warmup<T: TraceSource>(&mut self, trace: &mut T, cycles: u64) {
+        let start = self.core.stats().cycles;
+        while self.core.stats().cycles - start < cycles && !self.core.is_done() {
+            let window =
+                self.config.sample_interval.min(cycles - (self.core.stats().cycles - start));
+            for _ in 0..window {
+                self.core.cycle(trace);
+                if self.core.is_done() {
+                    break;
+                }
+            }
+            self.sample(false);
+        }
+    }
+
+    /// One sense/react step: power → thermal → (optionally) mitigation →
+    /// statistics.
+    fn sample(&mut self, consult_manager: bool) {
         let activity = self.core.take_activity();
         if activity.cycles == 0 {
             return;
@@ -162,7 +191,9 @@ impl Simulator {
         let was_frozen = self.core.is_frozen();
         let temps: Vec<f64> = self.thermal.temperatures().to_vec();
         let now = self.core.stats().cycles;
-        self.manager.on_sample(&mut self.core, &temps, now, &activity.int_iq, &activity.fp_iq);
+        if consult_manager {
+            self.manager.on_sample(&mut self.core, &temps, now, &activity.int_iq, &activity.fp_iq);
+        }
 
         // The paper's table temperatures average over execution (non
         // -stalled) time; track the peak unconditionally.
@@ -178,6 +209,59 @@ impl Simulator {
         if let Some(history) = &mut self.history {
             history.push((now, temps));
         }
+    }
+
+    /// Captures the simulator's dynamic state for [`crate::Snapshot`].
+    ///
+    /// The recorded temperature history ([`record_history`]) is *not*
+    /// part of the state: it is a plotting aid, not simulation state, and
+    /// restoring it into a fork would duplicate rows.
+    ///
+    /// [`record_history`]: Simulator::record_history
+    #[must_use]
+    pub fn state(&self) -> SimulatorState {
+        SimulatorState {
+            core: self.core.snapshot(),
+            manager: self.manager.snapshot(),
+            thermal_node_bits: encode_bits(self.thermal.node_temperatures()),
+            temp_sum_bits: encode_bits(&self.temp_sum),
+            temp_max_bits: encode_bits(&self.temp_max),
+            temp_samples: self.temp_samples,
+            warmed: self.warmed,
+        }
+    }
+
+    /// Restores dynamic state captured by [`state`](Simulator::state).
+    ///
+    /// The simulator must have been built from a structurally compatible
+    /// configuration (same core geometry, floorplan, package, energy
+    /// tables, frequency, and sampling cadence; the mitigation technique
+    /// may differ). [`crate::Snapshot::resume_with_config`] enforces that
+    /// contract; calling this directly performs only the shape checks the
+    /// sub-restores provide.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] naming the first subsystem whose state
+    /// does not fit this simulator.
+    pub fn restore_state(&mut self, state: &SimulatorState) -> Result<(), Error> {
+        let blocks = self.plan.blocks().len();
+        if state.temp_sum_bits.len() != blocks || state.temp_max_bits.len() != blocks {
+            return Err(Error::Config(format!(
+                "temperature statistics cover {} blocks, floorplan has {blocks}",
+                state.temp_sum_bits.len()
+            )));
+        }
+        self.core.restore(&state.core).map_err(|e| Error::Config(format!("core: {e}")))?;
+        self.thermal
+            .restore_node_temperatures(&decode_bits(&state.thermal_node_bits))
+            .map_err(|e| Error::Config(format!("thermal: {e}")))?;
+        self.manager.restore(&state.manager);
+        self.temp_sum = decode_bits(&state.temp_sum_bits);
+        self.temp_max = decode_bits(&state.temp_max_bits);
+        self.temp_samples = state.temp_samples;
+        self.warmed = state.warmed;
+        Ok(())
     }
 
     /// Snapshot of the accumulated results.

@@ -1,0 +1,322 @@
+//! Deterministic snapshot/restore of a full simulation.
+//!
+//! A [`Snapshot`] captures everything a [`Simulator`] plus its workload
+//! trace need to resume *bit-identically*: the cycle-level core (rename
+//! maps, active list, issue queues, branch predictor, caches, functional
+//! units), the thermal model's full RC node-temperature vector, the
+//! mitigation manager's counters and any in-progress stall, the
+//! simulator's temperature statistics, and the trace generator's RNG and
+//! position. The power model is stateless (see `powerbalance-power`) and
+//! is rebuilt from configuration.
+//!
+//! # Serialization format
+//!
+//! Snapshots serialize through the workspace's JSON layer
+//! ([`serde::json`]). The document is an object whose first field is
+//! `format_version` ([`FORMAT_VERSION`]); readers reject documents whose
+//! version they do not understand *before* interpreting the rest, so old
+//! binaries fail cleanly on new snapshots and vice versa.
+//!
+//! Floating-point state that must survive the trip exactly — node
+//! temperatures and the temperature accumulators, which include
+//! sentinel values like `f64::MIN` that the JSON number grammar cannot
+//! express — is stored as raw IEEE-754 bit patterns (`f64::to_bits`,
+//! one `u64` per value). Configuration floats stay human-readable: the
+//! writer emits the shortest round-tripping decimal for them.
+//!
+//! # Examples
+//!
+//! ```
+//! use powerbalance::{SimConfig, Simulator, Snapshot, spec2000};
+//!
+//! let profile = spec2000::by_name("gzip").expect("known benchmark");
+//! let mut trace = profile.trace(7);
+//! let mut sim = Simulator::new(SimConfig::default())?;
+//! sim.run(&mut trace, 20_000);
+//!
+//! // Capture, then fork two independent continuations.
+//! let snap = Snapshot::capture(&sim, &profile, &trace);
+//! let (mut sim_b, mut trace_b) = snap.resume()?;
+//! let a = sim.run(&mut trace, 20_000);
+//! let b = sim_b.run(&mut trace_b, 20_000);
+//! assert_eq!(a.committed, b.committed);
+//! # Ok::<(), powerbalance::Error>(())
+//! ```
+
+use crate::{Error, SimConfig, Simulator};
+use powerbalance_mitigation::ManagerState;
+use powerbalance_uarch::CoreState;
+use powerbalance_workloads::{TraceGenerator, TraceState, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// Version stamp written into every serialized snapshot.
+///
+/// Bump this whenever the layout of [`Snapshot`], [`SimulatorState`], or
+/// any state struct they embed changes shape or meaning. Readers refuse
+/// mismatched versions outright — there is no migration machinery, by
+/// design: snapshots are caches of recomputable state, so invalidating
+/// them on a version bump is always safe.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Serializable dynamic state of a [`Simulator`] (everything except the
+/// configuration it was built from and the trace driving it).
+///
+/// Obtain one with [`Simulator::state`] and apply it with
+/// [`Simulator::restore_state`]. Most users want the self-contained
+/// [`Snapshot`] instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulatorState {
+    /// Full pipeline state.
+    pub core: CoreState,
+    /// Mitigation counters and any in-progress temporal stall.
+    pub manager: ManagerState,
+    /// IEEE-754 bit patterns of every RC node temperature (blocks first,
+    /// then internal package nodes), in floorplan node order.
+    pub thermal_node_bits: Vec<u64>,
+    /// Bit patterns of the per-block temperature running sums.
+    pub temp_sum_bits: Vec<u64>,
+    /// Bit patterns of the per-block temperature maxima (`f64::MIN`
+    /// until a block has been sampled — exactly why bits are stored).
+    pub temp_max_bits: Vec<u64>,
+    /// Number of non-stalled samples behind `temp_sum_bits`.
+    pub temp_samples: u64,
+    /// Whether the warm-start settle has already happened.
+    pub warmed: bool,
+}
+
+/// Encodes floats as their exact IEEE-754 bit patterns.
+pub(crate) fn encode_bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Inverse of [`encode_bits`].
+pub(crate) fn decode_bits(bits: &[u64]) -> Vec<f64> {
+    bits.iter().map(|b| f64::from_bits(*b)).collect()
+}
+
+/// A self-contained, serializable checkpoint of one simulation run.
+///
+/// Couples a [`SimulatorState`] with the [`SimConfig`] it was captured
+/// under and the workload (profile + generator position) driving it, so a
+/// snapshot file alone suffices to reconstruct and continue the run.
+///
+/// Resuming under a configuration that differs **only in mitigation** is
+/// explicitly supported ([`resume_with_config`]): warmup phases never
+/// consult the mitigation manager (see [`Simulator::run_warmup`]), so one
+/// warmed snapshot can seed measured runs of every technique variant.
+///
+/// [`resume_with_config`]: Snapshot::resume_with_config
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Layout version; see [`FORMAT_VERSION`].
+    pub format_version: u32,
+    /// The configuration the state was captured under.
+    pub config: SimConfig,
+    /// The workload profile driving the run.
+    pub profile: WorkloadProfile,
+    /// The trace generator's dynamic state (RNG, position, ring state).
+    pub trace: TraceState,
+    /// The simulator's dynamic state.
+    pub state: SimulatorState,
+}
+
+impl Snapshot {
+    /// Captures the current state of `sim` and its trace.
+    ///
+    /// For the resumed run to be bit-identical to an uninterrupted one,
+    /// capture at a sample boundary — i.e. after a [`Simulator::run`] or
+    /// [`Simulator::run_warmup`] call whose cycle count is a multiple of
+    /// [`SimConfig::sample_interval`] — so no partially-accumulated
+    /// activity window is lost (activity counters are drained into the
+    /// thermal model at each boundary).
+    #[must_use]
+    pub fn capture(sim: &Simulator, profile: &WorkloadProfile, trace: &TraceGenerator) -> Snapshot {
+        Snapshot {
+            format_version: FORMAT_VERSION,
+            config: sim.config().clone(),
+            profile: profile.clone(),
+            trace: trace.snapshot(),
+            state: sim.state(),
+        }
+    }
+
+    /// Rebuilds a simulator and trace generator that continue exactly
+    /// where [`capture`](Snapshot::capture) left off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the snapshot is from a different
+    /// format version or its state vectors do not fit the configuration.
+    pub fn resume(&self) -> Result<(Simulator, TraceGenerator), Error> {
+        self.resume_with_config(self.config.clone())
+    }
+
+    /// Like [`resume`](Snapshot::resume), but builds the simulator from
+    /// `config` instead of the captured configuration.
+    ///
+    /// `config` must be *structurally compatible* with the snapshot: every
+    /// field except `mitigation` must match, because the captured state
+    /// vectors are shaped by (and their contents depend on) the core
+    /// geometry, floorplan, package, energy tables, frequency, and
+    /// sampling cadence. The mitigation technique is free to differ —
+    /// that is what lets a warm-start campaign share one warmup across
+    /// technique variants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] on a version mismatch, a structurally
+    /// incompatible `config`, or state vectors that fail validation.
+    pub fn resume_with_config(
+        &self,
+        config: SimConfig,
+    ) -> Result<(Simulator, TraceGenerator), Error> {
+        if self.format_version != FORMAT_VERSION {
+            return Err(Error::Config(format!(
+                "snapshot format version {} is not supported (expected {FORMAT_VERSION})",
+                self.format_version
+            )));
+        }
+        let captured = &self.config;
+        let mismatch = |what: &str| {
+            Err(Error::Config(format!(
+                "snapshot is structurally incompatible: {what} differs from the captured config"
+            )))
+        };
+        if config.core != captured.core {
+            return mismatch("core");
+        }
+        if config.floorplan != captured.floorplan {
+            return mismatch("floorplan");
+        }
+        if config.package != captured.package {
+            return mismatch("package");
+        }
+        if config.energy != captured.energy {
+            return mismatch("energy");
+        }
+        if config.frequency_hz != captured.frequency_hz {
+            return mismatch("frequency_hz");
+        }
+        if config.sample_interval != captured.sample_interval {
+            return mismatch("sample_interval");
+        }
+        if config.warm_start != captured.warm_start {
+            return mismatch("warm_start");
+        }
+
+        let mut sim = Simulator::new(config)?;
+        sim.restore_state(&self.state)?;
+        let mut trace = TraceGenerator::new(self.profile.clone(), 0);
+        trace.restore(&self.trace);
+        Ok((sim, trace))
+    }
+
+    /// Serializes the snapshot as a compact JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+
+    /// Parses a snapshot serialized by [`to_json`](Snapshot::to_json).
+    ///
+    /// The `format_version` field is checked *before* the rest of the
+    /// document is interpreted, so a snapshot from a different layout
+    /// fails with a version message rather than an arbitrary shape error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] on malformed JSON, a version mismatch,
+    /// or a shape mismatch.
+    pub fn from_json(input: &str) -> Result<Snapshot, Error> {
+        let value = serde::json::Value::parse(input)
+            .map_err(|e| Error::Config(format!("snapshot is not valid JSON: {e}")))?;
+        let version = value
+            .field("format_version")
+            .and_then(serde::json::Value::as_u64)
+            .map_err(|e| Error::Config(format!("snapshot has no readable format_version: {e}")))?;
+        if version != u64::from(FORMAT_VERSION) {
+            return Err(Error::Config(format!(
+                "snapshot format version {version} is not supported (expected {FORMAT_VERSION})"
+            )));
+        }
+        Deserialize::deserialize(&value).map_err(|e| {
+            Error::Config(format!("snapshot does not match the v{version} layout: {e}"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments;
+    use powerbalance_mitigation::MitigationConfig;
+    use powerbalance_workloads::spec2000;
+
+    fn run_pair(cycles: u64) -> (Simulator, TraceGenerator, WorkloadProfile) {
+        let profile = spec2000::by_name("gzip").expect("profile");
+        let mut trace = profile.trace(7);
+        let mut sim = Simulator::new(SimConfig::default()).expect("valid config");
+        sim.run(&mut trace, cycles);
+        (sim, trace, profile)
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let (sim, trace, profile) = run_pair(30_000);
+        let snap = Snapshot::capture(&sim, &profile, &trace);
+        let back = Snapshot::from_json(&snap.to_json()).expect("round trip");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn resume_continues_bit_identically() {
+        let (mut sim, mut trace, profile) = run_pair(40_000);
+        let snap = Snapshot::capture(&sim, &profile, &trace);
+        let (mut sim2, mut trace2) = snap.resume().expect("compatible");
+
+        let a = sim.run(&mut trace, 40_000);
+        let b = sim2.run(&mut trace2, 40_000);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.freezes, b.freezes);
+        for (x, y) in a.temperatures.iter().zip(&b.temperatures) {
+            assert_eq!(x.avg.to_bits(), y.avg.to_bits(), "{}", x.name);
+            assert_eq!(x.max.to_bits(), y.max.to_bits(), "{}", x.name);
+            assert_eq!(x.last.to_bits(), y.last.to_bits(), "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_before_shape_errors() {
+        let (sim, trace, profile) = run_pair(10_000);
+        let mut snap = Snapshot::capture(&sim, &profile, &trace);
+        snap.format_version = FORMAT_VERSION + 1;
+        // resume() refuses.
+        let err = snap.resume().expect_err("future version");
+        assert!(err.to_string().contains("format version"), "{err}");
+        // And so does the parser, even when the rest of the document is
+        // garbage from this version's point of view.
+        let doc = format!("{{\"format_version\":{}}}", FORMAT_VERSION + 1);
+        let err = Snapshot::from_json(&doc).expect_err("future version");
+        assert!(err.to_string().contains("format version"), "{err}");
+    }
+
+    #[test]
+    fn resume_with_different_mitigation_is_allowed() {
+        let (sim, trace, profile) = run_pair(20_000);
+        let snap = Snapshot::capture(&sim, &profile, &trace);
+        let cfg = SimConfig { mitigation: MitigationConfig::spatial_all(), ..snap.config.clone() };
+        let (sim2, _) = snap.resume_with_config(cfg).expect("mitigation may differ");
+        assert!(sim2.manager().config().activity_toggling);
+    }
+
+    #[test]
+    fn structurally_different_config_is_rejected() {
+        let (sim, trace, profile) = run_pair(20_000);
+        let snap = Snapshot::capture(&sim, &profile, &trace);
+        // A different core geometry (issue-queue-constrained experiment)
+        // must not accept this snapshot.
+        let err = snap.resume_with_config(experiments::issue_queue(false)).expect_err("core");
+        assert!(err.to_string().contains("structurally incompatible"), "{err}");
+    }
+}

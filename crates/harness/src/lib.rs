@@ -16,7 +16,12 @@
 //!   per-job wall time, and simulated-cycles/second throughput, writable as
 //!   a JSON artifact via the in-repo serializer (`serde::json`);
 //! * [`speedup`] — shared IPC-speedup math with explicit handling of
-//!   fully-frozen (IPC 0) baselines.
+//!   fully-frozen (IPC 0) baselines;
+//! * [`WarmStartCache`] — warm-start snapshot caching: campaigns with a
+//!   [`CampaignSpec::warmup_cycles`] budget compute each distinct
+//!   mitigation-free warmup once, fork every technique variant's measured
+//!   run from the shared [`powerbalance::Snapshot`], and can persist the
+//!   snapshots to a checkpoint directory for later processes.
 //!
 //! Worker count resolves from, in order: an explicit request (CLI
 //! `--threads`), the `POWERBALANCE_THREADS` environment variable, and
@@ -49,10 +54,14 @@ mod result;
 mod runner;
 mod spec;
 pub mod speedup;
+mod warmstart;
 
 pub use result::{CampaignResult, JobResult};
-pub use runner::{resolve_threads, run_campaign, run_one, RunnerOptions, THREADS_ENV_VAR};
+pub use runner::{
+    resolve_threads, run_campaign, run_one, run_one_warmed, RunnerOptions, THREADS_ENV_VAR,
+};
 pub use spec::{CampaignSpec, NamedConfig};
+pub use warmstart::{compute_warmup, WarmStartCache};
 
 /// Default simulated cycles per run: long enough for several heat/stall
 /// cycles under the compressed thermal constants.

@@ -2,7 +2,9 @@
 
 use crate::result::{CampaignResult, JobResult};
 use crate::spec::CampaignSpec;
+use crate::warmstart::WarmStartCache;
 use powerbalance::{spec2000, Error, RunResult, SimConfig, Simulator};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -13,13 +15,40 @@ pub const THREADS_ENV_VAR: &str = "POWERBALANCE_THREADS";
 
 /// Options controlling how a campaign is executed (not *what* it computes —
 /// that lives in [`CampaignSpec`]).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RunnerOptions {
     /// Worker-pool size; `None` falls back to [`THREADS_ENV_VAR`], then
     /// [`std::thread::available_parallelism`].
     pub threads: Option<usize>,
     /// Emit one progress line per finished job on stderr.
     pub progress: bool,
+    /// Share one warmup snapshot across jobs whose `(benchmark, seed,
+    /// warmup budget, config-modulo-mitigation)` match (default `true`).
+    /// With `false`, every job computes its own warmup privately — same
+    /// results, no sharing; useful for timing comparisons and as the
+    /// differential oracle for the cache itself. Irrelevant when
+    /// [`CampaignSpec::warmup_cycles`] is 0.
+    pub warm_cache: bool,
+    /// Directory to persist warmup snapshots in (and, with
+    /// [`resume`](RunnerOptions::resume), load them from). `None` keeps
+    /// the cache purely in-memory. Only consulted when `warm_cache` is on.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Load matching snapshots from `checkpoint_dir` instead of
+    /// recomputing them (a mismatched or unreadable file silently falls
+    /// back to computation).
+    pub resume: bool,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            threads: None,
+            progress: false,
+            warm_cache: true,
+            checkpoint_dir: None,
+            resume: false,
+        }
+    }
 }
 
 /// Resolves the worker-pool size: `explicit` if given, else the
@@ -54,6 +83,50 @@ pub fn run_one(
     Ok(sim.run(&mut profile.trace(seed), cycles))
 }
 
+/// Like [`run_one`], but preceded by `warmup_cycles` of mitigation-free
+/// warmup, optionally forked from a shared [`WarmStartCache`].
+///
+/// With a cache, the warmup snapshot is computed (or loaded) at most once
+/// per key and the measured run resumes from it under this job's own
+/// mitigation config. Without one, the warmup runs inline, uninterrupted,
+/// on the job's own simulator — no snapshot is ever taken. Both paths
+/// produce bit-identical results (warmup never consults the mitigation
+/// manager, and restore is exact); the differential test layer pins that
+/// equivalence, which is what makes the cold path the oracle for the
+/// cache.
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] if the benchmark is unknown or the config
+/// fails validation.
+pub fn run_one_warmed(
+    config: &SimConfig,
+    bench: &str,
+    cycles: u64,
+    seed: u64,
+    warmup_cycles: u64,
+    cache: Option<&WarmStartCache>,
+) -> Result<RunResult, Error> {
+    if warmup_cycles == 0 {
+        return run_one(config, bench, cycles, seed);
+    }
+    match cache {
+        Some(cache) => {
+            let snapshot = cache.get_or_compute(bench, seed, warmup_cycles, config)?;
+            let (mut sim, mut trace) = snapshot.resume_with_config(config.clone())?;
+            Ok(sim.run(&mut trace, cycles))
+        }
+        None => {
+            let profile = spec2000::by_name(bench)
+                .ok_or_else(|| Error::Config(format!("unknown benchmark '{bench}'")))?;
+            let mut sim = Simulator::new(config.clone())?;
+            let mut trace = profile.trace(seed);
+            sim.run_warmup(&mut trace, warmup_cycles);
+            Ok(sim.run(&mut trace, cycles))
+        }
+    }
+}
+
 /// Runs every (benchmark × config) job of `spec` on a bounded worker pool
 /// and returns the results in deterministic spec order.
 ///
@@ -80,6 +153,15 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunnerOptions) -> Result<Camp
     let threads = resolve_threads(options.threads).min(total).max(1);
     let ncfg = spec.configs.len();
 
+    let cache = if spec.warmup_cycles > 0 && options.warm_cache {
+        Some(match &options.checkpoint_dir {
+            Some(dir) => WarmStartCache::with_checkpoint_dir(dir, options.resume),
+            None => WarmStartCache::in_memory(),
+        })
+    } else {
+        None
+    };
+
     let cursor = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<JobResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
@@ -99,8 +181,15 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunnerOptions) -> Result<Camp
                 let cycles = spec.cycles_for(config_index);
 
                 let start = Instant::now();
-                let result = run_one(&named.config, bench, cycles, spec.seed)
-                    .expect("spec was validated before dispatch");
+                let result = run_one_warmed(
+                    &named.config,
+                    bench,
+                    cycles,
+                    spec.seed,
+                    spec.warmup_cycles,
+                    cache.as_ref(),
+                )
+                .expect("spec was validated before dispatch");
                 let wall = start.elapsed();
                 let wall_secs = wall.as_secs_f64();
                 let sim_cycles_per_sec =
@@ -133,6 +222,17 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunnerOptions) -> Result<Camp
             });
         }
     });
+
+    if options.progress {
+        if let Some(cache) = &cache {
+            let (computed, loaded, hits) = cache.stats();
+            eprintln!(
+                "[{} warm-start] {computed} warmup(s) computed, {loaded} loaded from disk, \
+                 {hits} cache hit(s)",
+                spec.name
+            );
+        }
+    }
 
     let jobs = slots
         .into_iter()
@@ -180,7 +280,7 @@ mod tests {
             .config("toggling", experiments::issue_queue(true))
             .benchmarks(["eon", "gzip", "mesa"])
             .cycles(20_000);
-        let result = run_campaign(&spec, &RunnerOptions { threads: Some(4), progress: false })
+        let result = run_campaign(&spec, &RunnerOptions { threads: Some(4), ..Default::default() })
             .expect("campaign runs");
         assert_eq!(result.jobs.len(), 6);
         for (i, job) in result.jobs.iter().enumerate() {
@@ -191,6 +291,43 @@ mod tests {
             assert!(job.result.cycles >= 20_000);
             assert!(job.wall_nanos > 0);
         }
+    }
+
+    #[test]
+    fn warm_cache_matches_private_warmups() {
+        // The same campaign with the shared warm-start cache on and off
+        // must produce identical simulation outcomes: the cache is pure
+        // wall-time optimization.
+        let spec = CampaignSpec::new("warm")
+            .config("base", experiments::issue_queue(false))
+            .config("toggling", experiments::issue_queue(true))
+            .benchmarks(["gzip", "mesa"])
+            .cycles(30_000)
+            .warmup(30_000)
+            .seed(5);
+        let warm = run_campaign(&spec, &RunnerOptions { threads: Some(4), ..Default::default() })
+            .expect("warm campaign");
+        let cold = run_campaign(
+            &spec,
+            &RunnerOptions { threads: Some(2), warm_cache: false, ..Default::default() },
+        )
+        .expect("cold campaign");
+        assert!(warm.same_outcome(&cold), "cache must not change results");
+        // Warmup ran: the measured window alone is `cycles`, so total
+        // simulated cycles include the warmup.
+        assert!(warm.jobs[0].result.cycles >= 60_000);
+    }
+
+    #[test]
+    fn zero_warmup_is_the_legacy_path() {
+        let spec = CampaignSpec::new("legacy")
+            .config("base", experiments::issue_queue(false))
+            .benchmark("gzip")
+            .cycles(20_000)
+            .seed(9);
+        let a = run_campaign(&spec, &RunnerOptions::default()).expect("runs");
+        let direct = run_one(&spec.configs[0].config, "gzip", 20_000, 9).expect("runs");
+        assert_eq!(a.jobs[0].result, direct);
     }
 
     #[test]

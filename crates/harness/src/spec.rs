@@ -33,6 +33,13 @@ pub struct CampaignSpec {
     pub cycles: u64,
     /// Workload seed, threaded into every trace.
     pub seed: u64,
+    /// Warmup cycles run before each job's measured `cycles`, with thermal
+    /// and power accounting active but the mitigation manager never
+    /// consulted. `0` (the default) skips warmup entirely. Because warmup
+    /// state is mitigation-independent, jobs that share a benchmark, seed,
+    /// and warmup-relevant configuration can share one warmup snapshot —
+    /// see [`crate::RunnerOptions::warm_cache`].
+    pub warmup_cycles: u64,
 }
 
 impl CampaignSpec {
@@ -45,6 +52,7 @@ impl CampaignSpec {
             benchmarks: Vec::new(),
             cycles: crate::DEFAULT_CYCLES,
             seed: crate::DEFAULT_SEED,
+            warmup_cycles: 0,
         }
     }
 
@@ -102,6 +110,14 @@ impl CampaignSpec {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the mitigation-free warmup run before each job's measured
+    /// cycles (see [`CampaignSpec::warmup_cycles`]).
+    #[must_use]
+    pub fn warmup(mut self, cycles: u64) -> Self {
+        self.warmup_cycles = cycles;
         self
     }
 

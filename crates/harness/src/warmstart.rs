@@ -1,0 +1,352 @@
+//! Warm-start snapshot caching for campaigns.
+//!
+//! Campaign jobs that share a `(benchmark, seed, warmup budget,
+//! warmup-relevant configuration)` quadruple go through the exact same
+//! mitigation-free warmup (see [`Simulator::run_warmup`]), so computing it
+//! once and forking every measured run from the resulting [`Snapshot`] is
+//! free speedup. "Warmup-relevant" means every [`SimConfig`] field except
+//! `mitigation`: the warmup never consults the mitigation manager, so
+//! technique variants over the same machine share; different core
+//! geometries, floorplans, or packages do not.
+//!
+//! [`WarmStartCache`] keeps computed snapshots in memory for the lifetime
+//! of a campaign (each computed exactly once, concurrent requesters block
+//! on the first computation) and can additionally persist them to a
+//! checkpoint directory so later *processes* skip the warmup too:
+//!
+//! * with a checkpoint directory set, every computed snapshot is written
+//!   to `<dir>/<fnv1a-of-key>.json` (atomically: temp file + rename);
+//! * with `resume` also set, the cache tries the directory before
+//!   computing, verifying both the snapshot format version and the full
+//!   cache key stored inside the file (so a hash collision or a stale
+//!   file from an incompatible run falls back to recomputation instead of
+//!   poisoning results).
+
+use powerbalance::{spec2000, Error, MitigationConfig, SimConfig, Simulator, Snapshot};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One cache slot: computed exactly once, shareable across workers, and
+/// able to remember a failed computation (hence `Result` inside).
+type Slot = Arc<OnceLock<Result<Arc<Snapshot>, Error>>>;
+
+/// A shared, thread-safe cache of warmup snapshots.
+///
+/// # Examples
+///
+/// ```
+/// use powerbalance::experiments;
+/// use powerbalance_harness::WarmStartCache;
+///
+/// let cache = WarmStartCache::in_memory();
+/// let snap = cache
+///     .get_or_compute("gzip", 42, 20_000, &experiments::issue_queue(true))
+///     .expect("warmup runs");
+/// // The same key returns the same snapshot without re-simulating.
+/// let again = cache
+///     .get_or_compute("gzip", 42, 20_000, &experiments::issue_queue(false))
+///     .expect("cache hit: same machine, different mitigation");
+/// assert_eq!(*snap, *again);
+/// ```
+#[derive(Debug, Default)]
+pub struct WarmStartCache {
+    entries: Mutex<HashMap<String, Slot>>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    hits: Mutex<u64>,
+    computed: Mutex<u64>,
+    loaded: Mutex<u64>,
+}
+
+/// On-disk wrapper around a persisted snapshot: stores the full cache key
+/// so a load can verify it landed on the right file (file names are only
+/// a 64-bit hash of the key).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct CheckpointFile {
+    key: String,
+    snapshot: Snapshot,
+}
+
+impl WarmStartCache {
+    /// A purely in-memory cache (no checkpoint directory).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        WarmStartCache::default()
+    }
+
+    /// A cache that persists computed snapshots under `dir`, and — when
+    /// `resume` is set — loads matching snapshots from `dir` instead of
+    /// recomputing them.
+    #[must_use]
+    pub fn with_checkpoint_dir(dir: impl Into<PathBuf>, resume: bool) -> Self {
+        WarmStartCache { checkpoint_dir: Some(dir.into()), resume, ..WarmStartCache::default() }
+    }
+
+    /// The canonical cache key for a warmup.
+    ///
+    /// Includes the snapshot format version (so a format bump invalidates
+    /// on-disk checkpoints), the benchmark, seed, and warmup budget, and
+    /// the full configuration with `mitigation` normalized to the baseline
+    /// — the warmup never consults the mitigation manager, so configs
+    /// differing only there share a key.
+    #[must_use]
+    pub fn key(bench: &str, seed: u64, warmup_cycles: u64, config: &SimConfig) -> String {
+        let normalized = SimConfig { mitigation: MitigationConfig::baseline(), ..config.clone() };
+        format!(
+            "{{\"format_version\":{},\"bench\":{},\"seed\":{seed},\"warmup_cycles\":{warmup_cycles},\"config\":{}}}",
+            powerbalance::FORMAT_VERSION,
+            serde::json::to_string(bench),
+            serde::json::to_string(&normalized),
+        )
+    }
+
+    /// The file a snapshot for `key` is persisted at under `dir`.
+    #[must_use]
+    pub fn checkpoint_path(dir: &Path, key: &str) -> PathBuf {
+        dir.join(format!("{:016x}.json", fnv1a(key.as_bytes())))
+    }
+
+    /// Returns the warmup snapshot for the quadruple, computing (or
+    /// loading from the checkpoint directory) at most once per key.
+    ///
+    /// The returned snapshot was captured under `config` with its
+    /// mitigation normalized to the baseline; resume it into the actual
+    /// measured config with [`Snapshot::resume_with_config`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the benchmark is unknown or the
+    /// configuration fails validation. Checkpoint-directory I/O problems
+    /// are not errors: unreadable or mismatched files fall back to
+    /// recomputation, and failed writes are ignored (the cache is an
+    /// optimization, never a correctness dependency).
+    pub fn get_or_compute(
+        &self,
+        bench: &str,
+        seed: u64,
+        warmup_cycles: u64,
+        config: &SimConfig,
+    ) -> Result<Arc<Snapshot>, Error> {
+        let key = Self::key(bench, seed, warmup_cycles, config);
+        let cell = {
+            let mut entries = self.entries.lock().expect("cache lock");
+            Arc::clone(entries.entry(key.clone()).or_default())
+        };
+        let mut was_new = false;
+        let result = cell.get_or_init(|| {
+            was_new = true;
+            self.load_or_compute(&key, bench, seed, warmup_cycles, config)
+        });
+        if !was_new {
+            *self.hits.lock().expect("stats lock") += 1;
+        }
+        result.clone()
+    }
+
+    /// Cache statistics: `(computed, loaded from disk, in-memory hits)`.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            *self.computed.lock().expect("stats lock"),
+            *self.loaded.lock().expect("stats lock"),
+            *self.hits.lock().expect("stats lock"),
+        )
+    }
+
+    fn load_or_compute(
+        &self,
+        key: &str,
+        bench: &str,
+        seed: u64,
+        warmup_cycles: u64,
+        config: &SimConfig,
+    ) -> Result<Arc<Snapshot>, Error> {
+        if self.resume {
+            if let Some(dir) = &self.checkpoint_dir {
+                if let Some(snapshot) = load_checkpoint(&Self::checkpoint_path(dir, key), key) {
+                    *self.loaded.lock().expect("stats lock") += 1;
+                    return Ok(Arc::new(snapshot));
+                }
+            }
+        }
+
+        let snapshot = compute_warmup(bench, seed, warmup_cycles, config)?;
+        *self.computed.lock().expect("stats lock") += 1;
+        if let Some(dir) = &self.checkpoint_dir {
+            // Best-effort persistence; a full disk must not fail the run.
+            let _ = write_checkpoint(dir, key, &snapshot);
+        }
+        Ok(Arc::new(snapshot))
+    }
+}
+
+/// Runs the mitigation-free warmup and captures it as a [`Snapshot`].
+///
+/// The simulator is built with the mitigation normalized to the baseline,
+/// making the captured snapshot canonical for its cache key no matter
+/// which technique variant requested it first.
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] if the benchmark is unknown or `config`
+/// fails validation.
+pub fn compute_warmup(
+    bench: &str,
+    seed: u64,
+    warmup_cycles: u64,
+    config: &SimConfig,
+) -> Result<Snapshot, Error> {
+    let profile = spec2000::by_name(bench)
+        .ok_or_else(|| Error::Config(format!("unknown benchmark '{bench}'")))?;
+    let normalized = SimConfig { mitigation: MitigationConfig::baseline(), ..config.clone() };
+    let mut sim = Simulator::new(normalized)?;
+    let mut trace = profile.trace(seed);
+    sim.run_warmup(&mut trace, warmup_cycles);
+    Ok(Snapshot::capture(&sim, &profile, &trace))
+}
+
+/// 64-bit FNV-1a — the checkpoint file-name hash. Stable across runs and
+/// platforms (unlike `std`'s `DefaultHasher`, which is randomly seeded).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn load_checkpoint(path: &Path, key: &str) -> Option<Snapshot> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let file: CheckpointFile = serde::json::from_str(&text).ok()?;
+    if file.key != key {
+        return None; // hash collision or stale/corrupt file
+    }
+    if file.snapshot.format_version != powerbalance::FORMAT_VERSION {
+        return None;
+    }
+    Some(file.snapshot)
+}
+
+fn write_checkpoint(dir: &Path, key: &str, snapshot: &Snapshot) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = WarmStartCache::checkpoint_path(dir, key);
+    let file = CheckpointFile { key: key.to_string(), snapshot: snapshot.clone() };
+    // Write to a temp file in the same directory, then rename into place:
+    // readers never observe a partial document, and concurrent writers of
+    // the same key settle on identical bytes anyway.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, serde::json::to_string(&file))?;
+    std::fs::rename(&tmp, &path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerbalance::experiments;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("powerbalance-warmstart-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn key_ignores_mitigation_but_not_geometry() {
+        let toggling = experiments::issue_queue(true);
+        let base = experiments::issue_queue(false);
+        assert_eq!(
+            WarmStartCache::key("gzip", 1, 100, &toggling),
+            WarmStartCache::key("gzip", 1, 100, &base),
+            "configs differing only in mitigation share a warmup"
+        );
+        let other_machine = experiments::alu(powerbalance::experiments::AluPolicy::RoundRobin);
+        assert_ne!(
+            WarmStartCache::key("gzip", 1, 100, &base),
+            WarmStartCache::key("gzip", 1, 100, &other_machine),
+            "different core geometry must not share"
+        );
+        assert_ne!(
+            WarmStartCache::key("gzip", 1, 100, &base),
+            WarmStartCache::key("gzip", 2, 100, &base)
+        );
+        assert_ne!(
+            WarmStartCache::key("gzip", 1, 100, &base),
+            WarmStartCache::key("mesa", 1, 100, &base)
+        );
+        assert_ne!(
+            WarmStartCache::key("gzip", 1, 100, &base),
+            WarmStartCache::key("gzip", 1, 200, &base)
+        );
+    }
+
+    #[test]
+    fn in_memory_cache_computes_once() {
+        let cache = WarmStartCache::in_memory();
+        let a = cache
+            .get_or_compute("gzip", 5, 20_000, &experiments::issue_queue(true))
+            .expect("warmup");
+        let b = cache
+            .get_or_compute("gzip", 5, 20_000, &experiments::issue_queue(false))
+            .expect("warmup");
+        assert!(Arc::ptr_eq(&a, &b), "second request must hit the cache");
+        let (computed, loaded, hits) = cache.stats();
+        assert_eq!((computed, loaded, hits), (1, 0, 1));
+    }
+
+    #[test]
+    fn checkpoints_round_trip_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let config = experiments::issue_queue(false);
+
+        let writer = WarmStartCache::with_checkpoint_dir(&dir, false);
+        let original = writer.get_or_compute("eon", 3, 20_000, &config).expect("warmup");
+        let key = WarmStartCache::key("eon", 3, 20_000, &config);
+        let path = WarmStartCache::checkpoint_path(&dir, &key);
+        assert!(path.is_file(), "checkpoint must be persisted at {path:?}");
+
+        // A fresh cache with --resume semantics loads instead of computing.
+        let reader = WarmStartCache::with_checkpoint_dir(&dir, true);
+        let loaded = reader.get_or_compute("eon", 3, 20_000, &config).expect("load");
+        assert_eq!(*loaded, *original);
+        let (computed, from_disk, _) = reader.stats();
+        assert_eq!((computed, from_disk), (0, 1));
+
+        // Without --resume the directory is write-only.
+        let no_resume = WarmStartCache::with_checkpoint_dir(&dir, false);
+        let _ = no_resume.get_or_compute("eon", 3, 20_000, &config).expect("warmup");
+        let (computed, from_disk, _) = no_resume.stats();
+        assert_eq!((computed, from_disk), (1, 0));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_checkpoints_fall_back_to_compute() {
+        let dir = temp_dir("corrupt");
+        let config = experiments::issue_queue(false);
+        let key = WarmStartCache::key("gzip", 9, 20_000, &config);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = WarmStartCache::checkpoint_path(&dir, &key);
+
+        // Garbage file: recompute.
+        std::fs::write(&path, "not json").expect("write");
+        let cache = WarmStartCache::with_checkpoint_dir(&dir, true);
+        let snap = cache.get_or_compute("gzip", 9, 20_000, &config).expect("fallback");
+        let (computed, loaded, _) = cache.stats();
+        assert_eq!((computed, loaded), (1, 0));
+
+        // A file whose embedded key disagrees (as a hash collision would):
+        // recompute rather than trust it.
+        let wrong = CheckpointFile { key: "something else".to_string(), snapshot: (*snap).clone() };
+        std::fs::write(&path, serde::json::to_string(&wrong)).expect("write");
+        let cache = WarmStartCache::with_checkpoint_dir(&dir, true);
+        let _ = cache.get_or_compute("gzip", 9, 20_000, &config).expect("fallback");
+        let (computed, loaded, _) = cache.stats();
+        assert_eq!((computed, loaded), (1, 0));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -16,7 +16,7 @@ fn demo_spec() -> CampaignSpec {
 }
 
 fn run_with(threads: usize) -> CampaignResult {
-    run_campaign(&demo_spec(), &RunnerOptions { threads: Some(threads), progress: false })
+    run_campaign(&demo_spec(), &RunnerOptions { threads: Some(threads), ..Default::default() })
         .expect("campaign runs")
 }
 
@@ -43,7 +43,7 @@ fn oversized_pools_clamp_to_the_job_count() {
         .config("base", experiments::issue_queue(false))
         .benchmark("eon")
         .cycles(10_000);
-    let result = run_campaign(&spec, &RunnerOptions { threads: Some(64), progress: false })
+    let result = run_campaign(&spec, &RunnerOptions { threads: Some(64), ..Default::default() })
         .expect("campaign runs");
     assert_eq!(result.threads, 1, "one job never needs more than one worker");
 }

@@ -34,6 +34,16 @@ struct BlockIndices {
 ///
 /// Unified-L2 accesses are counted by the core but charged to no block:
 /// like the EV6 the paper models, the L2 is outside the hot die area.
+///
+/// # Statelessness
+///
+/// After construction the model is *pure*: [`block_power`] depends only on
+/// the sample passed in, never on prior calls. The snapshot/restore layer
+/// in `powerbalance` relies on this — a simulator snapshot records no power
+/// state because there is none; the model is rebuilt from configuration.
+/// The `purity_contract` unit test pins the property.
+///
+/// [`block_power`]: PowerModel::block_power
 #[derive(Debug, Clone)]
 pub struct PowerModel {
     tables: EnergyTables,
@@ -295,6 +305,31 @@ mod tests {
         for (x, y) in pa.iter().zip(&pb) {
             assert!((x - y).abs() < 1e-9, "power is a rate: {x} vs {y}");
         }
+    }
+
+    #[test]
+    fn purity_contract() {
+        // The snapshot/restore layer stores no power-model state, so the
+        // model must be a pure function of the sample: identical samples
+        // give bit-identical vectors regardless of what was computed in
+        // between, and a clone behaves like the original.
+        let (_, m) = model();
+        let mut busy = sample(10_000);
+        busy.int_alu_ops = [9_000, 7_000, 5_000, 3_000, 1_000, 500];
+        busy.int_iq.compact_moves = [40_000, 80_000];
+        busy.int_rf_reads = [15_000, 12_000];
+        busy.bpred_lookups = 9_500;
+
+        let first = m.block_power(&busy);
+        // Interleave unrelated work, including a degenerate zero-cycle
+        // sample, then re-evaluate.
+        let _ = m.block_power(&sample(0));
+        let _ = m.block_power(&sample(1_000_000));
+        let again = m.block_power(&busy);
+        assert_eq!(first, again, "block_power must not depend on call history");
+
+        let cloned = m.clone();
+        assert_eq!(cloned.block_power(&busy), first, "clones are indistinguishable");
     }
 
     #[test]

@@ -154,4 +154,101 @@ mod tests {
     fn singular_matrix_detected() {
         assert!(LuFactors::factor(vec![1.0, 2.0, 2.0, 4.0], 2).is_none());
     }
+
+    #[test]
+    fn one_by_one_systems() {
+        // Degenerate dimension: a 1x1 matrix is just a scalar divide.
+        let lu = LuFactors::factor(vec![4.0], 1).expect("nonzero scalar");
+        assert_eq!(lu.dim(), 1);
+        assert!((lu.solve(&[10.0])[0] - 2.5).abs() < 1e-15);
+        // Negative scalars are fine too (pivoting is by magnitude).
+        let lu = LuFactors::factor(vec![-0.5], 1).expect("nonzero scalar");
+        assert!((lu.solve(&[3.0])[0] + 6.0).abs() < 1e-12);
+        // A zero (or denormal-underflow) scalar is singular.
+        assert!(LuFactors::factor(vec![0.0], 1).is_none());
+        assert!(LuFactors::factor(vec![1e-310], 1).is_none());
+    }
+
+    #[test]
+    fn permutation_matrices_solve_exactly() {
+        // Property: for any cyclic-shift permutation matrix P (every pivot
+        // starts on a zero diagonal, forcing a swap at each column),
+        // solving P x = b must return x[i] = b[shifted index] exactly —
+        // no rounding, because only swaps and divides by 1.0 occur.
+        for n in 1..=8usize {
+            for shift in 0..n {
+                let mut a = vec![0.0; n * n];
+                for i in 0..n {
+                    a[i * n + (i + shift) % n] = 1.0;
+                }
+                let lu = LuFactors::factor(a, n)
+                    .unwrap_or_else(|| panic!("permutation n={n} shift={shift} is nonsingular"));
+                let b: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) * 1.25).collect();
+                let x = lu.solve(&b);
+                for i in 0..n {
+                    assert_eq!(x[(i + shift) % n], b[i], "n={n} shift={shift} row={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrices_detected_across_sizes() {
+        // Property: a matrix with an all-zero column is singular whatever
+        // the size or remaining content. (A zero column is preserved
+        // exactly by row swaps and row eliminations, so the pivot search
+        // is guaranteed to find nothing — unlike e.g. a duplicated row,
+        // where rounding can leave a tiny but nonzero pivot.)
+        let mut seed = 7u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        for n in 2..=9usize {
+            for zero_col in [0, n / 2, n - 1] {
+                let mut a = vec![0.0; n * n];
+                for i in 0..n {
+                    for j in 0..n {
+                        a[i * n + j] = rnd();
+                    }
+                    a[i * n + i] += n as f64;
+                }
+                for i in 0..n {
+                    a[i * n + zero_col] = 0.0;
+                }
+                assert!(LuFactors::factor(a, n).is_none(), "zero column {zero_col}, n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_is_linear_in_the_rhs() {
+        // Property: solve(alpha*b1 + b2) == alpha*solve(b1) + solve(b2)
+        // (up to rounding) — a quick sanity check that the forward/back
+        // substitution honours the permutation consistently.
+        let n = 6;
+        let mut seed = 99u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = rnd();
+            }
+            a[i * n + i] += n as f64;
+        }
+        let lu = LuFactors::factor(a, n).expect("diagonally dominant");
+        let b1: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let b2: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let alpha = 3.5;
+        let combined: Vec<f64> = b1.iter().zip(&b2).map(|(x, y)| alpha * x + y).collect();
+        let lhs = lu.solve(&combined);
+        let x1 = lu.solve(&b1);
+        let x2 = lu.solve(&b2);
+        for i in 0..n {
+            assert!((lhs[i] - (alpha * x1[i] + x2[i])).abs() < 1e-10, "row {i}");
+        }
+    }
 }

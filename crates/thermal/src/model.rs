@@ -101,6 +101,38 @@ impl ThermalModel {
         self.temps.fill(t);
     }
 
+    /// Temperatures of **all** RC nodes, including the internal package
+    /// nodes behind the floorplan blocks.
+    ///
+    /// [`temperatures`](Self::temperatures) exposes only the block prefix;
+    /// snapshot/restore needs the full state vector so a resumed model
+    /// continues the exact transient, not just the surface temperatures.
+    #[must_use]
+    pub fn node_temperatures(&self) -> &[f64] {
+        &self.temps
+    }
+
+    /// Overwrites the full node-temperature vector (the inverse of
+    /// [`node_temperatures`](Self::node_temperatures)).
+    ///
+    /// The cached LU factorization is left alone: it depends only on the
+    /// network and Δt, not on the temperatures.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `temps` does not have one entry per RC node.
+    pub fn restore_node_temperatures(&mut self, temps: &[f64]) -> Result<(), String> {
+        if temps.len() != self.temps.len() {
+            return Err(format!(
+                "thermal state has {} node temperatures, model has {} nodes",
+                temps.len(),
+                self.temps.len()
+            ));
+        }
+        self.temps.copy_from_slice(temps);
+        Ok(())
+    }
+
     /// Advances the model by `dt` seconds with `watts[i]` dissipated in
     /// block `i`.
     ///
@@ -272,6 +304,57 @@ mod tests {
         let sink_t = m.temps[m.network.sink_index()];
         let out = (sink_t - 318.0) / 0.8;
         assert!((out - total).abs() < 1e-6, "energy balance: {out} vs {total}");
+    }
+
+    #[test]
+    fn restore_node_temperatures_round_trips_the_transient() {
+        let mut m = model();
+        let watts = vec![1.0, 0.0, 2.0, 0.5, 0.0];
+        for _ in 0..50 {
+            m.step(&watts, 1e-3);
+        }
+        let saved = m.node_temperatures().to_vec();
+
+        // Keep stepping the original; a fresh model restored to the saved
+        // state and stepped the same way must match bit for bit.
+        let mut restored = model();
+        restored.restore_node_temperatures(&saved).expect("same floorplan");
+        for _ in 0..50 {
+            m.step(&watts, 1e-3);
+            restored.step(&watts, 1e-3);
+        }
+        assert_eq!(m.node_temperatures(), restored.node_temperatures());
+
+        // Wrong node count is rejected.
+        assert!(model().restore_node_temperatures(&saved[..3]).is_err());
+    }
+
+    #[test]
+    fn changing_dt_mid_run_refactorizes() {
+        // Model A steps [dt1, dt1, dt2]. Model B is restored to A's state
+        // just before the dt2 step (so B's very first factorization uses
+        // dt2). If the Δt change failed to invalidate A's cached LU, A
+        // would integrate the dt2 step with the dt1 matrix and diverge
+        // from B.
+        let watts = vec![1.0, 2.0, 0.0, 0.5, 1.5];
+        let (dt1, dt2) = (1e-3, 2.5e-4);
+
+        let mut a = model();
+        a.step(&watts, dt1);
+        a.step(&watts, dt1);
+        let pre_dt2 = a.node_temperatures().to_vec();
+        a.step(&watts, dt2);
+
+        let mut b = model();
+        b.restore_node_temperatures(&pre_dt2).expect("same floorplan");
+        b.step(&watts, dt2);
+
+        assert_eq!(a.node_temperatures(), b.node_temperatures());
+
+        // And switching back to dt1 refactorizes again.
+        a.step(&watts, dt1);
+        b.step(&watts, dt1);
+        assert_eq!(a.node_temperatures(), b.node_temperatures());
     }
 
     #[test]

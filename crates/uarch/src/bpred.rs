@@ -1,6 +1,7 @@
 //! Branch prediction: gshare direction predictor plus a branch target buffer.
 
 use powerbalance_isa::BranchInfo;
+use serde::{Deserialize, Serialize};
 
 /// A 2-bit saturating counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -18,6 +19,25 @@ impl Counter2 {
             self.0 = self.0.saturating_sub(1);
         }
     }
+}
+
+/// Serializable state of a [`BranchPredictor`], captured by
+/// [`BranchPredictor::snapshot`] and reapplied with
+/// [`BranchPredictor::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BranchPredictorState {
+    /// Global history register.
+    pub history: u64,
+    /// Pattern-history-table counters (raw 2-bit values).
+    pub counters: Vec<u8>,
+    /// BTB tags (`u64::MAX` = empty).
+    pub btb_tags: Vec<u64>,
+    /// BTB targets, parallel to `btb_tags`.
+    pub btb_targets: Vec<u64>,
+    /// Total predictions made.
+    pub lookups: u64,
+    /// Total mispredictions.
+    pub mispredicts: u64,
 }
 
 /// gshare direction predictor with a direct-mapped BTB.
@@ -118,6 +138,52 @@ impl BranchPredictor {
         self.mispredicts
     }
 
+    /// Captures the predictor's full state for snapshotting.
+    #[must_use]
+    pub fn snapshot(&self) -> BranchPredictorState {
+        BranchPredictorState {
+            history: self.history,
+            counters: self.counters.iter().map(|c| c.0).collect(),
+            btb_tags: self.btb_tags.clone(),
+            btb_targets: self.btb_targets.clone(),
+            lookups: self.lookups,
+            mispredicts: self.mispredicts,
+        }
+    }
+
+    /// Restores state captured by [`snapshot`](BranchPredictor::snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the captured table sizes do not match this
+    /// predictor's geometry, or a counter value exceeds the 2-bit range.
+    pub fn restore(&mut self, state: &BranchPredictorState) -> Result<(), String> {
+        if state.counters.len() != self.counters.len() {
+            return Err(format!(
+                "predictor snapshot has {} counters, predictor has {}",
+                state.counters.len(),
+                self.counters.len()
+            ));
+        }
+        if state.btb_tags.len() != self.btb_tags.len()
+            || state.btb_targets.len() != self.btb_targets.len()
+        {
+            return Err("predictor snapshot BTB size mismatch".into());
+        }
+        if let Some(bad) = state.counters.iter().find(|&&c| c > 3) {
+            return Err(format!("predictor counter value {bad} exceeds 2-bit range"));
+        }
+        self.history = state.history & self.history_mask;
+        for (slot, &raw) in self.counters.iter_mut().zip(&state.counters) {
+            *slot = Counter2(raw);
+        }
+        self.btb_tags.copy_from_slice(&state.btb_tags);
+        self.btb_targets.copy_from_slice(&state.btb_targets);
+        self.lookups = state.lookups;
+        self.mispredicts = state.mispredicts;
+        Ok(())
+    }
+
     /// Misprediction rate in `[0, 1]` (0 if no lookups yet).
     #[must_use]
     pub fn mispredict_rate(&self) -> f64 {
@@ -206,6 +272,30 @@ mod tests {
         }
         assert_eq!(bp.lookups(), 50);
         assert!(bp.mispredict_rate() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_prediction_stream() {
+        let mut trained = BranchPredictor::new(10, 256);
+        for i in 0..200u64 {
+            let _ = trained
+                .predict_and_update(0x100 + (i % 7) * 4, BranchInfo::new(i % 3 != 0, 0x9000));
+        }
+        let state = trained.snapshot();
+
+        let mut restored = BranchPredictor::new(10, 256);
+        restored.restore(&state).expect("same geometry");
+        for i in 0..100u64 {
+            let outcome = BranchInfo::new(i % 2 == 0, 0x8800);
+            assert_eq!(
+                trained.predict_and_update(0x500, outcome),
+                restored.predict_and_update(0x500, outcome),
+                "restored predictor must track the original exactly"
+            );
+        }
+
+        let mut wrong = BranchPredictor::new(12, 256);
+        assert!(wrong.restore(&state).is_err(), "PHT size mismatch must fail");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Set-associative caches and the two-level memory hierarchy.
 
 use crate::config::CacheConfig;
+use serde::{Deserialize, Serialize};
 
 /// Result of a cache lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -9,6 +10,35 @@ pub enum CacheOutcome {
     Hit,
     /// Line absent; it has been filled (the caller charges the next level).
     Miss,
+}
+
+/// Serializable state of a [`Cache`], captured by [`Cache::snapshot`] and
+/// reapplied with [`Cache::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheState {
+    /// Tag array (`u64::MAX` = empty way).
+    pub tags: Vec<u64>,
+    /// LRU stamps, parallel to `tags`.
+    pub stamps: Vec<u64>,
+    /// LRU clock.
+    pub clock: u64,
+    /// Total accesses so far.
+    pub accesses: u64,
+    /// Total misses so far.
+    pub misses: u64,
+}
+
+/// Serializable state of a [`MemoryHierarchy`], captured by
+/// [`MemoryHierarchy::snapshot`] and reapplied with
+/// [`MemoryHierarchy::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryState {
+    /// Instruction L1 state.
+    pub l1i: CacheState,
+    /// Data L1 state.
+    pub l1d: CacheState,
+    /// Unified L2 state.
+    pub l2: CacheState,
 }
 
 /// A set-associative cache with true-LRU replacement.
@@ -123,6 +153,40 @@ impl Cache {
             self.misses as f64 / self.accesses as f64
         }
     }
+
+    /// Captures the cache's full state for snapshotting.
+    #[must_use]
+    pub fn snapshot(&self) -> CacheState {
+        CacheState {
+            tags: self.tags.clone(),
+            stamps: self.stamps.clone(),
+            clock: self.clock,
+            accesses: self.accesses,
+            misses: self.misses,
+        }
+    }
+
+    /// Restores state captured by [`snapshot`](Cache::snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the captured arrays do not match this cache's
+    /// geometry.
+    pub fn restore(&mut self, state: &CacheState) -> Result<(), String> {
+        if state.tags.len() != self.tags.len() || state.stamps.len() != self.stamps.len() {
+            return Err(format!(
+                "cache snapshot has {} ways total, cache has {}",
+                state.tags.len(),
+                self.tags.len()
+            ));
+        }
+        self.tags.copy_from_slice(&state.tags);
+        self.stamps.copy_from_slice(&state.stamps);
+        self.clock = state.clock;
+        self.accesses = state.accesses;
+        self.misses = state.misses;
+        Ok(())
+    }
 }
 
 /// Latency outcome of a hierarchy access, with the levels that were touched.
@@ -217,6 +281,24 @@ impl MemoryHierarchy {
     pub fn l2(&self) -> &Cache {
         &self.l2
     }
+
+    /// Captures all three caches' state for snapshotting.
+    #[must_use]
+    pub fn snapshot(&self) -> MemoryState {
+        MemoryState { l1i: self.l1i.snapshot(), l1d: self.l1d.snapshot(), l2: self.l2.snapshot() }
+    }
+
+    /// Restores state captured by [`snapshot`](MemoryHierarchy::snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any level's geometry does not match.
+    pub fn restore(&mut self, state: &MemoryState) -> Result<(), String> {
+        self.l1i.restore(&state.l1i).map_err(|e| format!("l1i: {e}"))?;
+        self.l1d.restore(&state.l1d).map_err(|e| format!("l1d: {e}"))?;
+        self.l2.restore(&state.l2).map_err(|e| format!("l2: {e}"))?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +388,27 @@ mod tests {
         assert!(again.touched_l2, "L1 should have evicted line 0");
         assert!(!again.touched_memory, "L2 should still hold line 0");
         assert_eq!(again.latency, 2 + 12);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_lru_behaviour() {
+        let mut c = Cache::new(tiny());
+        for a in [0u64, 512, 0, 1024] {
+            let _ = c.access(a);
+        }
+        let state = c.snapshot();
+
+        let mut restored = Cache::new(tiny());
+        restored.restore(&state).expect("same geometry");
+        // Same future behaviour, including the LRU victim choice.
+        for a in [0u64, 512, 64, 1024, 2048] {
+            assert_eq!(c.access(a), restored.access(a), "addr {a:#x}");
+        }
+        assert_eq!(c.accesses(), restored.accesses());
+        assert_eq!(c.misses(), restored.misses());
+
+        let mut wrong = Cache::new(CacheConfig::l1_default());
+        assert!(wrong.restore(&state).is_err(), "geometry mismatch must fail");
     }
 
     #[test]

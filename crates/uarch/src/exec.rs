@@ -14,6 +14,20 @@ pub enum UnitKind {
     FpMul,
 }
 
+/// Serializable state of a [`FuPool`], captured by [`FuPool::snapshot`] and
+/// reapplied with [`FuPool::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuPoolState {
+    /// Per-ALU enable flags.
+    pub int_enabled: Vec<bool>,
+    /// Per-FP-adder enable flags.
+    pub fp_add_enabled: Vec<bool>,
+    /// FP multiplier enable flag.
+    pub fp_mul_enabled: bool,
+    /// Remaining busy cycles on the FP multiplier (divides).
+    pub fp_mul_busy: u32,
+}
+
 /// The pool of functional units with enable (fine-grain turnoff) and busy
 /// state.
 ///
@@ -118,6 +132,36 @@ impl FuPool {
         self.fp_mul_busy = self.fp_mul_busy.saturating_sub(1);
     }
 
+    /// Captures the pool's full state for snapshotting.
+    #[must_use]
+    pub fn snapshot(&self) -> FuPoolState {
+        FuPoolState {
+            int_enabled: self.int_enabled.clone(),
+            fp_add_enabled: self.fp_add_enabled.clone(),
+            fp_mul_enabled: self.fp_mul_enabled,
+            fp_mul_busy: self.fp_mul_busy,
+        }
+    }
+
+    /// Restores state captured by [`snapshot`](FuPool::snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the captured unit counts do not match this
+    /// pool's configuration.
+    pub fn restore(&mut self, state: &FuPoolState) -> Result<(), String> {
+        if state.int_enabled.len() != self.int_enabled.len()
+            || state.fp_add_enabled.len() != self.fp_add_enabled.len()
+        {
+            return Err("functional-unit snapshot has a different unit count".into());
+        }
+        self.int_enabled.copy_from_slice(&state.int_enabled);
+        self.fp_add_enabled.copy_from_slice(&state.fp_add_enabled);
+        self.fp_mul_enabled = state.fp_mul_enabled;
+        self.fp_mul_busy = state.fp_mul_busy;
+        Ok(())
+    }
+
     /// Indices of enabled integer ALUs, in select-priority order starting
     /// at `rotation` (0 for static priority).
     pub fn int_units_in_order(&self, rotation: usize) -> impl Iterator<Item = usize> + '_ {
@@ -131,6 +175,16 @@ impl FuPool {
         let n = self.fp_add_enabled.len();
         (0..n).map(move |i| (i + rotation) % n).filter(move |&u| self.fp_add_enabled[u])
     }
+}
+
+/// Serializable state of a [`RegFileWiring`], captured by
+/// [`RegFileWiring::snapshot`] and reapplied with [`RegFileWiring::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WiringState {
+    /// Mapping policy at capture time (it can be switched at run time).
+    pub mapping: MappingPolicy,
+    /// Per-copy enable flags.
+    pub enabled: Vec<bool>,
 }
 
 /// Wiring between integer ALUs and register-file copies.
@@ -202,6 +256,26 @@ impl RegFileWiring {
     #[must_use]
     pub fn copy_enabled(&self, copy: usize) -> bool {
         self.enabled[copy]
+    }
+
+    /// Captures the wiring's full state for snapshotting.
+    #[must_use]
+    pub fn snapshot(&self) -> WiringState {
+        WiringState { mapping: self.mapping, enabled: self.enabled.clone() }
+    }
+
+    /// Restores state captured by [`snapshot`](RegFileWiring::snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the captured copy count does not match.
+    pub fn restore(&mut self, state: &WiringState) -> Result<(), String> {
+        if state.enabled.len() != self.enabled.len() {
+            return Err("register-file snapshot has a different copy count".into());
+        }
+        self.mapping = state.mapping;
+        self.enabled.copy_from_slice(&state.enabled);
+        Ok(())
     }
 
     /// Whether `alu` can issue, i.e. every copy it reads from is enabled.

@@ -62,6 +62,18 @@ impl IqEntry {
     }
 }
 
+/// Serializable state of an [`IssueQueue`], captured by
+/// [`IssueQueue::snapshot`] and reapplied with [`IssueQueue::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IqState {
+    /// Slot contents by physical position (`None` = empty).
+    pub slots: Vec<Option<IqEntry>>,
+    /// Head/tail mode at capture time.
+    pub mode: IqMode,
+    /// Load-replay safety window.
+    pub replay_window: u32,
+}
+
 /// A compacting issue queue with physical entry positions.
 ///
 /// # Examples
@@ -342,6 +354,34 @@ impl IssueQueue {
         }
     }
 
+    /// Captures the queue's full state for snapshotting.
+    #[must_use]
+    pub fn snapshot(&self) -> IqState {
+        IqState { slots: self.slots.clone(), mode: self.mode, replay_window: self.replay_window }
+    }
+
+    /// Restores state captured by [`snapshot`](IssueQueue::snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the captured slot count does not match this
+    /// queue's capacity (i.e. the snapshot was taken under a different
+    /// configuration).
+    pub fn restore(&mut self, state: &IqState) -> Result<(), String> {
+        if state.slots.len() != self.slots.len() {
+            return Err(format!(
+                "issue-queue snapshot has {} slots, queue has {}",
+                state.slots.len(),
+                self.slots.len()
+            ));
+        }
+        self.slots = state.slots.clone();
+        self.mode = state.mode;
+        self.replay_window = state.replay_window;
+        self.occupancy = self.slots.iter().filter(|s| s.is_some()).count();
+        Ok(())
+    }
+
     /// Removes every trace of instruction `rob_id` (used only by tests and
     /// draining; normal entries leave via compaction).
     pub fn evict(&mut self, rob_id: u32) {
@@ -574,6 +614,28 @@ mod tests {
         }
         let occupied: Vec<usize> = iq.occupied_positions().collect();
         assert_eq!(occupied, vec![4, 5], "entries migrated to the new head region");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut iq = IssueQueue::new(8);
+        iq.set_mode(IqMode::Toggled);
+        iq.set_replay_window(3);
+        let mut act = IqActivity::default();
+        for i in 0..3 {
+            assert!(iq.insert(entry(i), &mut act));
+        }
+        iq.mark_issued(4, &mut act);
+        let state = iq.snapshot();
+
+        let mut other = IssueQueue::new(8);
+        other.restore(&state).expect("same capacity");
+        assert_eq!(other.occupancy(), iq.occupancy());
+        assert_eq!(other.mode(), iq.mode());
+        assert_eq!(other.snapshot(), state);
+
+        let mut wrong = IssueQueue::new(16);
+        assert!(wrong.restore(&state).is_err(), "capacity mismatch must fail");
     }
 
     #[test]

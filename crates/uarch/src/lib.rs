@@ -50,10 +50,10 @@ mod pipeline;
 mod rob;
 
 pub use activity::{ActivitySample, IqActivity};
-pub use bpred::BranchPredictor;
-pub use cache::{Cache, CacheOutcome, MemAccess, MemoryHierarchy};
+pub use bpred::{BranchPredictor, BranchPredictorState};
+pub use cache::{Cache, CacheOutcome, CacheState, MemAccess, MemoryHierarchy, MemoryState};
 pub use config::{CacheConfig, CoreConfig, IqMode, MappingPolicy, SelectPolicy};
-pub use exec::{FuPool, RegFileWiring, UnitKind};
-pub use iq::{EntryState, IqEntry, IssueQueue};
-pub use pipeline::{Core, CoreStats};
-pub use rob::{ActiveList, RenameMap, RobEntry, RobState};
+pub use exec::{FuPool, FuPoolState, RegFileWiring, UnitKind, WiringState};
+pub use iq::{EntryState, IqEntry, IqState, IssueQueue};
+pub use pipeline::{Core, CoreState, CoreStats};
+pub use rob::{ActiveList, ActiveListState, RenameMap, RobEntry, RobState};

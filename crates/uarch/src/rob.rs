@@ -15,7 +15,7 @@ pub enum RobState {
 }
 
 /// One in-flight instruction in the active list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RobEntry {
     /// Front-end unique id (used to match fetch redirects).
     pub uid: u64,
@@ -26,6 +26,18 @@ pub struct RobEntry {
     /// This branch was mispredicted at fetch; its completion un-stalls the
     /// front end.
     pub is_redirect: bool,
+}
+
+/// Serializable state of an [`ActiveList`], captured by
+/// [`ActiveList::snapshot`] and reapplied with [`ActiveList::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActiveListState {
+    /// Slot contents by physical index (`None` = free).
+    pub entries: Vec<Option<RobEntry>>,
+    /// Oldest in-flight slot.
+    pub head: usize,
+    /// Next allocation slot.
+    pub tail: usize,
 }
 
 /// Circular active list of in-flight instructions.
@@ -148,10 +160,40 @@ impl ActiveList {
         self.len -= 1;
         entry
     }
+
+    /// Captures the list's full state for snapshotting.
+    #[must_use]
+    pub fn snapshot(&self) -> ActiveListState {
+        ActiveListState { entries: self.entries.clone(), head: self.head, tail: self.tail }
+    }
+
+    /// Restores state captured by [`snapshot`](ActiveList::snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the captured slot count does not match this
+    /// list's capacity, or head/tail fall outside it.
+    pub fn restore(&mut self, state: &ActiveListState) -> Result<(), String> {
+        if state.entries.len() != self.entries.len() {
+            return Err(format!(
+                "active-list snapshot has {} slots, list has {}",
+                state.entries.len(),
+                self.entries.len()
+            ));
+        }
+        if state.head >= state.entries.len() || state.tail >= state.entries.len() {
+            return Err("active-list snapshot head/tail out of range".into());
+        }
+        self.entries = state.entries.clone();
+        self.head = state.head;
+        self.tail = state.tail;
+        self.len = self.entries.iter().filter(|e| e.is_some()).count();
+        Ok(())
+    }
 }
 
 /// Producer state of one architectural register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 enum Producer {
     /// Value architecturally available.
     #[default]
@@ -165,7 +207,12 @@ enum Producer {
 /// At dispatch each source operand resolves either to *ready* or to the
 /// `rob_id` of its producer (the wakeup tag). Each destination claims the
 /// register; the claim is released at the producer's writeback.
-#[derive(Debug, Clone)]
+///
+/// The map derives the vendored serde traits so a [`snapshot`] of the whole
+/// core can embed it directly.
+///
+/// [`snapshot`]: crate::Core::snapshot
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RenameMap {
     map: [Producer; TOTAL_ARCH_REGS as usize],
 }
@@ -280,6 +327,36 @@ mod tests {
         assert_eq!(map.resolve(r1), Some(9));
         map.release(r1, 9);
         assert_eq!(map.resolve(r1), None);
+    }
+
+    #[test]
+    fn active_list_snapshot_round_trips() {
+        let mut rob = ActiveList::new(4);
+        let a = rob.alloc(0, op(), false).expect("space");
+        let _ = rob.alloc(1, op(), true).expect("space");
+        rob.set_state(a, RobState::Completed);
+        let _ = rob.retire();
+        let state = rob.snapshot();
+
+        let mut fresh = ActiveList::new(4);
+        fresh.restore(&state).expect("same capacity");
+        assert_eq!(fresh.len(), rob.len());
+        assert_eq!(fresh.snapshot(), state);
+        // Allocation continues from the captured tail.
+        assert_eq!(fresh.alloc(2, op(), false), rob.alloc(2, op(), false));
+
+        let mut wrong = ActiveList::new(8);
+        assert!(wrong.restore(&state).is_err());
+    }
+
+    #[test]
+    fn rename_map_serde_round_trips() {
+        use serde::{Deserialize, Serialize};
+        let mut map = RenameMap::new();
+        map.claim(ArchReg::int(3), 11);
+        map.claim(ArchReg::fp(7), 4);
+        let round = RenameMap::deserialize(&map.serialize()).expect("round trip");
+        assert_eq!(round, map);
     }
 
     #[test]

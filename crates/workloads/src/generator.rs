@@ -2,6 +2,7 @@
 
 use crate::{profile::WorkloadProfile, rng::Xoshiro256};
 use powerbalance_isa::{ArchReg, BranchInfo, MemRef, MicroOp, OpClass, TraceSource};
+use serde::{Deserialize, Serialize};
 
 /// Number of architectural registers (per class) the generator cycles
 /// destinations through. Must exceed [`MAX_DEP_DISTANCE`] so that "the
@@ -37,6 +38,38 @@ enum BranchKind {
     RarelyTaken,
     /// Data-dependent branch with 50/50 outcomes.
     Hard,
+}
+
+/// Serializable dynamic state of a [`TraceGenerator`], captured by
+/// [`TraceGenerator::snapshot`] and reapplied with
+/// [`TraceGenerator::restore`].
+///
+/// Only the evolving state is captured; derived tables (class CDF, mean
+/// block length, FP-load fraction) are rebuilt deterministically from the
+/// profile when the generator is constructed. Branch trip counters are
+/// stored as a PC-sorted list so the serialized form is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceState {
+    /// PRNG state.
+    pub rng: Xoshiro256,
+    /// Micro-ops generated so far.
+    pub op_index: u64,
+    /// Next program counter.
+    pub pc: u64,
+    /// Non-branch ops remaining in the current basic block.
+    pub ops_left_in_block: u64,
+    /// Integer destination-ring contents.
+    pub int_ring: [u8; DEST_REG_POOL as usize],
+    /// Integer destination writes so far.
+    pub int_writes: u64,
+    /// FP destination-ring contents.
+    pub fp_ring: [u8; DEST_REG_POOL as usize],
+    /// FP destination writes so far.
+    pub fp_writes: u64,
+    /// Per-static-branch trip counters, sorted by branch PC.
+    pub branch_counts: Vec<(u64, u64)>,
+    /// Start address of the basic block being emitted.
+    pub block_start: u64,
 }
 
 /// An infinite, deterministic stream of micro-ops realizing a
@@ -176,6 +209,44 @@ impl TraceGenerator {
     #[must_use]
     pub fn ops_generated(&self) -> u64 {
         self.op_index
+    }
+
+    /// Captures the generator's evolving state for snapshotting.
+    #[must_use]
+    pub fn snapshot(&self) -> TraceState {
+        let mut branch_counts: Vec<(u64, u64)> =
+            self.branch_counts.iter().map(|(&pc, &n)| (pc, n)).collect();
+        branch_counts.sort_unstable();
+        TraceState {
+            rng: self.rng.clone(),
+            op_index: self.op_index,
+            pc: self.pc,
+            ops_left_in_block: self.ops_left_in_block,
+            int_ring: self.int_ring,
+            int_writes: self.int_writes,
+            fp_ring: self.fp_ring,
+            fp_writes: self.fp_writes,
+            branch_counts,
+            block_start: self.block_start,
+        }
+    }
+
+    /// Restores state captured by [`snapshot`](TraceGenerator::snapshot).
+    ///
+    /// The generator must realize the same profile the snapshot was taken
+    /// under for the continuation to match the original stream; the derived
+    /// sampling tables are left as built from this generator's profile.
+    pub fn restore(&mut self, state: &TraceState) {
+        self.rng = state.rng.clone();
+        self.op_index = state.op_index;
+        self.pc = state.pc;
+        self.ops_left_in_block = state.ops_left_in_block;
+        self.int_ring = state.int_ring;
+        self.int_writes = state.int_writes;
+        self.fp_ring = state.fp_ring;
+        self.fp_writes = state.fp_writes;
+        self.branch_counts = state.branch_counts.iter().copied().collect();
+        self.block_start = state.block_start;
     }
 
     fn sample_class(&mut self) -> OpClass {
@@ -492,6 +563,33 @@ mod tests {
             biased as f64 / total as f64 > 0.9,
             "easy branches should be biased: {biased}/{total}"
         );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_the_exact_stream() {
+        let p = WorkloadProfile::builder("snap").mix(OpMix::fp_heavy()).build();
+        let mut gen = p.trace(21);
+        for _ in 0..12_345 {
+            let _ = gen.next_op();
+        }
+        let state = gen.snapshot();
+
+        // Serde round trip must be lossless.
+        use serde::{Deserialize, Serialize};
+        let round = TraceState::deserialize(&state.serialize()).expect("round trip");
+        assert_eq!(round, state);
+
+        // A fresh generator restored from the snapshot continues the stream
+        // exactly; two restores from one snapshot are identical too.
+        let mut resumed_a = p.trace(0);
+        resumed_a.restore(&round);
+        let mut resumed_b = p.trace(999);
+        resumed_b.restore(&round);
+        for _ in 0..5000 {
+            let expect = gen.next_op();
+            assert_eq!(resumed_a.next_op(), expect);
+            assert_eq!(resumed_b.next_op(), expect);
+        }
     }
 
     #[test]

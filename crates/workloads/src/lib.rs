@@ -41,7 +41,7 @@ mod profile;
 mod rng;
 pub mod spec2000;
 
-pub use generator::TraceGenerator;
+pub use generator::{TraceGenerator, TraceState};
 pub use phase::PhaseModel;
 pub use profile::{MemLocality, OpMix, WorkloadProfile};
 pub use rng::Xoshiro256;

@@ -1,7 +1,10 @@
 //! Reproducibility guarantees: the whole stack is deterministic for a given
-//! (configuration, benchmark, seed) triple, and seeds actually matter.
+//! (configuration, benchmark, seed) triple, and seeds actually matter —
+//! including through the warm-start snapshot cache, where jobs race to
+//! compute shared warmups on a worker pool.
 
 use powerbalance::{experiments, SimConfig, Simulator};
+use powerbalance_harness::{run_campaign, CampaignSpec, RunnerOptions};
 use powerbalance_isa::TraceSource;
 use powerbalance_workloads::spec2000;
 
@@ -58,4 +61,50 @@ fn resumed_runs_match_single_runs() {
     assert_eq!(straight.committed, resumed.committed);
     assert_eq!(straight.freezes, resumed.freezes);
     assert_eq!(straight.cycles, resumed.cycles);
+}
+
+/// A warmed-up campaign whose configs share warmup snapshots across
+/// mitigation variants. Which worker computes each shared warmup first
+/// depends on pool scheduling, so this is the path where nondeterminism
+/// would sneak in if snapshots were not canonical.
+fn warmed_spec() -> CampaignSpec {
+    CampaignSpec::new("warmed-invariance")
+        .config("base", experiments::issue_queue(false))
+        .config("toggling", experiments::issue_queue(true))
+        .config("alu-fg", experiments::alu(experiments::AluPolicy::FineGrainTurnoff))
+        .benchmarks(["eon", "gzip"])
+        .cycles(30_000)
+        .warmup(30_000)
+        .seed(5)
+}
+
+#[test]
+fn warm_start_cache_is_pool_size_invariant() {
+    let run_with = |threads: usize| {
+        run_campaign(
+            &warmed_spec(),
+            &RunnerOptions { threads: Some(threads), ..Default::default() },
+        )
+        .expect("campaign runs")
+    };
+    let serial = run_with(1);
+    let parallel = run_with(4);
+    assert!(
+        serial.same_outcome(&parallel),
+        "warm-start results must not depend on which worker computed each shared warmup"
+    );
+    for (a, b) in serial.jobs.iter().zip(&parallel.jobs) {
+        assert_eq!(a.result, b.result, "{}/{} must be bit-identical", a.bench, a.config);
+    }
+}
+
+#[test]
+fn warm_start_cache_matches_cold_warmups() {
+    // The shared-snapshot fast path against the private-warmup oracle: the
+    // cache is an optimization, never an observable behavior change.
+    let warm = run_campaign(&warmed_spec(), &RunnerOptions::default()).expect("campaign runs");
+    let cold =
+        run_campaign(&warmed_spec(), &RunnerOptions { warm_cache: false, ..Default::default() })
+            .expect("campaign runs");
+    assert!(warm.same_outcome(&cold), "cache on/off must produce identical outcomes");
 }

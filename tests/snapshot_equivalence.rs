@@ -1,0 +1,133 @@
+//! Differential tests for the snapshot/restore engine: a run that is
+//! snapshotted at cycle N and resumed must be bit-identical to the same run
+//! left uninterrupted, on every floorplan variant, and restoring twice from
+//! one snapshot must be deterministic.
+//!
+//! Snapshots are taken at sample-window boundaries (multiples of the
+//! config's `sample_interval`), which is the supported capture point — see
+//! `Snapshot::capture`.
+
+use powerbalance::{
+    experiments, FloorplanKind, MitigationConfig, RunResult, SimConfig, Simulator, Snapshot,
+};
+use powerbalance_workloads::spec2000;
+
+/// One representative config per floorplan variant, each with its
+/// variant-appropriate mitigation enabled so the snapshot crosses live
+/// manager state (freezes, toggles) rather than an idle baseline.
+fn variants() -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("baseline", SimConfig::default()),
+        ("issue", experiments::issue_queue(true)),
+        ("alu", experiments::alu(experiments::AluPolicy::FineGrainTurnoff)),
+        ("regfile", experiments::regfile(powerbalance::MappingPolicy::Priority, true)),
+    ]
+}
+
+const BENCHES: [&str; 3] = ["eon", "gzip", "mesa"];
+
+/// Runs `total` cycles straight through, and in parallel universe B runs
+/// `split` cycles, snapshots, JSON-round-trips the snapshot, resumes, and
+/// runs the remaining cycles. Returns (uninterrupted, resumed) results.
+fn straight_vs_resumed(
+    config: &SimConfig,
+    bench: &str,
+    split: u64,
+    total: u64,
+) -> (RunResult, RunResult) {
+    let profile = spec2000::by_name(bench).expect("known benchmark");
+
+    let mut sim = Simulator::new(config.clone()).expect("valid config");
+    let mut trace = profile.trace(7);
+    let straight = sim.run(&mut trace, total);
+
+    let mut sim = Simulator::new(config.clone()).expect("valid config");
+    let mut trace = profile.trace(7);
+    let _ = sim.run(&mut trace, split);
+    let snapshot = Snapshot::capture(&sim, &profile, &trace);
+    // Force the full serialize/deserialize path: what resumes is what a
+    // checkpoint file would hold, not the in-memory original.
+    let revived = Snapshot::from_json(&snapshot.to_json()).expect("snapshot round-trips");
+    let (mut sim, mut trace) = revived.resume().expect("snapshot resumes");
+    let resumed = sim.run(&mut trace, total - split);
+
+    (straight, resumed)
+}
+
+#[test]
+fn resume_is_bit_identical_on_every_floorplan_variant() {
+    for (name, config) in variants() {
+        assert!(
+            config.floorplan
+                == match name {
+                    "baseline" => FloorplanKind::Baseline,
+                    "issue" => FloorplanKind::IssueConstrained,
+                    "alu" => FloorplanKind::AluConstrained,
+                    _ => FloorplanKind::RegfileConstrained,
+                },
+            "variant list drifted out of sync with its floorplans"
+        );
+        for bench in BENCHES {
+            let (straight, resumed) = straight_vs_resumed(&config, bench, 40_000, 90_000);
+            assert_eq!(
+                straight, resumed,
+                "{name}/{bench}: snapshot-at-40k + 50k resumed must equal 90k straight"
+            );
+            // The paper-facing metrics are covered by the struct equality
+            // above; spell out the thermally-sensitive ones so a future
+            // field addition that breaks bit-identity names the culprit.
+            assert_eq!(straight.temperatures, resumed.temperatures, "{name}/{bench}: temps");
+            assert_eq!(straight.freezes, resumed.freezes, "{name}/{bench}: freezes");
+            assert_eq!(straight.committed, resumed.committed, "{name}/{bench}: committed");
+        }
+    }
+}
+
+#[test]
+fn one_snapshot_restores_deterministically() {
+    let config = experiments::issue_queue(true);
+    let profile = spec2000::by_name("gzip").expect("known benchmark");
+    let mut sim = Simulator::new(config).expect("valid config");
+    let mut trace = profile.trace(11);
+    let _ = sim.run(&mut trace, 30_000);
+    let snapshot = Snapshot::capture(&sim, &profile, &trace);
+
+    let run_from = |snapshot: &Snapshot| {
+        let (mut sim, mut trace) = snapshot.resume().expect("snapshot resumes");
+        sim.run(&mut trace, 60_000)
+    };
+    let first = run_from(&snapshot);
+    let second = run_from(&snapshot);
+    assert_eq!(first, second, "restoring twice from one snapshot must not diverge");
+}
+
+#[test]
+fn snapshots_fork_across_mitigation_variants() {
+    // The warm-start premise: one mitigation-free warmup snapshot feeds
+    // every technique variant, and forking it is equivalent to running each
+    // variant's warmup privately.
+    let base = SimConfig {
+        floorplan: FloorplanKind::IssueConstrained,
+        mitigation: MitigationConfig::baseline(),
+        ..SimConfig::default()
+    };
+    let toggling = experiments::issue_queue(true);
+    assert_eq!(toggling.floorplan, base.floorplan, "variants must share a floorplan");
+
+    let profile = spec2000::by_name("eon").expect("known benchmark");
+    let mut sim = Simulator::new(base).expect("valid config");
+    let mut trace = profile.trace(3);
+    sim.run_warmup(&mut trace, 40_000);
+    let snapshot = Snapshot::capture(&sim, &profile, &trace);
+
+    let (mut sim, mut trace) =
+        snapshot.resume_with_config(toggling.clone()).expect("compatible config resumes");
+    let forked = sim.run(&mut trace, 50_000);
+
+    let mut sim = Simulator::new(toggling).expect("valid config");
+    let mut trace = profile.trace(3);
+    sim.run_warmup(&mut trace, 40_000);
+    let private = sim.run(&mut trace, 50_000);
+
+    assert_eq!(forked, private, "forked warmup must match a private warmup bit-for-bit");
+}
