@@ -39,6 +39,9 @@ pub struct Simulator {
     temp_samples: u64,
     temp_max: Vec<f64>,
     warmed: bool,
+    /// Per-block power scratch reused every sampling window; pure scratch,
+    /// never snapshotted.
+    watts: Vec<f64>,
     /// Optional per-sample temperature trace: `(cycle, temps)` rows.
     history: Option<Vec<(u64, Vec<f64>)>>,
 }
@@ -69,6 +72,7 @@ impl Simulator {
             temp_samples: 0,
             temp_max: vec![f64::MIN; blocks],
             warmed: false,
+            watts: vec![0.0; blocks],
             history: None,
         })
     }
@@ -127,12 +131,15 @@ impl Simulator {
     ///
     /// Can be called repeatedly to extend a run; statistics accumulate.
     pub fn run<T: TraceSource>(&mut self, trace: &mut T, cycles: u64) -> RunResult {
-        let start = self.core.stats().cycles;
-        while self.core.stats().cycles - start < cycles && !self.core.is_done() {
-            let window =
-                self.config.sample_interval.min(cycles - (self.core.stats().cycles - start));
+        // `Core::cycle` advances the counter by exactly one, so an elapsed
+        // tally replaces the repeated `self.core.stats().cycles` reads the
+        // loop head would otherwise pay per window.
+        let mut elapsed = 0u64;
+        while elapsed < cycles && !self.core.is_done() {
+            let window = self.config.sample_interval.min(cycles - elapsed);
             for _ in 0..window {
                 self.core.cycle(trace);
+                elapsed += 1;
                 if self.core.is_done() {
                     break;
                 }
@@ -155,12 +162,12 @@ impl Simulator {
     /// boundary, exactly as if [`run`](Simulator::run) had been called
     /// throughout with mitigation disabled for the first `cycles` cycles.
     pub fn run_warmup<T: TraceSource>(&mut self, trace: &mut T, cycles: u64) {
-        let start = self.core.stats().cycles;
-        while self.core.stats().cycles - start < cycles && !self.core.is_done() {
-            let window =
-                self.config.sample_interval.min(cycles - (self.core.stats().cycles - start));
+        let mut elapsed = 0u64;
+        while elapsed < cycles && !self.core.is_done() {
+            let window = self.config.sample_interval.min(cycles - elapsed);
             for _ in 0..window {
                 self.core.cycle(trace);
+                elapsed += 1;
                 if self.core.is_done() {
                     break;
                 }
@@ -176,38 +183,45 @@ impl Simulator {
         if activity.cycles == 0 {
             return;
         }
-        let watts = self.power.block_power(&activity);
+        self.power.block_power_into(&activity, &mut self.watts);
         let dt = activity.cycles as f64 / self.config.frequency_hz;
 
         if self.config.warm_start && !self.warmed {
             // Jump to this workload's own steady state instead of heating
             // from ambient for millions of cycles.
             self.warmed = true;
-            self.thermal.settle(&watts);
+            self.thermal.settle(&self.watts);
         } else {
-            self.thermal.step(&watts, dt);
+            self.thermal.step(&self.watts, dt);
         }
 
+        // Temperatures are borrowed from the thermal model everywhere
+        // below; the only copy made is the optional history row.
         let was_frozen = self.core.is_frozen();
-        let temps: Vec<f64> = self.thermal.temperatures().to_vec();
         let now = self.core.stats().cycles;
         if consult_manager {
-            self.manager.on_sample(&mut self.core, &temps, now, &activity.int_iq, &activity.fp_iq);
+            self.manager.on_sample(
+                &mut self.core,
+                self.thermal.temperatures(),
+                now,
+                &activity.int_iq,
+                &activity.fp_iq,
+            );
         }
 
         // The paper's table temperatures average over execution (non
         // -stalled) time; track the peak unconditionally.
         if !was_frozen {
-            for (sum, t) in self.temp_sum.iter_mut().zip(&temps) {
+            for (sum, t) in self.temp_sum.iter_mut().zip(self.thermal.temperatures()) {
                 *sum += t;
             }
             self.temp_samples += 1;
         }
-        for (max, t) in self.temp_max.iter_mut().zip(&temps) {
+        for (max, t) in self.temp_max.iter_mut().zip(self.thermal.temperatures()) {
             *max = max.max(*t);
         }
         if let Some(history) = &mut self.history {
-            history.push((now, temps));
+            history.push((now, self.thermal.temperatures().to_vec()));
         }
     }
 

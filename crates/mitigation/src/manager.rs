@@ -175,22 +175,20 @@ impl ThermalManager {
 
         // 3. Fine-grain turnoff for functional units.
         if self.cfg.alu_turnoff {
-            let units: Vec<(UnitKind, usize, usize)> = self
-                .sensors
-                .int_alus
-                .iter()
-                .enumerate()
-                .map(|(i, &b)| (UnitKind::IntAlu, i, b))
-                .chain(
-                    self.sensors
-                        .fp_adders
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &b)| (UnitKind::FpAdd, i, b)),
-                )
-                .chain(std::iter::once((UnitKind::FpMul, 0, self.sensors.fp_mul)))
-                .collect();
-            for (kind, idx, block) in units {
+            // Indexed walk over ALUs, FP adders, then the multiplier: a
+            // chained iterator would hold `self.sensors` borrowed across the
+            // `self.stats` update below, and collecting it would put a heap
+            // allocation in the per-sample path.
+            let n_int = self.sensors.int_alus.len();
+            let n_fp = self.sensors.fp_adders.len();
+            for i in 0..n_int + n_fp + 1 {
+                let (kind, idx, block) = if i < n_int {
+                    (UnitKind::IntAlu, i, self.sensors.int_alus[i])
+                } else if i < n_int + n_fp {
+                    (UnitKind::FpAdd, i - n_int, self.sensors.fp_adders[i - n_int])
+                } else {
+                    (UnitKind::FpMul, 0, self.sensors.fp_mul)
+                };
                 if core.unit_enabled(kind, idx) {
                     if temps[block] >= th.max_temp {
                         core.set_unit_enabled(kind, idx, false);

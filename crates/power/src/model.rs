@@ -143,13 +143,36 @@ impl PowerModel {
     /// Returns one entry per floorplan block. Windows with zero cycles
     /// yield pure leakage.
     ///
+    /// Allocates the result vector; the per-window sampling loop should
+    /// use [`block_power_into`](Self::block_power_into) with a persistent
+    /// buffer instead.
+    ///
     /// # Panics
     ///
     /// Never panics for samples produced by `powerbalance-uarch`.
     #[must_use]
     pub fn block_power(&self, sample: &ActivitySample) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.block_count];
+        self.block_power_into(sample, &mut out);
+        out
+    }
+
+    /// Allocation-free [`block_power`](Self::block_power): writes the
+    /// per-block watts into `out`, overwriting its contents.
+    ///
+    /// The accumulation order matches `block_power` exactly (it is the same
+    /// code), so the two produce bit-identical vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not have one entry per floorplan block.
+    pub fn block_power_into(&self, sample: &ActivitySample, out: &mut [f64]) {
+        assert_eq!(out.len(), self.block_count, "one output entry per block");
         let t = &self.tables;
-        let mut energy = vec![0.0f64; self.block_count];
+        // `out` doubles as the energy accumulator until the final
+        // energy-to-power conversion.
+        out.fill(0.0);
+        let energy = out;
 
         let int_q = self.queue_energy(&sample.int_iq);
         let fp_q = self.queue_energy(&sample.fp_iq);
@@ -187,13 +210,13 @@ impl PowerModel {
 
         // Convert window energy to average power and add leakage.
         let seconds = sample.cycles as f64 / self.frequency_hz;
-        let mut power = self.leakage.clone();
         if seconds > 0.0 {
-            for (p, e) in power.iter_mut().zip(&energy) {
-                *p += e / seconds;
+            for (e, &leak) in energy.iter_mut().zip(&self.leakage) {
+                *e = leak + *e / seconds;
             }
+        } else {
+            energy.copy_from_slice(&self.leakage);
         }
-        power
     }
 }
 

@@ -75,15 +75,38 @@ impl LuFactors {
 
     /// Solves `A x = b` for `x`.
     ///
+    /// Allocates a fresh solution vector; hot paths that solve every
+    /// sampling window should use [`solve_into`](Self::solve_into) with a
+    /// persistent buffer instead.
+    ///
     /// # Panics
     ///
     /// Panics if `b.len() != n`.
     #[must_use]
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solves `A x = b` in place, writing the solution to `x`.
+    ///
+    /// `b` and `x` must not alias (enforced by the borrow checker). The
+    /// arithmetic — permutation gather, forward substitution, back
+    /// substitution, in exactly that operation order — is shared with
+    /// [`solve`](Self::solve), so the two produce bit-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n` or `x.len() != n`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
+        assert_eq!(x.len(), self.n, "solution length mismatch");
         let n = self.n;
         // Apply permutation, then forward-substitute L, then back-substitute U.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
         for row in 1..n {
             let mut sum = x[row];
             for (col, xc) in x.iter().enumerate().take(row) {
@@ -98,7 +121,6 @@ impl LuFactors {
             }
             x[row] = sum / self.lu[row * n + row];
         }
-        x
     }
 }
 

@@ -33,6 +33,12 @@ pub struct ThermalModel {
     block_count: usize,
     cached_dt: f64,
     cached_lu: Option<LuFactors>,
+    /// Right-hand-side scratch for [`step`](Self::step); persistent so the
+    /// per-window solve allocates nothing.
+    rhs: Vec<f64>,
+    /// Solution scratch for [`step`](Self::step), swapped with `temps`
+    /// after each solve.
+    solution: Vec<f64>,
 }
 
 impl ThermalModel {
@@ -47,6 +53,8 @@ impl ThermalModel {
         let temps = vec![package.ambient; network.node_count()];
         ThermalModel {
             block_count: plan.blocks().len(),
+            rhs: vec![0.0; network.node_count()],
+            solution: vec![0.0; network.node_count()],
             network,
             temps,
             cached_dt: 0.0,
@@ -157,14 +165,15 @@ impl ThermalModel {
 
         let c = self.network.capacitance();
         let ambient_power = self.network.ambient_power();
-        let mut rhs = vec![0.0; n];
         for i in 0..n {
-            rhs[i] = c[i] / dt * self.temps[i] + ambient_power[i];
+            self.rhs[i] = c[i] / dt * self.temps[i] + ambient_power[i];
         }
         for (i, w) in watts.iter().enumerate() {
-            rhs[i] += w;
+            self.rhs[i] += w;
         }
-        self.temps = self.cached_lu.as_ref().expect("factor computed above").solve(&rhs);
+        let lu = self.cached_lu.as_ref().expect("factor computed above");
+        lu.solve_into(&self.rhs, &mut self.solution);
+        std::mem::swap(&mut self.temps, &mut self.solution);
     }
 
     /// Solves directly for the steady-state temperatures under constant

@@ -293,27 +293,64 @@ impl RegFileWiring {
 
     /// Register-file copies charged for `reads` operand reads by `alu`.
     ///
-    /// Returns `(copy, count)` pairs. Under the simple mappings both reads
+    /// Yields `(copy, count)` pairs. Under the simple mappings both reads
     /// hit the ALU's own copy; under completely-balanced wiring reads
-    /// spread one per copy.
+    /// spread one per copy. A micro-op has at most two source operands, so
+    /// the charges fit an inline buffer and iterating never allocates —
+    /// this runs once per issued instruction in the hottest loop.
     #[must_use]
-    pub fn read_charges(&self, alu: usize, reads: u8) -> Vec<(usize, u64)> {
+    pub fn read_charges(&self, alu: usize, reads: u8) -> ReadCharges {
+        let mut charges = ReadCharges { pairs: [(0, 0); 2], len: 0, next: 0 };
         match self.mapping {
             MappingPolicy::Balanced | MappingPolicy::Priority => {
-                let copy = self.mapping.copy_for_alu(alu, self.alus, self.copies);
-                if reads == 0 {
-                    Vec::new()
-                } else {
-                    vec![(copy, u64::from(reads))]
+                if reads > 0 {
+                    let copy = self.mapping.copy_for_alu(alu, self.alus, self.copies);
+                    charges.pairs[0] = (copy, u64::from(reads));
+                    charges.len = 1;
                 }
             }
             MappingPolicy::CompletelyBalanced => {
                 let base = alu % self.copies;
-                (0..usize::from(reads)).map(|i| ((base + i) % self.copies, 1)).collect()
+                for i in 0..usize::from(reads).min(2) {
+                    charges.pairs[i] = ((base + i) % self.copies, 1);
+                    charges.len = i + 1;
+                }
             }
         }
+        charges
     }
 }
+
+/// Allocation-free `(copy, count)` pairs returned by
+/// [`RegFileWiring::read_charges`]. At most two entries (one per source
+/// operand).
+#[derive(Debug, Clone, Copy)]
+pub struct ReadCharges {
+    pairs: [(usize, u64); 2],
+    len: usize,
+    next: usize,
+}
+
+impl Iterator for ReadCharges {
+    type Item = (usize, u64);
+
+    fn next(&mut self) -> Option<(usize, u64)> {
+        if self.next < self.len {
+            let pair = self.pairs[self.next];
+            self.next += 1;
+            Some(pair)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.len - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for ReadCharges {}
 
 #[cfg(test)]
 mod tests {
@@ -383,12 +420,12 @@ mod tests {
     #[test]
     fn read_charges_follow_mapping() {
         let w = RegFileWiring::new(MappingPolicy::Priority, 6, 2);
-        assert_eq!(w.read_charges(0, 2), vec![(0, 2)]);
-        assert_eq!(w.read_charges(5, 2), vec![(1, 2)]);
-        assert_eq!(w.read_charges(5, 0), vec![]);
+        assert_eq!(w.read_charges(0, 2).collect::<Vec<_>>(), vec![(0, 2)]);
+        assert_eq!(w.read_charges(5, 2).collect::<Vec<_>>(), vec![(1, 2)]);
+        assert_eq!(w.read_charges(5, 0).collect::<Vec<_>>(), vec![]);
 
         let cb = RegFileWiring::new(MappingPolicy::CompletelyBalanced, 6, 2);
-        let mut charges = cb.read_charges(0, 2);
+        let mut charges: Vec<_> = cb.read_charges(0, 2).collect();
         charges.sort_unstable();
         assert_eq!(charges, vec![(0, 1), (1, 1)], "one read per copy");
     }

@@ -216,13 +216,25 @@ impl IssueQueue {
 
     /// Iterates positions of ready entries in priority order (head first).
     pub fn ready_positions(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.slots.len()).filter_map(move |rank| {
-            let pos = self.position_of_rank(rank);
-            match &self.slots[pos] {
-                Some(e) if e.is_ready() => Some(pos),
-                _ => None,
-            }
-        })
+        (0..self.slots.len()).filter_map(move |rank| self.ready_at_rank(rank))
+    }
+
+    /// Physical position of the entry at priority rank `rank`, if that slot
+    /// holds a ready (issuable) entry.
+    ///
+    /// This is the allocation-free building block of the select loop: the
+    /// issue stages walk ranks `0..size()` with this accessor instead of
+    /// materializing a ready list, so `mark_issued` can interleave with the
+    /// scan (issuing an entry never changes any *other* entry's readiness
+    /// within a cycle).
+    #[inline]
+    #[must_use]
+    pub fn ready_at_rank(&self, rank: usize) -> Option<usize> {
+        let pos = self.position_of_rank(rank);
+        match &self.slots[pos] {
+            Some(e) if e.is_ready() => Some(pos),
+            _ => None,
+        }
     }
 
     /// Entry at a physical position.
@@ -277,6 +289,13 @@ impl IssueQueue {
     /// * the clock-gating control logic runs every cycle regardless.
     pub fn tick(&mut self, max_compact: usize, activity: &mut IqActivity) {
         activity.gating_cycles += 1;
+        if self.occupancy == 0 {
+            // Nothing to age or compact; an empty queue only clocks its
+            // gating control. Skipping the slot scans keeps an idle queue
+            // (e.g. the FP queue of an integer workload) off the critical
+            // path.
+            return;
+        }
 
         // Age issued entries toward invalidation.
         for slot in self.slots.iter_mut().flatten() {

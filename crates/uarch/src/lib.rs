@@ -53,7 +53,7 @@ pub use activity::{ActivitySample, IqActivity};
 pub use bpred::{BranchPredictor, BranchPredictorState};
 pub use cache::{Cache, CacheOutcome, CacheState, MemAccess, MemoryHierarchy, MemoryState};
 pub use config::{CacheConfig, CoreConfig, IqMode, MappingPolicy, SelectPolicy};
-pub use exec::{FuPool, FuPoolState, RegFileWiring, UnitKind, WiringState};
+pub use exec::{FuPool, FuPoolState, ReadCharges, RegFileWiring, UnitKind, WiringState};
 pub use iq::{EntryState, IqEntry, IqState, IssueQueue};
 pub use pipeline::{Core, CoreState, CoreStats};
 pub use rob::{ActiveList, ActiveListState, RenameMap, RobEntry, RobState};

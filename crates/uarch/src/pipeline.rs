@@ -178,6 +178,11 @@ pub struct Core {
     last_fetch_line: u64,
     in_flight: Vec<InFlight>,
 
+    /// Reused by [`writeback`](Core::writeback) every cycle so the hot loop
+    /// never allocates. Pure scratch: always empty between cycles, never
+    /// snapshotted.
+    writeback_scratch: Vec<u32>,
+
     activity: ActivitySample,
     stats: CoreStats,
 }
@@ -215,6 +220,7 @@ impl Core {
             redirect_uid: None,
             last_fetch_line: u64::MAX,
             in_flight: Vec::new(),
+            writeback_scratch: Vec::new(),
             activity: ActivitySample::default(),
             stats: CoreStats::default(),
             cfg,
@@ -521,7 +527,11 @@ impl Core {
 
     /// Completes in-flight operations whose latency has elapsed.
     fn writeback(&mut self) {
-        let mut completed: Vec<u32> = Vec::new();
+        // Moved out of `self` so the retain closure (which already borrows
+        // `self.in_flight` mutably) can push into it; moved back afterwards
+        // so the capacity persists and steady-state cycles never allocate.
+        let mut completed = std::mem::take(&mut self.writeback_scratch);
+        completed.clear();
         self.in_flight.retain_mut(|f| {
             f.remaining -= 1;
             if f.remaining == 0 {
@@ -532,7 +542,7 @@ impl Core {
             }
         });
 
-        for rob_id in completed {
+        for &rob_id in &completed {
             self.rob.set_state(rob_id, RobState::Completed);
             let entry = *self.rob.entry(rob_id);
             if let Some(dest) = entry.op.dest() {
@@ -556,6 +566,8 @@ impl Core {
                 self.redirect_uid = None;
             }
         }
+        completed.clear();
+        self.writeback_scratch = completed;
     }
 
     /// Retires completed instructions in order.
@@ -591,22 +603,36 @@ impl Core {
     /// Integer-side select and issue: one select tree per ALU, serialized
     /// in priority order (or rotated for ideal round-robin).
     fn issue_int(&mut self) {
+        if self.int_iq.occupancy() == 0 {
+            return; // nothing to select from
+        }
         let rotation = match self.cfg.select_policy {
             SelectPolicy::Static => 0,
             SelectPolicy::RoundRobin => self.rotation % self.cfg.int_alus,
         };
-        let units: Vec<usize> =
-            self.pool.int_units_in_order(rotation).filter(|&u| self.wiring.alu_usable(u)).collect();
-        if units.is_empty() {
+        // At most 6 ALUs by construction (checked in `Core::new`), so the
+        // usable-unit list fits a fixed inline array: no per-cycle heap.
+        let mut units = [0usize; 6];
+        let mut n_units = 0usize;
+        for u in self.pool.int_units_in_order(rotation) {
+            if self.wiring.alu_usable(u) {
+                units[n_units] = u;
+                n_units += 1;
+            }
+        }
+        if n_units == 0 {
             return;
         }
-        let ready: Vec<usize> = self.int_iq.ready_positions().collect();
         let mut unit_idx = 0usize;
         let mut mem_issued = 0usize;
-        for pos in ready {
-            if unit_idx == units.len() {
+        // Walk ranks directly instead of materializing the ready list:
+        // issuing an entry never changes another entry's readiness within a
+        // cycle, so the scan sees the same positions the collected list did.
+        for rank in 0..self.int_iq.size() {
+            if unit_idx == n_units {
                 break;
             }
+            let Some(pos) = self.int_iq.ready_at_rank(rank) else { continue };
             let entry = *self.int_iq.entry(pos).expect("ready position is occupied");
             if entry.is_mem && mem_issued == self.cfg.dcache_ports {
                 continue; // cache ports exhausted; tree masks this request
@@ -648,15 +674,24 @@ impl Core {
 
     /// FP-side select and issue: 4 adder trees plus the multiplier tree.
     fn issue_fp(&mut self) {
+        if self.fp_iq.occupancy() == 0 {
+            return; // nothing to select from
+        }
         let rotation = match self.cfg.select_policy {
             SelectPolicy::Static => 0,
             SelectPolicy::RoundRobin => self.rotation % self.cfg.fp_adders,
         };
-        let adders: Vec<usize> = self.pool.fp_add_units_in_order(rotation).collect();
+        // At most 4 FP adders by construction: fixed inline array again.
+        let mut adders = [0usize; 4];
+        let mut n_adders = 0usize;
+        for u in self.pool.fp_add_units_in_order(rotation) {
+            adders[n_adders] = u;
+            n_adders += 1;
+        }
         let mut adder_idx = 0usize;
         let mut mul_used = false;
-        let ready: Vec<usize> = self.fp_iq.ready_positions().collect();
-        for pos in ready {
+        for rank in 0..self.fp_iq.size() {
+            let Some(pos) = self.fp_iq.ready_at_rank(rank) else { continue };
             let entry = *self.fp_iq.entry(pos).expect("ready position is occupied");
             let unit: Option<(UnitKind, usize)> = if entry.needs_fp_mul {
                 if !mul_used && self.pool.is_available(UnitKind::FpMul, 0) {
@@ -665,7 +700,7 @@ impl Core {
                 } else {
                     None
                 }
-            } else if adder_idx < adders.len() {
+            } else if adder_idx < n_adders {
                 let u = adders[adder_idx];
                 adder_idx += 1;
                 Some((UnitKind::FpAdd, u))
@@ -673,7 +708,7 @@ impl Core {
                 None
             };
             let Some((kind, unit)) = unit else {
-                if adder_idx >= adders.len() && mul_used {
+                if adder_idx >= n_adders && mul_used {
                     break;
                 }
                 continue;
