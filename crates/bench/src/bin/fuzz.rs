@@ -1,0 +1,318 @@
+//! fuzz — deterministic config/trace fuzzer for the checked simulator.
+//!
+//! Each seed derives a random-but-valid [`SimConfig`] (floorplan, queue
+//! geometry, mitigation techniques, thresholds, sampling cadence) and a
+//! random workload/trace seed, then runs a short simulation with the
+//! `check` feature's differential oracle and invariant suite armed. Any
+//! violation — or a panic anywhere in the stack — fails the seed. Failing
+//! cases are shrunk by halving the cycle budget while the failure
+//! reproduces, then written to a self-contained JSON artifact
+//! (`fuzz-seed-<seed>.json`) that `--replay` re-executes exactly.
+//!
+//! Everything is keyed off the seed: the same seed always produces the
+//! same configuration, trace, and verdict, so a failing seed from CI is
+//! reproducible locally with `--start-seed <seed> --seeds 1`.
+
+use powerbalance::{FloorplanKind, MappingPolicy, SelectPolicy, SimConfig, Simulator, Violation};
+use powerbalance_workloads::{spec2000, Xoshiro256};
+use serde::{json, Deserialize, Serialize};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+
+const ABOUT: &str = "\
+fuzz — differential-oracle fuzzer for random configs and traces
+
+Runs short checked simulations over seed-derived random configurations.
+Exit status: 0 all seeds clean, 1 violations found, 2 usage error.
+
+OPTIONS:
+  --seeds <n>         number of seeds to run                [200]
+  --start-seed <n>    first seed (seeds are consecutive)    [0]
+  --cycles <n>        cycle budget per seed                 [40000]
+  --artifact-dir <p>  where failing-case JSON files go      [.]
+  --replay <path>     re-run one failing-case artifact and exit
+  --help              show this help";
+
+/// Floor below which shrinking stops: shorter runs rarely reach the first
+/// thermal sample, so the case would stop exercising anything.
+const MIN_CYCLES: u64 = 2_000;
+
+/// Self-contained reproduction recipe for one failing seed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FailingCase {
+    schema: String,
+    /// Fuzzer seed the case was derived from.
+    seed: u64,
+    /// Workload profile name.
+    bench: String,
+    /// Seed for the workload's trace generator.
+    trace_seed: u64,
+    /// Shrunk cycle budget that still reproduces the failure.
+    cycles: u64,
+    /// The full derived configuration.
+    config: SimConfig,
+    /// What went wrong (violation strings or a panic message).
+    failure: Vec<String>,
+}
+
+struct Args {
+    seeds: u64,
+    start_seed: u64,
+    cycles: u64,
+    artifact_dir: PathBuf,
+    replay: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 200,
+        start_seed: 0,
+        cycles: 40_000,
+        artifact_dir: PathBuf::from("."),
+        replay: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    let fail = |msg: &str| -> ! {
+        eprintln!("error: {msg}\n\n{ABOUT}");
+        std::process::exit(2);
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| fail(&format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--seeds" => {
+                args.seeds =
+                    value("--seeds").parse().unwrap_or_else(|e| fail(&format!("--seeds: {e}")));
+            }
+            "--start-seed" => {
+                args.start_seed = value("--start-seed")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("--start-seed: {e}")));
+            }
+            "--cycles" => {
+                args.cycles =
+                    value("--cycles").parse().unwrap_or_else(|e| fail(&format!("--cycles: {e}")));
+            }
+            "--artifact-dir" => args.artifact_dir = PathBuf::from(value("--artifact-dir")),
+            "--replay" => args.replay = Some(PathBuf::from(value("--replay"))),
+            "--help" | "-h" => {
+                println!("{ABOUT}");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown flag '{other}'")),
+        }
+    }
+    if args.cycles == 0 {
+        fail("--cycles must be positive");
+    }
+    args
+}
+
+/// Derives the whole test case for one seed. Every choice is constrained
+/// so the result always passes `SimConfig::validate`:
+///
+/// * `alu_turnoff` pins the full 6-ALU/4-adder geometry (the manager's
+///   per-unit walk assumes it);
+/// * `rf_turnoff` pins two register-file copies for the same reason;
+/// * otherwise copies are drawn from the divisors of the ALU count.
+// The config is deliberately built by mutating a default field-by-field:
+// each draw must happen in a fixed order for seed stability, which a
+// struct-literal initializer would obscure.
+#[allow(clippy::field_reassign_with_default)]
+fn derive_case(seed: u64) -> (SimConfig, String, u64) {
+    let mut rng = Xoshiro256::new(seed);
+    let mut cfg = SimConfig::default();
+
+    cfg.floorplan = *pick(
+        &mut rng,
+        &[
+            FloorplanKind::Baseline,
+            FloorplanKind::IssueConstrained,
+            FloorplanKind::AluConstrained,
+            FloorplanKind::RegfileConstrained,
+        ],
+    );
+    cfg.core.iq_size = *pick(&mut rng, &[8, 16, 32, 64]);
+    cfg.core.replay_window = *pick(&mut rng, &[1, 2, 3]);
+    cfg.core.mapping = *pick(
+        &mut rng,
+        &[MappingPolicy::Balanced, MappingPolicy::Priority, MappingPolicy::CompletelyBalanced],
+    );
+    cfg.core.select_policy = *pick(&mut rng, &[SelectPolicy::Static, SelectPolicy::RoundRobin]);
+
+    cfg.mitigation.activity_toggling = rng.chance(0.5);
+    cfg.mitigation.alu_turnoff = rng.chance(0.5);
+    cfg.mitigation.rf_turnoff = rng.chance(0.5);
+    cfg.mitigation.rf_stale_copy = cfg.mitigation.rf_turnoff && rng.chance(0.5);
+
+    if cfg.mitigation.alu_turnoff {
+        cfg.core.int_alus = 6;
+        cfg.core.fp_adders = 4;
+    } else {
+        cfg.core.int_alus = *pick(&mut rng, &[2, 4, 6]);
+        cfg.core.fp_adders = *pick(&mut rng, &[2, 4]);
+    }
+    if cfg.mitigation.rf_turnoff {
+        cfg.core.int_rf_copies = 2;
+    } else {
+        // The activity counters cap copies at 2; every drawn ALU count is
+        // even, so both choices divide it.
+        cfg.core.int_rf_copies = *pick(&mut rng, &[1, 2]);
+    }
+
+    // Most runs get a limit far below the paper's 358 K — down near the
+    // 318 K ambient — so that short runs still provoke mitigation storms
+    // (toggles, turnoffs, freezes, thaws). The rest keep the default and
+    // exercise the always-cool paths.
+    if rng.chance(0.75) {
+        cfg.mitigation.thresholds.max_temp = 322.0 + rng.next_f64() * 26.0;
+    }
+    // Widen the toggle window and sometimes drop the hysteresis so that
+    // 40 k-cycle runs actually reach the toggling decision, not just the
+    // freeze backstop.
+    cfg.mitigation.thresholds.toggle_proximity = *pick(&mut rng, &[2.0, 6.0, 15.0]);
+    cfg.mitigation.thresholds.toggle_delta = *pick(&mut rng, &[0.1, 0.5]);
+    cfg.sample_interval = *pick(&mut rng, &[2_000, 5_000, 10_000]);
+    cfg.warm_start = rng.chance(0.8);
+
+    let bench = pick(&mut rng, &spec2000::ALL).to_string();
+    let trace_seed = rng.next_u64() >> 32;
+    (cfg, bench, trace_seed)
+}
+
+fn pick<'a, T>(rng: &mut Xoshiro256, options: &'a [T]) -> &'a T {
+    &options[rng.below(options.len() as u64) as usize]
+}
+
+/// One checked run. `Ok` means clean; `Err` carries the violation strings
+/// (capped) or the panic message.
+fn run_case(
+    config: &SimConfig,
+    bench: &str,
+    trace_seed: u64,
+    cycles: u64,
+) -> Result<(), Vec<String>> {
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| -> Result<Vec<Violation>, String> {
+        let mut sim = Simulator::new(config.clone()).map_err(|e| e.to_string())?;
+        sim.enable_checking().map_err(|e| e.to_string())?;
+        let profile = spec2000::by_name(bench).ok_or_else(|| format!("unknown bench {bench}"))?;
+        sim.run(&mut profile.trace(trace_seed), cycles);
+        Ok(sim.finish_checking())
+    }));
+    match outcome {
+        Ok(Ok(violations)) if violations.is_empty() => Ok(()),
+        Ok(Ok(violations)) => Err(violations.iter().take(8).map(|v| v.to_string()).collect()),
+        Ok(Err(build)) => Err(vec![format!("setup failed: {build}")]),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            Err(vec![format!("panic: {msg}")])
+        }
+    }
+}
+
+/// Greedy shrink: halve the cycle budget while the failure reproduces.
+fn shrink(config: &SimConfig, bench: &str, trace_seed: u64, mut cycles: u64) -> u64 {
+    while cycles / 2 >= MIN_CYCLES {
+        if run_case(config, bench, trace_seed, cycles / 2).is_err() {
+            cycles /= 2;
+        } else {
+            break;
+        }
+    }
+    cycles
+}
+
+fn replay(path: &PathBuf) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: reading {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let case: FailingCase = json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("error: parsing {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    eprintln!(
+        "replaying seed {} ({} on {:?}, {} cycles)...",
+        case.seed, case.bench, case.config.floorplan, case.cycles
+    );
+    match run_case(&case.config, &case.bench, case.trace_seed, case.cycles) {
+        Ok(()) => {
+            eprintln!("case no longer reproduces: run is clean");
+            std::process::exit(0);
+        }
+        Err(failure) => {
+            for line in &failure {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(path) = &args.replay {
+        replay(path);
+    }
+
+    // A checked run that trips an invariant may panic deep in the stack
+    // (e.g. an index derived from corrupt state); the default hook would
+    // spray a backtrace per seed, so silence it — `run_case` reports the
+    // payload itself.
+    let default_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+
+    let mut failures = 0u64;
+    for seed in args.start_seed..args.start_seed + args.seeds {
+        let (config, bench, trace_seed) = derive_case(seed);
+        debug_assert!(config.validate().is_ok(), "seed {seed} derived an invalid config");
+        match run_case(&config, &bench, trace_seed, args.cycles) {
+            Ok(()) => {
+                if (seed + 1 - args.start_seed).is_multiple_of(25) {
+                    eprintln!("  {}/{} seeds clean", seed + 1 - args.start_seed, args.seeds);
+                }
+            }
+            Err(_) => {
+                failures += 1;
+                let cycles = shrink(&config, &bench, trace_seed, args.cycles);
+                let failure =
+                    run_case(&config, &bench, trace_seed, cycles).expect_err("shrunk case fails");
+                eprintln!(
+                    "seed {seed} FAILED ({bench} on {:?}, shrunk to {cycles} cycles):",
+                    config.floorplan
+                );
+                for line in &failure {
+                    eprintln!("  {line}");
+                }
+                let case = FailingCase {
+                    schema: "powerbalance-fuzz-case/v1".to_string(),
+                    seed,
+                    bench,
+                    trace_seed,
+                    cycles,
+                    config,
+                    failure,
+                };
+                let path = args.artifact_dir.join(format!("fuzz-seed-{seed}.json"));
+                let _ = std::fs::create_dir_all(&args.artifact_dir);
+                match std::fs::write(&path, json::to_string_pretty(&case)) {
+                    Ok(()) => eprintln!("  wrote {}", path.display()),
+                    Err(e) => eprintln!("  error writing {}: {e}", path.display()),
+                }
+            }
+        }
+    }
+    panic::set_hook(default_hook);
+
+    if failures > 0 {
+        eprintln!("{failures}/{} seeds failed", args.seeds);
+        std::process::exit(1);
+    }
+    eprintln!("all {} seeds clean", args.seeds);
+}

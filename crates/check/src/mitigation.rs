@@ -1,0 +1,479 @@
+//! Differential mirror of the mitigation manager.
+//!
+//! [`MitigationWatch`] re-implements the [`ThermalManager`]'s decision
+//! rules (toggling hysteresis, turnoff/re-enable thresholds with the
+//! register-file guard band, the temporal-freeze backstop) independently
+//! from the same inputs, and compares *every* externally visible effect of
+//! `on_sample` — issue-queue modes, unit and copy enables, write gating,
+//! the freeze flag and deadline, and the event counters — against its own
+//! prediction. Because the manager is deterministic, the comparison is
+//! bidirectional: a missed transition and a spurious transition are both
+//! divergences. This is what pins the paper's 0.5 K toggle hysteresis and
+//! the turnoff re-enable margins: any drift in either implementation
+//! breaks the agreement.
+
+use crate::{Sink, ViolationKind};
+use powerbalance_isa::ExecDomain;
+use powerbalance_mitigation::{
+    ManagerState, MitigationConfig, MitigationStats, Sensors, ThermalManager, RF_GUARD,
+};
+use powerbalance_thermal::Floorplan;
+use powerbalance_uarch::{Core, IqActivity, IqMode, UnitKind};
+
+const N_INT: usize = 6;
+const N_FP: usize = 4;
+/// Unit order matches the manager's walk: 6 integer ALUs, 4 FP adders,
+/// then the FP multiplier.
+const N_UNITS: usize = N_INT + N_FP + 1;
+const N_COPIES: usize = 2;
+
+/// Manager-visible machine state at a sample boundary; also the shape of
+/// the mirror's prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SampleState {
+    frozen: bool,
+    frozen_until: Option<u64>,
+    stats: MitigationStats,
+    int_mode: IqMode,
+    fp_mode: IqMode,
+    unit_enabled: [bool; N_UNITS],
+    copy_enabled: [bool; N_COPIES],
+    writes_enabled: [bool; N_COPIES],
+}
+
+/// The mitigation-layer differential checker.
+#[derive(Debug)]
+pub(crate) struct MitigationWatch {
+    cfg: MitigationConfig,
+    sensors: Sensors,
+    pre: Option<SampleState>,
+}
+
+impl MitigationWatch {
+    pub(crate) fn new(plan: &Floorplan, cfg: &MitigationConfig) -> Result<Self, String> {
+        Ok(MitigationWatch { cfg: *cfg, sensors: Sensors::new(plan)?, pre: None })
+    }
+
+    fn capture(&self, core: &Core, manager: &ThermalManager) -> SampleState {
+        let ManagerState { stats, frozen_until } = manager.snapshot();
+        let mut s = SampleState {
+            frozen: core.is_frozen(),
+            frozen_until,
+            stats,
+            int_mode: core.iq_mode(ExecDomain::Int),
+            fp_mode: core.iq_mode(ExecDomain::Fp),
+            unit_enabled: [true; N_UNITS],
+            copy_enabled: [true; N_COPIES],
+            writes_enabled: [true; N_COPIES],
+        };
+        // Unit/copy state is only queried for configs that can change it:
+        // those configs force the full 6/4/2 geometry the sensors assume,
+        // so the indices are always in range.
+        if self.cfg.alu_turnoff {
+            for i in 0..N_UNITS {
+                let (kind, idx) = unit_at(i);
+                s.unit_enabled[i] = core.unit_enabled(kind, idx);
+            }
+        }
+        if self.cfg.rf_turnoff {
+            for c in 0..N_COPIES {
+                s.copy_enabled[c] = core.rf_copy_enabled(c);
+                s.writes_enabled[c] = core.rf_copy_writes_enabled(c);
+            }
+        }
+        s
+    }
+
+    pub(crate) fn before_sample(&mut self, core: &Core, manager: &ThermalManager) {
+        self.pre = Some(self.capture(core, manager));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn after_sample(
+        &mut self,
+        core: &Core,
+        manager: &ThermalManager,
+        temps: &[f64],
+        now: u64,
+        int_iq: &IqActivity,
+        fp_iq: &IqActivity,
+        sink: &mut Sink,
+    ) {
+        let Some(pre) = self.pre.take() else { return };
+        let predicted = self.predict(pre, temps, now, int_iq, fp_iq);
+        let observed = self.capture(core, manager);
+        self.compare(&predicted, &observed, now, sink);
+    }
+
+    /// Replays the manager's five decision steps on the pre-sample state.
+    fn predict(
+        &self,
+        pre: SampleState,
+        temps: &[f64],
+        now: u64,
+        int_iq: &IqActivity,
+        fp_iq: &IqActivity,
+    ) -> SampleState {
+        let th = self.cfg.thresholds;
+        let mut p = pre;
+
+        // 1. Ongoing temporal stall: only cooled resources come back.
+        if let Some(until) = p.frozen_until {
+            if now < until {
+                self.reenable_cooled(&mut p, temps);
+                return p;
+            }
+            p.frozen_until = None;
+            p.frozen = false;
+        }
+
+        // 2. Activity toggling with the 0.5 K hysteresis threshold.
+        if self.cfg.activity_toggling {
+            for (domain, q, act) in [
+                (ExecDomain::Int, self.sensors.int_q, int_iq),
+                (ExecDomain::Fp, self.sensors.fp_q, fp_iq),
+            ] {
+                let moves = [
+                    act.compact_moves[0] + act.mux_selects[0],
+                    act.compact_moves[1] + act.mux_selects[1],
+                ];
+                if moves[0] + moves[1] == 0 {
+                    continue;
+                }
+                let active = usize::from(moves[1] > moves[0]);
+                let quiet = 1 - active;
+                if temps[q[active]] >= th.max_temp - th.toggle_proximity
+                    && temps[q[active]] - temps[q[quiet]] > th.toggle_delta
+                {
+                    match domain {
+                        ExecDomain::Int => {
+                            p.int_mode = p.int_mode.flipped();
+                            p.stats.int_toggles += 1;
+                        }
+                        ExecDomain::Fp => p.fp_mode = p.fp_mode.flipped(),
+                    }
+                    p.stats.toggles += 1;
+                }
+            }
+        }
+
+        // 3. Fine-grain unit turnoff with re-enable hysteresis.
+        if self.cfg.alu_turnoff {
+            for i in 0..N_UNITS {
+                let block = self.unit_block(i);
+                if p.unit_enabled[i] {
+                    if temps[block] >= th.max_temp {
+                        p.unit_enabled[i] = false;
+                        p.stats.alu_turnoffs += 1;
+                    }
+                } else if temps[block] <= th.max_temp - th.reenable_margin {
+                    p.unit_enabled[i] = true;
+                }
+            }
+        }
+
+        // 4. Register-file copy turnoff: the shutdown threshold sits
+        //    RF_GUARD below critical unless the stale-copy solution gates
+        //    writes instead.
+        if self.cfg.rf_turnoff {
+            let guard = if self.cfg.rf_stale_copy { 0.0 } else { RF_GUARD };
+            for (copy, &block) in self.sensors.int_reg.iter().enumerate() {
+                if p.copy_enabled[copy] {
+                    if temps[block] >= th.max_temp - guard {
+                        p.copy_enabled[copy] = false;
+                        if self.cfg.rf_stale_copy {
+                            p.writes_enabled[copy] = false;
+                        }
+                        p.stats.rf_turnoffs += 1;
+                    }
+                } else if temps[block] <= th.max_temp - th.reenable_margin {
+                    p.copy_enabled[copy] = true;
+                    if self.cfg.rf_stale_copy {
+                        p.writes_enabled[copy] = true;
+                    }
+                }
+            }
+        }
+
+        // 5. Temporal backstop, evaluated on the post-turnoff state.
+        if self.needs_freeze(&p, temps) {
+            p.frozen = true;
+            p.frozen_until = Some(now + th.cooling_cycles);
+            p.stats.freezes += 1;
+        }
+        p
+    }
+
+    fn reenable_cooled(&self, p: &mut SampleState, temps: &[f64]) {
+        let limit = self.cfg.thresholds.max_temp - self.cfg.thresholds.reenable_margin;
+        if self.cfg.alu_turnoff {
+            for i in 0..N_UNITS {
+                if !p.unit_enabled[i] && temps[self.unit_block(i)] <= limit {
+                    p.unit_enabled[i] = true;
+                }
+            }
+        }
+        if self.cfg.rf_turnoff {
+            for (copy, &b) in self.sensors.int_reg.iter().enumerate() {
+                if !p.copy_enabled[copy] && temps[b] <= limit {
+                    p.copy_enabled[copy] = true;
+                    if self.cfg.rf_stale_copy {
+                        p.writes_enabled[copy] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn needs_freeze(&self, p: &SampleState, temps: &[f64]) -> bool {
+        let max = self.cfg.thresholds.max_temp;
+        for &b in self.sensors.int_q.iter().chain(self.sensors.fp_q.iter()) {
+            if temps[b] >= max {
+                return true;
+            }
+        }
+        if self.cfg.alu_turnoff {
+            let all_int_off = p.unit_enabled[..N_INT].iter().all(|&e| !e);
+            let all_fp_off = p.unit_enabled[N_INT..N_INT + N_FP].iter().all(|&e| !e);
+            if all_int_off || all_fp_off {
+                return true;
+            }
+        } else {
+            let hot_unit = self
+                .sensors
+                .int_alus
+                .iter()
+                .chain(self.sensors.fp_adders.iter())
+                .chain(std::iter::once(&self.sensors.fp_mul))
+                .any(|&b| temps[b] >= max);
+            if hot_unit {
+                return true;
+            }
+        }
+        if self.cfg.rf_turnoff {
+            if p.copy_enabled.iter().all(|&e| !e) {
+                return true;
+            }
+        } else if self.sensors.int_reg.iter().any(|&b| temps[b] >= max) {
+            return true;
+        }
+        false
+    }
+
+    fn unit_block(&self, i: usize) -> usize {
+        if i < N_INT {
+            self.sensors.int_alus[i]
+        } else if i < N_INT + N_FP {
+            self.sensors.fp_adders[i - N_INT]
+        } else {
+            self.sensors.fp_mul
+        }
+    }
+
+    fn compare(&self, predicted: &SampleState, observed: &SampleState, now: u64, sink: &mut Sink) {
+        if predicted == observed {
+            return;
+        }
+        if observed.int_mode != predicted.int_mode || observed.fp_mode != predicted.fp_mode {
+            sink.report(
+                ViolationKind::Mitigation,
+                now,
+                format!(
+                    "toggle decision diverged from the hysteresis rules: modes \
+                     (int {:?}, fp {:?}) vs predicted (int {:?}, fp {:?})",
+                    observed.int_mode, observed.fp_mode, predicted.int_mode, predicted.fp_mode
+                ),
+            );
+        }
+        for i in 0..N_UNITS {
+            if observed.unit_enabled[i] != predicted.unit_enabled[i] {
+                let (kind, idx) = unit_at(i);
+                sink.report(
+                    ViolationKind::Mitigation,
+                    now,
+                    format!(
+                        "{kind:?} {idx} enable is {} but the turnoff thresholds predict {}",
+                        observed.unit_enabled[i], predicted.unit_enabled[i]
+                    ),
+                );
+            }
+        }
+        for c in 0..N_COPIES {
+            if observed.copy_enabled[c] != predicted.copy_enabled[c] {
+                sink.report(
+                    ViolationKind::Mitigation,
+                    now,
+                    format!(
+                        "RF copy {c} enable is {} but the guard-band thresholds predict {}",
+                        observed.copy_enabled[c], predicted.copy_enabled[c]
+                    ),
+                );
+            }
+            if observed.writes_enabled[c] != predicted.writes_enabled[c] {
+                sink.report(
+                    ViolationKind::Mitigation,
+                    now,
+                    format!(
+                        "RF copy {c} write gating is {} but the stale-copy rules predict {}",
+                        observed.writes_enabled[c], predicted.writes_enabled[c]
+                    ),
+                );
+            }
+        }
+        if observed.frozen != predicted.frozen || observed.frozen_until != predicted.frozen_until {
+            sink.report(
+                ViolationKind::Mitigation,
+                now,
+                format!(
+                    "temporal stall diverged: frozen {} until {:?}, predicted {} until {:?}",
+                    observed.frozen,
+                    observed.frozen_until,
+                    predicted.frozen,
+                    predicted.frozen_until
+                ),
+            );
+        }
+        if observed.stats != predicted.stats {
+            sink.report(
+                ViolationKind::Mitigation,
+                now,
+                format!(
+                    "event counters diverged: observed {:?}, predicted {:?}",
+                    observed.stats, predicted.stats
+                ),
+            );
+        }
+    }
+}
+
+fn unit_at(i: usize) -> (UnitKind, usize) {
+    if i < N_INT {
+        (UnitKind::IntAlu, i)
+    } else if i < N_INT + N_FP {
+        (UnitKind::FpAdd, i - N_INT)
+    } else {
+        (UnitKind::FpMul, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerbalance_thermal::ev6;
+    use powerbalance_uarch::CoreConfig;
+
+    fn setup(
+        cfg: MitigationConfig,
+    ) -> (MitigationWatch, ThermalManager, Core, Vec<f64>, Floorplan) {
+        let plan = ev6::baseline();
+        let watch = MitigationWatch::new(&plan, &cfg).expect("ev6 sensor blocks");
+        let manager = ThermalManager::new(cfg, Sensors::new(&plan).expect("ev6 sensor blocks"));
+        let core = Core::new(CoreConfig::default()).expect("valid config");
+        let temps = vec![340.0; plan.blocks().len()];
+        (watch, manager, core, temps, plan)
+    }
+
+    fn active_tail() -> IqActivity {
+        let mut a = IqActivity::default();
+        a.compact_moves[1] = 500;
+        a.mux_selects[1] = 500;
+        a
+    }
+
+    /// One checked sample: capture, run the real manager, compare.
+    fn checked_sample(
+        watch: &mut MitigationWatch,
+        manager: &mut ThermalManager,
+        core: &mut Core,
+        temps: &[f64],
+        now: u64,
+        sink: &mut Sink,
+    ) {
+        let act = active_tail();
+        watch.before_sample(core, manager);
+        manager.on_sample(core, temps, now, &act, &act);
+        watch.after_sample(core, manager, temps, now, &act, &act, sink);
+    }
+
+    #[test]
+    fn mirror_agrees_through_a_mitigation_storm() {
+        let (mut watch, mut manager, mut core, mut temps, plan) =
+            setup(MitigationConfig::spatial_all());
+        let mut sink = Sink::default();
+        let hot = |plan: &Floorplan, name: &str| plan.index_of(name).expect("block");
+
+        // Cool chip → hot queue half (toggle) → hot ALUs (turnoff) → hot
+        // RF copies → everything critical (freeze) → cooldown (re-enable
+        // during the stall) → thaw.
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 0, &mut sink);
+        temps[hot(&plan, "IntQ1")] = 356.8;
+        temps[hot(&plan, "IntQ0")] = 355.9;
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 10_000, &mut sink);
+        temps[hot(&plan, "IntExec0")] = 358.4;
+        temps[hot(&plan, "IntExec3")] = 358.1;
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 20_000, &mut sink);
+        temps[hot(&plan, "IntReg0")] = 357.9;
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 30_000, &mut sink);
+        for i in 0..6 {
+            temps[hot(&plan, &format!("IntExec{i}"))] = 358.2;
+        }
+        temps[hot(&plan, "IntQ1")] = 358.6; // queue half over the limit: freeze
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 40_000, &mut sink);
+        assert!(core.is_frozen(), "queue half over the limit must freeze");
+        temps.fill(340.0);
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 60_000, &mut sink);
+        assert!(core.is_frozen(), "stall lasts the full cooling time");
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 200_000, &mut sink);
+        assert!(!core.is_frozen(), "stall expired");
+        assert_eq!(sink.total, 0, "mirror diverged: {:?}", sink.violations);
+    }
+
+    #[test]
+    fn mirror_agrees_for_stale_copy_solution() {
+        let mut cfg = MitigationConfig::rf_turnoff_only();
+        cfg.rf_stale_copy = true;
+        let (mut watch, mut manager, mut core, mut temps, plan) = setup(cfg);
+        let mut sink = Sink::default();
+        let r0 = plan.index_of("IntReg0").expect("block");
+        temps[r0] = 358.0;
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 0, &mut sink);
+        assert!(!core.rf_copy_writes_enabled(0), "stale-copy solution gates writes");
+        temps[r0] = 356.0;
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 10_000, &mut sink);
+        assert!(core.rf_copy_writes_enabled(0));
+        assert_eq!(sink.total, 0, "mirror diverged: {:?}", sink.violations);
+    }
+
+    #[test]
+    fn tampered_unit_state_is_flagged() {
+        let (mut watch, mut manager, mut core, temps, _) =
+            setup(MitigationConfig::alu_turnoff_only());
+        let mut sink = Sink::default();
+        let act = active_tail();
+        watch.before_sample(&core, &manager);
+        manager.on_sample(&mut core, &temps, 0, &act, &act);
+        // A cool chip justifies no turnoff; fake one behind the manager's
+        // back — the mirror must notice.
+        core.set_unit_enabled(UnitKind::IntAlu, 2, false);
+        watch.after_sample(&core, &manager, &temps, 0, &act, &act, &mut sink);
+        assert!(sink.total > 0, "spurious turnoff must be flagged");
+    }
+
+    #[test]
+    fn sub_threshold_toggle_is_flagged() {
+        let (mut watch, mut manager, mut core, mut temps, plan) =
+            setup(MitigationConfig::toggling_only());
+        let mut sink = Sink::default();
+        // 0.4 K delta: under the 0.5 K hysteresis threshold, so the
+        // manager must not toggle — and the mirror flags it if the mode
+        // flips anyway.
+        temps[plan.index_of("IntQ1").expect("block")] = 356.9;
+        temps[plan.index_of("IntQ0").expect("block")] = 356.5;
+        let act = active_tail();
+        watch.before_sample(&core, &manager);
+        manager.on_sample(&mut core, &temps, 0, &act, &act);
+        core.set_iq_mode(ExecDomain::Int, IqMode::Toggled); // fake a toggle
+        watch.after_sample(&core, &manager, &temps, 0, &act, &act, &mut sink);
+        assert!(sink.total > 0, "sub-threshold toggle must be flagged");
+    }
+}

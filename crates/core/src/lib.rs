@@ -60,3 +60,8 @@ pub use powerbalance_thermal::ev6::FloorplanKind;
 pub use powerbalance_thermal::PackageConfig;
 pub use powerbalance_uarch::{CoreConfig, IqMode, MappingPolicy, SelectPolicy};
 pub use powerbalance_workloads::spec2000;
+
+// Correctness tooling (only with the `check` feature): the violation
+// vocabulary fuzz/test drivers need to inspect and persist findings.
+#[cfg(feature = "check")]
+pub use powerbalance_check::{RuntimeChecker, Violation, ViolationKind};

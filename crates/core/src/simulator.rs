@@ -44,6 +44,11 @@ pub struct Simulator {
     watts: Vec<f64>,
     /// Optional per-sample temperature trace: `(cycle, temps)` rows.
     history: Option<Vec<(u64, Vec<f64>)>>,
+    /// Differential oracle + invariant checkers, armed by
+    /// [`enable_checking`](Simulator::enable_checking). Boxed: the checker
+    /// is diagnostic tooling and should not widen the simulator itself.
+    #[cfg(feature = "check")]
+    checker: Option<Box<powerbalance_check::RuntimeChecker>>,
 }
 
 impl Simulator {
@@ -74,7 +79,24 @@ impl Simulator {
             warmed: false,
             watts: vec![0.0; blocks],
             history: None,
+            #[cfg(feature = "check")]
+            checker: None,
         })
+    }
+
+    /// Advances the core one cycle, bracketed by the runtime checker when
+    /// one is armed. With the `check` feature off this is exactly
+    /// `Core::cycle` — the hot loop stays allocation- and branch-free.
+    #[inline]
+    fn checked_cycle<T: TraceSource>(&mut self, trace: &mut T) {
+        #[cfg(feature = "check")]
+        if let Some(checker) = &mut self.checker {
+            checker.before_cycle(&self.core);
+            self.core.cycle(trace);
+            checker.after_cycle(&mut self.core);
+            return;
+        }
+        self.core.cycle(trace);
     }
 
     /// The configuration this simulator was built with.
@@ -138,7 +160,7 @@ impl Simulator {
         while elapsed < cycles && !self.core.is_done() {
             let window = self.config.sample_interval.min(cycles - elapsed);
             for _ in 0..window {
-                self.core.cycle(trace);
+                self.checked_cycle(trace);
                 elapsed += 1;
                 if self.core.is_done() {
                     break;
@@ -166,7 +188,7 @@ impl Simulator {
         while elapsed < cycles && !self.core.is_done() {
             let window = self.config.sample_interval.min(cycles - elapsed);
             for _ in 0..window {
-                self.core.cycle(trace);
+                self.checked_cycle(trace);
                 elapsed += 1;
                 if self.core.is_done() {
                     break;
@@ -186,7 +208,8 @@ impl Simulator {
         self.power.block_power_into(&activity, &mut self.watts);
         let dt = activity.cycles as f64 / self.config.frequency_hz;
 
-        if self.config.warm_start && !self.warmed {
+        let settled = self.config.warm_start && !self.warmed;
+        if settled {
             // Jump to this workload's own steady state instead of heating
             // from ambient for millions of cycles.
             self.warmed = true;
@@ -199,7 +222,15 @@ impl Simulator {
         // below; the only copy made is the optional history row.
         let was_frozen = self.core.is_frozen();
         let now = self.core.stats().cycles;
+        #[cfg(feature = "check")]
+        if let Some(checker) = &mut self.checker {
+            checker.check_thermal(&self.thermal, &self.watts, dt, settled, now);
+        }
         if consult_manager {
+            #[cfg(feature = "check")]
+            if let Some(checker) = &mut self.checker {
+                checker.before_sample(&self.core, &self.manager);
+            }
             self.manager.on_sample(
                 &mut self.core,
                 self.thermal.temperatures(),
@@ -207,6 +238,17 @@ impl Simulator {
                 &activity.int_iq,
                 &activity.fp_iq,
             );
+            #[cfg(feature = "check")]
+            if let Some(checker) = &mut self.checker {
+                checker.after_sample(
+                    &self.core,
+                    &self.manager,
+                    self.thermal.temperatures(),
+                    now,
+                    &activity.int_iq,
+                    &activity.fp_iq,
+                );
+            }
         }
 
         // The paper's table temperatures average over execution (non
@@ -275,7 +317,68 @@ impl Simulator {
         self.temp_max = decode_bits(&state.temp_max_bits);
         self.temp_samples = state.temp_samples;
         self.warmed = state.warmed;
+        // A restored simulator is a different execution: re-arm checking
+        // against the restored state so the oracle does not cross-check
+        // the new run against pre-restore history.
+        #[cfg(feature = "check")]
+        if self.checker.is_some() {
+            self.enable_checking()?;
+        }
         Ok(())
+    }
+
+    /// Arms the differential oracle and runtime invariant checkers
+    /// (DESIGN.md §10): every subsequent cycle is bracketed by the
+    /// pipeline invariants, every retirement is cross-checked against an
+    /// in-order reference executor, every thermal solve is verified
+    /// against the heat equation, and every mitigation sample is compared
+    /// with an independent mirror of the manager's decision rules.
+    ///
+    /// May be called mid-run (e.g. after a warm-start restore): the
+    /// checkers pick up from the current architectural state. Violations
+    /// accumulate silently; collect them with
+    /// [`finish_checking`](Simulator::finish_checking) or inspect
+    /// [`checker`](Simulator::checker) mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the floorplan lacks the sensor blocks
+    /// the mitigation mirror needs.
+    #[cfg(feature = "check")]
+    pub fn enable_checking(&mut self) -> Result<(), Error> {
+        self.core.enable_op_log();
+        let checker = powerbalance_check::RuntimeChecker::new(
+            &self.plan,
+            &self.config.mitigation,
+            &self.core,
+            &self.thermal,
+        )
+        .map_err(Error::Config)?;
+        self.checker = Some(Box::new(checker));
+        Ok(())
+    }
+
+    /// Closes out the oracle (end-of-run retirement accounting, final
+    /// architectural-state comparison) and returns all retained
+    /// violations. Returns an empty list when checking was never enabled.
+    #[cfg(feature = "check")]
+    pub fn finish_checking(&mut self) -> Vec<powerbalance_check::Violation> {
+        match &mut self.checker {
+            Some(checker) => {
+                checker.finish(&self.core);
+                checker.violations().to_vec()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// The armed runtime checker, if [`enable_checking`] was called.
+    ///
+    /// [`enable_checking`]: Simulator::enable_checking
+    #[cfg(feature = "check")]
+    #[must_use]
+    pub fn checker(&self) -> Option<&powerbalance_check::RuntimeChecker> {
+        self.checker.as_deref()
     }
 
     /// Snapshot of the accumulated results.

@@ -129,8 +129,14 @@ impl WarmStartCache {
         config: &SimConfig,
     ) -> Result<Arc<Snapshot>, Error> {
         let key = Self::key(bench, seed, warmup_cycles, config);
+        // Lock poisoning is recovered rather than propagated: a worker that
+        // panicked mid-campaign leaves the map/counters in a consistent
+        // state (every mutation here is a single insert or increment), and
+        // failing every later job over it would turn one bad run into a
+        // dead campaign.
         let cell = {
-            let mut entries = self.entries.lock().expect("cache lock");
+            let mut entries =
+                self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             Arc::clone(entries.entry(key.clone()).or_default())
         };
         let mut was_new = false;
@@ -139,7 +145,7 @@ impl WarmStartCache {
             self.load_or_compute(&key, bench, seed, warmup_cycles, config)
         });
         if !was_new {
-            *self.hits.lock().expect("stats lock") += 1;
+            *self.hits.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
         }
         result.clone()
     }
@@ -148,9 +154,9 @@ impl WarmStartCache {
     #[must_use]
     pub fn stats(&self) -> (u64, u64, u64) {
         (
-            *self.computed.lock().expect("stats lock"),
-            *self.loaded.lock().expect("stats lock"),
-            *self.hits.lock().expect("stats lock"),
+            *self.computed.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+            *self.loaded.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+            *self.hits.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
         )
     }
 
@@ -165,14 +171,14 @@ impl WarmStartCache {
         if self.resume {
             if let Some(dir) = &self.checkpoint_dir {
                 if let Some(snapshot) = load_checkpoint(&Self::checkpoint_path(dir, key), key) {
-                    *self.loaded.lock().expect("stats lock") += 1;
+                    *self.loaded.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
                     return Ok(Arc::new(snapshot));
                 }
             }
         }
 
         let snapshot = compute_warmup(bench, seed, warmup_cycles, config)?;
-        *self.computed.lock().expect("stats lock") += 1;
+        *self.computed.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
         if let Some(dir) = &self.checkpoint_dir {
             // Best-effort persistence; a full disk must not fail the run.
             let _ = write_checkpoint(dir, key, &snapshot);
@@ -346,6 +352,40 @@ mod tests {
         let _ = cache.get_or_compute("gzip", 9, 20_000, &config).expect("fallback");
         let (computed, loaded, _) = cache.stats();
         assert_eq!((computed, loaded), (1, 0));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_checkpoint_falls_back_to_compute() {
+        // A process killed mid-write (or a full disk) can leave a file
+        // that starts as valid JSON but stops mid-document. The loader
+        // must treat it like any other corruption: recompute, then heal
+        // the file by overwriting it with the fresh snapshot.
+        let dir = temp_dir("truncated");
+        let config = experiments::issue_queue(false);
+        let key = WarmStartCache::key("gzip", 11, 20_000, &config);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = WarmStartCache::checkpoint_path(&dir, &key);
+
+        // Build a genuine checkpoint document and cut it in half.
+        let snapshot = compute_warmup("gzip", 11, 20_000, &config).expect("warmup");
+        let file = CheckpointFile { key: key.clone(), snapshot };
+        let text = serde::json::to_string(&file);
+        std::fs::write(&path, &text[..text.len() / 2]).expect("write");
+
+        let cache = WarmStartCache::with_checkpoint_dir(&dir, true);
+        let healed = cache.get_or_compute("gzip", 11, 20_000, &config).expect("fallback");
+        let (computed, loaded, _) = cache.stats();
+        assert_eq!((computed, loaded), (1, 0), "truncated file must not be trusted");
+        assert_eq!(*healed, file.snapshot, "recompute reproduces the snapshot");
+
+        // The recompute's best-effort persistence replaced the damage: a
+        // later resume loads cleanly.
+        let later = WarmStartCache::with_checkpoint_dir(&dir, true);
+        let _ = later.get_or_compute("gzip", 11, 20_000, &config).expect("load");
+        let (computed, loaded, _) = later.stats();
+        assert_eq!((computed, loaded), (0, 1), "healed checkpoint must load");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -40,5 +40,5 @@ mod manager;
 mod sensors;
 
 pub use config::{MitigationConfig, Thresholds};
-pub use manager::{ManagerState, MitigationStats, ThermalManager};
+pub use manager::{ManagerState, MitigationStats, ThermalManager, RF_GUARD};
 pub use sensors::Sensors;

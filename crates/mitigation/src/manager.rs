@@ -7,8 +7,9 @@ use serde::{Deserialize, Serialize};
 
 /// The register-file shutdown threshold sits this many kelvin below the
 /// critical temperature so writes can continue into a cooling copy (the
-/// paper's first staleness solution, §2.3).
-const RF_GUARD: f64 = 0.2;
+/// paper's first staleness solution, §2.3). Public so external invariant
+/// checkers can mirror the manager's exact transition thresholds.
+pub const RF_GUARD: f64 = 0.2;
 
 /// Event counters for a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]

@@ -153,9 +153,18 @@ impl IssueQueue {
     }
 
     /// Physical position of priority rank `rank` under the current mode.
+    ///
+    /// Ranks are only meaningful below [`size`](IssueQueue::size); in the
+    /// toggled mode a larger rank would alias `rank - size` after the
+    /// modular wrap, so out-of-range ranks are rejected outright.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= size()`.
     #[must_use]
-    fn position_of_rank(&self, rank: usize) -> usize {
+    pub fn position_of_rank(&self, rank: usize) -> usize {
         let s = self.slots.len();
+        debug_assert!(rank < s, "rank {rank} out of range for queue of size {s}");
         match self.mode {
             IqMode::Normal => rank,
             IqMode::Toggled => (s / 2 + rank) % s,
@@ -226,10 +235,15 @@ impl IssueQueue {
     /// issue stages walk ranks `0..size()` with this accessor instead of
     /// materializing a ready list, so `mark_issued` can interleave with the
     /// scan (issuing an entry never changes any *other* entry's readiness
-    /// within a cycle).
+    /// within a cycle). Ranks at or past [`size`](IssueQueue::size) hold no
+    /// entry and return `None` (in the toggled mode such a rank would
+    /// otherwise alias `rank - size` after the modular wrap).
     #[inline]
     #[must_use]
     pub fn ready_at_rank(&self, rank: usize) -> Option<usize> {
+        if rank >= self.slots.len() {
+            return None;
+        }
         let pos = self.position_of_rank(rank);
         match &self.slots[pos] {
             Some(e) if e.is_ready() => Some(pos),
@@ -655,6 +669,96 @@ mod tests {
 
         let mut wrong = IssueQueue::new(16);
         assert!(wrong.restore(&state).is_err(), "capacity mismatch must fail");
+    }
+
+    #[test]
+    fn ready_at_rank_past_occupancy_returns_none() {
+        let mut iq = IssueQueue::new(8);
+        let mut act = IqActivity::default();
+        for i in 0..3 {
+            assert!(iq.insert(entry(i), &mut act));
+        }
+        // Ranks between occupancy and capacity are simply empty slots.
+        for rank in 3..8 {
+            assert_eq!(iq.ready_at_rank(rank), None, "rank {rank} is unoccupied");
+        }
+        // Ranks at or past capacity must be None too, not a panic (normal
+        // mode) or an aliased wrap back into the low ranks (toggled mode).
+        assert_eq!(iq.ready_at_rank(8), None);
+        assert_eq!(iq.ready_at_rank(usize::MAX), None);
+    }
+
+    #[test]
+    fn ready_at_rank_past_capacity_does_not_alias_in_toggled_mode() {
+        let mut iq = IssueQueue::new(8);
+        iq.set_mode(IqMode::Toggled);
+        let mut act = IqActivity::default();
+        assert!(iq.insert(entry(0), &mut act));
+        // The head sits at physical 4 = rank 0. Rank 8 would wrap back to
+        // the same physical position under (s/2 + rank) % s; it must not
+        // present the head twice to a select loop that overruns.
+        assert_eq!(iq.ready_at_rank(0), Some(4));
+        assert_eq!(iq.ready_at_rank(8), None, "rank 8 must not alias rank 0");
+    }
+
+    #[test]
+    fn evict_racing_compaction_keeps_occupancy_consistent() {
+        // An eviction landing between invalidation and the compaction pass
+        // must not double-free the slot or corrupt the occupancy counter.
+        let mut iq = IssueQueue::new(8);
+        iq.set_replay_window(1);
+        let mut act = IqActivity::default();
+        for i in 0..5 {
+            assert!(iq.insert(entry(i), &mut act));
+        }
+        // Issue the head; one tick later its entry is Invalid but not yet
+        // compacted away (bandwidth 0 this cycle keeps it in place).
+        iq.mark_issued(0, &mut act);
+        iq.tick(0, &mut act);
+        assert!(matches!(iq.entry(0), Some(e) if e.state == EntryState::Invalid));
+        // Evict a *different* entry mid-flight, then let compaction run.
+        iq.evict(3);
+        assert_eq!(iq.occupancy(), 4);
+        iq.tick(6, &mut act);
+        assert_eq!(iq.occupancy(), 3, "invalid head removed, eviction not re-counted");
+        assert_eq!(iq.occupancy(), iq.occupied_positions().count());
+        let ids: Vec<u32> = iq.occupied_positions().map(|p| iq.entry(p).unwrap().rob_id).collect();
+        assert_eq!(ids, vec![1, 2, 4], "survivors keep age order after the race");
+
+        // Evicting the already-invalid entry before compaction sees it must
+        // also stay consistent (the slot is freed exactly once).
+        let mut iq = IssueQueue::new(8);
+        iq.set_replay_window(1);
+        for i in 0..3 {
+            assert!(iq.insert(entry(i), &mut act));
+        }
+        iq.mark_issued(0, &mut act);
+        iq.tick(0, &mut act); // now Invalid, still resident
+        iq.evict(0);
+        assert_eq!(iq.occupancy(), 2);
+        iq.tick(6, &mut act);
+        assert_eq!(iq.occupancy(), 2, "compaction must not remove it a second time");
+        assert_eq!(iq.occupancy(), iq.occupied_positions().count());
+    }
+
+    #[test]
+    fn half_of_midpoint_is_stable_across_mode_toggles() {
+        // `half_of` reports *physical* halves: the boundary sits between
+        // positions S/2 - 1 and S/2 and must not move when the priority
+        // encoding toggles (the power model attributes energy to physical
+        // wires, not logical ranks).
+        let mut iq = IssueQueue::new(8);
+        assert_eq!(iq.half_of(3), 0, "last bottom-half position");
+        assert_eq!(iq.half_of(4), 1, "first top-half position");
+        iq.set_mode(IqMode::Toggled);
+        assert_eq!(iq.half_of(3), 0, "toggling must not move the physical boundary");
+        assert_eq!(iq.half_of(4), 1);
+        // In toggled mode the midpoint position is the *head* (rank 0).
+        assert_eq!(iq.position_of_rank(0), 4);
+        assert_eq!(iq.half_of(iq.position_of_rank(0)), 1);
+        iq.set_mode(IqMode::Normal);
+        assert_eq!(iq.position_of_rank(0), 0);
+        assert_eq!(iq.half_of(iq.position_of_rank(0)), 0);
     }
 
     #[test]

@@ -183,6 +183,15 @@ pub struct Core {
     /// snapshotted.
     writeback_scratch: Vec<u32>,
 
+    /// Fetched micro-ops in fetch order, recorded only once
+    /// [`enable_op_log`](Core::enable_op_log) is called (differential
+    /// checking). `None` costs a single untaken branch per op; never
+    /// snapshotted.
+    fetch_log: Option<Vec<MicroOp>>,
+    /// Retired `(uid, op)` pairs in commit order; same lifecycle as
+    /// [`fetch_log`](Core::enable_op_log).
+    commit_log: Option<Vec<(u64, MicroOp)>>,
+
     activity: ActivitySample,
     stats: CoreStats,
 }
@@ -221,6 +230,8 @@ impl Core {
             last_fetch_line: u64::MAX,
             in_flight: Vec::new(),
             writeback_scratch: Vec::new(),
+            fetch_log: None,
+            commit_log: None,
             activity: ActivitySample::default(),
             stats: CoreStats::default(),
             cfg,
@@ -298,6 +309,14 @@ impl Core {
     #[must_use]
     pub fn unit_enabled(&self, kind: UnitKind, index: usize) -> bool {
         self.pool.is_enabled(kind, index)
+    }
+
+    /// Whether a functional unit can accept an operation this cycle:
+    /// enabled and, for the (pipelined-but-blocking) FP multiplier, not
+    /// occupied by a long-latency divide.
+    #[must_use]
+    pub fn unit_available(&self, kind: UnitKind, index: usize) -> bool {
+        self.pool.is_available(kind, index)
     }
 
     /// Enables or disables an integer register-file copy (fine-grain
@@ -393,6 +412,59 @@ impl Core {
                 )
             })
             .collect()
+    }
+
+    /// The integer issue queue (read-only; used by invariant checkers to
+    /// audit occupancy accounting and compaction age order).
+    #[must_use]
+    pub fn int_iq(&self) -> &IssueQueue {
+        &self.int_iq
+    }
+
+    /// The floating-point issue queue (read-only).
+    #[must_use]
+    pub fn fp_iq(&self) -> &IssueQueue {
+        &self.fp_iq
+    }
+
+    /// The active list (read-only; maps in-queue `rob_id`s back to fetch
+    /// `uid`s for age-order auditing).
+    #[must_use]
+    pub fn active_list(&self) -> &ActiveList {
+        &self.rob
+    }
+
+    /// Starts recording every fetched micro-op and every retired
+    /// `(uid, op)` pair for differential checking against an architectural
+    /// oracle. Until enabled the logs cost one untaken branch per event;
+    /// once enabled the checker must drain them each cycle via
+    /// [`drain_op_log_into`](Core::drain_op_log_into) to bound memory.
+    ///
+    /// The logs are diagnostic state: they are not captured by
+    /// [`snapshot`](Core::snapshot) and do not survive a
+    /// [`restore`](Core::restore) boundary meaningfully — re-enable (and
+    /// restart the consumer) after restoring.
+    pub fn enable_op_log(&mut self) {
+        self.fetch_log = Some(Vec::new());
+        self.commit_log = Some(Vec::new());
+    }
+
+    /// Moves everything logged since the last drain into `fetched` and
+    /// `committed` (appending, preserving order). No-op when
+    /// [`enable_op_log`](Core::enable_op_log) was never called. The
+    /// internal buffers keep their capacity, so a steady-state
+    /// drain-per-cycle loop does not allocate.
+    pub fn drain_op_log_into(
+        &mut self,
+        fetched: &mut Vec<MicroOp>,
+        committed: &mut Vec<(u64, MicroOp)>,
+    ) {
+        if let Some(log) = &mut self.fetch_log {
+            fetched.append(log);
+        }
+        if let Some(log) = &mut self.commit_log {
+            committed.append(log);
+        }
     }
 
     /// `true` once the trace is exhausted and the pipeline has drained.
@@ -594,6 +666,9 @@ impl Core {
                 self.activity.lsq_ops += 1;
             }
             let _ = self.rob.retire();
+            if let Some(log) = &mut self.commit_log {
+                log.push((entry.uid, entry.op));
+            }
             self.stats.committed += 1;
             self.activity.commits += 1;
             self.activity.rob_ops += 1;
@@ -844,6 +919,9 @@ impl Core {
             let uid = self.next_uid;
             self.next_uid += 1;
             self.stats.fetched += 1;
+            if let Some(log) = &mut self.fetch_log {
+                log.push(op);
+            }
 
             let mut is_redirect = false;
             if let Some(branch) = op.branch() {

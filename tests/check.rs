@@ -1,0 +1,97 @@
+//! Checked end-to-end runs: every experiment preset executes under the
+//! `check` feature's differential oracle and runtime invariant suite and
+//! must finish without a single violation. These tests are the standing
+//! proof that the production pipeline, thermal solver, and mitigation
+//! manager agree with their independent re-implementations in
+//! `powerbalance-check` (DESIGN.md §10).
+
+use powerbalance::{experiments, MappingPolicy, SimConfig, Simulator, Violation};
+use powerbalance_workloads::spec2000;
+
+/// Runs `config` on `bench` for `cycles` cycles with checking armed and
+/// returns the violations (empty on a clean run).
+fn checked_run(config: SimConfig, bench: &str, cycles: u64) -> Vec<Violation> {
+    let mut sim = Simulator::new(config).expect("preset configs are valid");
+    sim.enable_checking().expect("checker construction");
+    let profile = spec2000::by_name(bench).expect("known benchmark");
+    sim.run(&mut profile.trace(42), cycles);
+    sim.finish_checking()
+}
+
+fn assert_clean(config: SimConfig, bench: &str, cycles: u64, label: &str) {
+    let violations = checked_run(config, bench, cycles);
+    assert!(
+        violations.is_empty(),
+        "{label}/{bench}: {} violations, first: {}",
+        violations.len(),
+        violations[0]
+    );
+}
+
+#[test]
+fn baseline_machine_is_clean_across_benchmarks() {
+    // eon drives the back end hard, art barely at all, gcc sits between;
+    // together they cover busy, idle, and mixed pipeline regimes.
+    for bench in ["eon", "art", "gcc"] {
+        assert_clean(SimConfig::default(), bench, 60_000, "baseline");
+    }
+}
+
+#[test]
+fn issue_queue_toggling_is_clean() {
+    assert_clean(experiments::issue_queue(true), "eon", 120_000, "iq-toggling");
+    assert_clean(experiments::issue_queue(false), "eon", 120_000, "iq-base");
+}
+
+#[test]
+fn alu_turnoff_is_clean() {
+    use experiments::AluPolicy;
+    assert_clean(experiments::alu(AluPolicy::FineGrainTurnoff), "eon", 120_000, "alu-turnoff");
+    assert_clean(experiments::alu(AluPolicy::RoundRobin), "eon", 120_000, "alu-roundrobin");
+}
+
+#[test]
+fn regfile_mapping_and_turnoff_are_clean() {
+    for mapping in
+        [MappingPolicy::Balanced, MappingPolicy::Priority, MappingPolicy::CompletelyBalanced]
+    {
+        assert_clean(
+            experiments::regfile(mapping, true),
+            "eon",
+            120_000,
+            &format!("regfile-{mapping:?}"),
+        );
+    }
+}
+
+#[test]
+fn warm_started_runs_are_clean() {
+    // The warm-start path exercises the steady-state thermal solve and the
+    // settled-residual branch of the thermal checker.
+    let mut cfg = experiments::issue_queue(true);
+    cfg.warm_start = true;
+    assert_clean(cfg, "eon", 80_000, "warm-start");
+}
+
+#[test]
+fn checking_survives_snapshot_restore() {
+    // Restoring a state re-arms the checker against the restored core; the
+    // continued run must stay clean even though the oracle was re-seeded
+    // mid-stream.
+    let cfg = experiments::issue_queue(true);
+    let mut sim = Simulator::new(cfg).expect("valid preset");
+    sim.enable_checking().expect("checker construction");
+    let profile = spec2000::by_name("eon").expect("known benchmark");
+    let mut trace = profile.trace(42);
+    sim.run(&mut trace, 40_000);
+    let state = sim.state();
+    let violations = sim.finish_checking();
+    assert!(violations.is_empty(), "pre-snapshot: {violations:?}");
+
+    let mut resumed = Simulator::new(experiments::issue_queue(true)).expect("valid preset");
+    resumed.enable_checking().expect("checker construction");
+    resumed.restore_state(&state).expect("round-trip restore");
+    resumed.run(&mut trace, 40_000);
+    let violations = resumed.finish_checking();
+    assert!(violations.is_empty(), "post-restore: {violations:?}");
+}

@@ -3,7 +3,7 @@
 //! on unconstrained ones.
 
 use powerbalance::experiments::{self, AluPolicy};
-use powerbalance::{MappingPolicy, Simulator};
+use powerbalance::{FloorplanKind, MappingPolicy, Simulator};
 use powerbalance_workloads::spec2000;
 
 const CYCLES: u64 = 1_000_000;
@@ -147,6 +147,108 @@ fn balanced_mapping_equalizes_copy_temperatures() {
         bal_gap < prio_gap,
         "balanced mapping must equalize the copies: {bal_gap:.2} vs {prio_gap:.2}"
     );
+}
+
+#[test]
+fn priority_mapping_with_turnoff_is_robust_across_floorplans() {
+    // The paper evaluates mapping + RF turnoff on the register-file-
+    // constrained floorplan only; here the same combination runs on all
+    // three constrained variants. It must never lose to the temporal-stall
+    // baseline of the same floorplan (on the non-RF plans the register
+    // file never overheats, so the technique should simply be inert), and
+    // it must actually win where the register file is the hotspot.
+    for plan in [
+        FloorplanKind::IssueConstrained,
+        FloorplanKind::AluConstrained,
+        FloorplanKind::RegfileConstrained,
+    ] {
+        let base = {
+            let mut cfg = experiments::regfile(MappingPolicy::Priority, false);
+            cfg.floorplan = plan;
+            ipc(cfg, "eon")
+        };
+        let fg = {
+            let mut cfg = experiments::regfile(MappingPolicy::Priority, true);
+            cfg.floorplan = plan;
+            ipc(cfg, "eon")
+        };
+        assert!(
+            fg.ipc >= base.ipc * 0.99,
+            "{plan:?}: fg+priority must never lose to the baseline: {} vs {}",
+            fg.ipc,
+            base.ipc
+        );
+        for t in &fg.temperatures {
+            assert!(
+                t.avg > 300.0 && t.avg < 500.0,
+                "{plan:?}/{}: implausible temperature {:.1}",
+                t.name,
+                t.avg
+            );
+        }
+        match plan {
+            FloorplanKind::RegfileConstrained => {
+                assert!(fg.rf_turnoffs > 0, "{plan:?}: turnoff must engage on the RF hotspot");
+                assert!(
+                    fg.ipc > base.ipc * 1.05,
+                    "{plan:?}: fg+priority must clearly win: {} vs {}",
+                    fg.ipc,
+                    base.ipc
+                );
+            }
+            _ => {
+                assert_eq!(
+                    fg.rf_turnoffs, 0,
+                    "{plan:?}: the register file is not the hotspot, turnoff must stay idle"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fine_grain_alu_turnoff_is_robust_across_floorplans() {
+    // Same cross-floorplan sweep for ALU turnoff: engaged and winning on
+    // the ALU-constrained plan, harmlessly idle on the other two.
+    for plan in [
+        FloorplanKind::IssueConstrained,
+        FloorplanKind::AluConstrained,
+        FloorplanKind::RegfileConstrained,
+    ] {
+        let base = {
+            let mut cfg = experiments::alu(AluPolicy::Base);
+            cfg.floorplan = plan;
+            ipc(cfg, "eon")
+        };
+        let fg = {
+            let mut cfg = experiments::alu(AluPolicy::FineGrainTurnoff);
+            cfg.floorplan = plan;
+            ipc(cfg, "eon")
+        };
+        assert!(
+            fg.ipc >= base.ipc * 0.99,
+            "{plan:?}: fine-grain turnoff must never lose: {} vs {}",
+            fg.ipc,
+            base.ipc
+        );
+        match plan {
+            FloorplanKind::AluConstrained => {
+                assert!(fg.alu_turnoffs > 0, "{plan:?}: turnoff must engage on the ALU hotspot");
+                assert!(
+                    fg.ipc > base.ipc * 1.10,
+                    "{plan:?}: turnoff must clearly win: {} vs {}",
+                    fg.ipc,
+                    base.ipc
+                );
+            }
+            _ => {
+                assert_eq!(
+                    fg.alu_turnoffs, 0,
+                    "{plan:?}: the ALUs are not the hotspot, turnoff must stay idle"
+                );
+            }
+        }
+    }
 }
 
 #[test]
