@@ -13,8 +13,9 @@
 //! same configuration, trace, and verdict, so a failing seed from CI is
 //! reproducible locally with `--start-seed <seed> --seeds 1`.
 
-use powerbalance::{FloorplanKind, MappingPolicy, SelectPolicy, SimConfig, Simulator, Violation};
-use powerbalance_workloads::{spec2000, Xoshiro256};
+use powerbalance::{SimConfig, Simulator, Violation};
+use powerbalance_bench::fuzz::derive_case;
+use powerbalance_workloads::spec2000;
 use serde::{json, Deserialize, Serialize};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -108,82 +109,6 @@ fn parse_args() -> Args {
         fail("--cycles must be positive");
     }
     args
-}
-
-/// Derives the whole test case for one seed. Every choice is constrained
-/// so the result always passes `SimConfig::validate`:
-///
-/// * `alu_turnoff` pins the full 6-ALU/4-adder geometry (the manager's
-///   per-unit walk assumes it);
-/// * `rf_turnoff` pins two register-file copies for the same reason;
-/// * otherwise copies are drawn from the divisors of the ALU count.
-// The config is deliberately built by mutating a default field-by-field:
-// each draw must happen in a fixed order for seed stability, which a
-// struct-literal initializer would obscure.
-#[allow(clippy::field_reassign_with_default)]
-fn derive_case(seed: u64) -> (SimConfig, String, u64) {
-    let mut rng = Xoshiro256::new(seed);
-    let mut cfg = SimConfig::default();
-
-    cfg.floorplan = *pick(
-        &mut rng,
-        &[
-            FloorplanKind::Baseline,
-            FloorplanKind::IssueConstrained,
-            FloorplanKind::AluConstrained,
-            FloorplanKind::RegfileConstrained,
-        ],
-    );
-    cfg.core.iq_size = *pick(&mut rng, &[8, 16, 32, 64]);
-    cfg.core.replay_window = *pick(&mut rng, &[1, 2, 3]);
-    cfg.core.mapping = *pick(
-        &mut rng,
-        &[MappingPolicy::Balanced, MappingPolicy::Priority, MappingPolicy::CompletelyBalanced],
-    );
-    cfg.core.select_policy = *pick(&mut rng, &[SelectPolicy::Static, SelectPolicy::RoundRobin]);
-
-    cfg.mitigation.activity_toggling = rng.chance(0.5);
-    cfg.mitigation.alu_turnoff = rng.chance(0.5);
-    cfg.mitigation.rf_turnoff = rng.chance(0.5);
-    cfg.mitigation.rf_stale_copy = cfg.mitigation.rf_turnoff && rng.chance(0.5);
-
-    if cfg.mitigation.alu_turnoff {
-        cfg.core.int_alus = 6;
-        cfg.core.fp_adders = 4;
-    } else {
-        cfg.core.int_alus = *pick(&mut rng, &[2, 4, 6]);
-        cfg.core.fp_adders = *pick(&mut rng, &[2, 4]);
-    }
-    if cfg.mitigation.rf_turnoff {
-        cfg.core.int_rf_copies = 2;
-    } else {
-        // The activity counters cap copies at 2; every drawn ALU count is
-        // even, so both choices divide it.
-        cfg.core.int_rf_copies = *pick(&mut rng, &[1, 2]);
-    }
-
-    // Most runs get a limit far below the paper's 358 K — down near the
-    // 318 K ambient — so that short runs still provoke mitigation storms
-    // (toggles, turnoffs, freezes, thaws). The rest keep the default and
-    // exercise the always-cool paths.
-    if rng.chance(0.75) {
-        cfg.mitigation.thresholds.max_temp = 322.0 + rng.next_f64() * 26.0;
-    }
-    // Widen the toggle window and sometimes drop the hysteresis so that
-    // 40 k-cycle runs actually reach the toggling decision, not just the
-    // freeze backstop.
-    cfg.mitigation.thresholds.toggle_proximity = *pick(&mut rng, &[2.0, 6.0, 15.0]);
-    cfg.mitigation.thresholds.toggle_delta = *pick(&mut rng, &[0.1, 0.5]);
-    cfg.sample_interval = *pick(&mut rng, &[2_000, 5_000, 10_000]);
-    cfg.warm_start = rng.chance(0.8);
-
-    let bench = pick(&mut rng, &spec2000::ALL).to_string();
-    let trace_seed = rng.next_u64() >> 32;
-    (cfg, bench, trace_seed)
-}
-
-fn pick<'a, T>(rng: &mut Xoshiro256, options: &'a [T]) -> &'a T {
-    &options[rng.below(options.len() as u64) as usize]
 }
 
 /// One checked run. `Ok` means clean; `Err` carries the violation strings

@@ -1,0 +1,331 @@
+//! Closed-loop load generator for the `powerbalance serve` daemon.
+//!
+//! Opens `--connections` keep-alive HTTP connections; each drives a
+//! closed loop — submit one tiny campaign, poll its status until
+//! terminal, fetch the result — for `--campaigns-per-conn` iterations.
+//! A `429` (queue full) counts as a completed loop iteration after the
+//! advertised `Retry-After` backoff, so the generator exercises the
+//! server's backpressure path rather than hammering through it.
+//!
+//! Records wall-clock throughput plus p50/p95/p99 latency for individual
+//! HTTP requests and for whole campaigns (submit → result available),
+//! and writes the summary as JSON (`--json BENCH_server.json` in CI).
+
+use powerbalance_server::client::Client;
+use serde::Serialize;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+loadgen — closed-loop load generator for `powerbalance serve`
+
+USAGE: loadgen --addr <host:port> [OPTIONS]
+
+OPTIONS:
+  --addr <host:port>        server to load (required)
+  --connections <n>         concurrent keep-alive connections   [8]
+  --campaigns-per-conn <n>  campaigns each connection submits   [4]
+  --cycles <n>              simulated cycles per campaign       [50000]
+  --json <path>             write the summary as JSON
+  --shutdown                POST /v1/shutdown when done
+  --help                    show this help";
+
+#[derive(Debug)]
+struct Args {
+    addr: SocketAddr,
+    connections: usize,
+    campaigns_per_conn: usize,
+    cycles: u64,
+    json: Option<std::path::PathBuf>,
+    shutdown: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut addr = None;
+    let mut connections = 8usize;
+    let mut campaigns_per_conn = 4usize;
+    let mut cycles = 50_000u64;
+    let mut json = None;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => {
+                let raw = value("--addr")?;
+                addr = Some(raw.parse().map_err(|e| format!("--addr '{raw}': {e}"))?);
+            }
+            "--connections" => {
+                connections =
+                    value("--connections")?.parse().map_err(|e| format!("--connections: {e}"))?
+            }
+            "--campaigns-per-conn" => {
+                campaigns_per_conn = value("--campaigns-per-conn")?
+                    .parse()
+                    .map_err(|e| format!("--campaigns-per-conn: {e}"))?
+            }
+            "--cycles" => {
+                cycles = value("--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?
+            }
+            "--json" => json = Some(std::path::PathBuf::from(value("--json")?)),
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let addr = addr.ok_or_else(|| "--addr is required".to_string())?;
+    if connections == 0 || campaigns_per_conn == 0 {
+        return Err("--connections and --campaigns-per-conn must be at least 1".to_string());
+    }
+    Ok(Args { addr, connections, campaigns_per_conn, cycles, json, shutdown })
+}
+
+/// Latency percentiles in microseconds, from a sorted sample set.
+#[derive(Debug, Serialize)]
+struct Percentiles {
+    count: usize,
+    p50_micros: u64,
+    p95_micros: u64,
+    p99_micros: u64,
+    max_micros: u64,
+}
+
+fn percentiles(samples: &mut [u64]) -> Percentiles {
+    samples.sort_unstable();
+    let at = |p: f64| {
+        if samples.is_empty() {
+            0
+        } else {
+            let idx = ((samples.len() as f64 * p).ceil() as usize).clamp(1, samples.len()) - 1;
+            samples[idx]
+        }
+    };
+    Percentiles {
+        count: samples.len(),
+        p50_micros: at(0.50),
+        p95_micros: at(0.95),
+        p99_micros: at(0.99),
+        max_micros: samples.last().copied().unwrap_or(0),
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct Summary {
+    connections: usize,
+    campaigns_per_conn: usize,
+    cycles_per_campaign: u64,
+    wall_secs: f64,
+    campaigns_completed: u64,
+    campaigns_rejected_429: u64,
+    http_errors: u64,
+    requests_total: u64,
+    requests_per_sec: f64,
+    request_latency: Percentiles,
+    campaign_latency: Percentiles,
+}
+
+#[derive(Default)]
+struct Tally {
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    requests: AtomicU64,
+    request_micros: Mutex<Vec<u64>>,
+    campaign_micros: Mutex<Vec<u64>>,
+}
+
+/// The request body: a one-benchmark, one-config campaign. Built as a
+/// JSON string through the same serde types the server parses with.
+fn campaign_body(name: &str, cycles: u64) -> String {
+    use powerbalance::experiments;
+    use powerbalance_harness::CampaignSpec;
+    let spec = CampaignSpec::new(name)
+        .config("base", experiments::issue_queue(false))
+        .config("toggling", experiments::issue_queue(true))
+        .benchmark("gzip")
+        .cycles(cycles)
+        .seed(7);
+    serde::json::to_string(&spec)
+}
+
+fn timed_request(
+    client: &mut Client,
+    tally: &Tally,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Option<powerbalance_server::client::ClientResponse> {
+    let start = Instant::now();
+    let response = client.request(method, path, body);
+    let micros = start.elapsed().as_micros() as u64;
+    tally.requests.fetch_add(1, Ordering::Relaxed);
+    match response {
+        Ok(response) => {
+            tally.request_micros.lock().expect("no holder panics").push(micros);
+            Some(response)
+        }
+        Err(_) => {
+            tally.errors.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+fn drive_connection(args: &Args, tally: &Tally, conn: usize) {
+    let mut client = Client::new(args.addr, Duration::from_secs(30));
+    for iteration in 0..args.campaigns_per_conn {
+        let body = campaign_body(&format!("loadgen-c{conn}-i{iteration}"), args.cycles);
+        let campaign_start = Instant::now();
+        let Some(response) =
+            timed_request(&mut client, tally, "POST", "/v1/campaigns", Some(&body))
+        else {
+            continue;
+        };
+        match response.status {
+            202 => {}
+            429 => {
+                tally.rejected.fetch_add(1, Ordering::Relaxed);
+                let backoff: u64 =
+                    response.header("retry-after").and_then(|v| v.parse().ok()).unwrap_or(1);
+                std::thread::sleep(Duration::from_millis(backoff * 100));
+                continue;
+            }
+            _ => {
+                tally.errors.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        }
+        // `{"id":N,...}` — cheap extraction without a struct.
+        let text = response.text();
+        let id: u64 = text
+            .split(|c: char| !c.is_ascii_digit())
+            .find(|s| !s.is_empty())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+
+        let status_path = format!("/v1/campaigns/{id}");
+        while let Some(response) = timed_request(&mut client, tally, "GET", &status_path, None) {
+            let body = response.text();
+            if body.contains("\"Completed\"")
+                || body.contains("\"Failed\"")
+                || body.contains("\"Cancelled\"")
+            {
+                let result_path = format!("/v1/campaigns/{id}/result");
+                if let Some(result) = timed_request(&mut client, tally, "GET", &result_path, None) {
+                    if result.status == 200 {
+                        tally.completed.fetch_add(1, Ordering::Relaxed);
+                        tally
+                            .campaign_micros
+                            .lock()
+                            .expect("no holder panics")
+                            .push(campaign_start.elapsed().as_micros() as u64);
+                    } else {
+                        tally.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(msg) => {
+            let help = msg == "help";
+            if !help {
+                eprintln!("error: {msg}");
+                eprintln!();
+            }
+            eprintln!("{USAGE}");
+            std::process::exit(i32::from(!help) * 2);
+        }
+    };
+
+    let tally = Tally::default();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for conn in 0..args.connections {
+            let tally = &tally;
+            let args = &args;
+            scope.spawn(move || drive_connection(args, tally, conn));
+        }
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let requests_total = tally.requests.load(Ordering::Relaxed);
+    let mut request_micros =
+        std::mem::take(&mut *tally.request_micros.lock().expect("no holder panics"));
+    let mut campaign_micros =
+        std::mem::take(&mut *tally.campaign_micros.lock().expect("no holder panics"));
+    let summary = Summary {
+        connections: args.connections,
+        campaigns_per_conn: args.campaigns_per_conn,
+        cycles_per_campaign: args.cycles,
+        wall_secs,
+        campaigns_completed: tally.completed.load(Ordering::Relaxed),
+        campaigns_rejected_429: tally.rejected.load(Ordering::Relaxed),
+        http_errors: tally.errors.load(Ordering::Relaxed),
+        requests_total,
+        requests_per_sec: if wall_secs > 0.0 { requests_total as f64 / wall_secs } else { 0.0 },
+        request_latency: percentiles(&mut request_micros),
+        campaign_latency: percentiles(&mut campaign_micros),
+    };
+
+    println!(
+        "{} connections x {} campaigns ({} cycles each): {} completed, {} rejected (429), \
+         {} errors in {:.2}s",
+        summary.connections,
+        summary.campaigns_per_conn,
+        summary.cycles_per_campaign,
+        summary.campaigns_completed,
+        summary.campaigns_rejected_429,
+        summary.http_errors,
+        summary.wall_secs,
+    );
+    println!(
+        "{} requests ({:.0} req/s); request p50/p95/p99: {}/{}/{} us; campaign p50/p95/p99: \
+         {}/{}/{} us",
+        summary.requests_total,
+        summary.requests_per_sec,
+        summary.request_latency.p50_micros,
+        summary.request_latency.p95_micros,
+        summary.request_latency.p99_micros,
+        summary.campaign_latency.p50_micros,
+        summary.campaign_latency.p95_micros,
+        summary.campaign_latency.p99_micros,
+    );
+
+    let mut exit = 0;
+    if summary.campaigns_completed == 0 {
+        eprintln!("error: no campaign completed");
+        exit = 1;
+    }
+
+    if let Some(path) = &args.json {
+        let text = serde::json::to_string_pretty(&summary);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: writing {}: {e}", path.display());
+            exit = 1;
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    if args.shutdown {
+        let mut client = Client::new(args.addr, Duration::from_secs(10));
+        match client.request("POST", "/v1/shutdown", None) {
+            Ok(response) if response.status == 202 => eprintln!("server shutdown requested"),
+            Ok(response) => eprintln!("shutdown request got status {}", response.status),
+            Err(e) => eprintln!("shutdown request failed: {e}"),
+        }
+    }
+
+    std::process::exit(exit);
+}

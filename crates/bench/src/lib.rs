@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
+
 use powerbalance_harness::{run_campaign, CampaignResult, CampaignSpec, RunnerOptions};
 use std::path::PathBuf;
 

@@ -5,6 +5,7 @@
 //! powerbalance run --bench perlbmk --floorplan alu --turnoff --cycles 2000000
 //! powerbalance run --bench eon --floorplan regfile --mapping priority --turnoff
 //! powerbalance run --bench eon --bench gzip --floorplan issue --json out.json
+//! powerbalance serve --addr 127.0.0.1:8484 --queue-depth 16
 //! powerbalance list
 //! ```
 //!
@@ -18,6 +19,7 @@ use powerbalance::{
     experiments::AluPolicy, FloorplanKind, MappingPolicy, MitigationConfig, SimConfig,
 };
 use powerbalance_harness::{run_campaign, CampaignSpec, JobResult, RunnerOptions};
+use powerbalance_server::ServerConfig;
 use powerbalance_workloads::spec2000;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -52,10 +54,22 @@ USAGE:
       --no-warm-cache       compute every warmup privately (disables
                             snapshot sharing and --checkpoint-dir)
 
+  powerbalance serve [FLAGS]
+      Run the simulation service: accepts JSON campaign submissions over
+      HTTP, with a bounded queue, Prometheus /metrics, and graceful
+      shutdown on SIGINT/SIGTERM or POST /v1/shutdown.
+      --addr <host:port>    listen address                [127.0.0.1:8484]
+      --queue-depth <n>     bounded submission queue size [16]
+      --workers <n>         campaigns run concurrently    [2]
+      --threads <n>         worker threads inside each campaign
+                            [POWERBALANCE_THREADS or all cores]
+      --job-timeout <secs>  per-job wall-clock budget; 0 disables [600]
+
 EXAMPLES:
   powerbalance run --bench eon --floorplan issue --toggling
   powerbalance run --bench perlbmk --floorplan alu --turnoff
   powerbalance run --bench eon --bench gzip --floorplan issue --json out.json
+  powerbalance serve --addr 127.0.0.1:0 --queue-depth 8 --workers 1
 ";
 
 fn main() -> ExitCode {
@@ -68,6 +82,15 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => match parse_run(&args[1..]).and_then(run) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!();
+                eprintln!("{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("serve") => match parse_serve(&args[1..]).and_then(serve) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("error: {msg}");
@@ -290,6 +313,63 @@ fn report(job: &JobResult) {
     }
 }
 
+struct ServeArgs {
+    config: ServerConfig,
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
+    let mut config = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--queue-depth" => {
+                config.service.queue_depth =
+                    value("--queue-depth")?.parse().map_err(|e| format!("--queue-depth: {e}"))?;
+                if config.service.queue_depth == 0 {
+                    return Err("--queue-depth must be at least 1".to_string());
+                }
+            }
+            "--workers" => {
+                config.service.workers =
+                    value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
+                if config.service.workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--threads" => {
+                config.service.campaign_threads =
+                    Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
+            "--job-timeout" => {
+                let secs: u64 =
+                    value("--job-timeout")?.parse().map_err(|e| format!("--job-timeout: {e}"))?;
+                config.service.job_timeout =
+                    (secs > 0).then(|| std::time::Duration::from_secs(secs));
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(ServeArgs { config })
+}
+
+fn serve(args: ServeArgs) -> Result<(), String> {
+    powerbalance_server::signal::install();
+    let handle = powerbalance_server::Server::start(args.config)
+        .map_err(|e| format!("starting the server: {e}"))?;
+    eprintln!("powerbalance-server listening on http://{}", handle.addr());
+    eprintln!("stop with SIGINT/SIGTERM or POST /v1/shutdown");
+    while !powerbalance_server::signal::triggered() && !handle.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("shutting down: draining queued and running campaigns");
+    handle.shutdown();
+    eprintln!("bye");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +454,38 @@ mod tests {
             parse_run(&strs(&["--bench", "eon", "--resume"])).is_err(),
             "--resume without --checkpoint-dir is an error"
         );
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let a = parse_serve(&strs(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--queue-depth",
+            "8",
+            "--workers",
+            "3",
+            "--threads",
+            "2",
+            "--job-timeout",
+            "30",
+        ]))
+        .expect("valid serve command line");
+        assert_eq!(a.config.addr, "0.0.0.0:9000");
+        assert_eq!(a.config.service.queue_depth, 8);
+        assert_eq!(a.config.service.workers, 3);
+        assert_eq!(a.config.service.campaign_threads, Some(2));
+        assert_eq!(a.config.service.job_timeout, Some(std::time::Duration::from_secs(30)));
+
+        let b = parse_serve(&[]).expect("defaults are valid");
+        assert_eq!(b.config.addr, "127.0.0.1:8484");
+
+        let c = parse_serve(&strs(&["--job-timeout", "0"])).expect("0 disables the timeout");
+        assert_eq!(c.config.service.job_timeout, None);
+
+        assert!(parse_serve(&strs(&["--queue-depth", "0"])).is_err());
+        assert!(parse_serve(&strs(&["--workers", "0"])).is_err());
+        assert!(parse_serve(&strs(&["--frobnicate"])).is_err());
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod snapshot;
 pub use config::SimConfig;
 pub use error::Error;
 pub use result::{BlockTemperature, RunResult};
-pub use simulator::Simulator;
+pub use simulator::{RunControl, Simulator, StopCause};
 pub use snapshot::{SimulatorState, Snapshot, FORMAT_VERSION};
 
 // Re-export the subsystem vocabulary users need to configure runs.

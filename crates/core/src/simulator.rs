@@ -7,6 +7,84 @@ use powerbalance_mitigation::{Sensors, ThermalManager};
 use powerbalance_power::PowerModel;
 use powerbalance_thermal::{ev6, Floorplan, ThermalModel};
 use powerbalance_uarch::Core;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Why a controlled run ([`Simulator::run_controlled`]) returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The cycle budget elapsed (or the trace drained) normally.
+    Completed,
+    /// The cancellation flag was observed set between sampling windows.
+    Cancelled,
+    /// The wall-clock deadline passed between sampling windows.
+    TimedOut,
+}
+
+impl StopCause {
+    /// Whether the run finished its full budget (neither cancelled nor
+    /// timed out).
+    #[must_use]
+    pub fn is_completed(self) -> bool {
+        self == StopCause::Completed
+    }
+}
+
+/// Cooperative controls for a long simulation: an optional cancellation
+/// flag and an optional wall-clock deadline.
+///
+/// Both are checked *between* sampling windows, never inside one, so a
+/// controlled run stops within one [`SimConfig::sample_interval`] of the
+/// request and the cycles it did simulate are bit-identical to an
+/// uncontrolled run of the same length. The default value checks nothing
+/// and costs two branches per sampling window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunControl<'a> {
+    cancel: Option<&'a AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl<'a> RunControl<'a> {
+    /// A control that never stops the run early.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        RunControl::default()
+    }
+
+    /// Stops the run at the next sampling-window boundary once `flag` is
+    /// set. The flag is shared (e.g. with a server's DELETE handler);
+    /// setting it is the caller's business.
+    #[must_use]
+    pub fn with_cancel(mut self, flag: &'a AtomicBool) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Stops the run at the first sampling-window boundary after
+    /// `deadline` passes.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The reason the run should stop now, if any. Cancellation wins over
+    /// a passed deadline when both hold.
+    #[must_use]
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        if let Some(flag) = self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Some(StopCause::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopCause::TimedOut);
+            }
+        }
+        None
+    }
+}
 
 /// A complete thermal/performance simulation of one CPU configuration.
 ///
@@ -153,11 +231,33 @@ impl Simulator {
     ///
     /// Can be called repeatedly to extend a run; statistics accumulate.
     pub fn run<T: TraceSource>(&mut self, trace: &mut T, cycles: u64) -> RunResult {
+        self.run_controlled(trace, cycles, &RunControl::unlimited()).0
+    }
+
+    /// Like [`run`](Simulator::run), but checks `control` between sampling
+    /// windows and stops early on cancellation or a passed deadline.
+    ///
+    /// Returns the results accumulated so far (a stopped run's statistics
+    /// are exact for the cycles it did simulate) and why the run returned.
+    /// Stopping is purely observational: the simulated cycles are
+    /// bit-identical to an uncontrolled run, so a [`StopCause::Completed`]
+    /// outcome is indistinguishable from [`run`](Simulator::run).
+    pub fn run_controlled<T: TraceSource>(
+        &mut self,
+        trace: &mut T,
+        cycles: u64,
+        control: &RunControl<'_>,
+    ) -> (RunResult, StopCause) {
         // `Core::cycle` advances the counter by exactly one, so an elapsed
         // tally replaces the repeated `self.core.stats().cycles` reads the
         // loop head would otherwise pay per window.
         let mut elapsed = 0u64;
+        let mut cause = StopCause::Completed;
         while elapsed < cycles && !self.core.is_done() {
+            if let Some(stop) = control.stop_cause() {
+                cause = stop;
+                break;
+            }
             let window = self.config.sample_interval.min(cycles - elapsed);
             for _ in 0..window {
                 self.checked_cycle(trace);
@@ -168,7 +268,7 @@ impl Simulator {
             }
             self.sample(true);
         }
-        self.result()
+        (self.result(), cause)
     }
 
     /// Runs for up to `cycles` cycles like [`run`](Simulator::run), but
@@ -184,8 +284,23 @@ impl Simulator {
     /// boundary, exactly as if [`run`](Simulator::run) had been called
     /// throughout with mitigation disabled for the first `cycles` cycles.
     pub fn run_warmup<T: TraceSource>(&mut self, trace: &mut T, cycles: u64) {
+        let _ = self.run_warmup_controlled(trace, cycles, &RunControl::unlimited());
+    }
+
+    /// Like [`run_warmup`](Simulator::run_warmup), but checks `control`
+    /// between sampling windows — see
+    /// [`run_controlled`](Simulator::run_controlled) for the semantics.
+    pub fn run_warmup_controlled<T: TraceSource>(
+        &mut self,
+        trace: &mut T,
+        cycles: u64,
+        control: &RunControl<'_>,
+    ) -> StopCause {
         let mut elapsed = 0u64;
         while elapsed < cycles && !self.core.is_done() {
+            if let Some(stop) = control.stop_cause() {
+                return stop;
+            }
             let window = self.config.sample_interval.min(cycles - elapsed);
             for _ in 0..window {
                 self.checked_cycle(trace);
@@ -196,6 +311,7 @@ impl Simulator {
             }
             self.sample(false);
         }
+        StopCause::Completed
     }
 
     /// One sense/react step: power → thermal → (optionally) mitigation →
@@ -494,6 +610,78 @@ mod tests {
         let mut trace = spec2000::by_name("gzip").expect("profile").trace(3);
         let _ = sim.run(&mut trace, 20_000);
         assert!(sim.history().is_none());
+    }
+
+    #[test]
+    fn controlled_run_without_controls_matches_run() {
+        let run_plain = || {
+            let mut sim = Simulator::new(experiments::issue_queue(true)).expect("valid config");
+            let mut trace = spec2000::by_name("mesa").expect("profile").trace(11);
+            sim.run(&mut trace, 80_000)
+        };
+        let mut sim = Simulator::new(experiments::issue_queue(true)).expect("valid config");
+        let mut trace = spec2000::by_name("mesa").expect("profile").trace(11);
+        let (controlled, cause) = sim.run_controlled(&mut trace, 80_000, &RunControl::unlimited());
+        assert_eq!(cause, StopCause::Completed);
+        assert_eq!(controlled, run_plain());
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_stops_before_the_first_window() {
+        let mut sim = Simulator::new(SimConfig::default()).expect("valid config");
+        let mut trace = spec2000::by_name("gzip").expect("profile").trace(3);
+        let flag = AtomicBool::new(true);
+        let control = RunControl::unlimited().with_cancel(&flag);
+        let (result, cause) = sim.run_controlled(&mut trace, 100_000, &control);
+        assert_eq!(cause, StopCause::Cancelled);
+        assert_eq!(result.cycles, 0, "cancel is checked before the first window");
+    }
+
+    #[test]
+    fn cancel_stops_at_a_window_boundary_with_exact_stats() {
+        // Run 30k cycles uncontrolled, then cancel a controlled run after
+        // it has started: the cancelled run's statistics must exactly
+        // match an uncontrolled run of the length it reached.
+        let mut sim = Simulator::new(SimConfig::default()).expect("valid config");
+        let mut trace = spec2000::by_name("gzip").expect("profile").trace(3);
+        let flag = AtomicBool::new(false);
+        let control = RunControl::unlimited().with_cancel(&flag);
+        let (first, cause) = sim.run_controlled(&mut trace, 30_000, &control);
+        assert_eq!(cause, StopCause::Completed);
+        flag.store(true, Ordering::Relaxed);
+        let (second, cause) = sim.run_controlled(&mut trace, 30_000, &control);
+        assert_eq!(cause, StopCause::Cancelled);
+        assert_eq!(second.cycles, first.cycles, "no extra window ran after the cancel");
+
+        let mut reference = Simulator::new(SimConfig::default()).expect("valid config");
+        let mut ref_trace = spec2000::by_name("gzip").expect("profile").trace(3);
+        let reference_result = reference.run(&mut ref_trace, first.cycles);
+        assert_eq!(second, reference_result, "partial stats are exact");
+    }
+
+    #[test]
+    fn passed_deadline_times_the_run_out() {
+        let mut sim = Simulator::new(SimConfig::default()).expect("valid config");
+        let mut trace = spec2000::by_name("gzip").expect("profile").trace(3);
+        let control = RunControl::unlimited().with_deadline(Instant::now());
+        let (result, cause) = sim.run_controlled(&mut trace, 100_000, &control);
+        assert_eq!(cause, StopCause::TimedOut);
+        assert_eq!(result.cycles, 0);
+        // Cancellation wins when both stop conditions hold.
+        let flag = AtomicBool::new(true);
+        let both = RunControl::unlimited().with_cancel(&flag).with_deadline(Instant::now());
+        assert_eq!(both.stop_cause(), Some(StopCause::Cancelled));
+    }
+
+    #[test]
+    fn warmup_honours_controls_too() {
+        let mut sim = Simulator::new(SimConfig::default()).expect("valid config");
+        let mut trace = spec2000::by_name("gzip").expect("profile").trace(3);
+        let flag = AtomicBool::new(true);
+        let control = RunControl::unlimited().with_cancel(&flag);
+        let cause = sim.run_warmup_controlled(&mut trace, 50_000, &control);
+        assert_eq!(cause, StopCause::Cancelled);
+        assert_eq!(sim.core().stats().cycles, 0);
     }
 
     #[test]

@@ -58,7 +58,9 @@ mod warmstart;
 
 pub use result::{CampaignResult, JobResult};
 pub use runner::{
-    resolve_threads, run_campaign, run_one, run_one_warmed, RunnerOptions, THREADS_ENV_VAR,
+    resolve_threads, run_campaign, run_campaign_controlled, run_one, run_one_warmed,
+    run_one_warmed_controlled, CampaignControl, CampaignOutcome, JobProgress, RunnerOptions,
+    THREADS_ENV_VAR,
 };
 pub use spec::{CampaignSpec, NamedConfig};
 pub use warmstart::{compute_warmup, WarmStartCache};

@@ -3,11 +3,12 @@
 use crate::result::{CampaignResult, JobResult};
 use crate::spec::CampaignSpec;
 use crate::warmstart::WarmStartCache;
-use powerbalance::{spec2000, Error, RunResult, SimConfig, Simulator};
+use powerbalance::{spec2000, Error, RunControl, RunResult, SimConfig, Simulator, StopCause};
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Environment variable consulted for the worker-pool size when no explicit
 /// thread count is given.
@@ -51,17 +52,35 @@ impl Default for RunnerOptions {
     }
 }
 
-/// Resolves the worker-pool size: `explicit` if given, else the
-/// [`THREADS_ENV_VAR`] environment variable if set to a positive integer,
-/// else [`std::thread::available_parallelism`]. Always at least 1.
+/// Resolves the worker-pool size: `explicit` if given (clamped to at least
+/// 1), else the [`THREADS_ENV_VAR`] environment variable if set to a
+/// positive integer, else [`std::thread::available_parallelism`].
+///
+/// An env-var value that is not a positive integer (`0`, garbage, empty)
+/// warns on stderr and falls back to the automatic count — the same
+/// clamp-to-usable behavior the explicit-flag path has, instead of
+/// silently ignoring the variable.
 #[must_use]
 pub fn resolve_threads(explicit: Option<usize>) -> usize {
-    explicit
-        .or_else(|| {
-            std::env::var(THREADS_ENV_VAR).ok().and_then(|v| v.trim().parse::<usize>().ok())
-        })
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
-        .max(1)
+    resolve_threads_from(explicit, std::env::var(THREADS_ENV_VAR).ok().as_deref())
+}
+
+/// [`resolve_threads`] with the environment read factored out for
+/// testability (mutating real process environment races parallel tests).
+fn resolve_threads_from(explicit: Option<usize>, env: Option<&str>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Some(raw) = env {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!(
+                "warning: {THREADS_ENV_VAR}='{raw}' is not a positive integer; \
+                 falling back to the automatic thread count"
+            ),
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
 }
 
 /// Runs one (benchmark × config) simulation outside any campaign: builds a
@@ -107,24 +126,164 @@ pub fn run_one_warmed(
     warmup_cycles: u64,
     cache: Option<&WarmStartCache>,
 ) -> Result<RunResult, Error> {
+    run_one_warmed_controlled(
+        config,
+        bench,
+        cycles,
+        seed,
+        warmup_cycles,
+        cache,
+        &RunControl::unlimited(),
+    )
+    .map(|(result, _)| result)
+}
+
+/// Like [`run_one_warmed`], but threads a [`RunControl`] (cancellation
+/// flag and/or deadline) through the warmup and measured phases, both of
+/// which check it between sampling windows.
+///
+/// One deliberate gap: a *shared* cached warmup ([`WarmStartCache::
+/// get_or_compute`]) is not interruptible, because several jobs may be
+/// blocked on the one computation — only the private-warmup path and the
+/// measured run observe the control. Callers that need a hard bound on
+/// warmup time should bound `warmup_cycles` at admission instead (the
+/// server does).
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] if the benchmark is unknown or the config
+/// fails validation.
+pub fn run_one_warmed_controlled(
+    config: &SimConfig,
+    bench: &str,
+    cycles: u64,
+    seed: u64,
+    warmup_cycles: u64,
+    cache: Option<&WarmStartCache>,
+    control: &RunControl<'_>,
+) -> Result<(RunResult, StopCause), Error> {
     if warmup_cycles == 0 {
-        return run_one(config, bench, cycles, seed);
+        let profile = spec2000::by_name(bench)
+            .ok_or_else(|| Error::Config(format!("unknown benchmark '{bench}'")))?;
+        let mut sim = Simulator::new(config.clone())?;
+        return Ok(sim.run_controlled(&mut profile.trace(seed), cycles, control));
     }
     match cache {
         Some(cache) => {
             let snapshot = cache.get_or_compute(bench, seed, warmup_cycles, config)?;
             let (mut sim, mut trace) = snapshot.resume_with_config(config.clone())?;
-            Ok(sim.run(&mut trace, cycles))
+            Ok(sim.run_controlled(&mut trace, cycles, control))
         }
         None => {
             let profile = spec2000::by_name(bench)
                 .ok_or_else(|| Error::Config(format!("unknown benchmark '{bench}'")))?;
             let mut sim = Simulator::new(config.clone())?;
             let mut trace = profile.trace(seed);
-            sim.run_warmup(&mut trace, warmup_cycles);
-            Ok(sim.run(&mut trace, cycles))
+            let warmup_cause = sim.run_warmup_controlled(&mut trace, warmup_cycles, control);
+            if !warmup_cause.is_completed() {
+                return Ok((sim.result(), warmup_cause));
+            }
+            Ok(sim.run_controlled(&mut trace, cycles, control))
         }
     }
+}
+
+/// Summary of one finished job, exposed as live progress while a
+/// controlled campaign is still running (the server's `GET
+/// /v1/campaigns/<id>` endpoint reports these).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobProgress {
+    /// Benchmark name.
+    pub bench: String,
+    /// Config name.
+    pub config: String,
+    /// The job's IPC.
+    pub ipc: f64,
+    /// Host wall-clock time the job took, in nanoseconds.
+    pub wall_nanos: u64,
+}
+
+/// Shared cancellation + live progress for one controlled campaign.
+///
+/// The submitting side keeps a handle (typically in an `Arc`): calling
+/// [`cancel`](CampaignControl::cancel) stops every worker at its next
+/// sampling-window boundary, and [`progress`](CampaignControl::progress) /
+/// [`finished_jobs`](CampaignControl::finished_jobs) observe completion
+/// without touching the runner.
+#[derive(Debug, Default)]
+pub struct CampaignControl {
+    cancel: AtomicBool,
+    total: AtomicUsize,
+    completed: AtomicUsize,
+    finished: Mutex<Vec<JobProgress>>,
+}
+
+impl CampaignControl {
+    /// A fresh control with no progress and the cancel flag clear.
+    #[must_use]
+    pub fn new() -> Self {
+        CampaignControl::default()
+    }
+
+    /// Requests cooperative cancellation: every in-flight job stops at its
+    /// next sampling-window boundary and no new jobs start.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// The raw cancellation flag, for wiring into a [`RunControl`].
+    #[must_use]
+    pub fn cancel_flag(&self) -> &AtomicBool {
+        &self.cancel
+    }
+
+    /// Records the campaign's job count before it starts running, so
+    /// observers of a still-queued campaign see a meaningful total.
+    pub fn set_total(&self, total: usize) {
+        self.total.store(total, Ordering::Relaxed);
+    }
+
+    /// `(completed, total)` job counts. Total is 0 until
+    /// [`set_total`](CampaignControl::set_total) or the runner records it.
+    #[must_use]
+    pub fn progress(&self) -> (usize, usize) {
+        (self.completed.load(Ordering::Relaxed), self.total.load(Ordering::Relaxed))
+    }
+
+    /// Snapshots the finished jobs so far, in completion order.
+    #[must_use]
+    pub fn finished_jobs(&self) -> Vec<JobProgress> {
+        self.finished.lock().expect("no recorder panics holding this lock").clone()
+    }
+
+    fn record(&self, progress: JobProgress) {
+        self.finished.lock().expect("no recorder panics holding this lock").push(progress);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// How a controlled campaign ended.
+#[derive(Debug)]
+pub enum CampaignOutcome {
+    /// Every job ran to completion.
+    Completed(CampaignResult),
+    /// Cancellation was requested; in-flight jobs stopped at a window
+    /// boundary and their partial results were discarded.
+    Cancelled,
+    /// A job exceeded the per-job wall-clock timeout. The rest of the
+    /// campaign was aborted.
+    TimedOut {
+        /// Benchmark of the job that timed out.
+        bench: String,
+        /// Config name of the job that timed out.
+        config: String,
+    },
 }
 
 /// Runs every (benchmark × config) job of `spec` on a bounded worker pool
@@ -148,12 +307,51 @@ pub fn run_one_warmed(
 /// Panics if a worker thread panics (the simulator itself is panic-free on
 /// validated configs).
 pub fn run_campaign(spec: &CampaignSpec, options: &RunnerOptions) -> Result<CampaignResult, Error> {
+    let control = CampaignControl::new();
+    match run_campaign_controlled(spec, options, &control, None, None)? {
+        CampaignOutcome::Completed(result) => Ok(result),
+        // With a private, never-cancelled control and no timeout, the only
+        // possible outcome is completion.
+        CampaignOutcome::Cancelled | CampaignOutcome::TimedOut { .. } => {
+            unreachable!("private control is never cancelled and has no timeout")
+        }
+    }
+}
+
+/// [`run_campaign`] with cooperative controls for long-lived callers (the
+/// simulation server): a shared [`CampaignControl`] for cancellation and
+/// live progress, an optional per-job wall-clock timeout, and an optional
+/// externally owned [`WarmStartCache`] shared across *campaigns* (the
+/// per-campaign cache from [`RunnerOptions`] is used when `shared_cache`
+/// is `None`).
+///
+/// A timeout on any job aborts the whole campaign (the job's partial
+/// results are discarded), mirroring how a stuck request must release its
+/// worker; cancellation does the same but reports
+/// [`CampaignOutcome::Cancelled`].
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] if the spec fails validation.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the simulator itself is panic-free on
+/// validated configs).
+pub fn run_campaign_controlled(
+    spec: &CampaignSpec,
+    options: &RunnerOptions,
+    control: &CampaignControl,
+    job_timeout: Option<Duration>,
+    shared_cache: Option<&WarmStartCache>,
+) -> Result<CampaignOutcome, Error> {
     spec.validate()?;
     let total = spec.job_count();
+    control.set_total(total);
     let threads = resolve_threads(options.threads).min(total).max(1);
     let ncfg = spec.configs.len();
 
-    let cache = if spec.warmup_cycles > 0 && options.warm_cache {
+    let private_cache = if shared_cache.is_none() && spec.warmup_cycles > 0 && options.warm_cache {
         Some(match &options.checkpoint_dir {
             Some(dir) => WarmStartCache::with_checkpoint_dir(dir, options.resume),
             None => WarmStartCache::in_memory(),
@@ -161,15 +359,25 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunnerOptions) -> Result<Camp
     } else {
         None
     };
+    let cache = match shared_cache {
+        Some(shared) if spec.warmup_cycles > 0 && options.warm_cache => Some(shared),
+        _ => private_cache.as_ref(),
+    };
 
     let cursor = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<JobResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    // First job to time out wins the abort; later jobs just observe the
+    // raised cancel flag.
+    let timed_out: Mutex<Option<(String, String)>> = Mutex::new(None);
 
     let campaign_start = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                if control.is_cancelled() {
+                    break;
+                }
                 let index = cursor.fetch_add(1, Ordering::Relaxed);
                 if index >= total {
                     break;
@@ -181,15 +389,36 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunnerOptions) -> Result<Camp
                 let cycles = spec.cycles_for(config_index);
 
                 let start = Instant::now();
-                let result = run_one_warmed(
+                let mut run_control = RunControl::unlimited().with_cancel(control.cancel_flag());
+                if let Some(timeout) = job_timeout {
+                    run_control = run_control.with_deadline(start + timeout);
+                }
+                let (result, cause) = run_one_warmed_controlled(
                     &named.config,
                     bench,
                     cycles,
                     spec.seed,
                     spec.warmup_cycles,
-                    cache.as_ref(),
+                    cache,
+                    &run_control,
                 )
                 .expect("spec was validated before dispatch");
+                match cause {
+                    StopCause::Completed => {}
+                    StopCause::Cancelled => break,
+                    StopCause::TimedOut => {
+                        let mut slot =
+                            timed_out.lock().expect("no worker panicked holding this lock");
+                        if slot.is_none() {
+                            *slot = Some((bench.clone(), named.name.clone()));
+                        }
+                        drop(slot);
+                        // Pull every other worker out of its run too: the
+                        // campaign is already lost.
+                        control.cancel();
+                        break;
+                    }
+                }
                 let wall = start.elapsed();
                 let wall_secs = wall.as_secs_f64();
                 let sim_cycles_per_sec =
@@ -206,6 +435,12 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunnerOptions) -> Result<Camp
                         sim_cycles_per_sec / 1e6,
                     );
                 }
+                control.record(JobProgress {
+                    bench: bench.clone(),
+                    config: named.name.clone(),
+                    ipc: result.ipc,
+                    wall_nanos: wall.as_nanos() as u64,
+                });
 
                 *slots[index].lock().expect("no worker panicked holding this lock") =
                     Some(JobResult {
@@ -223,8 +458,17 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunnerOptions) -> Result<Camp
         }
     });
 
+    if let Some((bench, config)) =
+        timed_out.into_inner().expect("no worker panicked holding this lock")
+    {
+        return Ok(CampaignOutcome::TimedOut { bench, config });
+    }
+    if control.is_cancelled() {
+        return Ok(CampaignOutcome::Cancelled);
+    }
+
     if options.progress {
-        if let Some(cache) = &cache {
+        if let Some(cache) = cache {
             let (computed, loaded, hits) = cache.stats();
             eprintln!(
                 "[{} warm-start] {computed} warmup(s) computed, {loaded} loaded from disk, \
@@ -242,12 +486,12 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunnerOptions) -> Result<Camp
                 .expect("every slot was filled before the scope ended")
         })
         .collect();
-    Ok(CampaignResult {
+    Ok(CampaignOutcome::Completed(CampaignResult {
         spec: spec.clone(),
         threads,
         wall_nanos: campaign_start.elapsed().as_nanos() as u64,
         jobs,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -259,6 +503,29 @@ mod tests {
     fn resolve_prefers_explicit() {
         assert_eq!(resolve_threads(Some(3)), 3);
         assert_eq!(resolve_threads(Some(0)), 1, "explicit 0 clamps to 1");
+        // Explicit beats the environment even when the env value is valid.
+        assert_eq!(resolve_threads_from(Some(2), Some("7")), 2);
+        assert_eq!(resolve_threads_from(Some(0), Some("7")), 1, "explicit 0 still clamps");
+    }
+
+    #[test]
+    fn resolve_env_accepts_positive_integers() {
+        assert_eq!(resolve_threads_from(None, Some("5")), 5);
+        assert_eq!(resolve_threads_from(None, Some("  5  ")), 5, "whitespace is trimmed");
+        assert_eq!(resolve_threads_from(None, Some("1")), 1);
+    }
+
+    #[test]
+    fn resolve_env_garbage_falls_back_to_auto() {
+        let auto = std::thread::available_parallelism().map_or(1, usize::from);
+        // `0` and non-numeric values warn and fall back to the automatic
+        // count instead of being silently ignored or clamped differently
+        // from the explicit-flag path.
+        assert_eq!(resolve_threads_from(None, Some("0")), auto);
+        assert_eq!(resolve_threads_from(None, Some("lots")), auto);
+        assert_eq!(resolve_threads_from(None, Some("")), auto);
+        assert_eq!(resolve_threads_from(None, Some("-2")), auto);
+        assert_eq!(resolve_threads_from(None, None), auto, "unset env is the auto path");
     }
 
     #[test]
@@ -328,6 +595,105 @@ mod tests {
         let a = run_campaign(&spec, &RunnerOptions::default()).expect("runs");
         let direct = run_one(&spec.configs[0].config, "gzip", 20_000, 9).expect("runs");
         assert_eq!(a.jobs[0].result, direct);
+    }
+
+    #[test]
+    fn cancelled_campaign_reports_cancelled() {
+        let spec = CampaignSpec::new("cancelled")
+            .config("base", experiments::issue_queue(false))
+            .benchmarks(["eon", "gzip", "mesa"])
+            .cycles(50_000);
+        let control = CampaignControl::new();
+        control.cancel();
+        let outcome = run_campaign_controlled(
+            &spec,
+            &RunnerOptions { threads: Some(2), ..Default::default() },
+            &control,
+            None,
+            None,
+        )
+        .expect("valid spec");
+        assert!(matches!(outcome, CampaignOutcome::Cancelled));
+        let (completed, total) = control.progress();
+        assert_eq!(total, 3);
+        assert_eq!(completed, 0, "pre-cancelled campaign runs no jobs");
+    }
+
+    #[test]
+    fn job_timeout_aborts_the_campaign() {
+        let spec = CampaignSpec::new("timeout")
+            .config("base", experiments::issue_queue(false))
+            .benchmark("gzip")
+            .cycles(5_000_000);
+        let control = CampaignControl::new();
+        let outcome = run_campaign_controlled(
+            &spec,
+            &RunnerOptions { threads: Some(1), ..Default::default() },
+            &control,
+            Some(Duration::ZERO),
+            None,
+        )
+        .expect("valid spec");
+        match outcome {
+            CampaignOutcome::TimedOut { bench, config } => {
+                assert_eq!(bench, "gzip");
+                assert_eq!(config, "base");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn controlled_campaign_records_progress_and_matches_uncontrolled() {
+        let spec = CampaignSpec::new("progress")
+            .config("base", experiments::issue_queue(false))
+            .benchmarks(["eon", "gzip"])
+            .cycles(20_000);
+        let control = CampaignControl::new();
+        let outcome = run_campaign_controlled(
+            &spec,
+            &RunnerOptions { threads: Some(2), ..Default::default() },
+            &control,
+            Some(Duration::from_secs(600)),
+            None,
+        )
+        .expect("valid spec");
+        let CampaignOutcome::Completed(result) = outcome else {
+            panic!("campaign should complete")
+        };
+        assert_eq!(control.progress(), (2, 2));
+        assert_eq!(control.finished_jobs().len(), 2);
+        let plain = run_campaign(&spec, &RunnerOptions { threads: Some(1), ..Default::default() })
+            .expect("valid spec");
+        assert!(result.same_outcome(&plain), "controls must not change results");
+    }
+
+    #[test]
+    fn shared_cache_spans_campaigns() {
+        let spec = |name: &str| {
+            CampaignSpec::new(name)
+                .config("base", experiments::issue_queue(false))
+                .benchmark("gzip")
+                .cycles(10_000)
+                .warmup(20_000)
+                .seed(3)
+        };
+        let cache = WarmStartCache::in_memory();
+        for name in ["first", "second"] {
+            let control = CampaignControl::new();
+            let outcome = run_campaign_controlled(
+                &spec(name),
+                &RunnerOptions::default(),
+                &control,
+                None,
+                Some(&cache),
+            )
+            .expect("valid spec");
+            assert!(matches!(outcome, CampaignOutcome::Completed(_)));
+        }
+        let (computed, _, hits) = cache.stats();
+        assert_eq!(computed, 1, "second campaign reuses the first warmup");
+        assert_eq!(hits, 1);
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! A minimal blocking HTTP/1.1 client for tests and the load generator.
+//!
+//! One [`Client`] owns one keep-alive connection and reconnects
+//! transparently when the server (or a `Connection: close` response)
+//! drops it. Only what the load generator needs is implemented:
+//! `Content-Length` responses over a single connection.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: HashMap<String, String>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy).
+    #[must_use]
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Looks up a header by (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+}
+
+/// A single-connection keep-alive HTTP client.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    /// A client for `addr` with a per-operation timeout.
+    #[must_use]
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Self {
+        Client { addr, timeout, stream: None }
+    }
+
+    fn connect(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// Sends one request and reads the response, reconnecting once if the
+    /// kept-alive connection turns out to be dead.
+    ///
+    /// # Errors
+    ///
+    /// Returns any connect/read/write error after the reconnect attempt.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        match self.request_once(method, path, body) {
+            Ok(response) => Ok(response),
+            Err(_) => {
+                // The server may have closed the idle connection between
+                // requests; retry exactly once on a fresh one.
+                self.stream = None;
+                self.request_once(method, path, body)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        let stream = self.connect()?;
+        let body_bytes = body.map(str::as_bytes).unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: powerbalance\r\nContent-Length: {}\r\n\
+             Content-Type: application/json\r\n\r\n",
+            body_bytes.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body_bytes)?;
+        stream.flush()?;
+
+        let response = read_response(stream)?;
+        if response.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close")) {
+            self.stream = None;
+        }
+        Ok(response)
+    }
+}
+
+fn read_response(stream: &mut TcpStream) -> io::Result<ClientResponse> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before a response arrived",
+                ))
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > 64 * 1024 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "response head too large"));
+        }
+    }
+
+    let head_text = String::from_utf8(head)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response head is not UTF-8"))?;
+    let mut lines = head_text.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 =
+        status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad status line '{status_line}'"))
+        })?;
+    // An interim 100 Continue is followed by the real response.
+    if status == 100 {
+        return read_response(stream);
+    }
+    let mut headers = HashMap::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    let length: usize = headers.get("content-length").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body)?;
+    Ok(ClientResponse { status, headers, body })
+}

@@ -1,0 +1,75 @@
+//! A libc-free Unix signal shim.
+//!
+//! The offline build policy forbids the `libc` crate, but `std` already
+//! links the platform C library, so declaring `signal(2)` directly is
+//! enough to catch SIGINT/SIGTERM and flip an `AtomicBool` the accept
+//! loop polls. On non-Unix targets [`install`] is a no-op and shutdown is
+//! driven purely through [`crate::ServerHandle::request_shutdown`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has arrived since [`install`].
+#[must_use]
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::Relaxed)
+}
+
+/// Test/embedding hook: raise the flag as if a signal had arrived.
+pub fn trigger() {
+    TRIGGERED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // `signal(2)`: std links libc on every Unix target, so the symbol
+        // is always present; no crate dependency needed.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: a relaxed atomic store.
+        super::TRIGGERED.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the documented libc entry point; the handler
+        // does nothing but store to a static atomic, which is
+        // async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs SIGINT/SIGTERM handlers that set the [`triggered`] flag
+/// (no-op off Unix). Because the glibc `signal()` wrapper sets
+/// `SA_RESTART`, blocking accepts are *not* interrupted — the server's
+/// accept loop is nonblocking and polls [`triggered`] instead.
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_raises_the_flag() {
+        install();
+        trigger();
+        assert!(triggered());
+    }
+}

@@ -1,0 +1,264 @@
+//! End-to-end integration tests for the simulation service: concurrent
+//! load against a bounded queue, cancellation over the wire, metrics
+//! reconciliation, and graceful shutdown.
+
+use powerbalance::experiments;
+use powerbalance_harness::CampaignSpec;
+use powerbalance_server::client::Client;
+use powerbalance_server::service::ServiceConfig;
+use powerbalance_server::{Server, ServerConfig, ServerHandle};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+fn start_server(service: ServiceConfig) -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        service,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        max_connections: 64,
+        ..ServerConfig::default()
+    })
+    .expect("server binds on an ephemeral port")
+}
+
+fn spec_json(name: &str, cycles: u64) -> String {
+    let spec = CampaignSpec::new(name)
+        .config("base", experiments::issue_queue(false))
+        .benchmark("gzip")
+        .cycles(cycles)
+        .seed(11);
+    serde::json::to_string(&spec)
+}
+
+/// Extracts `"id":N` from a submit response body.
+fn extract_id(body: &str) -> u64 {
+    body.split("\"id\":")
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or_else(|| panic!("no id in submit response: {body}"))
+}
+
+fn poll_terminal(client: &mut Client, id: u64) -> String {
+    for _ in 0..4_000 {
+        let response = client
+            .request("GET", &format!("/v1/campaigns/{id}"), None)
+            .expect("status endpoint answers");
+        assert_eq!(response.status, 200, "status for a known id is always 200");
+        let body = response.text();
+        for state in ["\"Completed\"", "\"Failed\"", "\"Cancelled\""] {
+            if body.contains(state) {
+                return state.trim_matches('"').to_string();
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("campaign {id} never reached a terminal state");
+}
+
+/// The acceptance-criteria scenario: 32 concurrent connections hammer a
+/// server whose submission queue holds only 8 campaigns. Every request
+/// must get a well-formed response — an id or a 429 — nothing may
+/// deadlock, no accepted job may be lost, and afterwards the metrics
+/// must reconcile exactly: submitted = completed + failed + cancelled +
+/// rejected.
+#[test]
+fn thirty_two_connections_against_a_depth_8_queue() {
+    let server = start_server(ServiceConfig {
+        queue_depth: 8,
+        workers: 2,
+        campaign_threads: Some(1),
+        ..ServiceConfig::default()
+    });
+    let addr = server.addr();
+
+    const CONNECTIONS: usize = 32;
+    const SUBMISSIONS_PER_CONNECTION: usize = 2;
+
+    let results: Vec<(u64, u64, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONNECTIONS)
+            .map(|conn| {
+                scope.spawn(move || {
+                    let mut client = Client::new(addr, Duration::from_secs(30));
+                    let mut accepted = 0u64;
+                    let mut rejected = 0u64;
+                    let mut states = Vec::new();
+                    for i in 0..SUBMISSIONS_PER_CONNECTION {
+                        let body = spec_json(&format!("load-c{conn}-i{i}"), 5_000);
+                        let response = client
+                            .request("POST", "/v1/campaigns", Some(&body))
+                            .expect("submit gets a response");
+                        match response.status {
+                            202 => {
+                                accepted += 1;
+                                let id = extract_id(&response.text());
+                                states.push(poll_terminal(&mut client, id));
+                            }
+                            429 => {
+                                rejected += 1;
+                                assert_eq!(
+                                    response.header("retry-after"),
+                                    Some("1"),
+                                    "429 must carry Retry-After"
+                                );
+                            }
+                            other => panic!("submission got unexpected status {other}"),
+                        }
+                    }
+                    (accepted, rejected, states.join(","))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no client thread panics")).collect()
+    });
+
+    let accepted: u64 = results.iter().map(|(a, _, _)| a).sum();
+    let rejected: u64 = results.iter().map(|(_, r, _)| r).sum();
+    assert_eq!(
+        accepted + rejected,
+        (CONNECTIONS * SUBMISSIONS_PER_CONNECTION) as u64,
+        "every submission got a definitive answer"
+    );
+    assert!(accepted > 0, "some submissions must make it through");
+    for (_, _, states) in &results {
+        for state in states.split(',').filter(|s| !s.is_empty()) {
+            assert_eq!(state, "Completed", "accepted campaigns must complete, not be lost");
+        }
+    }
+
+    // Metrics reconciliation at quiescence.
+    let m = server.service().metrics();
+    let submitted = m.campaigns_submitted.load(Ordering::Relaxed);
+    let completed = m.campaigns_completed.load(Ordering::Relaxed);
+    let failed = m.campaigns_failed.load(Ordering::Relaxed);
+    let cancelled = m.campaigns_cancelled.load(Ordering::Relaxed);
+    let rejected_metric = m.campaigns_rejected.load(Ordering::Relaxed);
+    assert_eq!(submitted, (CONNECTIONS * SUBMISSIONS_PER_CONNECTION) as u64);
+    assert_eq!(rejected_metric, rejected);
+    assert_eq!(completed, accepted);
+    assert_eq!(
+        submitted,
+        completed + failed + cancelled + rejected_metric,
+        "submitted must reconcile against terminal counters"
+    );
+
+    // The same numbers must appear in the Prometheus rendering.
+    let mut client = Client::new(addr, Duration::from_secs(5));
+    let text = client.request("GET", "/metrics", None).expect("metrics answers").text();
+    assert!(text.contains(&format!("powerbalance_campaigns_submitted_total {submitted}")));
+    assert!(text.contains(&format!("powerbalance_campaigns_completed_total {completed}")));
+    assert!(text.contains(&format!("powerbalance_campaigns_rejected_total {rejected_metric}")));
+    assert!(text.contains("powerbalance_http_request_duration_seconds_bucket"));
+}
+
+#[test]
+fn submit_status_result_round_trip() {
+    let server = start_server(ServiceConfig {
+        queue_depth: 4,
+        workers: 1,
+        campaign_threads: Some(1),
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::new(server.addr(), Duration::from_secs(10));
+
+    let response = client
+        .request("POST", "/v1/campaigns", Some(&spec_json("round-trip", 20_000)))
+        .expect("submit answers");
+    assert_eq!(response.status, 202);
+    let body = response.text();
+    let id = extract_id(&body);
+    assert!(body.contains(&format!("/v1/campaigns/{id}")), "submit echoes the status URL");
+
+    assert_eq!(poll_terminal(&mut client, id), "Completed");
+
+    let result =
+        client.request("GET", &format!("/v1/campaigns/{id}/result"), None).expect("result answers");
+    assert_eq!(result.status, 200);
+    let text = result.text();
+    // The body is the full CampaignResult document, parseable by the same
+    // vendored serde the rest of the workspace uses.
+    let parsed: powerbalance_harness::CampaignResult =
+        serde::json::from_str(&text).expect("result body is a CampaignResult");
+    assert_eq!(parsed.spec.name, "round-trip");
+    assert_eq!(parsed.jobs.len(), 1);
+    assert!(parsed.jobs[0].result.ipc > 0.0);
+}
+
+#[test]
+fn cancellation_over_the_wire() {
+    let server = start_server(ServiceConfig {
+        queue_depth: 4,
+        workers: 1,
+        campaign_threads: Some(1),
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::new(server.addr(), Duration::from_secs(10));
+
+    // A long campaign to cancel mid-flight, behind nothing.
+    let response = client
+        .request("POST", "/v1/campaigns", Some(&spec_json("cancel-me", 50_000_000)))
+        .expect("submit answers");
+    assert_eq!(response.status, 202);
+    let id = extract_id(&response.text());
+
+    let cancel =
+        client.request("DELETE", &format!("/v1/campaigns/{id}"), None).expect("cancel answers");
+    assert_eq!(cancel.status, 202);
+
+    assert_eq!(poll_terminal(&mut client, id), "Cancelled");
+
+    // The result of a cancelled campaign is a 409, not a hang or a 500.
+    let result =
+        client.request("GET", &format!("/v1/campaigns/{id}/result"), None).expect("result answers");
+    assert_eq!(result.status, 409);
+
+    // Cancelling a terminal campaign is accepted but a no-op.
+    let again =
+        client.request("DELETE", &format!("/v1/campaigns/{id}"), None).expect("cancel answers");
+    assert_eq!(again.status, 202);
+    assert_eq!(
+        server.service().metrics().campaigns_cancelled.load(Ordering::Relaxed),
+        1,
+        "double-cancel must not double-count"
+    );
+}
+
+#[test]
+fn graceful_shutdown_drains_and_refuses() {
+    let server = start_server(ServiceConfig {
+        queue_depth: 4,
+        workers: 1,
+        campaign_threads: Some(1),
+        ..ServiceConfig::default()
+    });
+    let addr = server.addr();
+    let mut client = Client::new(addr, Duration::from_secs(10));
+
+    let response = client
+        .request("POST", "/v1/campaigns", Some(&spec_json("drain-me", 200_000)))
+        .expect("submit answers");
+    assert_eq!(response.status, 202);
+    let id = extract_id(&response.text());
+
+    // Ask for shutdown over the wire, as an operator would.
+    let shutdown = client.request("POST", "/v1/shutdown", None).expect("shutdown answers");
+    assert_eq!(shutdown.status, 202);
+    assert!(server.shutdown_requested(), "the handle owner sees the request");
+
+    // Graceful: the in-flight campaign still completes.
+    let service = std::sync::Arc::clone(server.service());
+    server.shutdown();
+    let status = service.status(id).expect("the record survives shutdown");
+    assert_eq!(
+        status.state,
+        powerbalance_server::service::JobState::Completed,
+        "graceful shutdown waits for in-flight campaigns"
+    );
+    assert!(service.is_draining());
+    // The listener is gone: new connections are refused.
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "the listener must be closed after shutdown"
+    );
+}
