@@ -5,7 +5,10 @@
 //! `max_temp` bias actually makes mitigation fire within the fuzzer's
 //! default cycle budget.
 
-use powerbalance::{FloorplanKind, MappingPolicy, SelectPolicy, SimConfig};
+use powerbalance::{
+    DutyLadder, DvfsParams, FloorplanKind, GateParams, GlobalPolicy, MappingPolicy, OppLadder,
+    SelectPolicy, SimConfig,
+};
 use powerbalance_workloads::{spec2000, Xoshiro256};
 
 /// The fuzz binary's default per-seed cycle budget; the coverage test
@@ -84,7 +87,46 @@ pub fn derive_case(seed: u64) -> (SimConfig, String, u64) {
 
     let bench = pick(&mut rng, &spec2000::ALL).to_string();
     let trace_seed = rng.next_u64() >> 32;
+
+    // Policy-layer draws sit after every pre-existing draw so old seeds
+    // keep deriving the exact case they always did (plus a policy).
+    cfg.mitigation.global = draw_global_policy(&mut rng, &cfg);
+
     (cfg, bench, trace_seed)
+}
+
+/// Draws a global thermal policy whose ladder trip tables are derived from
+/// the config's (possibly biased-low) `max_temp`, so short fuzz runs reach
+/// ladder decisions. Half the cases stay spatial/temporal-only; the rest
+/// split across DVFS, fetch gating, and clock throttling, sometimes with
+/// the ladder truncated to exercise the clamp-at-deepest-level path.
+fn draw_global_policy(rng: &mut Xoshiro256, cfg: &SimConfig) -> GlobalPolicy {
+    let th = &cfg.mitigation.thresholds;
+    let choice = rng.below(6);
+    let mut global = match choice {
+        0 => GlobalPolicy::Dvfs(DvfsParams::for_thresholds(th)),
+        1 => GlobalPolicy::FetchGate(GateParams::for_thresholds(th)),
+        2 => GlobalPolicy::ClockThrottle(GateParams::for_thresholds(th)),
+        _ => return GlobalPolicy::None,
+    };
+    // Occasionally shorten the ladder: a two-level ladder hits its deepest
+    // state almost immediately, which stresses hold-and-relax hysteresis.
+    if rng.chance(0.3) {
+        match &mut global {
+            GlobalPolicy::Dvfs(p) => {
+                let short: Vec<_> = p.ladder.levels().iter().copied().take(2).collect();
+                p.ladder = OppLadder::from_levels(&short)
+                    .expect("truncated ladder keeps its nominal level 0");
+            }
+            GlobalPolicy::FetchGate(p) | GlobalPolicy::ClockThrottle(p) => {
+                let short: Vec<_> = p.ladder.levels().iter().copied().take(2).collect();
+                p.ladder = DutyLadder::from_levels(&short)
+                    .expect("truncated ladder keeps its full-duty level 0");
+            }
+            GlobalPolicy::None => unreachable!(),
+        }
+    }
+    global
 }
 
 fn pick<'a, T>(rng: &mut Xoshiro256, options: &'a [T]) -> &'a T {
@@ -115,6 +157,84 @@ mod tests {
     /// config can toggle at all (toggling enabled + biased limit) are
     /// simulated, and the scan stops at the first hit, so the test stays
     /// fast while pinning the distribution property.
+    #[test]
+    fn generator_covers_every_global_policy_family() {
+        // The widened config space must actually reach all four policy
+        // families early, and every drawn ladder/trip table must validate
+        // (the fuzzer asserts this per seed; pin it for the first 200).
+        let mut seen = [false; 4];
+        for seed in 0..200 {
+            let (cfg, _, _) = derive_case(seed);
+            cfg.validate().unwrap_or_else(|e| panic!("seed {seed} derived an invalid config: {e}"));
+            let idx = match cfg.mitigation.global {
+                powerbalance::GlobalPolicy::None => 0,
+                powerbalance::GlobalPolicy::Dvfs(_) => 1,
+                powerbalance::GlobalPolicy::FetchGate(_) => 2,
+                powerbalance::GlobalPolicy::ClockThrottle(_) => 3,
+            };
+            seen[idx] = true;
+        }
+        assert_eq!(seen, [true; 4], "[none, dvfs, fetch-gate, clock-throttle] coverage");
+    }
+
+    #[test]
+    fn biased_max_temp_makes_early_ladders_step() {
+        // Counterpart of the toggling coverage test below for the policy
+        // layer: among the first 200 seeds, at least one biased-hot config
+        // with a global ladder must record a ladder movement within the
+        // fuzzer's default budget.
+        for seed in 0..200 {
+            let (cfg, bench, trace_seed) = derive_case(seed);
+            if cfg.mitigation.global == powerbalance::GlobalPolicy::None
+                || cfg.mitigation.thresholds.max_temp >= 350.0
+            {
+                continue;
+            }
+            let mut sim = Simulator::new(cfg).expect("derived configs are valid");
+            let profile = spec2000::by_name(&bench).expect("derived benches exist");
+            let result = sim.run(&mut profile.trace(trace_seed), DEFAULT_CYCLES);
+            if result.opp_transitions > 0 || result.duty_shifts > 0 {
+                return; // coverage confirmed
+            }
+        }
+        panic!(
+            "no early seed stepped a global ladder; the fuzzer is not reaching the policy layer"
+        );
+    }
+
+    #[test]
+    fn degenerate_policy_tables_are_rejected() {
+        use powerbalance::{
+            DutyLadder, GlobalPolicy, OppLadder, OppLevel, TripPoint, TripSeverity, TripTable,
+        };
+        use powerbalance_uarch::DutyCycle;
+
+        // Empty tables and ladders never validate.
+        assert!(TripTable::from_points(&[]).expect("fits").validate().is_err());
+        assert!(OppLadder::from_levels(&[]).expect("fits").validate().is_err());
+        assert!(DutyLadder::from_levels(&[]).expect("fits").validate().is_err());
+
+        // Inverted hysteresis (clear at or above trip) is rejected.
+        let inverted = TripPoint::new(TripSeverity::Passive, 350.0, 350.0);
+        assert!(TripTable::from_points(&[inverted]).expect("fits").validate().is_err());
+
+        // A single-trip table is fine as long as its hysteresis is sane —
+        // the generator's truncation path relies on this.
+        let single = TripPoint::new(TripSeverity::Critical, 358.0, 357.0);
+        assert!(TripTable::from_points(&[single]).expect("fits").validate().is_ok());
+
+        // A ladder whose level 0 is not nominal is rejected wholesale when
+        // wrapped in a policy, so a bad draw could never slip into a case.
+        let bad =
+            OppLadder::from_levels(&[OppLevel { duty: DutyCycle::new(3, 4), volt_scale: 0.9 }])
+                .expect("fits");
+        let policy = GlobalPolicy::Dvfs(powerbalance::DvfsParams {
+            ladder: bad,
+            ..powerbalance::DvfsParams::for_thresholds(&powerbalance::Thresholds::default())
+        });
+        assert!(policy.validate().is_err());
+    }
+
     #[test]
     fn biased_max_temp_makes_early_seeds_toggle() {
         let mut candidates = 0;

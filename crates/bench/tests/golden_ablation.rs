@@ -1,0 +1,95 @@
+//! Golden-artifact tests for the thermal-policy ablation output.
+//!
+//! One pinned `--json`-shaped campaign artifact per policy family, so a
+//! change in any policy's cycle-level behaviour — or in the artifact
+//! schema — surfaces as a reviewable diff on exactly the families it
+//! touches. Spatial families double as a bit-identity guard: their
+//! goldens were produced by the pre-policy-layer code path and must never
+//! need regeneration for a pure refactor.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p powerbalance-bench --test golden_ablation
+//! ```
+
+use powerbalance::experiments::{self, PolicyKind};
+use powerbalance::FloorplanKind;
+use powerbalance_harness::{run_campaign, CampaignSpec, RunnerOptions};
+use serde::json::Value;
+use std::path::PathBuf;
+
+fn golden_path(kind: PolicyKind) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join(format!("tests/golden/ablation-{}.json", kind.name()))
+}
+
+/// Rewrites every host-varying field to a fixed value, recursively (same
+/// normalization as the harness golden test).
+fn normalize(value: &mut Value) {
+    match value {
+        Value::Object(fields) => {
+            for (key, field) in fields.iter_mut() {
+                match key.as_str() {
+                    "wall_nanos" => *field = Value::U64(0),
+                    "sim_cycles_per_sec" => *field = Value::F64(0.0),
+                    "threads" => *field = Value::U64(1),
+                    _ => normalize(field),
+                }
+            }
+        }
+        Value::Array(items) => {
+            for item in items.iter_mut() {
+                normalize(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn ablation_json_matches_the_committed_golden_artifact_per_policy() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut drifted = Vec::new();
+    for kind in PolicyKind::ALL {
+        // The smoke sweep's shape at a test-sized budget: eon on the
+        // issue-constrained floorplan, limit pulled down so every policy
+        // reacts within the window.
+        let mut cfg = experiments::policy(kind, FloorplanKind::IssueConstrained);
+        cfg.mitigation = cfg.mitigation.with_max_temp(340.0);
+        let spec = CampaignSpec::new(format!("golden-ablation-{}", kind.name()))
+            .config(kind.name(), cfg)
+            .benchmark("eon")
+            .cycles(60_000)
+            .seed(5);
+        let result = run_campaign(&spec, &RunnerOptions { threads: Some(1), ..Default::default() })
+            .expect("campaign runs");
+
+        let mut value = Value::parse(&result.to_json()).expect("artifact parses");
+        normalize(&mut value);
+        let mut rendered = String::new();
+        value.write_pretty(&mut rendered, 0);
+        rendered.push('\n');
+
+        let path = golden_path(kind);
+        if update {
+            std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+            std::fs::write(&path, &rendered).expect("write golden");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                path.display()
+            )
+        });
+        if rendered != golden {
+            drifted.push(kind.name());
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "ablation artifacts drifted for policies {drifted:?}; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}

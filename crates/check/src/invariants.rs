@@ -18,7 +18,7 @@
 //! and dispatch order must match fetch order.
 
 use crate::{Sink, ViolationKind};
-use powerbalance_uarch::{Core, CoreStats, EntryState, IssueQueue, UnitKind};
+use powerbalance_uarch::{Core, CoreStats, DutyCycle, EntryState, IssueQueue, UnitKind};
 
 const MAX_INT_UNITS: usize = 6;
 const MAX_FP_UNITS: usize = 4;
@@ -28,6 +28,11 @@ const MAX_RF_COPIES: usize = 2;
 #[derive(Debug, Clone, Copy)]
 struct Boundary {
     frozen: bool,
+    /// Cycle counter at the boundary; the cycle about to run evaluates its
+    /// duty-cycle gates at `now + 1` (the core bumps `now` first).
+    now: u64,
+    fetch_duty: DutyCycle,
+    clock_duty: DutyCycle,
     stats: CoreStats,
     /// Integer ALU may be granted work: enabled *and* its register-file
     /// copy wiring allows reads.
@@ -206,6 +211,9 @@ impl CoreWatch {
     pub(crate) fn before_cycle(&mut self, core: &Core) {
         let mut b = Boundary {
             frozen: core.is_frozen(),
+            now: core.now(),
+            fetch_duty: core.fetch_duty(),
+            clock_duty: core.clock_duty(),
             stats: *core.stats(),
             int_usable: [false; MAX_INT_UNITS],
             fp_enabled: [false; MAX_FP_UNITS],
@@ -345,6 +353,62 @@ impl CoreWatch {
                     format!(
                         "frozen cycle not accounted: frozen_cycles went {} -> {}",
                         prev.stats.frozen_cycles, cur.frozen_cycles
+                    ),
+                );
+            }
+        }
+
+        // Duty-cycle gates evaluate at `now + 1` because the core bumps its
+        // cycle counter before any stage runs.
+        let throttle_gated = !prev.frozen && prev.clock_duty.gates(prev.now + 1);
+        if throttle_gated {
+            // A clock-gated grid cycle quiesces everything, like a
+            // one-cycle freeze, and must be accounted as throttled.
+            let progress = [
+                ("fetched", cur.fetched - prev.stats.fetched),
+                ("dispatched", dispatched),
+                ("issued", issued),
+                ("committed", cur.committed - prev.stats.committed),
+            ];
+            for (what, delta) in progress {
+                if delta != 0 {
+                    sink.report(
+                        ViolationKind::Duty,
+                        cycle,
+                        format!("clock-gated core {what} {delta} ops this cycle"),
+                    );
+                }
+            }
+            if cur.throttled_cycles != prev.stats.throttled_cycles + 1 {
+                sink.report(
+                    ViolationKind::Duty,
+                    cycle,
+                    format!(
+                        "throttled cycle not accounted: throttled_cycles went {} -> {}",
+                        prev.stats.throttled_cycles, cur.throttled_cycles
+                    ),
+                );
+            }
+        }
+
+        // Fetch gating only idles the front end: on a gated cycle nothing
+        // may be fetched, and the gate must be accounted exactly once.
+        if !prev.frozen && !throttle_gated && prev.fetch_duty.gates(prev.now + 1) {
+            let fetched = cur.fetched - prev.stats.fetched;
+            if fetched != 0 {
+                sink.report(
+                    ViolationKind::Duty,
+                    cycle,
+                    format!("fetch-gated core fetched {fetched} ops this cycle"),
+                );
+            }
+            if cur.fetch_gated_cycles != prev.stats.fetch_gated_cycles + 1 {
+                sink.report(
+                    ViolationKind::Duty,
+                    cycle,
+                    format!(
+                        "fetch-gated cycle not accounted: fetch_gated_cycles went {} -> {}",
+                        prev.stats.fetch_gated_cycles, cur.fetch_gated_cycles
                     ),
                 );
             }
@@ -497,6 +561,47 @@ mod tests {
             watch.after_cycle(&core, &mut sink);
         }
         assert_eq!(sink.total, 0, "violations: {:?}", sink.violations);
+    }
+
+    #[test]
+    fn duty_gated_core_runs_clean() {
+        // Fetch gating and clock throttling active at once: the watch must
+        // accept the core's own accounting on every gated cycle.
+        let mut core = Core::new(CoreConfig::default()).expect("valid config");
+        core.set_fetch_duty(DutyCycle::new(1, 4));
+        core.set_clock_duty(DutyCycle::new(3, 4));
+        let mut watch = CoreWatch::new(&core);
+        let mut sink = Sink::default();
+        let mut trace = mixed_trace(400);
+        for _ in 0..100_000 {
+            if core.is_done() {
+                break;
+            }
+            watch.before_cycle(&core);
+            core.cycle(&mut trace);
+            watch.after_cycle(&core, &mut sink);
+        }
+        assert!(core.is_done(), "duty-gated trace should drain in 100k cycles");
+        assert!(core.stats().throttled_cycles > 0, "throttle never engaged");
+        assert!(core.stats().fetch_gated_cycles > 0, "fetch gate never engaged");
+        assert_eq!(sink.total, 0, "violations: {:?}", sink.violations);
+    }
+
+    #[test]
+    fn unhonored_duty_gate_is_flagged() {
+        // Claim the clock was gated at the boundary while the core actually
+        // ran free: the missing throttled-cycle accounting must be flagged.
+        let mut core = Core::new(CoreConfig::default()).expect("valid config");
+        let mut watch = CoreWatch::new(&core);
+        let mut sink = Sink::default();
+        let mut trace = mixed_trace(100);
+        watch.before_cycle(&core);
+        if let Some(b) = &mut watch.prev {
+            b.clock_duty = DutyCycle::new(0, 4);
+        }
+        core.cycle(&mut trace);
+        watch.after_cycle(&core, &mut sink);
+        assert!(sink.total > 0, "unhonored clock gate must be flagged");
     }
 
     #[test]

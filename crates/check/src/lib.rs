@@ -54,6 +54,8 @@ pub enum ViolationKind {
     Select,
     /// A frozen core made forward progress.
     Frozen,
+    /// A duty-cycle gate (fetch gating or clock throttling) was not honored.
+    Duty,
     /// The mitigation manager diverged from its differential mirror.
     Mitigation,
     /// Thermal bounds or RC-network residual checks failed.

@@ -1,24 +1,31 @@
 //! Differential mirror of the mitigation manager.
 //!
-//! [`MitigationWatch`] re-implements the [`ThermalManager`]'s decision
-//! rules (toggling hysteresis, turnoff/re-enable thresholds with the
-//! register-file guard band, the temporal-freeze backstop) independently
-//! from the same inputs, and compares *every* externally visible effect of
-//! `on_sample` — issue-queue modes, unit and copy enables, write gating,
-//! the freeze flag and deadline, and the event counters — against its own
-//! prediction. Because the manager is deterministic, the comparison is
-//! bidirectional: a missed transition and a spurious transition are both
-//! divergences. This is what pins the paper's 0.5 K toggle hysteresis and
-//! the turnoff re-enable margins: any drift in either implementation
-//! breaks the agreement.
+//! [`MitigationWatch`] re-implements every [`ThermalManager`] policy's
+//! decision rules (toggling hysteresis, turnoff/re-enable thresholds with
+//! the register-file guard band, the temporal-freeze backstop, and the
+//! global ladders: DVFS operating points with transition stalls, fetch
+//! gating, clock throttling) independently from the same inputs, and
+//! compares *every* externally visible effect of `on_sample` —
+//! issue-queue modes, unit and copy enables, write gating, the freeze
+//! flag and deadline, ladder positions, fetch/clock duties, and the event
+//! counters — against its own prediction. Because the manager is
+//! deterministic, the comparison is bidirectional: a missed transition and
+//! a spurious transition are both divergences. This is what pins the
+//! paper's 0.5 K toggle hysteresis, the turnoff re-enable margins, and
+//! the per-policy trip/clear hysteresis: any drift in either
+//! implementation breaks the agreement. The mirror deliberately does not
+//! call the policy helpers (`TripTable::tripped` and friends) — it walks
+//! the trip points with its own loops so a bug in those helpers cannot
+//! hide in both implementations.
 
 use crate::{Sink, ViolationKind};
 use powerbalance_isa::ExecDomain;
 use powerbalance_mitigation::{
-    ManagerState, MitigationConfig, MitigationStats, Sensors, ThermalManager, RF_GUARD,
+    DvfsParams, GateParams, GlobalPolicy, ManagerState, MitigationConfig, MitigationStats,
+    PolicyState, Sensors, ThermalManager, TripSeverity, TripTable, RF_GUARD,
 };
 use powerbalance_thermal::Floorplan;
-use powerbalance_uarch::{Core, IqActivity, IqMode, UnitKind};
+use powerbalance_uarch::{Core, DutyCycle, IqActivity, IqMode, UnitKind};
 
 const N_INT: usize = 6;
 const N_FP: usize = 4;
@@ -39,6 +46,9 @@ struct SampleState {
     unit_enabled: [bool; N_UNITS],
     copy_enabled: [bool; N_COPIES],
     writes_enabled: [bool; N_COPIES],
+    policy: PolicyState,
+    fetch_duty: DutyCycle,
+    clock_duty: DutyCycle,
 }
 
 /// The mitigation-layer differential checker.
@@ -55,7 +65,7 @@ impl MitigationWatch {
     }
 
     fn capture(&self, core: &Core, manager: &ThermalManager) -> SampleState {
-        let ManagerState { stats, frozen_until } = manager.snapshot();
+        let ManagerState { stats, frozen_until, policy } = manager.snapshot();
         let mut s = SampleState {
             frozen: core.is_frozen(),
             frozen_until,
@@ -65,6 +75,9 @@ impl MitigationWatch {
             unit_enabled: [true; N_UNITS],
             copy_enabled: [true; N_COPIES],
             writes_enabled: [true; N_COPIES],
+            policy,
+            fetch_duty: core.fetch_duty(),
+            clock_duty: core.clock_duty(),
         };
         // Unit/copy state is only queried for configs that can change it:
         // those configs force the full 6/4/2 geometry the sensors assume,
@@ -105,8 +118,25 @@ impl MitigationWatch {
         self.compare(&predicted, &observed, now, sink);
     }
 
-    /// Replays the manager's five decision steps on the pre-sample state.
+    /// Replays the active policy's decision steps on the pre-sample state.
     fn predict(
+        &self,
+        pre: SampleState,
+        temps: &[f64],
+        now: u64,
+        int_iq: &IqActivity,
+        fp_iq: &IqActivity,
+    ) -> SampleState {
+        let spatial = self.cfg.activity_toggling || self.cfg.alu_turnoff || self.cfg.rf_turnoff;
+        match (&self.cfg.global, spatial) {
+            (GlobalPolicy::None, _) => self.predict_spatial(pre, temps, now, int_iq, fp_iq),
+            (_, false) => self.predict_global(pre, temps, now),
+            (_, true) => self.predict_combined(pre, temps, now, int_iq, fp_iq),
+        }
+    }
+
+    /// The original five-step spatial control loop.
+    fn predict_spatial(
         &self,
         pre: SampleState,
         temps: &[f64],
@@ -126,6 +156,28 @@ impl MitigationWatch {
             p.frozen_until = None;
             p.frozen = false;
         }
+
+        // 2–4. The spatial techniques.
+        self.predict_techniques(&mut p, temps, int_iq, fp_iq);
+
+        // 5. Temporal backstop, evaluated on the post-turnoff state.
+        if self.needs_freeze(&p, temps) {
+            p.frozen = true;
+            p.frozen_until = Some(now + th.cooling_cycles);
+            p.stats.freezes += 1;
+        }
+        p
+    }
+
+    /// Steps 2–4: toggling, unit turnoff, register-file copy turnoff.
+    fn predict_techniques(
+        &self,
+        p: &mut SampleState,
+        temps: &[f64],
+        int_iq: &IqActivity,
+        fp_iq: &IqActivity,
+    ) {
+        let th = self.cfg.thresholds;
 
         // 2. Activity toggling with the 0.5 K hysteresis threshold.
         if self.cfg.activity_toggling {
@@ -194,14 +246,148 @@ impl MitigationWatch {
                 }
             }
         }
+    }
 
-        // 5. Temporal backstop, evaluated on the post-turnoff state.
-        if self.needs_freeze(&p, temps) {
-            p.frozen = true;
-            p.frozen_until = Some(now + th.cooling_cycles);
-            p.stats.freezes += 1;
+    /// The global ladder baselines: freeze/stall handling, critical-trip
+    /// freeze, then one ladder step on the hottest sensor reading.
+    fn predict_global(&self, pre: SampleState, temps: &[f64], now: u64) -> SampleState {
+        let mut p = pre;
+        if self.handle_frozen_or_stalled(&mut p, now) {
+            return p;
         }
+        let hottest = self.hottest(temps);
+        if self.critical_tripped(hottest) {
+            p.frozen = true;
+            p.frozen_until = Some(now + self.cfg.thresholds.cooling_cycles);
+            p.stats.freezes += 1;
+            return p;
+        }
+        self.predict_ladder_step(&mut p, hottest, now);
         p
+    }
+
+    /// Spatial techniques plus a global ladder with one shared backstop.
+    fn predict_combined(
+        &self,
+        pre: SampleState,
+        temps: &[f64],
+        now: u64,
+        int_iq: &IqActivity,
+        fp_iq: &IqActivity,
+    ) -> SampleState {
+        let mut p = pre;
+        if self.handle_frozen_or_stalled(&mut p, now) {
+            self.reenable_cooled(&mut p, temps);
+            return p;
+        }
+        self.predict_techniques(&mut p, temps, int_iq, fp_iq);
+        let hottest = self.hottest(temps);
+        if self.needs_freeze(&p, temps) || self.critical_tripped(hottest) {
+            p.frozen = true;
+            p.frozen_until = Some(now + self.cfg.thresholds.cooling_cycles);
+            p.stats.freezes += 1;
+            return p;
+        }
+        self.predict_ladder_step(&mut p, hottest, now);
+        p
+    }
+
+    /// Returns `true` while a freeze or transition stall is still in
+    /// effect; clears both when the later deadline has passed.
+    fn handle_frozen_or_stalled(&self, p: &mut SampleState, now: u64) -> bool {
+        let until = match (p.frozen_until, p.policy.stall_until) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        if let Some(u) = until {
+            if now < u {
+                return true;
+            }
+            p.frozen = false;
+            p.frozen_until = None;
+            p.policy.stall_until = None;
+        }
+        false
+    }
+
+    /// Hottest reading across the monitored blocks (the mirror's own walk,
+    /// not the zones iterator).
+    fn hottest(&self, temps: &[f64]) -> f64 {
+        let s = &self.sensors;
+        s.int_q
+            .iter()
+            .chain(s.fp_q.iter())
+            .chain(s.int_alus.iter())
+            .chain(s.fp_adders.iter())
+            .chain(std::iter::once(&s.fp_mul))
+            .chain(s.int_reg.iter())
+            .map(|&b| temps[b])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    fn global_trips(&self) -> Option<&TripTable> {
+        match &self.cfg.global {
+            GlobalPolicy::None => None,
+            GlobalPolicy::Dvfs(DvfsParams { trips, .. })
+            | GlobalPolicy::FetchGate(GateParams { trips, .. })
+            | GlobalPolicy::ClockThrottle(GateParams { trips, .. }) => Some(trips),
+        }
+    }
+
+    fn critical_tripped(&self, hottest: f64) -> bool {
+        self.global_trips().is_some_and(|trips| {
+            trips
+                .points()
+                .iter()
+                .any(|pt| pt.severity == TripSeverity::Critical && hottest >= pt.temp)
+        })
+    }
+
+    /// One ladder step, mirroring the policy's trip/clear hysteresis:
+    /// any tripped point steps down, every non-critical point cleared
+    /// steps back up.
+    fn predict_ladder_step(&self, p: &mut SampleState, hottest: f64, now: u64) {
+        let Some(trips) = self.global_trips() else { return };
+        let tripped = trips.points().iter().any(|pt| hottest >= pt.temp);
+        let all_clear = trips
+            .points()
+            .iter()
+            .filter(|pt| pt.severity != TripSeverity::Critical)
+            .all(|pt| hottest <= pt.clear_temp);
+        match &self.cfg.global {
+            GlobalPolicy::None => {}
+            GlobalPolicy::Dvfs(dp) => {
+                let level = if tripped && p.policy.opp_level + 1 < dp.ladder.len() {
+                    p.policy.opp_level + 1
+                } else if !tripped && all_clear && p.policy.opp_level > 0 {
+                    p.policy.opp_level - 1
+                } else {
+                    return;
+                };
+                p.policy.opp_level = level;
+                p.clock_duty = dp.ladder.level(level).duty;
+                p.stats.opp_transitions += 1;
+                p.policy.stall_until = Some(now + dp.transition_cycles);
+                p.frozen = true;
+            }
+            GlobalPolicy::FetchGate(gp) | GlobalPolicy::ClockThrottle(gp) => {
+                let level = if tripped && p.policy.gate_level + 1 < gp.ladder.len() {
+                    p.policy.gate_level + 1
+                } else if !tripped && all_clear && p.policy.gate_level > 0 {
+                    p.policy.gate_level - 1
+                } else {
+                    return;
+                };
+                p.policy.gate_level = level;
+                let duty = gp.ladder.level(level);
+                if matches!(self.cfg.global, GlobalPolicy::FetchGate(_)) {
+                    p.fetch_duty = duty;
+                } else {
+                    p.clock_duty = duty;
+                }
+                p.stats.duty_shifts += 1;
+            }
+        }
     }
 
     fn reenable_cooled(&self, p: &mut SampleState, temps: &[f64]) {
@@ -333,6 +519,33 @@ impl MitigationWatch {
                 ),
             );
         }
+        if observed.policy != predicted.policy {
+            sink.report(
+                ViolationKind::Mitigation,
+                now,
+                format!(
+                    "ladder state diverged from the trip/clear hysteresis: observed {:?}, \
+                     predicted {:?}",
+                    observed.policy, predicted.policy
+                ),
+            );
+        }
+        if observed.fetch_duty != predicted.fetch_duty
+            || observed.clock_duty != predicted.clock_duty
+        {
+            sink.report(
+                ViolationKind::Mitigation,
+                now,
+                format!(
+                    "applied duty diverged: fetch {:?} / clock {:?}, predicted fetch {:?} / \
+                     clock {:?}",
+                    observed.fetch_duty,
+                    observed.clock_duty,
+                    predicted.fetch_duty,
+                    predicted.clock_duty
+                ),
+            );
+        }
         if observed.stats != predicted.stats {
             sink.report(
                 ViolationKind::Mitigation,
@@ -457,6 +670,112 @@ mod tests {
         core.set_unit_enabled(UnitKind::IntAlu, 2, false);
         watch.after_sample(&core, &manager, &temps, 0, &act, &act, &mut sink);
         assert!(sink.total > 0, "spurious turnoff must be flagged");
+    }
+
+    #[test]
+    fn mirror_agrees_for_dvfs_ladder() {
+        let (mut watch, mut manager, mut core, mut temps, plan) = setup(MitigationConfig::dvfs());
+        let mut sink = Sink::default();
+        let a0 = plan.index_of("IntExec0").expect("block");
+
+        // Passive trip: step down one OPP and stall for the transition.
+        temps[a0] = 356.5;
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 0, &mut sink);
+        assert_eq!(manager.policy_state().opp_level, 1);
+        assert!(core.is_frozen(), "transition stalls the core");
+        assert_eq!(manager.stats().opp_transitions, 1);
+        assert_eq!(manager.stats().freezes, 0, "a transition stall is not a thermal freeze");
+        assert!((manager.dynamic_power_scale() - 0.95 * 0.95).abs() < 1e-12);
+
+        // Mid-transition: nothing moves.
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 10_000, &mut sink);
+        assert_eq!(manager.policy_state().opp_level, 1);
+
+        // Transition over, still tripped: step down again.
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 50_000, &mut sink);
+        assert_eq!(manager.policy_state().opp_level, 2);
+
+        // Cooled below every clear temperature: step back up (after the
+        // second transition completes).
+        temps[a0] = 340.0;
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 120_000, &mut sink);
+        assert_eq!(manager.policy_state().opp_level, 1);
+
+        // Critical trip freezes instead of stepping.
+        temps[a0] = 358.5;
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 250_000, &mut sink);
+        assert_eq!(manager.stats().freezes, 1);
+        assert!(core.is_frozen());
+        assert_eq!(sink.total, 0, "mirror diverged: {:?}", sink.violations);
+    }
+
+    #[test]
+    fn mirror_agrees_for_fetch_gating_and_clock_throttling() {
+        for cfg in [MitigationConfig::fetch_gating(), MitigationConfig::clock_throttle()] {
+            let (mut watch, mut manager, mut core, mut temps, plan) = setup(cfg);
+            let mut sink = Sink::default();
+            let q1 = plan.index_of("IntQ1").expect("block");
+
+            temps[q1] = 356.2;
+            checked_sample(&mut watch, &mut manager, &mut core, &temps, 0, &mut sink);
+            assert_eq!(manager.policy_state().gate_level, 1);
+            assert!(!core.is_frozen(), "duty changes are instantaneous");
+            checked_sample(&mut watch, &mut manager, &mut core, &temps, 10_000, &mut sink);
+            assert_eq!(manager.policy_state().gate_level, 2);
+
+            // Hysteresis band: hold.
+            temps[q1] = 355.5;
+            checked_sample(&mut watch, &mut manager, &mut core, &temps, 20_000, &mut sink);
+            assert_eq!(manager.policy_state().gate_level, 2);
+
+            // Cleared: relax one level per sample.
+            temps[q1] = 340.0;
+            checked_sample(&mut watch, &mut manager, &mut core, &temps, 30_000, &mut sink);
+            assert_eq!(manager.policy_state().gate_level, 1);
+            checked_sample(&mut watch, &mut manager, &mut core, &temps, 40_000, &mut sink);
+            assert_eq!(manager.policy_state().gate_level, 0);
+            assert_eq!(manager.stats().duty_shifts, 4);
+            assert_eq!(sink.total, 0, "mirror diverged: {:?}", sink.violations);
+        }
+    }
+
+    #[test]
+    fn mirror_agrees_for_combined_policy() {
+        let (mut watch, mut manager, mut core, mut temps, plan) =
+            setup(MitigationConfig::combined());
+        let mut sink = Sink::default();
+        let r0 = plan.index_of("IntReg0").expect("block");
+
+        // A register copy inside the guard band (but below critical): the
+        // spatial layer shuts it off; the ladder also sees the passive
+        // trip and steps down one OPP.
+        temps[r0] = 357.9;
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 0, &mut sink);
+        assert!(!core.rf_copy_enabled(0));
+        assert_eq!(manager.stats().rf_turnoffs, 1);
+        assert_eq!(manager.policy_state().opp_level, 1);
+        assert!(core.is_frozen(), "OPP transition stalls the core");
+
+        // Cool everything: the copy re-enables and the ladder relaxes.
+        temps[r0] = 340.0;
+        checked_sample(&mut watch, &mut manager, &mut core, &temps, 100_000, &mut sink);
+        assert!(core.rf_copy_enabled(0));
+        assert_eq!(manager.policy_state().opp_level, 0);
+        assert_eq!(sink.total, 0, "mirror diverged: {:?}", sink.violations);
+    }
+
+    #[test]
+    fn tampered_duty_is_flagged() {
+        let (mut watch, mut manager, mut core, temps, _) = setup(MitigationConfig::fetch_gating());
+        let mut sink = Sink::default();
+        let act = active_tail();
+        watch.before_sample(&core, &manager);
+        manager.on_sample(&mut core, &temps, 0, &act, &act);
+        // A cool chip justifies no gating; tighten the duty behind the
+        // manager's back — the mirror must notice.
+        core.set_fetch_duty(DutyCycle::new(1, 4));
+        watch.after_sample(&core, &manager, &temps, 0, &act, &act, &mut sink);
+        assert!(sink.total > 0, "spurious fetch gating must be flagged");
     }
 
     #[test]

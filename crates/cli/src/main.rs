@@ -5,6 +5,7 @@
 //! powerbalance run --bench perlbmk --floorplan alu --turnoff --cycles 2000000
 //! powerbalance run --bench eon --floorplan regfile --mapping priority --turnoff
 //! powerbalance run --bench eon --bench gzip --floorplan issue --json out.json
+//! powerbalance run --bench eon --floorplan issue --policy dvfs
 //! powerbalance serve --addr 127.0.0.1:8484 --queue-depth 16
 //! powerbalance list
 //! ```
@@ -16,7 +17,8 @@
 //! wall-time/throughput metrics are the same ones the bench binaries emit.
 
 use powerbalance::{
-    experiments::AluPolicy, FloorplanKind, MappingPolicy, MitigationConfig, SimConfig,
+    experiments::{self, AluPolicy, PolicyKind},
+    FloorplanKind, MappingPolicy, MitigationConfig, SimConfig,
 };
 use powerbalance_harness::{run_campaign, CampaignSpec, JobResult, RunnerOptions};
 use powerbalance_server::ServerConfig;
@@ -41,6 +43,10 @@ USAGE:
       --turnoff             enable fine-grain turnoff (ALUs + RF copies)
       --round-robin         ideal round-robin ALU scheduling
       --mapping <m>         balanced | priority | complete    [balanced]
+      --policy <p>          mitigation-policy preset: none | spatial |
+                            dvfs | fetch-gate | clock-throttle | combined;
+                            owns the whole mitigation layer, so it rejects
+                            --toggling/--turnoff/--round-robin/--mapping
       --max-temp <K>        thermal limit in kelvin           [358]
       --threads <n>         worker-pool size for multi-benchmark runs
                             [POWERBALANCE_THREADS or all cores]
@@ -69,6 +75,7 @@ EXAMPLES:
   powerbalance run --bench eon --floorplan issue --toggling
   powerbalance run --bench perlbmk --floorplan alu --turnoff
   powerbalance run --bench eon --bench gzip --floorplan issue --json out.json
+  powerbalance run --bench eon --floorplan issue --policy dvfs
   powerbalance serve --addr 127.0.0.1:0 --queue-depth 8 --workers 1
 ";
 
@@ -128,8 +135,9 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut toggling = false;
     let mut turnoff = false;
     let mut round_robin = false;
-    let mut mapping = MappingPolicy::Balanced;
-    let mut max_temp = 358.0f64;
+    let mut mapping: Option<MappingPolicy> = None;
+    let mut policy: Option<PolicyKind> = None;
+    let mut max_temp: Option<f64> = None;
     let mut threads = None;
     let mut json = None;
     let mut warmup = 0u64;
@@ -160,15 +168,17 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
             "--turnoff" => turnoff = true,
             "--round-robin" => round_robin = true,
             "--mapping" => {
-                mapping = match value("--mapping")?.as_str() {
+                mapping = Some(match value("--mapping")?.as_str() {
                     "balanced" => MappingPolicy::Balanced,
                     "priority" => MappingPolicy::Priority,
                     "complete" => MappingPolicy::CompletelyBalanced,
                     other => return Err(format!("unknown mapping '{other}'")),
-                }
+                })
             }
+            "--policy" => policy = Some(PolicyKind::from_name(&value("--policy")?)?),
             "--max-temp" => {
-                max_temp = value("--max-temp")?.parse().map_err(|e| format!("--max-temp: {e}"))?
+                max_temp =
+                    Some(value("--max-temp")?.parse().map_err(|e| format!("--max-temp: {e}"))?)
             }
             "--threads" => {
                 threads = Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?)
@@ -193,25 +203,46 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         }
     }
 
-    let mut config = SimConfig {
-        floorplan,
-        mitigation: MitigationConfig {
-            activity_toggling: toggling,
-            alu_turnoff: turnoff,
-            rf_turnoff: turnoff,
-            ..MitigationConfig::baseline()
-        },
-        ..SimConfig::default()
+    let config = if let Some(kind) = policy {
+        // A policy preset is the whole mitigation layer; mixing it with the
+        // per-technique flags would silently clobber one or the other.
+        if toggling || turnoff || round_robin || mapping.is_some() {
+            return Err(
+                "--policy owns the mitigation layer; drop --toggling/--turnoff/--round-robin/--mapping"
+                    .to_string(),
+            );
+        }
+        let mut config = experiments::policy(kind, floorplan);
+        if let Some(t) = max_temp {
+            // Rebuilds the trip tables and ladder trips around the new
+            // limit, not just the freeze threshold.
+            config.mitigation = config.mitigation.with_max_temp(t);
+        }
+        config
+    } else {
+        let mut config = SimConfig {
+            floorplan,
+            mitigation: MitigationConfig {
+                activity_toggling: toggling,
+                alu_turnoff: turnoff,
+                rf_turnoff: turnoff,
+                ..MitigationConfig::baseline()
+            },
+            ..SimConfig::default()
+        };
+        if let Some(t) = max_temp {
+            config.mitigation.thresholds.max_temp = t;
+        }
+        config.core.mapping = mapping.unwrap_or(MappingPolicy::Balanced);
+        if round_robin {
+            // The ideal scheduler implies fine-grain turnoff availability, as
+            // in the paper's Figure 7 configuration.
+            config.core.select_policy = powerbalance::SelectPolicy::RoundRobin;
+            config.mitigation.alu_turnoff = true;
+            let _ = AluPolicy::RoundRobin; // documented linkage to the preset
+        }
+        config
     };
-    config.mitigation.thresholds.max_temp = max_temp;
-    config.core.mapping = mapping;
-    if round_robin {
-        // The ideal scheduler implies fine-grain turnoff availability, as in
-        // the paper's Figure 7 configuration.
-        config.core.select_policy = powerbalance::SelectPolicy::RoundRobin;
-        config.mitigation.alu_turnoff = true;
-        let _ = AluPolicy::RoundRobin; // documented linkage to the preset
-    }
     config.validate()?;
 
     // A short config label for reports and JSON artifacts, e.g.
@@ -223,6 +254,10 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         FloorplanKind::RegfileConstrained => "regfile",
     }
     .to_string();
+    if let Some(kind) = policy {
+        label.push('+');
+        label.push_str(kind.name());
+    }
     if toggling {
         label.push_str("+toggling");
     }
@@ -297,6 +332,28 @@ fn report(job: &JobResult) {
     println!("toggles:          {}", result.toggles);
     println!("unit turnoffs:    {}", result.alu_turnoffs);
     println!("rf-copy turnoffs: {}", result.rf_turnoffs);
+    // Global-policy counters only appear when a policy used them, so
+    // spatial-only reports keep their familiar shape.
+    if result.opp_transitions > 0 {
+        println!("OPP transitions:  {}", result.opp_transitions);
+    }
+    if result.duty_shifts > 0 {
+        println!("duty shifts:      {}", result.duty_shifts);
+    }
+    if result.throttled_cycles > 0 {
+        println!(
+            "throttled:        {} cycles ({:.1}% of run)",
+            result.throttled_cycles,
+            result.throttled_cycles as f64 / result.cycles as f64 * 100.0
+        );
+    }
+    if result.fetch_gated_cycles > 0 {
+        println!(
+            "fetch-gated:      {} cycles ({:.1}% of run)",
+            result.fetch_gated_cycles,
+            result.fetch_gated_cycles as f64 / result.cycles as f64 * 100.0
+        );
+    }
     println!("mispredict rate:  {:.2}%", result.mispredict_rate * 100.0);
     println!("L1D miss rate:    {:.2}%", result.l1d_miss_rate * 100.0);
     println!(
@@ -486,6 +543,48 @@ mod tests {
         assert!(parse_serve(&strs(&["--queue-depth", "0"])).is_err());
         assert!(parse_serve(&strs(&["--workers", "0"])).is_err());
         assert!(parse_serve(&strs(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn policy_presets_parse_and_exclude_technique_flags() {
+        for kind in PolicyKind::ALL {
+            let a = parse_run(&strs(&[
+                "--bench",
+                "eon",
+                "--floorplan",
+                "alu",
+                "--policy",
+                kind.name(),
+            ]))
+            .expect("valid");
+            assert_eq!(a.config, experiments::policy(kind, FloorplanKind::AluConstrained));
+            assert_eq!(a.label, format!("alu+{}", kind.name()));
+        }
+
+        // --max-temp re-anchors the preset's trip tables, not just the
+        // freeze threshold.
+        let a = parse_run(&strs(&["--bench", "eon", "--policy", "dvfs", "--max-temp", "340"]))
+            .expect("valid");
+        assert!((a.config.mitigation.thresholds.max_temp - 340.0).abs() < 1e-9);
+        let expected = experiments::policy(PolicyKind::Dvfs, FloorplanKind::Baseline);
+        assert_eq!(a.config.mitigation, expected.mitigation.with_max_temp(340.0));
+
+        assert!(parse_run(&strs(&["--bench", "eon", "--policy", "thermal-fairy"])).is_err());
+        for conflict in ["--toggling", "--turnoff", "--round-robin"] {
+            assert!(
+                parse_run(&strs(&["--bench", "eon", "--policy", "spatial", conflict])).is_err(),
+                "{conflict} must not combine with --policy"
+            );
+        }
+        assert!(parse_run(&strs(&[
+            "--bench",
+            "eon",
+            "--policy",
+            "spatial",
+            "--mapping",
+            "priority"
+        ]))
+        .is_err());
     }
 
     #[test]

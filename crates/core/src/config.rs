@@ -75,7 +75,7 @@ impl SimConfig {
         self.core.validate()?;
         self.package.validate()?;
         self.energy.validate()?;
-        self.mitigation.thresholds.validate()?;
+        self.mitigation.validate()?;
         if self.frequency_hz <= 0.0 || self.frequency_hz.is_nan() {
             return Err("frequency_hz must be positive".into());
         }

@@ -88,6 +88,81 @@ pub fn regfile(mapping: MappingPolicy, turnoff: bool) -> SimConfig {
     cfg
 }
 
+/// One column of the spatial-vs-global ablation (paper §5, Figure 9):
+/// which thermal policy handles an overheating resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// No mitigation beyond the temporal freeze backstop.
+    None,
+    /// All three spatial techniques (toggling, ALU turnoff, RF turnoff).
+    Spatial,
+    /// Global dynamic voltage/frequency scaling over the OPP ladder.
+    Dvfs,
+    /// Global fetch gating (front-end duty-cycle throttle).
+    FetchGate,
+    /// Global clock throttling (whole-core duty-cycle gating).
+    ClockThrottle,
+    /// Spatial techniques with the DVFS ladder layered on top.
+    Combined,
+}
+
+impl PolicyKind {
+    /// Every policy, in the order ablation tables print them.
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::None,
+        PolicyKind::Spatial,
+        PolicyKind::Dvfs,
+        PolicyKind::FetchGate,
+        PolicyKind::ClockThrottle,
+        PolicyKind::Combined,
+    ];
+
+    /// Stable CLI/JSON name for the policy.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::None => "none",
+            PolicyKind::Spatial => "spatial",
+            PolicyKind::Dvfs => "dvfs",
+            PolicyKind::FetchGate => "fetch-gate",
+            PolicyKind::ClockThrottle => "clock-throttle",
+            PolicyKind::Combined => "combined",
+        }
+    }
+
+    /// Parses the name produced by [`name`](PolicyKind::name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted names.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        PolicyKind::ALL.into_iter().find(|p| p.name() == name).ok_or_else(|| {
+            let names: Vec<&str> = PolicyKind::ALL.iter().map(|p| p.name()).collect();
+            format!("unknown policy '{name}' (expected one of: {})", names.join(", "))
+        })
+    }
+
+    /// The mitigation configuration this policy column runs with.
+    #[must_use]
+    pub fn mitigation(self) -> MitigationConfig {
+        match self {
+            PolicyKind::None => MitigationConfig::baseline(),
+            PolicyKind::Spatial => MitigationConfig::spatial_all(),
+            PolicyKind::Dvfs => MitigationConfig::dvfs(),
+            PolicyKind::FetchGate => MitigationConfig::fetch_gating(),
+            PolicyKind::ClockThrottle => MitigationConfig::clock_throttle(),
+            PolicyKind::Combined => MitigationConfig::combined(),
+        }
+    }
+}
+
+/// Policy-ablation experiment (paper §5, Figure 9): one thermal policy on
+/// one constrained floorplan, everything else at defaults.
+#[must_use]
+pub fn policy(kind: PolicyKind, floorplan: FloorplanKind) -> SimConfig {
+    SimConfig { floorplan, mitigation: kind.mitigation(), ..SimConfig::default() }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +181,16 @@ mod tests {
                 regfile(m, t).validate().unwrap_or_else(|e| panic!("rf {m:?}/{t}: {e}"));
             }
         }
+    }
+
+    #[test]
+    fn policy_presets_validate_and_round_trip_names() {
+        for kind in PolicyKind::ALL {
+            let cfg = policy(kind, FloorplanKind::IssueConstrained);
+            cfg.validate().unwrap_or_else(|e| panic!("policy {kind:?}: {e}"));
+            assert_eq!(PolicyKind::from_name(kind.name()), Ok(kind));
+        }
+        assert!(PolicyKind::from_name("hotspot").is_err());
     }
 
     #[test]

@@ -54,7 +54,10 @@ pub use snapshot::{SimulatorState, Snapshot, FORMAT_VERSION};
 // Re-export the subsystem vocabulary users need to configure runs.
 // `spec2000` rides along so downstream crates (harness, bench, cli) can
 // name benchmarks without depending on `powerbalance-workloads` directly.
-pub use powerbalance_mitigation::{MitigationConfig, Thresholds};
+pub use powerbalance_mitigation::{
+    DutyLadder, DvfsParams, GateParams, GlobalPolicy, MitigationConfig, OppLadder, OppLevel,
+    Thresholds, TripPoint, TripSeverity, TripTable,
+};
 pub use powerbalance_power::EnergyTables;
 pub use powerbalance_thermal::ev6::FloorplanKind;
 pub use powerbalance_thermal::PackageConfig;

@@ -1,5 +1,6 @@
 //! Run results.
 
+use serde::json::{Error, Value};
 use serde::{Deserialize, Serialize};
 
 /// Temperature statistics for one floorplan block over a run.
@@ -31,7 +32,7 @@ pub struct BlockTemperature {
 /// assert!(result.avg_temp("IntQ0").is_some());
 /// # Ok::<(), powerbalance::Error>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Cycles simulated (including stall time).
     pub cycles: u64,
@@ -49,6 +50,15 @@ pub struct RunResult {
     pub rf_turnoffs: u64,
     /// Temporal stall events.
     pub freezes: u64,
+    /// DVFS operating-point transitions (global policies only).
+    pub opp_transitions: u64,
+    /// Fetch-gate / clock-throttle duty-ladder shifts (global policies
+    /// only).
+    pub duty_shifts: u64,
+    /// Cycles lost to global clock throttling.
+    pub throttled_cycles: u64,
+    /// Front-end cycles idled by fetch gating.
+    pub fetch_gated_cycles: u64,
     /// Per-block temperature statistics.
     pub temperatures: Vec<BlockTemperature>,
     /// Issues per integer ALU (priority-order asymmetry).
@@ -59,6 +69,70 @@ pub struct RunResult {
     pub mispredict_rate: f64,
     /// L1 data-cache miss rate.
     pub l1d_miss_rate: f64,
+}
+
+// Manual serde: the global-policy counters are omitted when zero so
+// artifacts pinned before the policy layer existed (and every spatial-only
+// run) keep a byte-identical wire form.
+impl Serialize for RunResult {
+    fn serialize(&self) -> Value {
+        let mut fields = vec![
+            ("cycles".to_string(), self.cycles.serialize()),
+            ("committed".to_string(), self.committed.serialize()),
+            ("ipc".to_string(), self.ipc.serialize()),
+            ("frozen_cycles".to_string(), self.frozen_cycles.serialize()),
+            ("toggles".to_string(), self.toggles.serialize()),
+            ("alu_turnoffs".to_string(), self.alu_turnoffs.serialize()),
+            ("rf_turnoffs".to_string(), self.rf_turnoffs.serialize()),
+            ("freezes".to_string(), self.freezes.serialize()),
+        ];
+        for (name, v) in [
+            ("opp_transitions", self.opp_transitions),
+            ("duty_shifts", self.duty_shifts),
+            ("throttled_cycles", self.throttled_cycles),
+            ("fetch_gated_cycles", self.fetch_gated_cycles),
+        ] {
+            if v != 0 {
+                fields.push((name.to_string(), v.serialize()));
+            }
+        }
+        fields.push(("temperatures".to_string(), self.temperatures.serialize()));
+        fields.push(("int_issued_per_unit".to_string(), self.int_issued_per_unit.serialize()));
+        fields.push(("int_rf_reads".to_string(), self.int_rf_reads.serialize()));
+        fields.push(("mispredict_rate".to_string(), self.mispredict_rate.serialize()));
+        fields.push(("l1d_miss_rate".to_string(), self.l1d_miss_rate.serialize()));
+        Value::Object(fields)
+    }
+}
+
+impl<'de> Deserialize<'de> for RunResult {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let optional = |key: &str| -> Result<u64, Error> {
+            match value.get(key) {
+                Some(v) => Deserialize::deserialize(v),
+                None => Ok(0),
+            }
+        };
+        Ok(RunResult {
+            cycles: Deserialize::deserialize(value.field("cycles")?)?,
+            committed: Deserialize::deserialize(value.field("committed")?)?,
+            ipc: Deserialize::deserialize(value.field("ipc")?)?,
+            frozen_cycles: Deserialize::deserialize(value.field("frozen_cycles")?)?,
+            toggles: Deserialize::deserialize(value.field("toggles")?)?,
+            alu_turnoffs: Deserialize::deserialize(value.field("alu_turnoffs")?)?,
+            rf_turnoffs: Deserialize::deserialize(value.field("rf_turnoffs")?)?,
+            freezes: Deserialize::deserialize(value.field("freezes")?)?,
+            opp_transitions: optional("opp_transitions")?,
+            duty_shifts: optional("duty_shifts")?,
+            throttled_cycles: optional("throttled_cycles")?,
+            fetch_gated_cycles: optional("fetch_gated_cycles")?,
+            temperatures: Deserialize::deserialize(value.field("temperatures")?)?,
+            int_issued_per_unit: Deserialize::deserialize(value.field("int_issued_per_unit")?)?,
+            int_rf_reads: Deserialize::deserialize(value.field("int_rf_reads")?)?,
+            mispredict_rate: Deserialize::deserialize(value.field("mispredict_rate")?)?,
+            l1d_miss_rate: Deserialize::deserialize(value.field("l1d_miss_rate")?)?,
+        })
+    }
 }
 
 impl RunResult {
@@ -92,6 +166,19 @@ impl RunResult {
             .max_by(|a, b| a.avg.partial_cmp(&b.avg).expect("temps are finite"))
             .expect("runs always record temperatures")
     }
+
+    /// Peak temperature across all blocks (K) — the thermal budget every
+    /// policy must respect, used to compare them at equal temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result has no temperature entries.
+    #[must_use]
+    pub fn peak_temp(&self) -> f64 {
+        let peak = self.temperatures.iter().map(|t| t.max).fold(f64::MIN, f64::max);
+        assert!(peak.is_finite(), "runs always record temperatures");
+        peak
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +195,10 @@ mod tests {
             alu_turnoffs: 0,
             rf_turnoffs: 0,
             freezes: 0,
+            opp_transitions: 0,
+            duty_shifts: 0,
+            throttled_cycles: 0,
+            fetch_gated_cycles: 0,
             temperatures: vec![
                 BlockTemperature { name: "IntQ0".into(), avg: 350.0, max: 351.0, last: 350.5 },
                 BlockTemperature { name: "IntQ1".into(), avg: 352.0, max: 353.5, last: 352.4 },
@@ -131,5 +222,32 @@ mod tests {
     #[test]
     fn hottest_is_by_average() {
         assert_eq!(result().hottest().name, "IntQ1");
+    }
+
+    #[test]
+    fn peak_temp_is_max_over_blocks() {
+        assert_eq!(result().peak_temp(), 353.5);
+    }
+
+    #[test]
+    fn serde_omits_zero_policy_counters_and_round_trips() {
+        let round_trip = |r: &RunResult| -> (String, RunResult) {
+            let json = serde::json::to_string(r);
+            let value = serde::json::Value::parse(&json).expect("valid JSON");
+            (json, RunResult::deserialize(&value).expect("round trips"))
+        };
+
+        let spatial = result();
+        let (json, back) = round_trip(&spatial);
+        assert!(
+            !json.contains("opp_transitions") && !json.contains("throttled_cycles"),
+            "spatial-only results must keep the pre-policy wire form: {json}"
+        );
+        assert_eq!(back, spatial);
+
+        let global = RunResult { opp_transitions: 3, throttled_cycles: 120, ..result() };
+        let (json, back) = round_trip(&global);
+        assert!(json.contains("\"opp_transitions\":3"), "nonzero counters must serialize: {json}");
+        assert_eq!(back, global);
     }
 }

@@ -321,7 +321,14 @@ impl Simulator {
         if activity.cycles == 0 {
             return;
         }
-        self.power.block_power_into(&activity, &mut self.watts);
+        // DVFS scales dynamic energy by V²f; the unscaled path is kept for
+        // the common case so spatial-only runs execute the identical code.
+        let scale = self.manager.dynamic_power_scale();
+        if scale == 1.0 {
+            self.power.block_power_into(&activity, &mut self.watts);
+        } else {
+            self.power.block_power_scaled_into(&activity, scale, &mut self.watts);
+        }
         let dt = activity.cycles as f64 / self.config.frequency_hz;
 
         let settled = self.config.warm_start && !self.warmed;
@@ -532,6 +539,10 @@ impl Simulator {
             alu_turnoffs: mstats.alu_turnoffs,
             rf_turnoffs: mstats.rf_turnoffs,
             freezes: mstats.freezes,
+            opp_transitions: mstats.opp_transitions,
+            duty_shifts: mstats.duty_shifts,
+            throttled_cycles: stats.throttled_cycles,
+            fetch_gated_cycles: stats.fetch_gated_cycles,
             temperatures,
             int_issued_per_unit: stats.int_issued_per_unit,
             int_rf_reads: stats.int_rf_reads,

@@ -56,7 +56,7 @@ use serde::{Deserialize, Serialize};
 /// mismatched versions outright — there is no migration machinery, by
 /// design: snapshots are caches of recomputable state, so invalidating
 /// them on a version bump is always safe.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Serializable dynamic state of a [`Simulator`] (everything except the
 /// configuration it was built from and the trace driving it).

@@ -151,6 +151,10 @@ mod tests {
             alu_turnoffs: 0,
             rf_turnoffs: 0,
             freezes,
+            opp_transitions: 0,
+            duty_shifts: 0,
+            throttled_cycles: 0,
+            fetch_gated_cycles: 0,
             temperatures: Vec::new(),
             int_issued_per_unit: [0; 6],
             int_rf_reads: [0; 2],

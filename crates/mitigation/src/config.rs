@@ -1,5 +1,8 @@
 //! Mitigation configuration.
 
+use crate::zones::{TripPoint, TripSeverity, TripTable};
+use powerbalance_uarch::DutyCycle;
+use serde::json::{Error, Value};
 use serde::{Deserialize, Serialize};
 
 /// Temperature thresholds and timing for the techniques.
@@ -64,13 +67,387 @@ impl Thresholds {
     }
 }
 
+/// Maximum operating points in a DVFS ladder (bounded inline storage keeps
+/// the config `Copy`).
+pub const MAX_OPPS: usize = 6;
+
+/// Maximum duty levels in a gating ladder.
+pub const MAX_GATE_LEVELS: usize = 6;
+
+/// One DVFS operating point.
+///
+/// Frequency reduction is modeled as deterministic clock-duty gating
+/// (`duty.fraction()` of nominal frequency); voltage reduction scales
+/// every block's *dynamic* energy by `volt_scale²`, giving the classic
+/// P_dyn ∝ V²f. Leakage is deliberately left unscaled (DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OppLevel {
+    /// Clock duty implementing the point's frequency scale.
+    pub duty: DutyCycle,
+    /// Supply-voltage scale relative to nominal, in (0, 1].
+    pub volt_scale: f64,
+}
+
+impl OppLevel {
+    /// Nominal operating point: full frequency, nominal voltage.
+    #[must_use]
+    pub const fn nominal() -> Self {
+        OppLevel { duty: DutyCycle::full(), volt_scale: 1.0 }
+    }
+
+    /// The dynamic-energy scale factor at this point (`volt_scale²`).
+    #[must_use]
+    pub fn dynamic_scale(&self) -> f64 {
+        self.volt_scale * self.volt_scale
+    }
+}
+
+/// A discrete DVFS ladder, level 0 = nominal, deeper levels slower/cooler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OppLadder {
+    levels: [OppLevel; MAX_OPPS],
+    len: usize,
+}
+
+impl OppLadder {
+    /// Builds a ladder from `levels` (level 0 first).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if more than [`MAX_OPPS`] levels are given.
+    pub fn from_levels(levels: &[OppLevel]) -> Result<Self, String> {
+        if levels.len() > MAX_OPPS {
+            return Err(format!(
+                "OPP ladder holds at most {MAX_OPPS} levels, got {}",
+                levels.len()
+            ));
+        }
+        let mut ladder = OppLadder { levels: [OppLevel::nominal(); MAX_OPPS], len: levels.len() };
+        ladder.levels[..levels.len()].copy_from_slice(levels);
+        Ok(ladder)
+    }
+
+    /// The active levels, nominal first.
+    #[must_use]
+    pub fn levels(&self) -> &[OppLevel] {
+        &self.levels[..self.len]
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ladder has no levels (invalid; see [`validate`](Self::validate)).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The operating point at `level`, clamped to the deepest level so a
+    /// snapshot restored into a shorter ladder stays well-defined.
+    #[must_use]
+    pub fn level(&self, level: usize) -> OppLevel {
+        self.levels[level.min(self.len.saturating_sub(1))]
+    }
+
+    /// Validates the ladder: non-empty, level 0 nominal, every duty valid,
+    /// voltages in (0, 1], and frequency/voltage non-increasing with depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.len == 0 {
+            return Err("OPP ladder must contain at least one level".into());
+        }
+        if self.levels[0] != OppLevel::nominal() {
+            return Err(
+                "OPP ladder level 0 must be the nominal point (full duty, volt_scale 1)".into()
+            );
+        }
+        for (i, l) in self.levels().iter().enumerate() {
+            l.duty.validate().map_err(|e| format!("OPP level {i}: {e}"))?;
+            if !(l.volt_scale > 0.0 && l.volt_scale <= 1.0) {
+                return Err(format!("OPP level {i}: volt_scale must be in (0, 1]"));
+            }
+        }
+        for (i, w) in self.levels().windows(2).enumerate() {
+            if w[1].duty.fraction() > w[0].duty.fraction() || w[1].volt_scale > w[0].volt_scale {
+                return Err(format!(
+                    "OPP ladder must slow down monotonically (level {} regresses)",
+                    i + 1
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for OppLadder {
+    fn serialize(&self) -> Value {
+        Value::Array(self.levels().iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<'de> Deserialize<'de> for OppLadder {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value.as_array()?;
+        if items.len() > MAX_OPPS {
+            return Err(Error::custom(format!(
+                "OPP ladder holds at most {MAX_OPPS} levels, got {}",
+                items.len()
+            )));
+        }
+        let mut levels = [OppLevel::nominal(); MAX_OPPS];
+        for (slot, item) in levels.iter_mut().zip(items) {
+            *slot = OppLevel::deserialize(item)?;
+        }
+        Ok(OppLadder { levels, len: items.len() })
+    }
+}
+
+/// A discrete duty-cycle ladder for fetch gating / clock throttling,
+/// level 0 = ungated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DutyLadder {
+    levels: [DutyCycle; MAX_GATE_LEVELS],
+    len: usize,
+}
+
+impl DutyLadder {
+    /// Builds a ladder from `levels` (ungated first).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if more than [`MAX_GATE_LEVELS`] levels are given.
+    pub fn from_levels(levels: &[DutyCycle]) -> Result<Self, String> {
+        if levels.len() > MAX_GATE_LEVELS {
+            return Err(format!(
+                "duty ladder holds at most {MAX_GATE_LEVELS} levels, got {}",
+                levels.len()
+            ));
+        }
+        let mut ladder =
+            DutyLadder { levels: [DutyCycle::full(); MAX_GATE_LEVELS], len: levels.len() };
+        ladder.levels[..levels.len()].copy_from_slice(levels);
+        Ok(ladder)
+    }
+
+    /// The active levels, ungated first.
+    #[must_use]
+    pub fn levels(&self) -> &[DutyCycle] {
+        &self.levels[..self.len]
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ladder has no levels (invalid; see [`validate`](Self::validate)).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The duty at `level`, clamped to the deepest level.
+    #[must_use]
+    pub fn level(&self, level: usize) -> DutyCycle {
+        self.levels[level.min(self.len.saturating_sub(1))]
+    }
+
+    /// Validates the ladder: non-empty, level 0 ungated, every duty valid,
+    /// duty fraction non-increasing with depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.len == 0 {
+            return Err("duty ladder must contain at least one level".into());
+        }
+        if self.levels[0] != DutyCycle::full() {
+            return Err("duty ladder level 0 must be the ungated duty".into());
+        }
+        for (i, d) in self.levels().iter().enumerate() {
+            d.validate().map_err(|e| format!("duty level {i}: {e}"))?;
+        }
+        for (i, w) in self.levels().windows(2).enumerate() {
+            if w[1].fraction() > w[0].fraction() {
+                return Err(format!(
+                    "duty ladder must gate harder monotonically (level {} regresses)",
+                    i + 1
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for DutyLadder {
+    fn serialize(&self) -> Value {
+        Value::Array(self.levels().iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<'de> Deserialize<'de> for DutyLadder {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value.as_array()?;
+        if items.len() > MAX_GATE_LEVELS {
+            return Err(Error::custom(format!(
+                "duty ladder holds at most {MAX_GATE_LEVELS} levels, got {}",
+                items.len()
+            )));
+        }
+        let mut levels = [DutyCycle::full(); MAX_GATE_LEVELS];
+        for (slot, item) in levels.iter_mut().zip(items) {
+            *slot = DutyCycle::deserialize(item)?;
+        }
+        Ok(DutyLadder { levels, len: items.len() })
+    }
+}
+
+/// The trip table the global ladders react to: step down when the Passive
+/// point trips, freeze when the Critical point trips (same backstop
+/// temperature as the spatial techniques, so peak temperature is equalized
+/// across the ablation).
+fn ladder_trips(th: &Thresholds) -> TripTable {
+    TripTable::from_points(&[
+        TripPoint::new(
+            TripSeverity::Passive,
+            th.max_temp - th.toggle_proximity,
+            th.max_temp - th.toggle_proximity - th.reenable_margin,
+        ),
+        TripPoint::new(TripSeverity::Critical, th.max_temp, th.max_temp - th.reenable_margin),
+    ])
+    .expect("two points fit")
+}
+
+/// Parameters for the global DVFS baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsParams {
+    /// The discrete operating-point ladder, nominal first.
+    pub ladder: OppLadder,
+    /// Full-stall cycles charged per operating-point transition (the
+    /// voltage ramp; ~10 µs at 4.2 GHz for the default).
+    pub transition_cycles: u64,
+    /// Trip table driving the ladder.
+    pub trips: TripTable,
+}
+
+impl DvfsParams {
+    /// The default ladder and trips for the given thresholds.
+    #[must_use]
+    pub fn for_thresholds(th: &Thresholds) -> Self {
+        let ladder = OppLadder::from_levels(&[
+            OppLevel::nominal(),
+            OppLevel { duty: DutyCycle::new(7, 8), volt_scale: 0.95 },
+            OppLevel { duty: DutyCycle::new(3, 4), volt_scale: 0.9 },
+            OppLevel { duty: DutyCycle::new(1, 2), volt_scale: 0.8 },
+        ])
+        .expect("four levels fit");
+        DvfsParams { ladder, transition_cycles: 42_000, trips: ladder_trips(th) }
+    }
+
+    /// Validates ladder, transition latency, and trips.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.ladder.validate()?;
+        if self.transition_cycles == 0 {
+            return Err("DVFS transition_cycles must be positive".into());
+        }
+        self.trips.validate().map_err(|e| format!("DVFS trip table: {e}"))
+    }
+}
+
+/// Parameters for the duty-cycle baselines (fetch gating, clock throttling).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GateParams {
+    /// The duty ladder, ungated first.
+    pub ladder: DutyLadder,
+    /// Trip table driving the ladder.
+    pub trips: TripTable,
+}
+
+impl GateParams {
+    /// The default ladder and trips for the given thresholds.
+    #[must_use]
+    pub fn for_thresholds(th: &Thresholds) -> Self {
+        let ladder = DutyLadder::from_levels(&[
+            DutyCycle::full(),
+            DutyCycle::new(3, 4),
+            DutyCycle::new(1, 2),
+            DutyCycle::new(1, 4),
+        ])
+        .expect("four levels fit");
+        GateParams { ladder, trips: ladder_trips(th) }
+    }
+
+    /// Validates ladder and trips.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.ladder.validate()?;
+        self.trips.validate().map_err(|e| format!("gate trip table: {e}"))
+    }
+}
+
+/// The paper's global responses (§5): chip-wide mechanisms the spatial
+/// techniques are compared against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GlobalPolicy {
+    /// No global response; only the configured spatial techniques and the
+    /// temporal freeze backstop run.
+    None,
+    /// Dynamic voltage/frequency scaling over a discrete OPP ladder.
+    Dvfs(DvfsParams),
+    /// Front-end fetch gating at a duty cycle.
+    FetchGate(GateParams),
+    /// Global clock throttling at a duty cycle.
+    ClockThrottle(GateParams),
+}
+
+impl GlobalPolicy {
+    /// Validates the policy's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            GlobalPolicy::None => Ok(()),
+            GlobalPolicy::Dvfs(p) => p.validate(),
+            GlobalPolicy::FetchGate(p) | GlobalPolicy::ClockThrottle(p) => p.validate(),
+        }
+    }
+
+    /// Short machine-readable name (used by the CLI and ablation tables).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            GlobalPolicy::None => "none",
+            GlobalPolicy::Dvfs(_) => "dvfs",
+            GlobalPolicy::FetchGate(_) => "fetch-gate",
+            GlobalPolicy::ClockThrottle(_) => "clock-throttle",
+        }
+    }
+}
+
 /// Which techniques the [`crate::ThermalManager`] applies.
 ///
 /// The temporal stall backstop is always armed; the booleans enable the
 /// paper's spatial techniques individually so every configuration in the
 /// evaluation (base, toggling, fine-grain turnoff, mapping × turnoff) is
 /// expressible.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MitigationConfig {
     /// Activity toggling for both issue queues (§2.1.1).
     pub activity_toggling: bool,
@@ -86,6 +463,44 @@ pub struct MitigationConfig {
     pub rf_stale_copy: bool,
     /// Thresholds and timing.
     pub thresholds: Thresholds,
+    /// Optional global response running alongside (or instead of) the
+    /// spatial techniques (§5 comparison baselines).
+    pub global: GlobalPolicy,
+}
+
+// Manual serde so existing campaign JSON (and the pinned golden artifacts)
+// stay byte-identical: the `global` field is omitted when it is `None` on
+// the wire, and absent `global` deserializes to `None`.
+impl Serialize for MitigationConfig {
+    fn serialize(&self) -> Value {
+        let mut fields = vec![
+            ("activity_toggling".to_string(), self.activity_toggling.serialize()),
+            ("alu_turnoff".to_string(), self.alu_turnoff.serialize()),
+            ("rf_turnoff".to_string(), self.rf_turnoff.serialize()),
+            ("rf_stale_copy".to_string(), self.rf_stale_copy.serialize()),
+            ("thresholds".to_string(), self.thresholds.serialize()),
+        ];
+        if self.global != GlobalPolicy::None {
+            fields.push(("global".to_string(), self.global.serialize()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl<'de> Deserialize<'de> for MitigationConfig {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(MitigationConfig {
+            activity_toggling: Deserialize::deserialize(value.field("activity_toggling")?)?,
+            alu_turnoff: Deserialize::deserialize(value.field("alu_turnoff")?)?,
+            rf_turnoff: Deserialize::deserialize(value.field("rf_turnoff")?)?,
+            rf_stale_copy: Deserialize::deserialize(value.field("rf_stale_copy")?)?,
+            thresholds: Deserialize::deserialize(value.field("thresholds")?)?,
+            global: match value.get("global") {
+                Some(g) => Deserialize::deserialize(g)?,
+                None => GlobalPolicy::None,
+            },
+        })
+    }
 }
 
 impl MitigationConfig {
@@ -98,6 +513,7 @@ impl MitigationConfig {
             rf_turnoff: false,
             rf_stale_copy: false,
             thresholds: Thresholds::default(),
+            global: GlobalPolicy::None,
         }
     }
 
@@ -110,6 +526,7 @@ impl MitigationConfig {
             rf_turnoff: true,
             rf_stale_copy: false,
             thresholds: Thresholds::default(),
+            global: GlobalPolicy::None,
         }
     }
 
@@ -130,6 +547,83 @@ impl MitigationConfig {
     #[must_use]
     pub fn rf_turnoff_only() -> Self {
         MitigationConfig { rf_turnoff: true, ..MitigationConfig::baseline() }
+    }
+
+    /// Global DVFS baseline (§5): no spatial techniques, a discrete OPP
+    /// ladder stepped by temperature.
+    #[must_use]
+    pub fn dvfs() -> Self {
+        let th = Thresholds::default();
+        MitigationConfig {
+            global: GlobalPolicy::Dvfs(DvfsParams::for_thresholds(&th)),
+            ..MitigationConfig::baseline()
+        }
+    }
+
+    /// Global fetch-gating baseline (§5): duty-cycle the front end.
+    #[must_use]
+    pub fn fetch_gating() -> Self {
+        let th = Thresholds::default();
+        MitigationConfig {
+            global: GlobalPolicy::FetchGate(GateParams::for_thresholds(&th)),
+            ..MitigationConfig::baseline()
+        }
+    }
+
+    /// Global clock-throttling baseline (§5): duty-cycle the whole core
+    /// clock without a voltage change.
+    #[must_use]
+    pub fn clock_throttle() -> Self {
+        let th = Thresholds::default();
+        MitigationConfig {
+            global: GlobalPolicy::ClockThrottle(GateParams::for_thresholds(&th)),
+            ..MitigationConfig::baseline()
+        }
+    }
+
+    /// The spatial techniques with the DVFS ladder underneath: spatial
+    /// balancing absorbs local hot spots, DVFS steps in only when the whole
+    /// core trends hot.
+    #[must_use]
+    pub fn combined() -> Self {
+        let th = Thresholds::default();
+        MitigationConfig {
+            global: GlobalPolicy::Dvfs(DvfsParams::for_thresholds(&th)),
+            ..MitigationConfig::spatial_all()
+        }
+    }
+
+    /// Returns the config with its thermal limit moved to `max_temp`, any
+    /// global policy's trip tables and ladder rebuilt for the new
+    /// thresholds. Experiments use this to compare policies at one
+    /// (possibly non-default) thermal budget.
+    #[must_use]
+    pub fn with_max_temp(mut self, max_temp: f64) -> Self {
+        self.thresholds.max_temp = max_temp;
+        self.global = match self.global {
+            GlobalPolicy::None => GlobalPolicy::None,
+            GlobalPolicy::Dvfs(_) => {
+                GlobalPolicy::Dvfs(DvfsParams::for_thresholds(&self.thresholds))
+            }
+            GlobalPolicy::FetchGate(_) => {
+                GlobalPolicy::FetchGate(GateParams::for_thresholds(&self.thresholds))
+            }
+            GlobalPolicy::ClockThrottle(_) => {
+                GlobalPolicy::ClockThrottle(GateParams::for_thresholds(&self.thresholds))
+            }
+        };
+        self
+    }
+
+    /// Validates thresholds and, when present, the global policy's ladder
+    /// and trip table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.thresholds.validate()?;
+        self.global.validate()
     }
 }
 
@@ -168,5 +662,82 @@ mod tests {
         assert!(t.validate().is_err());
         let t = Thresholds { cooling_cycles: 0, ..Thresholds::default() };
         assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn global_presets_validate_and_name_themselves() {
+        for (cfg, name) in [
+            (MitigationConfig::dvfs(), "dvfs"),
+            (MitigationConfig::fetch_gating(), "fetch-gate"),
+            (MitigationConfig::clock_throttle(), "clock-throttle"),
+            (MitigationConfig::combined(), "dvfs"),
+        ] {
+            cfg.validate().expect("preset valid");
+            assert_eq!(cfg.global.name(), name);
+        }
+        assert_eq!(MitigationConfig::baseline().global.name(), "none");
+    }
+
+    #[test]
+    fn ladder_validation_rejects_degenerate_ladders() {
+        // Empty ladders.
+        assert!(OppLadder::from_levels(&[]).expect("fits").validate().is_err());
+        assert!(DutyLadder::from_levels(&[]).expect("fits").validate().is_err());
+        // Level 0 must be nominal / ungated.
+        let l = OppLadder::from_levels(&[OppLevel { duty: DutyCycle::new(1, 2), volt_scale: 1.0 }])
+            .expect("fits");
+        assert!(l.validate().is_err());
+        let d = DutyLadder::from_levels(&[DutyCycle::new(1, 2)]).expect("fits");
+        assert!(d.validate().is_err());
+        // Speeding back up deeper in the ladder is rejected.
+        let l = OppLadder::from_levels(&[
+            OppLevel::nominal(),
+            OppLevel { duty: DutyCycle::new(1, 2), volt_scale: 0.8 },
+            OppLevel { duty: DutyCycle::new(3, 4), volt_scale: 0.8 },
+        ])
+        .expect("fits");
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn config_validation_covers_global_trip_tables() {
+        // Satellite requirement: a trip table whose clear temperature is at
+        // or above its trip temperature is rejected through
+        // MitigationConfig::validate.
+        let mut cfg = MitigationConfig::dvfs();
+        if let GlobalPolicy::Dvfs(ref mut p) = cfg.global {
+            p.trips = TripTable::from_points(&[TripPoint::new(TripSeverity::Hot, 356.0, 356.0)])
+                .expect("fits");
+        }
+        assert!(cfg.validate().is_err());
+        let mut cfg = MitigationConfig::fetch_gating();
+        if let GlobalPolicy::FetchGate(ref mut p) = cfg.global {
+            p.trips = TripTable::from_points(&[]).expect("fits");
+        }
+        assert!(cfg.validate().is_err(), "empty trip table must be rejected");
+        MitigationConfig::spatial_all().validate().expect("spatial presets stay valid");
+    }
+
+    #[test]
+    fn serde_omits_global_none_and_round_trips_policies() {
+        // Wire compatibility: a config without a global policy serializes
+        // exactly as it did before the field existed, and old JSON without
+        // the field still deserializes.
+        let json = serde::json::to_string(&MitigationConfig::spatial_all());
+        assert!(!json.contains("global"), "global: None must be omitted: {json}");
+        let back: MitigationConfig = serde::json::from_str(&json).expect("deserialize");
+        assert_eq!(back, MitigationConfig::spatial_all());
+
+        for cfg in [
+            MitigationConfig::dvfs(),
+            MitigationConfig::fetch_gating(),
+            MitigationConfig::clock_throttle(),
+            MitigationConfig::combined(),
+        ] {
+            let json = serde::json::to_string(&cfg);
+            assert!(json.contains("global"));
+            let back: MitigationConfig = serde::json::from_str(&json).expect("deserialize");
+            assert_eq!(back, cfg);
+        }
     }
 }

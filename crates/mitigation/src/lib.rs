@@ -18,6 +18,19 @@
 //! beyond what the enabled spatial techniques can absorb — which is also
 //! exactly the baseline behaviour when the spatial techniques are disabled.
 //!
+//! The crate is layered (DESIGN.md §12):
+//!
+//! 1. **Sensing** — [`Sensors`] resolve floorplan blocks, [`Zones`] attach
+//!    ordered [`TripTable`]s (trip + clear temperature per severity) to
+//!    every monitored block.
+//! 2. **Policy** — a [`ThermalPolicy`] decides, purely, what to do each
+//!    sample: the spatial techniques ([`SpatialPolicy`]), the paper's §5
+//!    global baselines ([`GlobalLadderPolicy`]: DVFS over a discrete
+//!    [`OppLadder`], fetch gating, global clock throttling), or both
+//!    ([`CombinedPolicy`]).
+//! 3. **Actuation** — typed [`Actuation`] commands are applied by the
+//!    executor in [`actuators`]; policies never touch core internals.
+//!
 //! [`MappingPolicy`]: powerbalance_uarch::MappingPolicy
 //!
 //! # Examples
@@ -35,10 +48,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod actuators;
 mod config;
 mod manager;
+mod policy;
 mod sensors;
+mod zones;
 
-pub use config::{MitigationConfig, Thresholds};
+pub use actuators::Actuation;
+pub use config::{
+    DutyLadder, DvfsParams, GateParams, GlobalPolicy, MitigationConfig, OppLadder, OppLevel,
+    Thresholds, MAX_GATE_LEVELS, MAX_OPPS,
+};
 pub use manager::{ManagerState, MitigationStats, ThermalManager, RF_GUARD};
+pub use policy::{
+    build_policy, CombinedPolicy, CoreView, GlobalLadderPolicy, PolicyState, SpatialPolicy,
+    ThermalPolicy,
+};
 pub use sensors::Sensors;
+pub use zones::{ThermalZone, TripPoint, TripSeverity, TripTable, ZoneRole, Zones, MAX_TRIPS};

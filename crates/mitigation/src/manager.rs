@@ -1,8 +1,18 @@
-//! The thermal manager: applies techniques at each sensor sample.
+//! The thermal manager: zones, policy, and actuators wired together.
+//!
+//! The manager is now a thin conductor over the three-layer split
+//! (DESIGN.md §12): it resolves [`Zones`] from the sensors, builds the
+//! [`ThermalPolicy`](crate::ThermalPolicy) selected by the config, and on
+//! every thermal sample asks the policy for [`Actuation`] commands which
+//! the executor ([`crate::actuators::apply`]) translates into core
+//! mutations and stat updates. Policies never touch the core directly.
 
+use crate::actuators::{self, Actuation};
+use crate::policy::{build_policy, CoreView, PolicyState, ThermalPolicy};
+use crate::zones::Zones;
 use crate::{MitigationConfig, Sensors};
-use powerbalance_isa::ExecDomain;
-use powerbalance_uarch::{Core, IqActivity, UnitKind};
+use powerbalance_uarch::{Core, IqActivity};
+use serde::json::{Error, Value};
 use serde::{Deserialize, Serialize};
 
 /// The register-file shutdown threshold sits this many kelvin below the
@@ -12,7 +22,7 @@ use serde::{Deserialize, Serialize};
 pub const RF_GUARD: f64 = 0.2;
 
 /// Event counters for a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MitigationStats {
     /// Issue-queue head/tail toggles (both domains).
     pub toggles: u64,
@@ -24,19 +34,69 @@ pub struct MitigationStats {
     pub rf_turnoffs: u64,
     /// Temporal (whole-core) stall events.
     pub freezes: u64,
+    /// DVFS operating-point transitions.
+    pub opp_transitions: u64,
+    /// Fetch-gate / clock-throttle duty-level changes.
+    pub duty_shifts: u64,
+}
+
+// Manual serde so spatial-only runs (where the global counters stay zero)
+// serialize exactly as before the global baselines existed — the pinned
+// golden artifacts depend on it. The global counters appear on the wire
+// only when nonzero, and absent counters deserialize to zero.
+impl Serialize for MitigationStats {
+    fn serialize(&self) -> Value {
+        let mut fields = vec![
+            ("toggles".to_string(), self.toggles.serialize()),
+            ("int_toggles".to_string(), self.int_toggles.serialize()),
+            ("alu_turnoffs".to_string(), self.alu_turnoffs.serialize()),
+            ("rf_turnoffs".to_string(), self.rf_turnoffs.serialize()),
+            ("freezes".to_string(), self.freezes.serialize()),
+        ];
+        if self.opp_transitions != 0 {
+            fields.push(("opp_transitions".to_string(), self.opp_transitions.serialize()));
+        }
+        if self.duty_shifts != 0 {
+            fields.push(("duty_shifts".to_string(), self.duty_shifts.serialize()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl<'de> Deserialize<'de> for MitigationStats {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let optional = |key: &str| -> Result<u64, Error> {
+            match value.get(key) {
+                Some(v) => Deserialize::deserialize(v),
+                None => Ok(0),
+            }
+        };
+        Ok(MitigationStats {
+            toggles: Deserialize::deserialize(value.field("toggles")?)?,
+            int_toggles: Deserialize::deserialize(value.field("int_toggles")?)?,
+            alu_turnoffs: Deserialize::deserialize(value.field("alu_turnoffs")?)?,
+            rf_turnoffs: Deserialize::deserialize(value.field("rf_turnoffs")?)?,
+            freezes: Deserialize::deserialize(value.field("freezes")?)?,
+            opp_transitions: optional("opp_transitions")?,
+            duty_shifts: optional("duty_shifts")?,
+        })
+    }
 }
 
 /// Serializable dynamic state of a [`ThermalManager`].
 ///
-/// The configuration and sensor map are rebuilt from the simulation config
-/// at construction time, so only the event counters and any in-progress
-/// temporal stall need to be captured for a deterministic resume.
+/// The configuration, zones, and policy object are rebuilt from the
+/// simulation config at construction time, so only the event counters,
+/// any in-progress temporal stall, and the policy's ladder position need
+/// to be captured for a deterministic resume.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ManagerState {
     /// Event counters accumulated so far.
     pub stats: MitigationStats,
     /// End cycle of an in-progress temporal stall, if any.
     pub frozen_until: Option<u64>,
+    /// Ladder position and in-progress transition of the active policy.
+    pub policy: PolicyState,
 }
 
 /// Applies the configured techniques to a [`Core`] on every thermal sample.
@@ -68,20 +128,38 @@ pub struct ManagerState {
 pub struct ThermalManager {
     cfg: MitigationConfig,
     sensors: Sensors,
+    zones: Zones,
+    policy: Box<dyn ThermalPolicy>,
     stats: MitigationStats,
     frozen_until: Option<u64>,
+    pstate: PolicyState,
+    /// Persistent actuation buffer so the per-sample path stays
+    /// allocation-free (DESIGN.md §9); the capacity covers the worst-case
+    /// command count of any built-in policy with headroom.
+    actions: Vec<Actuation>,
 }
 
 impl ThermalManager {
-    /// Creates a manager.
+    /// Creates a manager with the policy selected by `cfg`.
     ///
     /// # Panics
     ///
-    /// Panics if the thresholds are invalid.
+    /// Panics if the config is invalid (thresholds, ladders, trip tables).
     #[must_use]
     pub fn new(cfg: MitigationConfig, sensors: Sensors) -> Self {
-        cfg.thresholds.validate().expect("invalid thresholds");
-        ThermalManager { cfg, sensors, stats: MitigationStats::default(), frozen_until: None }
+        cfg.validate().expect("invalid mitigation config");
+        let zones = Zones::new(&sensors, &cfg);
+        let policy = build_policy(&cfg);
+        ThermalManager {
+            cfg,
+            sensors,
+            zones,
+            policy,
+            stats: MitigationStats::default(),
+            frozen_until: None,
+            pstate: PolicyState::default(),
+            actions: Vec::with_capacity(64),
+        }
     }
 
     /// The active configuration.
@@ -90,27 +168,55 @@ impl ThermalManager {
         &self.cfg
     }
 
+    /// The sensor map the zones were resolved from.
+    #[must_use]
+    pub fn sensors(&self) -> &Sensors {
+        &self.sensors
+    }
+
+    /// The resolved thermal zones with their trip tables.
+    #[must_use]
+    pub fn zones(&self) -> &Zones {
+        &self.zones
+    }
+
     /// Event counters so far.
     #[must_use]
     pub fn stats(&self) -> &MitigationStats {
         &self.stats
     }
 
+    /// The active policy's ladder position and in-progress transition.
+    #[must_use]
+    pub fn policy_state(&self) -> PolicyState {
+        self.pstate
+    }
+
+    /// The factor by which every block's *dynamic* energy is scaled at the
+    /// current operating point (`volt_scale²` under DVFS, exactly 1.0 for
+    /// every other policy — callers can use the 1.0 fast path).
+    #[must_use]
+    pub fn dynamic_power_scale(&self) -> f64 {
+        self.policy.dynamic_power_scale(&self.pstate)
+    }
+
     /// Captures the manager's dynamic state.
     #[must_use]
     pub fn snapshot(&self) -> ManagerState {
-        ManagerState { stats: self.stats, frozen_until: self.frozen_until }
+        ManagerState { stats: self.stats, frozen_until: self.frozen_until, policy: self.pstate }
     }
 
     /// Restores dynamic state captured by [`snapshot`](Self::snapshot).
     ///
-    /// The configuration and sensors are untouched: a snapshot may be
-    /// restored into a manager built with a *different* mitigation config
-    /// (that is what lets warm-start campaigns share one warmup across
-    /// technique variants).
+    /// The configuration, zones, and policy object are untouched: a
+    /// snapshot may be restored into a manager built with a *different*
+    /// mitigation config (that is what lets warm-start campaigns share one
+    /// warmup across technique variants). Ladder positions beyond the new
+    /// config's ladder are clamped at use.
     pub fn restore(&mut self, state: &ManagerState) {
         self.stats = state.stats;
         self.frozen_until = state.frozen_until;
+        self.pstate = state.policy;
     }
 
     /// Applies the techniques given the temperatures at cycle `now`.
@@ -128,201 +234,25 @@ impl ThermalManager {
         int_iq: &IqActivity,
         fp_iq: &IqActivity,
     ) {
-        let th = self.cfg.thresholds;
-
-        // 1. Handle an ongoing temporal stall.
-        if let Some(until) = self.frozen_until {
-            if now < until {
-                self.reenable_cooled(core, temps);
-                return;
-            }
-            self.frozen_until = None;
-            core.set_frozen(false);
-        }
-
-        // 2. Activity toggling: flip head/tail when the compaction-active
-        //    half runs hotter than the quiet half by more than the
-        //    threshold. In the paper's full-queue regime the active half is
-        //    the tail region; the controller reads the per-half compaction
-        //    counts directly, which generalizes the same trigger to
-        //    partially-occupied queues. Toggling relocates the occupied
-        //    region to the other half either way.
-        if self.cfg.activity_toggling {
-            for (domain, q, act) in [
-                (ExecDomain::Int, self.sensors.int_q, int_iq),
-                (ExecDomain::Fp, self.sensors.fp_q, fp_iq),
-            ] {
-                let moves = [
-                    act.compact_moves[0] + act.mux_selects[0],
-                    act.compact_moves[1] + act.mux_selects[1],
-                ];
-                if moves[0] + moves[1] == 0 {
-                    continue; // idle queue: nothing to balance
-                }
-                let active = usize::from(moves[1] > moves[0]);
-                let quiet = 1 - active;
-                if temps[q[active]] >= th.max_temp - th.toggle_proximity
-                    && temps[q[active]] - temps[q[quiet]] > th.toggle_delta
-                {
-                    let mode = core.iq_mode(domain);
-                    core.set_iq_mode(domain, mode.flipped());
-                    self.stats.toggles += 1;
-                    if domain == ExecDomain::Int {
-                        self.stats.int_toggles += 1;
-                    }
-                }
-            }
-        }
-
-        // 3. Fine-grain turnoff for functional units.
-        if self.cfg.alu_turnoff {
-            // Indexed walk over ALUs, FP adders, then the multiplier: a
-            // chained iterator would hold `self.sensors` borrowed across the
-            // `self.stats` update below, and collecting it would put a heap
-            // allocation in the per-sample path.
-            let n_int = self.sensors.int_alus.len();
-            let n_fp = self.sensors.fp_adders.len();
-            for i in 0..n_int + n_fp + 1 {
-                let (kind, idx, block) = if i < n_int {
-                    (UnitKind::IntAlu, i, self.sensors.int_alus[i])
-                } else if i < n_int + n_fp {
-                    (UnitKind::FpAdd, i - n_int, self.sensors.fp_adders[i - n_int])
-                } else {
-                    (UnitKind::FpMul, 0, self.sensors.fp_mul)
-                };
-                if core.unit_enabled(kind, idx) {
-                    if temps[block] >= th.max_temp {
-                        core.set_unit_enabled(kind, idx, false);
-                        self.stats.alu_turnoffs += 1;
-                    }
-                } else if temps[block] <= th.max_temp - th.reenable_margin {
-                    core.set_unit_enabled(kind, idx, true);
-                }
-            }
-        }
-
-        // 4. Fine-grain turnoff for register-file copies. Staleness is
-        //    handled per the configured solution (§2.3): either the
-        //    shutdown threshold sits slightly below critical and writes
-        //    continue (solution 1, default), or writes are gated during
-        //    cooling and the copy is refreshed with a write burst at
-        //    re-enable (solution 2).
-        if self.cfg.rf_turnoff {
-            let guard = if self.cfg.rf_stale_copy { 0.0 } else { RF_GUARD };
-            for (copy, &block) in self.sensors.int_reg.iter().enumerate() {
-                if core.rf_copy_enabled(copy) {
-                    if temps[block] >= th.max_temp - guard {
-                        core.set_rf_copy_enabled(copy, false);
-                        if self.cfg.rf_stale_copy {
-                            core.set_rf_copy_writes_enabled(copy, false);
-                        }
-                        self.stats.rf_turnoffs += 1;
-                    }
-                } else if temps[block] <= th.max_temp - th.reenable_margin {
-                    core.set_rf_copy_enabled(copy, true);
-                    if self.cfg.rf_stale_copy {
-                        core.set_rf_copy_writes_enabled(copy, true);
-                        core.charge_rf_copy_restore(copy);
-                    }
-                }
-            }
-        }
-
-        // 5. Temporal backstop: freeze when overheating exceeds what the
-        //    enabled spatial techniques can absorb.
-        if self.needs_freeze(core, temps) {
-            core.set_frozen(true);
-            self.frozen_until = Some(now + th.cooling_cycles);
-            self.stats.freezes += 1;
-        }
-    }
-
-    /// While frozen, cooled units and copies may come back online so the
-    /// thaw resumes at full width.
-    fn reenable_cooled(&mut self, core: &mut Core, temps: &[f64]) {
-        let limit = self.cfg.thresholds.max_temp - self.cfg.thresholds.reenable_margin;
-        if self.cfg.alu_turnoff {
-            for (i, &b) in self.sensors.int_alus.iter().enumerate() {
-                if !core.unit_enabled(UnitKind::IntAlu, i) && temps[b] <= limit {
-                    core.set_unit_enabled(UnitKind::IntAlu, i, true);
-                }
-            }
-            for (i, &b) in self.sensors.fp_adders.iter().enumerate() {
-                if !core.unit_enabled(UnitKind::FpAdd, i) && temps[b] <= limit {
-                    core.set_unit_enabled(UnitKind::FpAdd, i, true);
-                }
-            }
-            if !core.unit_enabled(UnitKind::FpMul, 0) && temps[self.sensors.fp_mul] <= limit {
-                core.set_unit_enabled(UnitKind::FpMul, 0, true);
-            }
-        }
-        if self.cfg.rf_turnoff {
-            for (copy, &b) in self.sensors.int_reg.iter().enumerate() {
-                if !core.rf_copy_enabled(copy) && temps[b] <= limit {
-                    core.set_rf_copy_enabled(copy, true);
-                    if self.cfg.rf_stale_copy {
-                        core.set_rf_copy_writes_enabled(copy, true);
-                        core.charge_rf_copy_restore(copy);
-                    }
-                }
-            }
-        }
-    }
-
-    fn needs_freeze(&self, core: &Core, temps: &[f64]) -> bool {
-        let max = self.cfg.thresholds.max_temp;
-
-        // Issue-queue halves cannot be turned off individually: any
-        // overheated half forces a stall (§2.1.1), toggling or not.
-        for &b in self.sensors.int_q.iter().chain(self.sensors.fp_q.iter()) {
-            if temps[b] >= max {
-                return true;
-            }
-        }
-
-        if self.cfg.alu_turnoff {
-            // Stall only when an entire unit class is turned off.
-            let all_int_off =
-                (0..self.sensors.int_alus.len()).all(|i| !core.unit_enabled(UnitKind::IntAlu, i));
-            let all_fp_off =
-                (0..self.sensors.fp_adders.len()).all(|i| !core.unit_enabled(UnitKind::FpAdd, i));
-            if all_int_off || all_fp_off {
-                return true;
-            }
-        } else {
-            for (&b, _) in
-                self.sensors.int_alus.iter().zip(0..).chain(self.sensors.fp_adders.iter().zip(0..))
-            {
-                if temps[b] >= max {
-                    return true;
-                }
-            }
-            if temps[self.sensors.fp_mul] >= max {
-                return true;
-            }
-        }
-
-        if self.cfg.rf_turnoff {
-            if (0..2).all(|c| !core.rf_copy_enabled(c)) {
-                return true;
-            }
-        } else {
-            for &b in &self.sensors.int_reg {
-                if temps[b] >= max {
-                    return true;
-                }
-            }
-        }
-
-        false
+        self.actions.clear();
+        let view = CoreView { core, int_iq, fp_iq, now, frozen_until: self.frozen_until };
+        self.policy.on_sample(&self.zones, temps, &view, &self.pstate, &mut self.actions);
+        actuators::apply(
+            core,
+            &self.actions,
+            &mut self.stats,
+            &mut self.pstate,
+            &mut self.frozen_until,
+        );
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use powerbalance_isa::ExecDomain;
     use powerbalance_thermal::ev6;
-    use powerbalance_uarch::{CoreConfig, IqMode};
+    use powerbalance_uarch::{CoreConfig, IqMode, UnitKind};
 
     fn setup(
         cfg: MitigationConfig,
@@ -538,6 +468,47 @@ mod tests {
         sample(&mut fresh, &mut core2, &temps, 105_001);
         assert!(!core2.is_frozen(), "restored stall expires on schedule");
         assert_eq!(fresh.stats().freezes, 1);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_opp_transition() {
+        let (mut m, mut core, mut temps, plan) = setup(MitigationConfig::dvfs());
+        let a0 = plan.index_of("IntExec0").expect("block");
+        temps[a0] = 356.6; // above the ladder's passive trip, below critical
+        sample(&mut m, &mut core, &temps, 0);
+        assert!(core.is_frozen(), "OPP transition stalls the core");
+
+        // Captured mid-transition: the ladder position and the stall
+        // deadline both survive the serde round trip bit-exactly.
+        let state = m.snapshot();
+        assert_eq!(state.stats.opp_transitions, 1);
+        assert_eq!(state.stats.freezes, 0, "a transition stall is not a freeze");
+        assert_eq!(state.policy.opp_level, 1);
+        assert!(state.policy.stall_until.is_some());
+        let json = serde::json::to_string(&state);
+        let back: ManagerState = serde::json::from_str(&json).expect("deserialize");
+        assert_eq!(back, state);
+
+        // A fresh manager restored mid-transition finishes the stall on the
+        // original schedule and keeps running at the reduced OPP.
+        let sensors = Sensors::new(&plan).expect("ev6 names");
+        let mut fresh = ThermalManager::new(MitigationConfig::dvfs(), sensors);
+        fresh.restore(&back);
+        assert!(fresh.dynamic_power_scale() < 1.0, "restored OPP scales dynamic power");
+        let mut core2 = Core::new(CoreConfig::default()).expect("valid config");
+        core2.set_frozen(true);
+        temps[a0] = 340.0;
+        sample(&mut fresh, &mut core2, &temps, 10_000);
+        assert!(core2.is_frozen(), "restored transition stall still in effect");
+        // Past the restored deadline the ladder relaxes — which is itself
+        // a transition, with its own stall.
+        sample(&mut fresh, &mut core2, &temps, 50_000);
+        assert_eq!(fresh.policy_state().opp_level, 0, "cool temps relax the ladder");
+        assert_eq!(fresh.stats().opp_transitions, 2);
+        assert!(core2.is_frozen(), "relaxing the OPP stalls for the transition");
+        sample(&mut fresh, &mut core2, &temps, 100_000);
+        assert!(!core2.is_frozen(), "back at nominal, no further transitions");
+        assert_eq!(fresh.dynamic_power_scale(), 1.0);
     }
 
     #[test]

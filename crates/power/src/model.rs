@@ -168,11 +168,65 @@ impl PowerModel {
     /// Panics if `out` does not have one entry per floorplan block.
     pub fn block_power_into(&self, sample: &ActivitySample, out: &mut [f64]) {
         assert_eq!(out.len(), self.block_count, "one output entry per block");
-        let t = &self.tables;
         // `out` doubles as the energy accumulator until the final
         // energy-to-power conversion.
         out.fill(0.0);
-        let energy = out;
+        self.accumulate_energy(sample, out);
+
+        // Convert window energy to average power and add leakage.
+        let seconds = sample.cycles as f64 / self.frequency_hz;
+        if seconds > 0.0 {
+            for (e, &leak) in out.iter_mut().zip(&self.leakage) {
+                *e = leak + *e / seconds;
+            }
+        } else {
+            out.copy_from_slice(&self.leakage);
+        }
+    }
+
+    /// [`block_power_into`](Self::block_power_into) with the *dynamic*
+    /// energy scaled by `dynamic_scale` before the power conversion.
+    ///
+    /// This is the DVFS hook: at a reduced operating point each switching
+    /// event dissipates `V²`-scaled energy, so the manager passes
+    /// `volt_scale²` here while the frequency reduction itself is modeled
+    /// as duty-cycle gating in the core (fewer events per window). Leakage
+    /// is deliberately left unscaled — the model follows the paper's
+    /// dynamic-power framing (see DESIGN.md §12).
+    ///
+    /// The model stays stateless: the scale is an explicit argument, never
+    /// stored, so the purity contract is unaffected. At `dynamic_scale ==
+    /// 1.0` callers should prefer `block_power_into`, which this function
+    /// matches bit-for-bit in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not have one entry per floorplan block.
+    pub fn block_power_scaled_into(
+        &self,
+        sample: &ActivitySample,
+        dynamic_scale: f64,
+        out: &mut [f64],
+    ) {
+        assert_eq!(out.len(), self.block_count, "one output entry per block");
+        out.fill(0.0);
+        self.accumulate_energy(sample, out);
+
+        let seconds = sample.cycles as f64 / self.frequency_hz;
+        if seconds > 0.0 {
+            for (e, &leak) in out.iter_mut().zip(&self.leakage) {
+                *e = leak + (*e * dynamic_scale) / seconds;
+            }
+        } else {
+            out.copy_from_slice(&self.leakage);
+        }
+    }
+
+    /// Accumulates the window's dynamic energy per block into `energy`
+    /// (which the caller has zeroed). Shared verbatim by the scaled and
+    /// unscaled power conversions so their accumulation order is identical.
+    fn accumulate_energy(&self, sample: &ActivitySample, energy: &mut [f64]) {
+        let t = &self.tables;
 
         let int_q = self.queue_energy(&sample.int_iq);
         let fp_q = self.queue_energy(&sample.fp_iq);
@@ -207,16 +261,6 @@ impl PowerModel {
         let map_energy = sample.rename_ops as f64 * t.rename_op + sample.rob_ops as f64 * t.rob_op;
         energy[self.idx.int_map] += map_energy * 0.5;
         energy[self.idx.fp_map] += map_energy * 0.5;
-
-        // Convert window energy to average power and add leakage.
-        let seconds = sample.cycles as f64 / self.frequency_hz;
-        if seconds > 0.0 {
-            for (e, &leak) in energy.iter_mut().zip(&self.leakage) {
-                *e = leak + *e / seconds;
-            }
-        } else {
-            energy.copy_from_slice(&self.leakage);
-        }
     }
 }
 
@@ -353,6 +397,48 @@ mod tests {
 
         let cloned = m.clone();
         assert_eq!(cloned.block_power(&busy), first, "clones are indistinguishable");
+    }
+
+    #[test]
+    fn unit_dynamic_scale_matches_unscaled_bitwise() {
+        let (_, m) = model();
+        let mut s = sample(10_000);
+        s.int_alu_ops = [9_000, 7_000, 5_000, 3_000, 1_000, 500];
+        s.int_iq.compact_moves = [40_000, 80_000];
+        s.int_rf_reads = [15_000, 12_000];
+        let mut plain = vec![0.0; m.block_count];
+        let mut scaled = vec![0.0; m.block_count];
+        m.block_power_into(&s, &mut plain);
+        m.block_power_scaled_into(&s, 1.0, &mut scaled);
+        assert_eq!(plain, scaled, "scale 1.0 must be bit-identical");
+    }
+
+    #[test]
+    fn dynamic_scale_shrinks_dynamic_power_only() {
+        let (plan, m) = model();
+        let mut s = sample(10_000);
+        s.int_alu_ops[0] = 10_000;
+        let mut full = vec![0.0; m.block_count];
+        let mut low = vec![0.0; m.block_count];
+        m.block_power_into(&s, &mut full);
+        // volt_scale 0.8 → dynamic energy scale 0.64 (V² scaling).
+        m.block_power_scaled_into(&s, 0.64, &mut low);
+        let b = plan.index_of("IntExec0").expect("block");
+        let leak = plan.blocks()[b].area() * m.tables().leakage_per_area;
+        let dyn_full = full[b] - leak;
+        let dyn_low = low[b] - leak;
+        assert!((dyn_low - dyn_full * 0.64).abs() < 1e-9, "{dyn_low} vs {}", dyn_full * 0.64);
+        // A block with no activity stays at pure leakage either way.
+        let idle = plan.index_of("FPMul").expect("block");
+        assert!((full[idle] - low[idle]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_window_is_leakage_at_any_scale() {
+        let (_, m) = model();
+        let mut out = vec![0.0; m.block_count];
+        m.block_power_scaled_into(&sample(0), 0.5, &mut out);
+        assert_eq!(out, m.block_power(&sample(0)));
     }
 
     #[test]

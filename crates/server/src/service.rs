@@ -446,6 +446,40 @@ mod tests {
     }
 
     #[test]
+    fn policy_campaigns_round_trip_the_wire_and_run() {
+        use powerbalance::experiments::PolicyKind;
+        use powerbalance::FloorplanKind;
+
+        let mut cfg = experiments::policy(PolicyKind::Dvfs, FloorplanKind::IssueConstrained);
+        // Pull the limit below eon's transient peak so the ladder engages
+        // within a test-sized cycle budget.
+        cfg.mitigation = cfg.mitigation.with_max_temp(340.0);
+        let spec = CampaignSpec::new("svc-dvfs")
+            .config("dvfs", cfg)
+            .benchmark("eon")
+            .cycles(60_000)
+            .seed(5);
+        // An HTTP submission arrives as spec JSON; force that wire path so
+        // a serde gap in the policy layer can't hide behind in-process use.
+        let wired: CampaignSpec =
+            serde::json::from_str(&serde::json::to_string(&spec)).expect("spec round-trips");
+        assert_eq!(wired, spec);
+
+        let service = JobService::start(ServiceConfig::default());
+        let id = service.submit(wired).expect("accepted");
+        assert_eq!(wait_terminal(&service, id).state, JobState::Completed);
+        let result = service.result(id).expect("result available");
+        let r = &result.jobs[0].result;
+        assert!(r.opp_transitions > 0, "the DVFS ladder must engage");
+        // The result artifact keeps the policy counters through its own
+        // wire trip too.
+        let back: CampaignResult =
+            serde::json::from_str(&result.to_json()).expect("result round-trips");
+        assert_eq!(back, *result);
+        service.drain();
+    }
+
+    #[test]
     fn invalid_specs_are_rejected_at_admission() {
         let service = JobService::start(ServiceConfig::default());
         assert!(matches!(

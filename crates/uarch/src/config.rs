@@ -81,6 +81,74 @@ impl IqMode {
     }
 }
 
+/// A deterministic duty cycle for throttling a pipeline resource.
+///
+/// The cycle is divided into repeating windows of `period` cycles; the
+/// first `on` cycles of each window run normally and the remaining
+/// `period - on` cycles are gated. Gating is keyed off the core's cycle
+/// counter (`now % period`), so a duty cycle carries no phase state of its
+/// own and snapshots resume bit-identically. The default (`1/1`) never
+/// gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DutyCycle {
+    /// Cycles that run normally at the start of each window.
+    pub on: u32,
+    /// Window length in cycles.
+    pub period: u32,
+}
+
+impl DutyCycle {
+    /// A duty cycle of `on` run cycles per `period`-cycle window.
+    #[must_use]
+    pub const fn new(on: u32, period: u32) -> Self {
+        DutyCycle { on, period }
+    }
+
+    /// The always-on duty cycle.
+    #[must_use]
+    pub const fn full() -> Self {
+        DutyCycle { on: 1, period: 1 }
+    }
+
+    /// Whether cycle `now` falls in the gated portion of the window.
+    #[must_use]
+    pub fn gates(self, now: u64) -> bool {
+        self.on < self.period && now % u64::from(self.period) >= u64::from(self.on)
+    }
+
+    /// The fraction of cycles that run.
+    #[must_use]
+    pub fn fraction(self) -> f64 {
+        f64::from(self.on) / f64::from(self.period)
+    }
+
+    /// Validates the duty cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem: a zero-length window, a window
+    /// with no run cycles (the pipeline would deadlock), or more run cycles
+    /// than the window holds.
+    pub fn validate(self) -> Result<(), String> {
+        if self.period == 0 {
+            return Err("duty period must be positive".into());
+        }
+        if self.on == 0 {
+            return Err("duty cycle must keep at least one run cycle per window".into());
+        }
+        if self.on > self.period {
+            return Err(format!("duty on ({}) exceeds period ({})", self.on, self.period));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DutyCycle {
+    fn default() -> Self {
+        DutyCycle::full()
+    }
+}
+
 /// Cache geometry and timing for one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheConfig {
@@ -311,5 +379,31 @@ mod tests {
     fn iq_mode_flips() {
         assert_eq!(IqMode::Normal.flipped(), IqMode::Toggled);
         assert_eq!(IqMode::Toggled.flipped(), IqMode::Normal);
+    }
+
+    #[test]
+    fn full_duty_never_gates() {
+        let d = DutyCycle::full();
+        for now in 0..100 {
+            assert!(!d.gates(now));
+        }
+        assert!((d.fraction() - 1.0).abs() < 1e-12);
+        d.validate().expect("full duty is valid");
+    }
+
+    #[test]
+    fn duty_gates_the_tail_of_each_window() {
+        let d = DutyCycle::new(3, 4);
+        let gated: Vec<bool> = (0..8).map(|now| d.gates(now)).collect();
+        assert_eq!(gated, vec![false, false, false, true, false, false, false, true]);
+        assert!((d.fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_validation_rejects_degenerate_windows() {
+        assert!(DutyCycle::new(0, 4).validate().is_err(), "no run cycles deadlocks");
+        assert!(DutyCycle::new(1, 0).validate().is_err(), "zero-length window");
+        assert!(DutyCycle::new(5, 4).validate().is_err(), "on exceeds period");
+        DutyCycle::new(4, 4).validate().expect("saturated duty is valid");
     }
 }

@@ -84,6 +84,35 @@ fn resume_is_bit_identical_on_every_floorplan_variant() {
 }
 
 #[test]
+fn resume_is_bit_identical_for_global_policies() {
+    // The global ladders carry live policy state across the snapshot: the
+    // current OPP / duty level and, for DVFS, an in-progress transition
+    // stall. The transition lasts 42k cycles — four sample windows — so
+    // sweeping splits at every window from 20k to 60k necessarily lands
+    // at least one capture mid-transition once the first trip has fired.
+    use powerbalance::experiments::{policy, PolicyKind};
+
+    for kind in [PolicyKind::Dvfs, PolicyKind::FetchGate, PolicyKind::ClockThrottle] {
+        let mut config = policy(kind, FloorplanKind::IssueConstrained);
+        // eon peaks near 347 K on this floorplan; pull the limit below
+        // that so the ladders actually step during the covered window.
+        config.mitigation = config.mitigation.with_max_temp(340.0);
+        let mut engaged = false;
+        for split in [20_000, 30_000, 40_000, 50_000, 60_000] {
+            let (straight, resumed) = straight_vs_resumed(&config, "eon", split, 90_000);
+            assert_eq!(
+                straight,
+                resumed,
+                "{}/eon: snapshot-at-{split} resume must equal 90k straight",
+                kind.name()
+            );
+            engaged |= straight.opp_transitions > 0 || straight.duty_shifts > 0;
+        }
+        assert!(engaged, "{}: the ladder never engaged, the test covered nothing", kind.name());
+    }
+}
+
+#[test]
 fn one_snapshot_restores_deterministically() {
     let config = experiments::issue_queue(true);
     let profile = spec2000::by_name("gzip").expect("known benchmark");
