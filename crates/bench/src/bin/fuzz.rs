@@ -12,8 +12,14 @@
 //! Everything is keyed off the seed: the same seed always produces the
 //! same configuration, trace, and verdict, so a failing seed from CI is
 //! reproducible locally with `--start-seed <seed> --seeds 1`.
+//!
+//! Seeds that draw `Fidelity::Fast` additionally cross-check the interval
+//! engine against a ground-truth `Exact` run of the same case: the hottest
+//! block's final temperature must agree within [`FAST_FINAL_EPS`], so an
+//! accuracy regression anywhere in the random config space fails the seed
+//! like any other violation.
 
-use powerbalance::{SimConfig, Simulator, Violation};
+use powerbalance::{Fidelity, SimConfig, Simulator};
 use powerbalance_bench::fuzz::derive_case;
 use powerbalance_workloads::spec2000;
 use serde::{json, Deserialize, Serialize};
@@ -37,6 +43,13 @@ OPTIONS:
 /// Floor below which shrinking stops: shorter runs rarely reach the first
 /// thermal sample, so the case would stop exercising anything.
 const MIN_CYCLES: u64 = 2_000;
+
+/// Pinned Fast-vs-Exact tolerance (kelvin) on the hottest block's final
+/// temperature. Looser than the accuracy-contract suite's design-point
+/// bound: fuzz cases run short budgets with aggressively biased trip
+/// limits, where a single mitigation event near the end of the run moves
+/// the final sample by several kelvin.
+const FAST_FINAL_EPS: f64 = 20.0;
 
 /// Self-contained reproduction recipe for one failing seed.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -111,24 +124,39 @@ fn parse_args() -> Args {
     args
 }
 
-/// One checked run. `Ok` means clean; `Err` carries the violation strings
-/// (capped) or the panic message.
+/// One checked run, plus the Fast-vs-Exact cross-check when the derived
+/// config uses the interval engine. `Ok` means clean; `Err` carries the
+/// violation strings (capped) or the panic message.
 fn run_case(
     config: &SimConfig,
     bench: &str,
     trace_seed: u64,
     cycles: u64,
 ) -> Result<(), Vec<String>> {
-    let outcome = panic::catch_unwind(AssertUnwindSafe(|| -> Result<Vec<Violation>, String> {
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| -> Result<Vec<String>, String> {
         let mut sim = Simulator::new(config.clone()).map_err(|e| e.to_string())?;
         sim.enable_checking().map_err(|e| e.to_string())?;
         let profile = spec2000::by_name(bench).ok_or_else(|| format!("unknown bench {bench}"))?;
-        sim.run(&mut profile.trace(trace_seed), cycles);
-        Ok(sim.finish_checking())
+        let result = sim.run(&mut profile.trace(trace_seed), cycles);
+        let mut failures: Vec<String> =
+            sim.finish_checking().iter().take(8).map(|v| v.to_string()).collect();
+        if config.fidelity == Fidelity::Fast && failures.is_empty() {
+            let exact_cfg = SimConfig { fidelity: Fidelity::Exact, ..config.clone() };
+            let mut exact_sim = Simulator::new(exact_cfg).map_err(|e| e.to_string())?;
+            let exact = exact_sim.run(&mut profile.trace(trace_seed), cycles);
+            let (f, e) = (result.hottest().last, exact.hottest().last);
+            if (f - e).abs() > FAST_FINAL_EPS {
+                failures.push(format!(
+                    "fast-vs-exact final temp diverged: fast {f:.3} K, exact {e:.3} K \
+                     (|Δ| > {FAST_FINAL_EPS} K)"
+                ));
+            }
+        }
+        Ok(failures)
     }));
     match outcome {
-        Ok(Ok(violations)) if violations.is_empty() => Ok(()),
-        Ok(Ok(violations)) => Err(violations.iter().take(8).map(|v| v.to_string()).collect()),
+        Ok(Ok(failures)) if failures.is_empty() => Ok(()),
+        Ok(Ok(failures)) => Err(failures),
         Ok(Err(build)) => Err(vec![format!("setup failed: {build}")]),
         Err(payload) => {
             let msg = payload

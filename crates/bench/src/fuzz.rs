@@ -6,8 +6,8 @@
 //! default cycle budget.
 
 use powerbalance::{
-    DutyLadder, DvfsParams, FloorplanKind, GateParams, GlobalPolicy, MappingPolicy, OppLadder,
-    SelectPolicy, SimConfig,
+    DutyLadder, DvfsParams, Fidelity, FloorplanKind, GateParams, GlobalPolicy, MappingPolicy,
+    OppLadder, SelectPolicy, SimConfig,
 };
 use powerbalance_workloads::{spec2000, Xoshiro256};
 
@@ -92,6 +92,17 @@ pub fn derive_case(seed: u64) -> (SimConfig, String, u64) {
     // keep deriving the exact case they always did (plus a policy).
     cfg.mitigation.global = draw_global_policy(&mut rng, &cfg);
 
+    // Fidelity draw sits last for the same seed-stability reason. A third
+    // of the cases run the interval engine, with a macro window derived
+    // from the drawn sampling cadence (so it always divides evenly) and a
+    // warmup prefix short enough that the default budget leaves room for
+    // extrapolated macro windows.
+    if rng.chance(1.0 / 3.0) {
+        cfg.fidelity = Fidelity::Fast;
+        cfg.fast_window = cfg.sample_interval * *pick(&mut rng, &[4, 10, 20]);
+        cfg.fast_warmup = *pick(&mut rng, &[0, 10_000, 25_000]);
+    }
+
     (cfg, bench, trace_seed)
 }
 
@@ -157,6 +168,26 @@ mod tests {
     /// config can toggle at all (toggling enabled + biased limit) are
     /// simulated, and the scan stops at the first hit, so the test stays
     /// fast while pinning the distribution property.
+    #[test]
+    fn generator_covers_both_fidelities_with_valid_windows() {
+        let mut seen = [false; 2];
+        for seed in 0..200 {
+            let (cfg, _, _) = derive_case(seed);
+            cfg.validate().unwrap_or_else(|e| panic!("seed {seed} derived an invalid config: {e}"));
+            match cfg.fidelity {
+                Fidelity::Exact => seen[0] = true,
+                Fidelity::Fast => {
+                    seen[1] = true;
+                    assert!(
+                        cfg.fast_window.is_multiple_of(cfg.sample_interval),
+                        "seed {seed}: the macro window must hold whole sampling intervals"
+                    );
+                }
+            }
+        }
+        assert_eq!(seen, [true; 2], "[exact, fast] coverage in the first 200 seeds");
+    }
+
     #[test]
     fn generator_covers_every_global_policy_family() {
         // The widened config space must actually reach all four policy

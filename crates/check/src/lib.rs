@@ -209,6 +209,13 @@ impl RuntimeChecker {
         self.thermal_watch.check(model, watts, dt, settled, now, &mut self.sink);
     }
 
+    /// Re-bases the thermal watch on the model's current state after a
+    /// closed-form advance (the interval engine's skipped sub-intervals),
+    /// which the backward-Euler residual deliberately does not cover.
+    pub fn resync_thermal(&mut self, model: &ThermalModel) {
+        self.thermal_watch.resync(model);
+    }
+
     /// Closes out the oracle: end-of-run retirement counts and the final
     /// architectural-state comparison.
     pub fn finish(&mut self, core: &Core) {

@@ -42,6 +42,17 @@ impl ThermalWatch {
         ThermalWatch { prev: model.node_temperatures().to_vec(), power: Vec::new() }
     }
 
+    /// Re-bases the watch on the model's current temperatures without
+    /// checking anything. The interval engine moves the network with the
+    /// closed-form [`ThermalModel::advance`] between detailed samples;
+    /// that solution is verified by the thermal crate's property tests,
+    /// not the backward-Euler residual, so the next transient step must
+    /// be measured from the advanced state rather than the last checked
+    /// one.
+    pub(crate) fn resync(&mut self, model: &ThermalModel) {
+        self.prev.copy_from_slice(model.node_temperatures());
+    }
+
     /// Verifies the solve that just ran. `settled` means the model did a
     /// steady-state solve (warm start) instead of a transient step of `dt`
     /// seconds under `watts` per block.

@@ -48,6 +48,12 @@ USAGE:
                             owns the whole mitigation layer, so it rejects
                             --toggling/--turnoff/--round-robin/--mapping
       --max-temp <K>        thermal limit in kelvin           [358]
+      --fidelity <f>        exact | fast                      [exact]
+                            fast = interval engine: detailed warmup
+                            prefix, then one detailed sampling window
+                            per macro window with analytic thermal
+                            advance in between (accuracy contract in
+                            tests/fidelity_contract.rs)
       --threads <n>         worker-pool size for multi-benchmark runs
                             [POWERBALANCE_THREADS or all cores]
       --json <path>         write the full campaign results as JSON
@@ -138,6 +144,7 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut mapping: Option<MappingPolicy> = None;
     let mut policy: Option<PolicyKind> = None;
     let mut max_temp: Option<f64> = None;
+    let mut fidelity = powerbalance::Fidelity::Exact;
     let mut threads = None;
     let mut json = None;
     let mut warmup = 0u64;
@@ -176,6 +183,11 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
                 })
             }
             "--policy" => policy = Some(PolicyKind::from_name(&value("--policy")?)?),
+            "--fidelity" => {
+                let name = value("--fidelity")?;
+                fidelity = powerbalance::Fidelity::from_name(&name)
+                    .ok_or_else(|| format!("unknown fidelity '{name}' (exact | fast)"))?;
+            }
             "--max-temp" => {
                 max_temp =
                     Some(value("--max-temp")?.parse().map_err(|e| format!("--max-temp: {e}"))?)
@@ -243,6 +255,8 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         }
         config
     };
+    let mut config = config;
+    config.fidelity = fidelity;
     config.validate()?;
 
     // A short config label for reports and JSON artifacts, e.g.
@@ -266,6 +280,9 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     }
     if round_robin {
         label.push_str("+round-robin");
+    }
+    if fidelity == powerbalance::Fidelity::Fast {
+        label.push_str("+fast");
     }
 
     if resume && checkpoint_dir.is_none() {
@@ -585,6 +602,35 @@ mod tests {
             "priority"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn fidelity_flag_parses_and_tags_the_label() {
+        let a = parse_run(&strs(&["--bench", "eon", "--fidelity", "fast"])).expect("valid");
+        assert_eq!(a.config.fidelity, powerbalance::Fidelity::Fast);
+        assert_eq!(a.label, "baseline+fast");
+
+        let b = parse_run(&strs(&["--bench", "eon", "--fidelity", "exact"])).expect("valid");
+        assert_eq!(b.config.fidelity, powerbalance::Fidelity::Exact);
+        assert_eq!(b.label, "baseline", "exact is the default and stays untagged");
+        assert_eq!(b.config, SimConfig::default());
+
+        // Composes with policy presets.
+        let c = parse_run(&strs(&[
+            "--bench",
+            "eon",
+            "--floorplan",
+            "alu",
+            "--policy",
+            "dvfs",
+            "--fidelity",
+            "fast",
+        ]))
+        .expect("valid");
+        assert_eq!(c.config.fidelity, powerbalance::Fidelity::Fast);
+        assert_eq!(c.label, "alu+dvfs+fast");
+
+        assert!(parse_run(&strs(&["--bench", "eon", "--fidelity", "sloppy"])).is_err());
     }
 
     #[test]

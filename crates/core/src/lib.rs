@@ -45,11 +45,11 @@ mod result;
 mod simulator;
 mod snapshot;
 
-pub use config::SimConfig;
+pub use config::{Fidelity, SimConfig, DEFAULT_FAST_WINDOW};
 pub use error::Error;
 pub use result::{BlockTemperature, RunResult};
 pub use simulator::{RunControl, Simulator, StopCause};
-pub use snapshot::{SimulatorState, Snapshot, FORMAT_VERSION};
+pub use snapshot::{FastEngineState, SimulatorState, Snapshot, FORMAT_VERSION};
 
 // Re-export the subsystem vocabulary users need to configure runs.
 // `spec2000` rides along so downstream crates (harness, bench, cli) can

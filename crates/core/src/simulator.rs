@@ -1,12 +1,13 @@
 //! The top-level simulator: core + power + thermal + mitigation.
 
+use crate::config::Fidelity;
 use crate::snapshot::{decode_bits, encode_bits};
 use crate::{BlockTemperature, Error, RunResult, SimConfig, SimulatorState};
 use powerbalance_isa::TraceSource;
 use powerbalance_mitigation::{Sensors, ThermalManager};
 use powerbalance_power::PowerModel;
 use powerbalance_thermal::{ev6, Floorplan, ThermalModel};
-use powerbalance_uarch::Core;
+use powerbalance_uarch::{ActivitySample, Core, IqActivity};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
@@ -86,6 +87,69 @@ impl<'a> RunControl<'a> {
     }
 }
 
+/// Dynamic state of the interval engine: where we are in the macro
+/// window, the power vector held from the last detailed sampling window,
+/// the statistics deltas that window produced (the extrapolation basis),
+/// and the running extrapolated totals for the analytically skipped
+/// sub-intervals. All of it is simulation state — a mid-window snapshot
+/// must resume bit-exactly — so the whole struct rides along in
+/// [`SimulatorState`].
+#[derive(Debug, Clone, Default)]
+struct FastState {
+    /// Detailed warmup-prefix cycles still to run before interval
+    /// sampling engages ([`SimConfig::fast_warmup`]); while positive,
+    /// every sub-interval is simulated in detail and `window_pos` stays
+    /// at zero.
+    prefix_left: u64,
+    /// Sub-intervals completed in the current macro window; `0` means the
+    /// next sub-interval is simulated in detail.
+    window_pos: u64,
+    /// Per-block power measured by the last detailed window, held constant
+    /// across the analytic advances that follow it.
+    window_watts: Vec<f64>,
+    /// Integer issue-queue activity of the last detailed window, replayed
+    /// into skipped-interval mitigation consults so the toggling
+    /// controller keeps seeing which queue half is compaction-active.
+    window_int_iq: IqActivity,
+    /// FP issue-queue activity of the last detailed window.
+    window_fp_iq: IqActivity,
+    /// Core cycles the last detailed window actually ran (its length).
+    sample_cycles: u64,
+    /// Instructions committed during the last detailed window.
+    sample_committed: u64,
+    /// Micro-ops fetched (consumed from the trace) during the last
+    /// detailed window; the basis for fast-forwarding the workload across
+    /// skipped sub-intervals.
+    sample_fetched: u64,
+    /// Frozen cycles during the last detailed window.
+    sample_frozen: u64,
+    /// Throttled cycles during the last detailed window.
+    sample_throttled: u64,
+    /// Fetch-gated cycles during the last detailed window.
+    sample_fetch_gated: u64,
+    /// Cycles skipped (advanced analytically) so far.
+    extra_cycles: u64,
+    /// Commits attributed to skipped cycles by extrapolation.
+    extra_committed: u64,
+    /// Frozen cycles attributed to skipped cycles.
+    extra_frozen: u64,
+    /// Throttled cycles attributed to skipped cycles.
+    extra_throttled: u64,
+    /// Fetch-gated cycles attributed to skipped cycles.
+    extra_fetch_gated: u64,
+}
+
+impl FastState {
+    /// Extrapolates one of the detailed window's counters over `skipped`
+    /// cycles, proportionally to the window's own length.
+    fn scaled(basis: u64, skipped: u64, window_len: u64) -> u64 {
+        if window_len == 0 {
+            return 0;
+        }
+        (u128::from(basis) * u128::from(skipped) / u128::from(window_len)) as u64
+    }
+}
+
 /// A complete thermal/performance simulation of one CPU configuration.
 ///
 /// Drives the cycle-level core, converts its activity into per-block power
@@ -120,8 +184,16 @@ pub struct Simulator {
     /// Per-block power scratch reused every sampling window; pure scratch,
     /// never snapshotted.
     watts: Vec<f64>,
+    /// Per-block power of a fully idle (frozen) core: pure leakage.
+    /// Derived from the configuration, so never snapshotted. The interval
+    /// engine advances with this vector while the core is frozen, matching
+    /// what the power model reports for an activity-free window.
+    idle_watts: Vec<f64>,
     /// Optional per-sample temperature trace: `(cycle, temps)` rows.
     history: Option<Vec<(u64, Vec<f64>)>>,
+    /// Interval-engine state ([`Fidelity::Fast`]); inert zeros under
+    /// [`Fidelity::Exact`], whose code path never reads it.
+    fast: FastState,
     /// Differential oracle + invariant checkers, armed by
     /// [`enable_checking`](Simulator::enable_checking). Boxed: the checker
     /// is diagnostic tooling and should not widen the simulator itself.
@@ -144,6 +216,12 @@ impl Simulator {
         let sensors = Sensors::new(&plan)?;
         let manager = ThermalManager::new(config.mitigation, sensors);
         let blocks = plan.blocks().len();
+        let mut idle_watts = vec![0.0; blocks];
+        power.block_power_into(&ActivitySample::default(), &mut idle_watts);
+        let prefix_left = match config.fidelity {
+            Fidelity::Fast => config.fast_warmup,
+            Fidelity::Exact => 0,
+        };
         Ok(Simulator {
             config,
             plan,
@@ -156,7 +234,13 @@ impl Simulator {
             temp_max: vec![f64::MIN; blocks],
             warmed: false,
             watts: vec![0.0; blocks],
+            idle_watts,
             history: None,
+            fast: FastState {
+                prefix_left,
+                window_watts: vec![0.0; blocks],
+                ..FastState::default()
+            },
             #[cfg(feature = "check")]
             checker: None,
         })
@@ -248,6 +332,10 @@ impl Simulator {
         cycles: u64,
         control: &RunControl<'_>,
     ) -> (RunResult, StopCause) {
+        if self.config.fidelity == Fidelity::Fast {
+            let cause = self.run_fast(trace, cycles, control, true);
+            return (self.result(), cause);
+        }
         // `Core::cycle` advances the counter by exactly one, so an elapsed
         // tally replaces the repeated `self.core.stats().cycles` reads the
         // loop head would otherwise pay per window.
@@ -296,6 +384,9 @@ impl Simulator {
         cycles: u64,
         control: &RunControl<'_>,
     ) -> StopCause {
+        if self.config.fidelity == Fidelity::Fast {
+            return self.run_fast(trace, cycles, control, false);
+        }
         let mut elapsed = 0u64;
         while elapsed < cycles && !self.core.is_done() {
             if let Some(stop) = control.stop_cause() {
@@ -314,6 +405,159 @@ impl Simulator {
         StopCause::Completed
     }
 
+    /// The interval engine ([`Fidelity::Fast`]).
+    ///
+    /// The first [`SimConfig::fast_warmup`] cycles run fully detailed —
+    /// sampling every sub-interval like Exact — so the branch predictor
+    /// and caches reach their trained steady state before any
+    /// extrapolation happens; without the prefix the core would train
+    /// `stretch×` slower and the die would run systematically colder for
+    /// the whole run. After the prefix, time is diced into sub-intervals
+    /// of one `sample_interval` each,
+    /// `fast_window / sample_interval` of them per macro window. The first
+    /// sub-interval of each window is simulated cycle-by-cycle and ends in
+    /// the ordinary [`sample`](Self::sample). The remaining sub-intervals
+    /// hold that window's power vector constant, advance the RC network
+    /// analytically ([`ThermalModel::advance`]), fast-forward the workload
+    /// ([`TraceSource::skip_ops`]), and extrapolate the window's
+    /// throughput counters over the skipped cycles.
+    ///
+    /// Mitigation keeps its Exact-mode cadence: skipped sub-intervals end
+    /// in a manager consult too, fed the analytically advanced
+    /// temperatures and the held IQ activity, so trip points, hysteresis
+    /// loops, and freeze/OPP schedules all play out against the same
+    /// sampling clock as an Exact run. All timestamps handed to the
+    /// manager are *virtual* cycles (core cycles + skipped cycles), which
+    /// is what keeps cooling times and transition stalls the right length
+    /// in simulated time. While the core is frozen, skipped sub-intervals
+    /// advance with the idle (leakage-only) power vector — exactly what
+    /// the power model reports for an activity-free window — so the die
+    /// cools and the thaw happens when Exact's would.
+    ///
+    /// The runtime checker is exercised on detailed samples only — the
+    /// backward-Euler residual check does not apply to the closed-form
+    /// advance.
+    fn run_fast<T: TraceSource>(
+        &mut self,
+        trace: &mut T,
+        cycles: u64,
+        control: &RunControl<'_>,
+        consult_manager: bool,
+    ) -> StopCause {
+        let stretch = self.config.fast_window / self.config.sample_interval;
+        let mut elapsed = 0u64;
+        while elapsed < cycles && !self.core.is_done() {
+            if let Some(stop) = control.stop_cause() {
+                return stop;
+            }
+            let sub = self.config.sample_interval.min(cycles - elapsed);
+            let in_prefix = self.fast.prefix_left > 0;
+            if in_prefix || self.fast.window_pos == 0 {
+                let first_sample = self.fast.sample_cycles == 0;
+                let before = *self.core.stats();
+                for _ in 0..sub {
+                    self.checked_cycle(trace);
+                    elapsed += 1;
+                    if self.core.is_done() {
+                        break;
+                    }
+                }
+                self.sample(consult_manager);
+                let after = self.core.stats();
+                self.fast.sample_cycles = after.cycles - before.cycles;
+                self.fast.sample_committed = after.committed - before.committed;
+                self.fast.sample_fetched = after.fetched - before.fetched;
+                self.fast.sample_frozen = after.frozen_cycles - before.frozen_cycles;
+                self.fast.sample_throttled = after.throttled_cycles - before.throttled_cycles;
+                self.fast.sample_fetch_gated = after.fetch_gated_cycles - before.fetch_gated_cycles;
+                if first_sample {
+                    self.fast.window_watts.copy_from_slice(&self.watts);
+                } else {
+                    // One detailed window is a noisy estimate of the power
+                    // the skipped cycles will dissipate; blending recent
+                    // windows halves the estimator variance at the cost of
+                    // one macro window of lag (EWMA, α = 1/2).
+                    for (held, w) in self.fast.window_watts.iter_mut().zip(&self.watts) {
+                        *held = 0.5 * *held + 0.5 * w;
+                    }
+                }
+            } else {
+                elapsed += sub;
+                let dt = sub as f64 / self.config.frequency_hz;
+                // Captured before the consult below, mirroring the
+                // `was_frozen` the detailed path reads at its sample.
+                let frozen = self.core.is_frozen();
+                if frozen {
+                    // A frozen core fetches, commits, and switches nothing:
+                    // the die sees pure leakage and the whole sub-interval
+                    // is stall time.
+                    self.thermal.advance(&self.idle_watts, dt);
+                    self.fast.extra_cycles += sub;
+                    self.fast.extra_frozen += sub;
+                } else {
+                    self.thermal.advance(&self.fast.window_watts, dt);
+                    self.fast.extra_cycles += sub;
+                    let len = self.fast.sample_cycles;
+                    // Fast-forward the workload past the instructions the
+                    // skipped cycles would have consumed, so the next
+                    // detailed window samples the phase of the program
+                    // that virtual time has actually reached.
+                    trace.skip_ops(FastState::scaled(self.fast.sample_fetched, sub, len));
+                    self.fast.extra_committed +=
+                        FastState::scaled(self.fast.sample_committed, sub, len);
+                    self.fast.extra_frozen += FastState::scaled(self.fast.sample_frozen, sub, len);
+                    self.fast.extra_throttled +=
+                        FastState::scaled(self.fast.sample_throttled, sub, len);
+                    self.fast.extra_fetch_gated +=
+                        FastState::scaled(self.fast.sample_fetch_gated, sub, len);
+                }
+                // The closed-form advance is outside the backward-Euler
+                // residual's reach; re-base the checker so the next
+                // detailed step is measured from the advanced state.
+                #[cfg(feature = "check")]
+                if let Some(checker) = &mut self.checker {
+                    checker.resync_thermal(&self.thermal);
+                }
+                // Keep the mitigation loop on its Exact-mode cadence: one
+                // consult per sampling interval, at virtual time, against
+                // the analytically advanced temperatures.
+                if consult_manager {
+                    let now = self.core.stats().cycles + self.fast.extra_cycles;
+                    self.manager.on_sample(
+                        &mut self.core,
+                        self.thermal.temperatures(),
+                        now,
+                        &self.fast.window_int_iq,
+                        &self.fast.window_fp_iq,
+                    );
+                }
+                // Mirror the statistics a detailed sample would record.
+                if !frozen {
+                    for (sum, t) in self.temp_sum.iter_mut().zip(self.thermal.temperatures()) {
+                        *sum += t;
+                    }
+                    self.temp_samples += 1;
+                }
+                for (max, t) in self.temp_max.iter_mut().zip(self.thermal.temperatures()) {
+                    *max = max.max(*t);
+                }
+                if let Some(history) = &mut self.history {
+                    let now = self.core.stats().cycles + self.fast.extra_cycles;
+                    history.push((now, self.thermal.temperatures().to_vec()));
+                }
+            }
+            if in_prefix {
+                // The prefix is detailed wall-to-wall; the macro-window
+                // phase only starts counting once it is spent, so the
+                // first post-prefix sub-interval begins a fresh window.
+                self.fast.prefix_left = self.fast.prefix_left.saturating_sub(sub);
+            } else {
+                self.fast.window_pos = (self.fast.window_pos + 1) % stretch;
+            }
+        }
+        StopCause::Completed
+    }
+
     /// One sense/react step: power → thermal → (optionally) mitigation →
     /// statistics.
     fn sample(&mut self, consult_manager: bool) {
@@ -321,6 +565,11 @@ impl Simulator {
         if activity.cycles == 0 {
             return;
         }
+        // Held for the interval engine's skipped-interval consults; a pair
+        // of Copy structs, so the Exact path pays two register-width
+        // stores and reads nothing back.
+        self.fast.window_int_iq = activity.int_iq;
+        self.fast.window_fp_iq = activity.fp_iq;
         // DVFS scales dynamic energy by V²f; the unscaled path is kept for
         // the common case so spatial-only runs execute the identical code.
         let scale = self.manager.dynamic_power_scale();
@@ -344,7 +593,10 @@ impl Simulator {
         // Temperatures are borrowed from the thermal model everywhere
         // below; the only copy made is the optional history row.
         let was_frozen = self.core.is_frozen();
-        let now = self.core.stats().cycles;
+        // Virtual time: under Exact the offset is always zero; under Fast
+        // this keeps manager deadlines (cooling times, transition stalls)
+        // measured in simulated cycles rather than detailed-only cycles.
+        let now = self.core.stats().cycles + self.fast.extra_cycles;
         #[cfg(feature = "check")]
         if let Some(checker) = &mut self.checker {
             checker.check_thermal(&self.thermal, &self.watts, dt, settled, now);
@@ -407,6 +659,24 @@ impl Simulator {
             temp_max_bits: encode_bits(&self.temp_max),
             temp_samples: self.temp_samples,
             warmed: self.warmed,
+            fast: crate::snapshot::FastEngineState {
+                prefix_left: self.fast.prefix_left,
+                window_pos: self.fast.window_pos,
+                window_watts_bits: encode_bits(&self.fast.window_watts),
+                window_int_iq: self.fast.window_int_iq,
+                window_fp_iq: self.fast.window_fp_iq,
+                sample_cycles: self.fast.sample_cycles,
+                sample_committed: self.fast.sample_committed,
+                sample_fetched: self.fast.sample_fetched,
+                sample_frozen: self.fast.sample_frozen,
+                sample_throttled: self.fast.sample_throttled,
+                sample_fetch_gated: self.fast.sample_fetch_gated,
+                extra_cycles: self.fast.extra_cycles,
+                extra_committed: self.fast.extra_committed,
+                extra_frozen: self.fast.extra_frozen,
+                extra_throttled: self.fast.extra_throttled,
+                extra_fetch_gated: self.fast.extra_fetch_gated,
+            },
         }
     }
 
@@ -435,11 +705,33 @@ impl Simulator {
         self.thermal
             .restore_node_temperatures(&decode_bits(&state.thermal_node_bits))
             .map_err(|e| Error::Config(format!("thermal: {e}")))?;
+        if state.fast.window_watts_bits.len() != blocks {
+            return Err(Error::Config(format!(
+                "fast-engine power vector covers {} blocks, floorplan has {blocks}",
+                state.fast.window_watts_bits.len()
+            )));
+        }
         self.manager.restore(&state.manager);
         self.temp_sum = decode_bits(&state.temp_sum_bits);
         self.temp_max = decode_bits(&state.temp_max_bits);
         self.temp_samples = state.temp_samples;
         self.warmed = state.warmed;
+        self.fast.prefix_left = state.fast.prefix_left;
+        self.fast.window_pos = state.fast.window_pos;
+        self.fast.window_watts = decode_bits(&state.fast.window_watts_bits);
+        self.fast.window_int_iq = state.fast.window_int_iq;
+        self.fast.window_fp_iq = state.fast.window_fp_iq;
+        self.fast.sample_cycles = state.fast.sample_cycles;
+        self.fast.sample_committed = state.fast.sample_committed;
+        self.fast.sample_fetched = state.fast.sample_fetched;
+        self.fast.sample_frozen = state.fast.sample_frozen;
+        self.fast.sample_throttled = state.fast.sample_throttled;
+        self.fast.sample_fetch_gated = state.fast.sample_fetch_gated;
+        self.fast.extra_cycles = state.fast.extra_cycles;
+        self.fast.extra_committed = state.fast.extra_committed;
+        self.fast.extra_frozen = state.fast.extra_frozen;
+        self.fast.extra_throttled = state.fast.extra_throttled;
+        self.fast.extra_fetch_gated = state.fast.extra_fetch_gated;
         // A restored simulator is a different execution: re-arm checking
         // against the restored state so the oracle does not cross-check
         // the new run against pre-restore history.
@@ -530,19 +822,25 @@ impl Simulator {
             })
             .collect();
         let mstats = self.manager.stats();
+        // Fold the interval engine's extrapolated cycles back into the
+        // headline counters. Under Exact fidelity every `extra_*` is zero
+        // and the arithmetic below reduces bit-for-bit to the core's own
+        // counters (the IPC expression mirrors `CoreStats::ipc`).
+        let cycles = stats.cycles + self.fast.extra_cycles;
+        let committed = stats.committed + self.fast.extra_committed;
         RunResult {
-            cycles: stats.cycles,
-            committed: stats.committed,
-            ipc: stats.ipc(),
-            frozen_cycles: stats.frozen_cycles,
+            cycles,
+            committed,
+            ipc: if cycles == 0 { 0.0 } else { committed as f64 / cycles as f64 },
+            frozen_cycles: stats.frozen_cycles + self.fast.extra_frozen,
             toggles: mstats.toggles,
             alu_turnoffs: mstats.alu_turnoffs,
             rf_turnoffs: mstats.rf_turnoffs,
             freezes: mstats.freezes,
             opp_transitions: mstats.opp_transitions,
             duty_shifts: mstats.duty_shifts,
-            throttled_cycles: stats.throttled_cycles,
-            fetch_gated_cycles: stats.fetch_gated_cycles,
+            throttled_cycles: stats.throttled_cycles + self.fast.extra_throttled,
+            fetch_gated_cycles: stats.fetch_gated_cycles + self.fast.extra_fetch_gated,
             temperatures,
             int_issued_per_unit: stats.int_issued_per_unit,
             int_rf_reads: stats.int_rf_reads,
@@ -693,6 +991,104 @@ mod tests {
         let cause = sim.run_warmup_controlled(&mut trace, 50_000, &control);
         assert_eq!(cause, StopCause::Cancelled);
         assert_eq!(sim.core().stats().cycles, 0);
+    }
+
+    #[test]
+    fn fast_mode_covers_the_full_budget_with_a_fraction_of_detailed_cycles() {
+        let cfg = SimConfig {
+            fidelity: Fidelity::Fast,
+            fast_window: 40_000,
+            fast_warmup: 0,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(cfg).expect("valid config");
+        let mut trace = spec2000::by_name("gzip").expect("profile").trace(3);
+        let r = sim.run(&mut trace, 200_000);
+        assert!(r.cycles >= 200_000, "virtual cycles cover the budget: {}", r.cycles);
+        assert!(r.committed > 1_000);
+        assert!(r.ipc > 0.0);
+        // Only 1 sub-interval in 4 is simulated in detail (stretch = 4).
+        let detailed = sim.core().stats().cycles;
+        assert!(detailed <= 50_000 + 10_000, "detailed cycles {detailed} exceed the duty cycle");
+        assert!(r.avg_temp("IntQ0").expect("block exists") > 318.0);
+    }
+
+    #[test]
+    fn fast_warmup_prefix_is_bit_identical_to_exact() {
+        // A Fast run that ends inside its detailed warmup prefix IS an
+        // Exact run: every cycle was simulated, nothing extrapolated.
+        let fast_cfg = SimConfig {
+            fidelity: Fidelity::Fast,
+            fast_window: 40_000,
+            fast_warmup: 120_000,
+            ..SimConfig::default()
+        };
+        let mut fast = Simulator::new(fast_cfg).expect("valid config");
+        let mut trace = spec2000::by_name("crafty").expect("profile").trace(5);
+        let f = fast.run(&mut trace, 120_000);
+
+        let mut exact = Simulator::new(SimConfig::default()).expect("valid config");
+        let mut trace = spec2000::by_name("crafty").expect("profile").trace(5);
+        let e = exact.run(&mut trace, 120_000);
+        assert_eq!(f, e, "prefix cycles are exact");
+        assert_eq!(fast.core().stats().cycles, exact.core().stats().cycles);
+    }
+
+    #[test]
+    fn fast_mode_is_deterministic() {
+        let build = || {
+            let cfg = SimConfig {
+                fidelity: Fidelity::Fast,
+                fast_window: 50_000,
+                ..experiments::issue_queue(true)
+            };
+            let mut sim = Simulator::new(cfg).expect("valid config");
+            let mut trace = spec2000::by_name("mesa").expect("profile").trace(11);
+            sim.run(&mut trace, 300_000)
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "fast runs are bit-deterministic");
+    }
+
+    #[test]
+    fn fast_mode_history_keeps_the_exact_sampling_cadence() {
+        // One history row per sub-interval, detailed or skipped: plotting
+        // density does not degrade under Fast fidelity.
+        let cfg = SimConfig {
+            fidelity: Fidelity::Fast,
+            fast_window: 50_000,
+            fast_warmup: 20_000,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(cfg).expect("valid config");
+        sim.record_history();
+        let mut trace = spec2000::by_name("gzip").expect("profile").trace(3);
+        let r = sim.run(&mut trace, 150_000);
+        let history = sim.history().expect("recording enabled");
+        assert_eq!(history.len() as u64, r.cycles / sim.config().sample_interval);
+        let mut last = 0;
+        for (cycle, temps) in history {
+            assert!(*cycle > last || last == 0, "virtual cycle stamps are ordered");
+            last = *cycle;
+            assert_eq!(temps.len(), sim.floorplan().blocks().len());
+        }
+    }
+
+    #[test]
+    fn fast_mode_temperatures_stay_physical() {
+        let cfg = SimConfig {
+            fidelity: Fidelity::Fast,
+            fast_window: 100_000,
+            ..experiments::alu(experiments::AluPolicy::FineGrainTurnoff)
+        };
+        let mut sim = Simulator::new(cfg).expect("valid config");
+        let mut trace = spec2000::by_name("crafty").expect("profile").trace(5);
+        let r = sim.run(&mut trace, 500_000);
+        for t in &r.temperatures {
+            assert!(t.avg >= 318.0 - 1e-9 && t.avg < 500.0, "{}: avg {}", t.name, t.avg);
+            assert!(t.max >= t.last - 1e-9, "{}: max {} < last {}", t.name, t.max, t.last);
+        }
     }
 
     #[test]

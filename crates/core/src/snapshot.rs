@@ -56,7 +56,7 @@ use serde::{Deserialize, Serialize};
 /// mismatched versions outright — there is no migration machinery, by
 /// design: snapshots are caches of recomputable state, so invalidating
 /// them on a version bump is always safe.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Serializable dynamic state of a [`Simulator`] (everything except the
 /// configuration it was built from and the trace driving it).
@@ -82,6 +82,53 @@ pub struct SimulatorState {
     pub temp_samples: u64,
     /// Whether the warm-start settle has already happened.
     pub warmed: bool,
+    /// Interval-engine state; zeros under [`crate::Fidelity::Exact`].
+    pub fast: FastEngineState,
+}
+
+/// Serialized dynamic state of the [`crate::Fidelity::Fast`] interval
+/// engine: the macro-window phase, the held power vector, the last
+/// detailed window's statistics deltas, and the extrapolated totals. A
+/// mid-window capture resumes bit-exactly because all of it round-trips.
+///
+/// Under [`crate::Fidelity::Exact`] every field is zero/empty-of-zeros.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FastEngineState {
+    /// Detailed warmup-prefix cycles still to run before interval
+    /// sampling engages.
+    pub prefix_left: u64,
+    /// Sub-intervals completed in the current macro window (`0` = the
+    /// next sub-interval is detailed).
+    pub window_pos: u64,
+    /// IEEE-754 bit patterns of the held per-block power vector.
+    pub window_watts_bits: Vec<u64>,
+    /// Integer issue-queue activity of the last detailed window (fed to
+    /// skipped-interval mitigation consults).
+    pub window_int_iq: powerbalance_uarch::IqActivity,
+    /// FP issue-queue activity of the last detailed window.
+    pub window_fp_iq: powerbalance_uarch::IqActivity,
+    /// Core cycles the last detailed window ran.
+    pub sample_cycles: u64,
+    /// Commits in the last detailed window.
+    pub sample_committed: u64,
+    /// Micro-ops fetched from the trace in the last detailed window.
+    pub sample_fetched: u64,
+    /// Frozen cycles in the last detailed window.
+    pub sample_frozen: u64,
+    /// Throttled cycles in the last detailed window.
+    pub sample_throttled: u64,
+    /// Fetch-gated cycles in the last detailed window.
+    pub sample_fetch_gated: u64,
+    /// Cycles advanced analytically so far.
+    pub extra_cycles: u64,
+    /// Extrapolated commits over the skipped cycles.
+    pub extra_committed: u64,
+    /// Extrapolated frozen cycles.
+    pub extra_frozen: u64,
+    /// Extrapolated throttled cycles.
+    pub extra_throttled: u64,
+    /// Extrapolated fetch-gated cycles.
+    pub extra_fetch_gated: u64,
 }
 
 /// Encodes floats as their exact IEEE-754 bit patterns.
@@ -202,6 +249,21 @@ impl Snapshot {
         }
         if config.warm_start != captured.warm_start {
             return mismatch("warm_start");
+        }
+        // A Fast run's state embeds window phase and extrapolated totals
+        // an Exact simulator has no meaning for (and vice versa), and two
+        // Fast runs with different macro windows sample on different
+        // cadences — so fidelity is structure, not policy.
+        if config.fidelity != captured.fidelity {
+            return mismatch("fidelity");
+        }
+        if config.fidelity == crate::Fidelity::Fast {
+            if config.fast_window != captured.fast_window {
+                return mismatch("fast_window");
+            }
+            if config.fast_warmup != captured.fast_warmup {
+                return mismatch("fast_warmup");
+            }
         }
 
         let mut sim = Simulator::new(config)?;

@@ -26,17 +26,41 @@ use crate::MicroOp;
 pub trait TraceSource {
     /// Produces the next correct-path micro-op, or `None` at end of program.
     fn next_op(&mut self) -> Option<MicroOp>;
+
+    /// Advances the source past `n` micro-ops without simulating them.
+    ///
+    /// Interval-mode simulation skips stretches of execution and must move
+    /// the workload forward too, or every detailed sample would observe the
+    /// same early phase of the program. The default implementation draws
+    /// and discards `n` ops (exact, works for any source); generators with
+    /// cheap position state may override with an O(1) jump that preserves
+    /// phase alignment without synthesizing the skipped ops.
+    fn skip_ops(&mut self, n: u64) {
+        for _ in 0..n {
+            if self.next_op().is_none() {
+                break;
+            }
+        }
+    }
 }
 
 impl<T: TraceSource + ?Sized> TraceSource for &mut T {
     fn next_op(&mut self) -> Option<MicroOp> {
         (**self).next_op()
     }
+
+    fn skip_ops(&mut self, n: u64) {
+        (**self).skip_ops(n);
+    }
 }
 
 impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
     fn next_op(&mut self) -> Option<MicroOp> {
         (**self).next_op()
+    }
+
+    fn skip_ops(&mut self, n: u64) {
+        (**self).skip_ops(n);
     }
 }
 

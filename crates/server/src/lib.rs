@@ -9,7 +9,7 @@
 //!
 //! | Route                         | Meaning                                        |
 //! |-------------------------------|------------------------------------------------|
-//! | `POST /v1/campaigns`          | submit a campaign (`202` id, `429` queue full) |
+//! | `POST /v1/campaigns`          | submit a campaign (`202` id, `429` queue full); `?fidelity=fast\|exact` overrides every config's fidelity |
 //! | `GET /v1/campaigns/<id>`      | status + live per-job progress                 |
 //! | `GET /v1/campaigns/<id>/result` | full `CampaignResult` JSON once complete     |
 //! | `DELETE /v1/campaigns/<id>`   | cooperative cancellation                       |
@@ -367,19 +367,52 @@ fn route(shared: &Shared, request: &Request) -> (Endpoint, Response) {
     }
 }
 
+/// Parses the submit query string for a `fidelity=<name>` parameter.
+/// `route` matches on the path with the query stripped, so the raw
+/// `request.path` still carries it here. Unrecognized parameters are
+/// ignored (consistent with every other route); an unknown fidelity
+/// *value* is an error so a typo can't silently run at the wrong cost.
+fn fidelity_override(path: &str) -> Result<Option<powerbalance::Fidelity>, String> {
+    let Some((_, query)) = path.split_once('?') else {
+        return Ok(None);
+    };
+    let mut fidelity = None;
+    for pair in query.split('&').filter(|pair| !pair.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        if key == "fidelity" {
+            fidelity = Some(powerbalance::Fidelity::from_name(value).ok_or_else(|| {
+                format!("unknown fidelity '{value}' (expected 'exact' or 'fast')")
+            })?);
+        }
+    }
+    Ok(fidelity)
+}
+
 fn submit(shared: &Shared, request: &Request) -> Response {
     let metrics = shared.service.metrics();
+    let fidelity = match fidelity_override(&request.path) {
+        Ok(fidelity) => fidelity,
+        Err(detail) => {
+            metrics.campaigns_invalid.fetch_add(1, Ordering::Relaxed);
+            return Response::error(400, &detail);
+        }
+    };
     let Ok(text) = std::str::from_utf8(&request.body) else {
         metrics.campaigns_invalid.fetch_add(1, Ordering::Relaxed);
         return Response::error(400, "request body is not valid UTF-8");
     };
-    let spec: CampaignSpec = match serde::json::from_str(text) {
+    let mut spec: CampaignSpec = match serde::json::from_str(text) {
         Ok(spec) => spec,
         Err(e) => {
             metrics.campaigns_invalid.fetch_add(1, Ordering::Relaxed);
             return Response::error(400, &format!("invalid campaign JSON: {e}"));
         }
     };
+    if let Some(fidelity) = fidelity {
+        for named in &mut spec.configs {
+            named.config.fidelity = fidelity;
+        }
+    }
     match shared.service.submit(spec) {
         Ok(id) => {
             Response::json(202, format!("{{\"id\":{id},\"status_url\":\"/v1/campaigns/{id}\"}}"))

@@ -127,6 +127,16 @@ pub struct Metrics {
     /// queue; malformed/invalid ones count under
     /// [`campaigns_invalid`](Metrics::campaigns_invalid) instead).
     pub campaigns_submitted: AtomicU64,
+    /// Well-formed submissions whose configs all run at `Exact` fidelity.
+    /// Together with [`campaigns_submitted_fast`] this partitions
+    /// [`campaigns_submitted`]: `submitted == exact + fast` always holds.
+    ///
+    /// [`campaigns_submitted_fast`]: Metrics::campaigns_submitted_fast
+    /// [`campaigns_submitted`]: Metrics::campaigns_submitted
+    pub campaigns_submitted_exact: AtomicU64,
+    /// Well-formed submissions containing at least one `Fast`-fidelity
+    /// config (interval engine).
+    pub campaigns_submitted_fast: AtomicU64,
     /// Submissions turned away with `429` because the queue was full.
     pub campaigns_rejected: AtomicU64,
     /// Submissions rejected for malformed JSON or an invalid spec (`400`).
@@ -201,6 +211,18 @@ impl Metrics {
             "powerbalance_campaigns_submitted_total",
             "Well-formed campaign submissions (accepted + queue-full rejections).",
             load(&self.campaigns_submitted),
+        );
+        counter(
+            &mut out,
+            "powerbalance_campaigns_submitted_exact_total",
+            "Well-formed submissions whose configs all use Exact fidelity.",
+            load(&self.campaigns_submitted_exact),
+        );
+        counter(
+            &mut out,
+            "powerbalance_campaigns_submitted_fast_total",
+            "Well-formed submissions with at least one Fast-fidelity config.",
+            load(&self.campaigns_submitted_fast),
         );
         counter(
             &mut out,

@@ -186,7 +186,10 @@ impl JobService {
     /// (those also increment `campaigns_rejected`); invalid specs count
     /// only under `campaigns_invalid`. That makes the reconciliation
     /// `submitted = completed + failed + cancelled + rejected` hold at
-    /// quiescence.
+    /// quiescence. Each such submission also increments exactly one of
+    /// the per-fidelity counters (`campaigns_submitted_fast` when any
+    /// config uses the interval engine, `campaigns_submitted_exact`
+    /// otherwise), so `submitted = exact + fast` holds too.
     ///
     /// # Errors
     ///
@@ -218,6 +221,21 @@ impl JobService {
             )));
         }
 
+        // Classify before `spec` moves into the record: the per-fidelity
+        // counter must move in lockstep with `campaigns_submitted` on
+        // both the accepted and queue-full outcomes below.
+        let is_fast =
+            spec.configs.iter().any(|named| named.config.fidelity == powerbalance::Fidelity::Fast);
+        let note_submitted = || {
+            self.metrics.campaigns_submitted.fetch_add(1, Ordering::Relaxed);
+            let per_fidelity = if is_fast {
+                &self.metrics.campaigns_submitted_fast
+            } else {
+                &self.metrics.campaigns_submitted_exact
+            };
+            per_fidelity.fetch_add(1, Ordering::Relaxed);
+        };
+
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let record = JobRecord {
             spec: Arc::new(spec),
@@ -236,13 +254,13 @@ impl JobService {
         };
         match sender.try_send(id) {
             Ok(()) => {
-                self.metrics.campaigns_submitted.fetch_add(1, Ordering::Relaxed);
+                note_submitted();
                 self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
                 Ok(id)
             }
             Err(TrySendError::Full(_)) => {
                 self.jobs.lock().expect("no holder panics").remove(&id);
-                self.metrics.campaigns_submitted.fetch_add(1, Ordering::Relaxed);
+                note_submitted();
                 self.metrics.campaigns_rejected.fetch_add(1, Ordering::Relaxed);
                 Err(SubmitError::QueueFull)
             }

@@ -39,6 +39,18 @@ pub struct ThermalModel {
     /// Solution scratch for [`step`](Self::step), swapped with `temps`
     /// after each solve.
     solution: Vec<f64>,
+    /// Factors of the bare conductance matrix `G`, shared by
+    /// [`settle`](Self::settle) and [`advance`](Self::advance).
+    steady_lu: Option<LuFactors>,
+    /// Δt the cached propagator was built for.
+    advance_dt: f64,
+    /// Homogeneous-response propagator `Φ(Δt)` for [`advance`](Self::advance),
+    /// row-major `n × n`.
+    advance_phi: Option<Vec<f64>>,
+    /// Steady-state scratch for [`advance`](Self::advance).
+    steady: Vec<f64>,
+    /// Deviation-from-steady scratch for [`advance`](Self::advance).
+    deviation: Vec<f64>,
 }
 
 impl ThermalModel {
@@ -55,10 +67,15 @@ impl ThermalModel {
             block_count: plan.blocks().len(),
             rhs: vec![0.0; network.node_count()],
             solution: vec![0.0; network.node_count()],
+            steady: vec![0.0; network.node_count()],
+            deviation: vec![0.0; network.node_count()],
             network,
             temps,
             cached_dt: 0.0,
             cached_lu: None,
+            steady_lu: None,
+            advance_dt: 0.0,
+            advance_phi: None,
         }
     }
 
@@ -184,14 +201,138 @@ impl ThermalModel {
     /// Panics if `watts.len() != block_count`.
     pub fn settle(&mut self, watts: &[f64]) {
         assert_eq!(watts.len(), self.block_count, "one power entry per block");
-        let n = self.network.node_count();
-        let lu = LuFactors::factor(self.network.conductance().to_vec(), n)
-            .expect("grounded Laplacian is non-singular");
+        self.ensure_steady_lu();
         let mut rhs = self.network.ambient_power().to_vec();
         for (i, w) in watts.iter().enumerate() {
             rhs[i] += w;
         }
+        let lu = self.steady_lu.as_ref().expect("factored above");
         self.temps = lu.solve(&rhs);
+    }
+
+    /// Advances the model by `dt` seconds analytically, assuming `watts`
+    /// is held constant over the whole interval.
+    ///
+    /// Where [`step`](Self::step) takes a single backward-Euler step of
+    /// size `dt` (accurate only while `dt` is small against the network
+    /// time constants), `advance` decomposes the response into the
+    /// steady-state solution under `watts` plus a decaying deviation:
+    /// `T(dt) = T_ss + Φ(dt) · (T(0) − T_ss)`. The propagator `Φ(dt)` is
+    /// the backward-Euler sub-step operator `(C/h + G)⁻¹ · diag(C/h)`
+    /// raised to the `2ᵏ`-th power by repeated squaring, with the sub-step
+    /// `h = dt / 2ᵏ` chosen well below the fastest network time constant —
+    /// so one `advance` is numerically equivalent to `2ᵏ` fine LU
+    /// sub-steps at the cost of a single matrix-vector product.
+    ///
+    /// `Φ` is cached per `dt` (alongside the steady-state factors shared
+    /// with [`settle`](Self::settle)); once the caches are warm, each call
+    /// performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts.len() != block_count` or `dt <= 0`.
+    pub fn advance(&mut self, watts: &[f64], dt: f64) {
+        assert_eq!(watts.len(), self.block_count, "one power entry per block");
+        assert!(dt > 0.0, "dt must be positive");
+        let n = self.network.node_count();
+
+        // Steady-state target under the held power: G · T_ss = P.
+        self.ensure_steady_lu();
+        self.rhs.copy_from_slice(self.network.ambient_power());
+        for (i, w) in watts.iter().enumerate() {
+            self.rhs[i] += w;
+        }
+        let lu = self.steady_lu.as_ref().expect("factored above");
+        lu.solve_into(&self.rhs, &mut self.steady);
+
+        if self.advance_phi.is_none() || (self.advance_dt - dt).abs() > 1e-18 {
+            self.rebuild_propagator(dt);
+        }
+        let phi = self.advance_phi.as_ref().expect("built above");
+
+        // T⁺ = T_ss + Φ · (T − T_ss).
+        for i in 0..n {
+            self.deviation[i] = self.temps[i] - self.steady[i];
+        }
+        for i in 0..n {
+            let row = &phi[i * n..(i + 1) * n];
+            let mut acc = 0.0;
+            for (p, d) in row.iter().zip(&self.deviation) {
+                acc += p * d;
+            }
+            self.solution[i] = self.steady[i] + acc;
+        }
+        std::mem::swap(&mut self.temps, &mut self.solution);
+    }
+
+    fn ensure_steady_lu(&mut self) {
+        if self.steady_lu.is_none() {
+            let n = self.network.node_count();
+            self.steady_lu = Some(
+                LuFactors::factor(self.network.conductance().to_vec(), n)
+                    .expect("grounded Laplacian is non-singular"),
+            );
+        }
+    }
+
+    /// Rebuilds the cached propagator `Φ(dt) = M^(2ᵏ)` where
+    /// `M = (C/h + G)⁻¹ · diag(C/h)` and `h = dt / 2ᵏ`.
+    ///
+    /// `M` is entrywise nonnegative with row sums ≤ 1 (it is one implicit
+    /// Euler step of a grounded RC network), so the same holds for every
+    /// power of it: deviations from steady state can only shrink, never
+    /// overshoot or oscillate.
+    fn rebuild_propagator(&mut self, dt: f64) {
+        let n = self.network.node_count();
+        let g = self.network.conductance();
+        let c = self.network.capacitance();
+
+        // Pick k so the sub-step resolves the fastest node time constant
+        // (h · max(Gᵢᵢ/Cᵢ) ≤ 1/64), capped to keep the squaring bounded.
+        let rate = (0..n).map(|i| g[i * n + i] / c[i]).fold(0.0f64, f64::max);
+        let mut h = dt;
+        let mut k = 0u32;
+        while k < 40 && h * rate > 1.0 / 64.0 {
+            h *= 0.5;
+            k += 1;
+        }
+
+        let mut a = g.to_vec();
+        for i in 0..n {
+            a[i * n + i] += c[i] / h;
+        }
+        let lu = LuFactors::factor(a, n).expect("network matrix is SPD");
+
+        // Column j of M solves (C/h + G) x = (cⱼ/h) eⱼ.
+        let mut m = vec![0.0; n * n];
+        let mut basis = vec![0.0; n];
+        let mut column = vec![0.0; n];
+        for j in 0..n {
+            basis[j] = c[j] / h;
+            lu.solve_into(&basis, &mut column);
+            basis[j] = 0.0;
+            for i in 0..n {
+                m[i * n + j] = column[i];
+            }
+        }
+
+        // Φ = M^(2ᵏ) by repeated squaring.
+        let mut square = vec![0.0; n * n];
+        for _ in 0..k {
+            for i in 0..n {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for l in 0..n {
+                        acc += m[i * n + l] * m[l * n + j];
+                    }
+                    square[i * n + j] = acc;
+                }
+            }
+            std::mem::swap(&mut m, &mut square);
+        }
+
+        self.advance_phi = Some(m);
+        self.advance_dt = dt;
     }
 }
 
@@ -364,6 +505,105 @@ mod tests {
         a.step(&watts, dt1);
         b.step(&watts, dt1);
         assert_eq!(a.node_temperatures(), b.node_temperatures());
+    }
+
+    #[test]
+    fn advance_from_steady_state_is_a_fixed_point() {
+        // settle() and advance() share the same steady-state factors, so a
+        // model already at the steady state under `watts` must not move at
+        // all — bit for bit, not just within tolerance.
+        let mut m = model();
+        let watts = vec![1.5, 0.5, 0.0, 0.25, 2.0];
+        m.settle(&watts);
+        let settled = m.node_temperatures().to_vec();
+        m.advance(&watts, 1e-2);
+        assert_eq!(m.node_temperatures(), settled.as_slice());
+    }
+
+    #[test]
+    fn advance_tracks_fine_lu_substeps() {
+        // One analytic advance over dt must agree with many fine backward-
+        // Euler steps covering the same interval.
+        let watts = vec![2.0, 0.0, 1.0, 0.5, 3.0];
+        let mut fast = model();
+        let mut fine = model();
+        // Start from a non-trivial transient so the deviation term matters.
+        for m in [&mut fast, &mut fine] {
+            m.step(&[0.5, 3.0, 0.0, 0.0, 1.0], 1e-3);
+        }
+        let dt = 5e-3;
+        let substeps = 4096;
+        fast.advance(&watts, dt);
+        for _ in 0..substeps {
+            fine.step(&watts, dt / substeps as f64);
+        }
+        for (a, b) in fast.node_temperatures().iter().zip(fine.node_temperatures()) {
+            assert!((a - b).abs() < 1e-3, "advance vs substeps: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn advance_with_zero_power_decays_monotonically_to_ambient() {
+        let mut m = model();
+        let watts = vec![2.0; 5];
+        for _ in 0..100 {
+            m.step(&watts, 1e-3);
+        }
+        let zeros = vec![0.0; 5];
+        let start: f64 =
+            m.node_temperatures().iter().fold(0.0, |acc, t| acc.max((t - 318.0).abs()));
+        let mut prev = start;
+        for _ in 0..200 {
+            m.advance(&zeros, 1e-3);
+            let dev: f64 =
+                m.node_temperatures().iter().fold(0.0, |acc, t| acc.max((t - 318.0).abs()));
+            assert!(dev <= prev + 1e-12, "deviation must shrink: {dev} vs {prev}");
+            prev = dev;
+        }
+        assert!(prev < start / 2.0, "decay must make real progress: {prev} of {start}");
+        // And one macro-interval past every time constant finishes the job.
+        m.advance(&zeros, 1e3);
+        let residual: f64 =
+            m.node_temperatures().iter().fold(0.0, |acc, t| acc.max((t - 318.0).abs()));
+        assert!(residual < 1e-6, "long decay must land on ambient, residual {residual}");
+    }
+
+    #[test]
+    fn advance_refactorizes_on_dt_change() {
+        // Mirror of `changing_dt_mid_run_refactorizes` for the analytic
+        // path: a fresh model restored just before the dt2 advance must
+        // match the continuing model exactly, or the Φ cache went stale.
+        let watts = vec![1.0, 2.0, 0.0, 0.5, 1.5];
+        let (dt1, dt2) = (1e-3, 2.5e-4);
+
+        let mut a = model();
+        a.advance(&watts, dt1);
+        a.advance(&watts, dt1);
+        let pre_dt2 = a.node_temperatures().to_vec();
+        a.advance(&watts, dt2);
+
+        let mut b = model();
+        b.restore_node_temperatures(&pre_dt2).expect("same floorplan");
+        b.advance(&watts, dt2);
+        assert_eq!(a.node_temperatures(), b.node_temperatures());
+
+        a.advance(&watts, dt1);
+        b.advance(&watts, dt1);
+        assert_eq!(a.node_temperatures(), b.node_temperatures());
+    }
+
+    #[test]
+    fn advance_is_stable_for_huge_dt() {
+        // A macro-interval far beyond every time constant lands on the
+        // steady state instead of blowing up or oscillating.
+        let mut m = model();
+        let watts = vec![1.5, 0.5, 0.0, 0.25, 2.0];
+        m.advance(&watts, 1e3);
+        let mut settled = model();
+        settled.settle(&watts);
+        for (a, b) in m.node_temperatures().iter().zip(settled.node_temperatures()) {
+            assert!((a - b).abs() < 1e-6, "huge dt lands on steady state: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -94,6 +94,113 @@ proptest! {
         let _ = sink_index;
     }
 
+    /// The analytic advance agrees with brute-force backward-Euler
+    /// sub-stepping over the same interval, for any power vector and any
+    /// macro-interval in the fast path's operating range.
+    #[test]
+    fn advance_agrees_with_lu_substeps(
+        warm in arbitrary_powers(26),
+        watts in arbitrary_powers(26),
+        dt_exp in -4.0f64..-2.0,
+    ) {
+        let plan = plan();
+        let mut fast = ThermalModel::new(&plan, PackageConfig::default());
+        let mut fine = ThermalModel::new(&plan, PackageConfig::default());
+        // Start both from the same non-trivial transient.
+        for m in [&mut fast, &mut fine] {
+            for _ in 0..5 {
+                m.step(&warm, 1e-3);
+            }
+        }
+        let dt = 10f64.powf(dt_exp);
+        let substeps = 512;
+        fast.advance(&watts, dt);
+        for _ in 0..substeps {
+            fine.step(&watts, dt / substeps as f64);
+        }
+        for (i, (a, b)) in
+            fast.node_temperatures().iter().zip(fine.node_temperatures()).enumerate()
+        {
+            prop_assert!((a - b).abs() < 0.02, "node {i}: advance {a} vs substeps {b}");
+        }
+    }
+
+    /// With zero power the analytic advance decays monotonically toward
+    /// ambient: the worst-case deviation never grows, no node undershoots,
+    /// and a macro-interval past every time constant lands on ambient.
+    #[test]
+    fn advance_zero_power_decays_monotonically(
+        warm in arbitrary_powers(26),
+        dt_exp in -4.0f64..-1.0,
+    ) {
+        let plan = plan();
+        let mut model = ThermalModel::new(&plan, PackageConfig::default());
+        for _ in 0..10 {
+            model.step(&warm, 1e-3);
+        }
+        let zeros = vec![0.0; 26];
+        let dt = 10f64.powf(dt_exp);
+        let mut prev: f64 = model
+            .node_temperatures()
+            .iter()
+            .fold(0.0, |acc, t| acc.max((t - 318.0).abs()));
+        for _ in 0..50 {
+            model.advance(&zeros, dt);
+            let dev: f64 = model
+                .node_temperatures()
+                .iter()
+                .fold(0.0, |acc, t| acc.max((t - 318.0).abs()));
+            prop_assert!(dev <= prev + 1e-12, "deviation grew: {dev} vs {prev}");
+            for &t in model.node_temperatures() {
+                prop_assert!(t >= 318.0 - 1e-9, "node undershot ambient: {t}");
+            }
+            prev = dev;
+        }
+        model.advance(&zeros, 1e4);
+        let residual: f64 = model
+            .node_temperatures()
+            .iter()
+            .fold(0.0, |acc, t| acc.max((t - 318.0).abs()));
+        prop_assert!(residual < 1e-6, "decay must land on ambient, residual {residual}");
+    }
+
+    /// Energy balance across an analytic advance: the stored thermal
+    /// energy gained in one interval never exceeds the energy injected
+    /// (heat only leaves through convection while every node sits at or
+    /// above ambient), and never goes negative.
+    #[test]
+    fn advance_energy_balance_residual_bounded(
+        watts in arbitrary_powers(26),
+        dt_exp in -4.0f64..-1.0,
+    ) {
+        let plan = plan();
+        let mut model = ThermalModel::new(&plan, PackageConfig::default());
+        let dt = 10f64.powf(dt_exp);
+        let total: f64 = watts.iter().sum();
+        let capacitance = model.network().capacitance().to_vec();
+        let stored = |m: &ThermalModel| -> f64 {
+            m.node_temperatures()
+                .iter()
+                .zip(&capacitance)
+                .map(|(t, c)| c * (t - 318.0))
+                .sum()
+        };
+        let mut prev = stored(&model);
+        prop_assert!(prev.abs() < 1e-9, "starts at ambient with zero stored energy");
+        for _ in 0..25 {
+            model.advance(&watts, dt);
+            let now = stored(&model);
+            let gained = now - prev;
+            prop_assert!(
+                gained <= total * dt + 1e-9,
+                "interval created energy: gained {gained} J, injected {} J",
+                total * dt
+            );
+            prop_assert!(now >= -1e-9, "stored energy went negative: {now}");
+            prev = now;
+        }
+    }
+
     /// Time compression does not move steady states for any power vector.
     #[test]
     fn compression_preserves_steady_state(watts in arbitrary_powers(26), k in 1.0f64..1000.0) {

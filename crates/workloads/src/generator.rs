@@ -439,6 +439,26 @@ impl TraceSource for TraceGenerator {
         self.op_index += 1;
         Some(op)
     }
+
+    /// O(1) fast-forward: jumps the dynamic-instruction position without
+    /// synthesizing the skipped ops.
+    ///
+    /// `op_index` is the only generator state observable *across* a skip —
+    /// it drives the phase square wave ([`PhaseModel::is_hot`]), so a jump
+    /// keeps hot/cold bursts aligned with virtual time under interval
+    /// simulation. The PRNG, register rings, and branch trip counters
+    /// simply continue: the stream they produce is statistically stationary
+    /// within a phase, which is all the skipped stretch is summarizing.
+    ///
+    /// [`PhaseModel::is_hot`]: crate::PhaseModel::is_hot
+    fn skip_ops(&mut self, n: u64) {
+        if self.op_index == 0 && n > 0 {
+            // Match next_op's lazy first-block initialization so a skip
+            // before the first op does not leave a stale zero-length block.
+            self.ops_left_in_block = self.block_len(self.pc);
+        }
+        self.op_index += n;
+    }
 }
 
 #[cfg(test)]

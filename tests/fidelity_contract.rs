@@ -1,0 +1,227 @@
+//! The accuracy contract binding `Fidelity::Fast` to `Fidelity::Exact`.
+//!
+//! The interval engine is only useful if its answers can be trusted, so
+//! the error bounds below are *pinned*: they were measured over the full
+//! floorplan × policy × benchmark grid at the design point (10 000-cycle
+//! sampling interval, 200 000-cycle macro window, 200 000-cycle detailed
+//! warmup prefix, 1M-cycle budget) and carry ~1.5× headroom. A change
+//! that pushes Fast outside these bounds is an accuracy regression and
+//! must either be fixed or accompanied by a deliberate re-pinning with
+//! fresh measurements.
+//!
+//! Three kinds of observable are covered, with per-observable tolerances
+//! because their intrinsic noise differs:
+//!
+//! - **Execution-averaged block temperatures** are the paper's headline
+//!   metric and average away window noise — tight bound.
+//! - **Peak temperatures** see single-window extremes — moderate bound.
+//! - **Final temperatures** sample one instant of a signal whose
+//!   hottest-block window-to-window standard deviation is 3–5 K under
+//!   Exact (the compressed thermal time constants are comparable to one
+//!   sampling window) — loose bound.
+//! - **Mitigation action counts** are trip-point crossings of that same
+//!   noisy signal, so small counts can shift by a handful of events
+//!   while large counts must agree proportionally: additive-or-ratio
+//!   band.
+//!
+//! The cheap smoke cells run in every `cargo test`; the exhaustive grid
+//! (every constrained floorplan × every policy family × five workloads,
+//! plus ranking preservation) is `#[ignore]`d for debug runs and gates
+//! CI through the release-mode `fidelity-contract` job.
+
+use powerbalance::experiments::{policy, PolicyKind};
+use powerbalance::{Fidelity, FloorplanKind, RunResult, SimConfig, Simulator};
+use powerbalance_workloads::spec2000;
+
+/// Pinned error bounds (kelvin unless noted). See the module docs for
+/// why each observable gets its own tolerance.
+mod eps {
+    /// Execution-averaged per-block temperature.
+    pub const AVG: f64 = 5.5;
+    /// Per-block peak temperature.
+    pub const PEAK: f64 = 4.5;
+    /// Per-block final (last-sample) temperature.
+    pub const FINAL: f64 = 16.0;
+    /// Instructions per cycle (absolute).
+    pub const IPC: f64 = 0.7;
+    /// Mitigation counters: pass when the absolute difference is within
+    /// [`COUNT_SLACK`] events *or* the ratio is within
+    /// [`COUNT_RATIO_LO`]..[`COUNT_RATIO_HI`].
+    pub const COUNT_SLACK: u64 = 20;
+    pub const COUNT_RATIO_LO: f64 = 0.2;
+    pub const COUNT_RATIO_HI: f64 = 5.0;
+    /// Exact-side separation (kelvin) above which a policy-pair's
+    /// ranking must be preserved by Fast.
+    pub const RANK_MARGIN: f64 = 2.0;
+}
+
+const BUDGET: u64 = 1_000_000;
+
+const CONSTRAINED: [FloorplanKind; 3] = [
+    FloorplanKind::IssueConstrained,
+    FloorplanKind::AluConstrained,
+    FloorplanKind::RegfileConstrained,
+];
+
+const BENCHES: [&str; 5] = ["gzip", "mesa", "crafty", "bzip", "facerec"];
+
+fn run(cfg: SimConfig, bench: &str, cycles: u64) -> RunResult {
+    let mut sim = Simulator::new(cfg).expect("valid config");
+    let mut trace = spec2000::by_name(bench).expect("known benchmark").trace(7);
+    sim.run(&mut trace, cycles)
+}
+
+/// Runs one (config, bench) cell under both fidelities at the design
+/// point and returns (exact, fast).
+fn run_cell(base: &SimConfig, bench: &str) -> (RunResult, RunResult) {
+    let exact = run(base.clone(), bench, BUDGET);
+    let fast_cfg = SimConfig { fidelity: Fidelity::Fast, ..base.clone() };
+    let fast = run(fast_cfg, bench, BUDGET);
+    (exact, fast)
+}
+
+/// Asserts every pinned per-observable bound for one cell.
+fn assert_cell_within_contract(exact: &RunResult, fast: &RunResult, tag: &str) {
+    assert_eq!(exact.temperatures.len(), fast.temperatures.len(), "{tag}: block count");
+    for (e, f) in exact.temperatures.iter().zip(&fast.temperatures) {
+        let block = &e.name;
+        assert!(
+            (e.avg - f.avg).abs() <= eps::AVG,
+            "{tag}/{block}: avg temp error {:.3} K exceeds ε={} (exact {:.3}, fast {:.3})",
+            (e.avg - f.avg).abs(),
+            eps::AVG,
+            e.avg,
+            f.avg
+        );
+        assert!(
+            (e.max - f.max).abs() <= eps::PEAK,
+            "{tag}/{block}: peak temp error {:.3} K exceeds ε={} (exact {:.3}, fast {:.3})",
+            (e.max - f.max).abs(),
+            eps::PEAK,
+            e.max,
+            f.max
+        );
+        assert!(
+            (e.last - f.last).abs() <= eps::FINAL,
+            "{tag}/{block}: final temp error {:.3} K exceeds ε={} (exact {:.3}, fast {:.3})",
+            (e.last - f.last).abs(),
+            eps::FINAL,
+            e.last,
+            f.last
+        );
+    }
+    assert!(
+        (exact.ipc - fast.ipc).abs() <= eps::IPC,
+        "{tag}: IPC error {:.4} exceeds ε={} (exact {:.4}, fast {:.4})",
+        (exact.ipc - fast.ipc).abs(),
+        eps::IPC,
+        exact.ipc,
+        fast.ipc
+    );
+    let counters = |r: &RunResult| {
+        [
+            ("toggles", r.toggles),
+            ("alu_turnoffs", r.alu_turnoffs),
+            ("rf_turnoffs", r.rf_turnoffs),
+            ("freezes", r.freezes),
+            ("opp_transitions", r.opp_transitions),
+            ("duty_shifts", r.duty_shifts),
+        ]
+    };
+    for ((name, ec), (_, fc)) in counters(exact).into_iter().zip(counters(fast)) {
+        let diff = ec.abs_diff(fc);
+        let ratio = fc as f64 / ec.max(1) as f64;
+        assert!(
+            diff <= eps::COUNT_SLACK
+                || (eps::COUNT_RATIO_LO..=eps::COUNT_RATIO_HI).contains(&ratio),
+            "{tag}: {name} count diverged (exact {ec}, fast {fc}, ratio {ratio:.2})"
+        );
+    }
+}
+
+/// Always-on smoke cells: one actuating policy per constrained
+/// floorplan, on a workload the full-grid measurements showed to be
+/// near-worst-case for it. Debug-affordable (a few cells, not ninety);
+/// the exhaustive sweep is the `#[ignore]`d test below.
+#[test]
+fn fast_tracks_exact_within_pinned_bounds_on_smoke_cells() {
+    let cells = [
+        (FloorplanKind::IssueConstrained, PolicyKind::Spatial, "gzip"),
+        (FloorplanKind::AluConstrained, PolicyKind::Spatial, "crafty"),
+        (FloorplanKind::RegfileConstrained, PolicyKind::Dvfs, "mesa"),
+    ];
+    for (kind, pk, bench) in cells {
+        let base = policy(pk, kind);
+        let (exact, fast) = run_cell(&base, bench);
+        assert_cell_within_contract(&exact, &fast, &format!("{kind:?}/{pk:?}/{bench}"));
+    }
+}
+
+/// A Fast run must claim the full virtual budget while detailing only
+/// the warmup prefix plus one window per macro interval — the speedup
+/// the bench harness measures in wall-clock terms is this ratio.
+#[test]
+fn fast_detailed_cycle_fraction_matches_the_prefix_plus_duty_cycle() {
+    let cfg = SimConfig { fidelity: Fidelity::Fast, ..policy(PolicyKind::None, CONSTRAINED[0]) };
+    let (prefix, window, interval) = (cfg.fast_warmup, cfg.fast_window, cfg.sample_interval);
+    let mut sim = Simulator::new(cfg).expect("valid config");
+    let mut trace = spec2000::by_name("gzip").expect("known benchmark").trace(7);
+    let r = sim.run(&mut trace, BUDGET);
+    assert!(r.cycles >= BUDGET, "virtual cycles cover the budget: {}", r.cycles);
+    let detailed = sim.core().stats().cycles;
+    let expected = prefix + (BUDGET - prefix) / (window / interval);
+    // One extra detailed window of slack: the post-prefix boundary and a
+    // possible final partial window.
+    assert!(
+        detailed <= expected + 2 * interval,
+        "detailed cycles {detailed} exceed prefix + duty cycle ({expected})"
+    );
+}
+
+/// The exhaustive accuracy contract: every constrained floorplan ×
+/// every policy family × five workloads, plus ranking preservation.
+///
+/// Runs 90 Exact + 90 Fast simulations of 1M cycles — minutes in
+/// release, unaffordable in debug — so it is ignored by default and
+/// gates merges through the release-mode `fidelity-contract` CI job
+/// (`cargo test --release ... -- --include-ignored`).
+#[test]
+#[ignore = "exhaustive grid; run in release via the fidelity-contract CI job"]
+fn full_grid_accuracy_contract_holds_and_rankings_are_preserved() {
+    for kind in CONSTRAINED {
+        // Aggregate score per policy: mean over workloads of the hottest
+        // block's execution-averaged temperature — the paper's headline
+        // "how well did this technique cool the hot spot" number.
+        let mut scores: Vec<(PolicyKind, f64, f64)> = Vec::new();
+        for pk in PolicyKind::ALL {
+            let base = policy(pk, kind);
+            let mut exact_sum = 0.0;
+            let mut fast_sum = 0.0;
+            for bench in BENCHES {
+                let (exact, fast) = run_cell(&base, bench);
+                assert_cell_within_contract(&exact, &fast, &format!("{kind:?}/{pk:?}/{bench}"));
+                exact_sum += exact.hottest().avg;
+                fast_sum += fast.hottest().avg;
+            }
+            let n = BENCHES.len() as f64;
+            scores.push((pk, exact_sum / n, fast_sum / n));
+        }
+        // Ranking preservation: any policy pair Exact separates by more
+        // than the pinned margin must keep its order under Fast. Pairs
+        // inside the margin are statistical ties and may swap.
+        for i in 0..scores.len() {
+            for j in (i + 1)..scores.len() {
+                let (pa, ea, fa) = scores[i];
+                let (pb, eb, fb) = scores[j];
+                if (ea - eb).abs() > eps::RANK_MARGIN {
+                    assert_eq!(
+                        ea < eb,
+                        fa < fb,
+                        "{kind:?}: ranking of {pa:?} (exact {ea:.2} K, fast {fa:.2} K) vs \
+                         {pb:?} (exact {eb:.2} K, fast {fb:.2} K) flipped under Fast"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -143,6 +143,13 @@ fn thirty_two_connections_against_a_depth_8_queue() {
         "submitted must reconcile against terminal counters"
     );
 
+    // Per-fidelity counters partition submissions; this test only ever
+    // submitted Exact-fidelity specs.
+    let exact = m.campaigns_submitted_exact.load(Ordering::Relaxed);
+    let fast = m.campaigns_submitted_fast.load(Ordering::Relaxed);
+    assert_eq!(submitted, exact + fast, "submitted must equal exact + fast");
+    assert_eq!(fast, 0, "no fast-fidelity specs were submitted");
+
     // The same numbers must appear in the Prometheus rendering.
     let mut client = Client::new(addr, Duration::from_secs(5));
     let text = client.request("GET", "/metrics", None).expect("metrics answers").text();
@@ -183,6 +190,60 @@ fn submit_status_result_round_trip() {
     assert_eq!(parsed.spec.name, "round-trip");
     assert_eq!(parsed.jobs.len(), 1);
     assert!(parsed.jobs[0].result.ipc > 0.0);
+}
+
+#[test]
+fn fidelity_query_overrides_the_spec_and_is_metered() {
+    let server = start_server(ServiceConfig {
+        queue_depth: 4,
+        workers: 1,
+        campaign_threads: Some(1),
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::new(server.addr(), Duration::from_secs(30));
+
+    // The spec itself says Exact (the default); the query flips it.
+    let response = client
+        .request("POST", "/v1/campaigns?fidelity=fast", Some(&spec_json("fast-run", 300_000)))
+        .expect("submit answers");
+    assert_eq!(response.status, 202);
+    let fast_id = extract_id(&response.text());
+
+    // A second campaign with no query keeps the spec's own fidelity.
+    let response = client
+        .request("POST", "/v1/campaigns", Some(&spec_json("exact-run", 20_000)))
+        .expect("submit answers");
+    assert_eq!(response.status, 202);
+    let exact_id = extract_id(&response.text());
+
+    assert_eq!(poll_terminal(&mut client, fast_id), "Completed");
+    assert_eq!(poll_terminal(&mut client, exact_id), "Completed");
+
+    // The result artifact records the overridden config, so a reader of
+    // the archive sees what actually ran.
+    let fetch = |client: &mut Client, id: u64| {
+        let text = client
+            .request("GET", &format!("/v1/campaigns/{id}/result"), None)
+            .expect("result answers")
+            .text();
+        serde::json::from_str::<powerbalance_harness::CampaignResult>(&text)
+            .expect("result body is a CampaignResult")
+    };
+    let fast_result = fetch(&mut client, fast_id);
+    assert_eq!(fast_result.spec.configs[0].config.fidelity, powerbalance::Fidelity::Fast);
+    assert!(fast_result.jobs[0].result.ipc > 0.0);
+    let exact_result = fetch(&mut client, exact_id);
+    assert_eq!(exact_result.spec.configs[0].config.fidelity, powerbalance::Fidelity::Exact);
+
+    // Mixed-fidelity traffic reconciles: submitted = exact + fast, and
+    // both counters surface in the Prometheus rendering.
+    let m = server.service().metrics();
+    assert_eq!(m.campaigns_submitted.load(Ordering::Relaxed), 2);
+    assert_eq!(m.campaigns_submitted_fast.load(Ordering::Relaxed), 1);
+    assert_eq!(m.campaigns_submitted_exact.load(Ordering::Relaxed), 1);
+    let text = client.request("GET", "/metrics", None).expect("metrics answers").text();
+    assert!(text.contains("powerbalance_campaigns_submitted_exact_total 1"));
+    assert!(text.contains("powerbalance_campaigns_submitted_fast_total 1"));
 }
 
 #[test]

@@ -59,6 +59,33 @@ fn malformed_json_submission_gets_400() {
 }
 
 #[test]
+fn bogus_fidelity_query_gets_400() {
+    let server = start_test_server();
+    let mut c = client(&server);
+    // The query is vetted before the body is even parsed, so a
+    // placeholder body suffices: the typo alone must sink the request.
+    for query in ["?fidelity=sloppy", "?fidelity=", "?fidelity=FAST"] {
+        let response = c
+            .request("POST", &format!("/v1/campaigns{query}"), Some("{}"))
+            .expect("a response comes back");
+        assert_eq!(response.status, 400, "query {query:?} must be rejected");
+        assert!(
+            response.text().contains("unknown fidelity"),
+            "the error names the bad parameter: {}",
+            response.text()
+        );
+    }
+    let m = server.service().metrics();
+    assert_eq!(m.campaigns_invalid.load(std::sync::atomic::Ordering::Relaxed), 3);
+    assert_eq!(
+        m.campaigns_submitted.load(std::sync::atomic::Ordering::Relaxed),
+        0,
+        "nothing reaches the queue on a bad query"
+    );
+    assert_still_serving(&server);
+}
+
+#[test]
 fn oversized_body_gets_413() {
     let server = start_test_server();
     // Over the 8 KiB test limit, but small enough that the write lands in

@@ -113,6 +113,72 @@ fn resume_is_bit_identical_for_global_policies() {
 }
 
 #[test]
+fn fast_mode_resume_is_bit_identical_even_mid_macro_window() {
+    // The interval engine's whole dynamic state — warmup-prefix
+    // progress, macro-window phase, held power vector, extrapolation
+    // basis and totals — must ride the snapshot. Splitting at every
+    // sample boundary from 30k to 110k necessarily lands captures
+    // inside the detailed prefix (< 40k), at a macro-window boundary,
+    // and mid-window between detailed samples.
+    let config = powerbalance::SimConfig {
+        fidelity: powerbalance::Fidelity::Fast,
+        fast_window: 40_000,
+        fast_warmup: 40_000,
+        ..experiments::policy(experiments::PolicyKind::Spatial, FloorplanKind::AluConstrained)
+    };
+    for split in [30_000, 80_000, 90_000, 110_000] {
+        let (straight, resumed) = straight_vs_resumed(&config, "crafty", split, 200_000);
+        assert_eq!(
+            straight, resumed,
+            "fast/crafty: snapshot-at-{split} resume must equal 200k straight"
+        );
+        assert_eq!(straight.temperatures, resumed.temperatures, "fast split {split}: temps");
+    }
+}
+
+#[test]
+fn fast_resume_of_an_exact_snapshot_is_rejected_as_structural() {
+    // A Fast simulator cannot continue an Exact capture (or vice versa):
+    // the captured state embeds window phase and extrapolated totals the
+    // other engine has no meaning for. Same for differing macro windows
+    // or warmup prefixes between two Fast runs. Each must fail with the
+    // structural-compat error naming the offending field, not resume
+    // and silently drift.
+    let profile = spec2000::by_name("gzip").expect("known benchmark");
+    let mut trace = profile.trace(7);
+    let mut sim = Simulator::new(SimConfig::default()).expect("valid config");
+    sim.run_warmup(&mut trace, 40_000);
+    let exact_snap = Snapshot::capture(&sim, &profile, &trace);
+
+    let fast_cfg = SimConfig { fidelity: powerbalance::Fidelity::Fast, ..SimConfig::default() };
+    let err = exact_snap.resume_with_config(fast_cfg.clone()).expect_err("fidelity differs");
+    let msg = err.to_string();
+    assert!(msg.contains("structurally incompatible") && msg.contains("fidelity"), "{msg}");
+
+    let mut trace = profile.trace(7);
+    let mut sim = Simulator::new(fast_cfg.clone()).expect("valid config");
+    sim.run_warmup(&mut trace, 40_000);
+    let fast_snap = Snapshot::capture(&sim, &profile, &trace);
+
+    let err = fast_snap
+        .resume_with_config(SimConfig { fast_window: 400_000, ..fast_cfg.clone() })
+        .expect_err("macro window differs");
+    assert!(err.to_string().contains("fast_window"), "{err}");
+    let err = fast_snap
+        .resume_with_config(SimConfig { fast_warmup: 0, ..fast_cfg.clone() })
+        .expect_err("warmup prefix differs");
+    assert!(err.to_string().contains("fast_warmup"), "{err}");
+    let err = fast_snap
+        .resume_with_config(SimConfig::default())
+        .expect_err("exact cannot resume fast either");
+    assert!(err.to_string().contains("fidelity"), "{err}");
+
+    // The mitigation-only escape hatch still works under Fast.
+    let forked = SimConfig { mitigation: MitigationConfig::spatial_all(), ..fast_cfg };
+    fast_snap.resume_with_config(forked).expect("mitigation may differ under Fast too");
+}
+
+#[test]
 fn one_snapshot_restores_deterministically() {
     let config = experiments::issue_queue(true);
     let profile = spec2000::by_name("gzip").expect("known benchmark");
