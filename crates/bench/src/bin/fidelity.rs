@@ -178,6 +178,7 @@ fn run_timed(spec: &CampaignSpec, args: &Args) -> (CampaignResult, f64) {
         warm_cache: false,
         checkpoint_dir: None,
         resume: false,
+        ..RunnerOptions::default()
     };
     let start = Instant::now();
     let result = run_campaign(spec, &options).expect("fidelity campaign specs are valid");

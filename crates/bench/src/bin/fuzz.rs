@@ -18,9 +18,15 @@
 //! block's final temperature must agree within [`FAST_FINAL_EPS`], so an
 //! accuracy regression anywhere in the random config space fails the seed
 //! like any other violation.
+//!
+//! One seed in four additionally draws *batched lockstep execution*: a
+//! random width K in 2..=6 of random policy families over the seed's base
+//! case, run as one [`BatchSimulator`] and cross-checked bitwise against K
+//! sequential scalar runs. Any drift — a temperature bit, an event count —
+//! fails the seed.
 
-use powerbalance::{Fidelity, SimConfig, Simulator};
-use powerbalance_bench::fuzz::derive_case;
+use powerbalance::{BatchSimulator, Fidelity, SimConfig, Simulator, TraceCursor};
+use powerbalance_bench::fuzz::{derive_batch_siblings, derive_case, draws_batch};
 use powerbalance_workloads::spec2000;
 use serde::{json, Deserialize, Serialize};
 use std::panic::{self, AssertUnwindSafe};
@@ -125,9 +131,11 @@ fn parse_args() -> Args {
 }
 
 /// One checked run, plus the Fast-vs-Exact cross-check when the derived
-/// config uses the interval engine. `Ok` means clean; `Err` carries the
-/// violation strings (capped) or the panic message.
+/// config uses the interval engine and the batched-vs-scalar cross-check
+/// when the seed draws batched execution. `Ok` means clean; `Err` carries
+/// the violation strings (capped) or the panic message.
 fn run_case(
+    seed: u64,
     config: &SimConfig,
     bench: &str,
     trace_seed: u64,
@@ -152,6 +160,9 @@ fn run_case(
                 ));
             }
         }
+        if draws_batch(seed) && failures.is_empty() {
+            failures.extend(batch_cross_check(seed, config, bench, trace_seed, cycles));
+        }
         Ok(failures)
     }));
     match outcome {
@@ -169,10 +180,64 @@ fn run_case(
     }
 }
 
+/// Runs the seed's derived lockstep siblings as one batch and bitwise
+/// cross-checks every sibling against its own sequential scalar run.
+/// Returns the mismatch descriptions (empty when clean).
+fn batch_cross_check(
+    seed: u64,
+    base: &SimConfig,
+    bench: &str,
+    trace_seed: u64,
+    cycles: u64,
+) -> Vec<String> {
+    let profile = match spec2000::by_name(bench) {
+        Some(p) => p,
+        None => return vec![format!("unknown bench {bench}")],
+    };
+    let configs = derive_batch_siblings(seed, base);
+    // Exact siblings ring-share generated ops through a cursor; Fast
+    // siblings take the generator directly so macro-interval skips stay
+    // O(1) instead of drawing ops.
+    let batched = match base.fidelity {
+        Fidelity::Exact => {
+            BatchSimulator::new(configs.clone(), TraceCursor::new(profile.trace(trace_seed)))
+                .map(|mut b| b.run(cycles))
+        }
+        Fidelity::Fast => BatchSimulator::new(configs.clone(), profile.trace(trace_seed))
+            .map(|mut b| b.run(cycles)),
+    };
+    let batched = match batched {
+        Ok(results) => results,
+        Err(e) => return vec![format!("batch setup failed (K={}): {e}", configs.len())],
+    };
+    let mut failures = Vec::new();
+    for (i, (config, batch_result)) in configs.iter().zip(&batched).enumerate() {
+        let scalar = match Simulator::new(config.clone()) {
+            Ok(mut sim) => sim.run(&mut profile.trace(trace_seed), cycles),
+            Err(e) => {
+                failures.push(format!("batch sibling {i} scalar setup failed: {e}"));
+                continue;
+            }
+        };
+        if *batch_result != scalar {
+            failures.push(format!(
+                "batched execution diverged from scalar on sibling {i}/{} \
+                 (batch committed {} vs scalar {}, hottest {:.3} K vs {:.3} K)",
+                configs.len(),
+                batch_result.committed,
+                scalar.committed,
+                batch_result.hottest().last,
+                scalar.hottest().last,
+            ));
+        }
+    }
+    failures
+}
+
 /// Greedy shrink: halve the cycle budget while the failure reproduces.
-fn shrink(config: &SimConfig, bench: &str, trace_seed: u64, mut cycles: u64) -> u64 {
+fn shrink(seed: u64, config: &SimConfig, bench: &str, trace_seed: u64, mut cycles: u64) -> u64 {
     while cycles / 2 >= MIN_CYCLES {
-        if run_case(config, bench, trace_seed, cycles / 2).is_err() {
+        if run_case(seed, config, bench, trace_seed, cycles / 2).is_err() {
             cycles /= 2;
         } else {
             break;
@@ -194,7 +259,7 @@ fn replay(path: &PathBuf) -> ! {
         "replaying seed {} ({} on {:?}, {} cycles)...",
         case.seed, case.bench, case.config.floorplan, case.cycles
     );
-    match run_case(&case.config, &case.bench, case.trace_seed, case.cycles) {
+    match run_case(case.seed, &case.config, &case.bench, case.trace_seed, case.cycles) {
         Ok(()) => {
             eprintln!("case no longer reproduces: run is clean");
             std::process::exit(0);
@@ -225,7 +290,7 @@ fn main() {
     for seed in args.start_seed..args.start_seed + args.seeds {
         let (config, bench, trace_seed) = derive_case(seed);
         debug_assert!(config.validate().is_ok(), "seed {seed} derived an invalid config");
-        match run_case(&config, &bench, trace_seed, args.cycles) {
+        match run_case(seed, &config, &bench, trace_seed, args.cycles) {
             Ok(()) => {
                 if (seed + 1 - args.start_seed).is_multiple_of(25) {
                     eprintln!("  {}/{} seeds clean", seed + 1 - args.start_seed, args.seeds);
@@ -233,9 +298,9 @@ fn main() {
             }
             Err(_) => {
                 failures += 1;
-                let cycles = shrink(&config, &bench, trace_seed, args.cycles);
-                let failure =
-                    run_case(&config, &bench, trace_seed, cycles).expect_err("shrunk case fails");
+                let cycles = shrink(seed, &config, &bench, trace_seed, args.cycles);
+                let failure = run_case(seed, &config, &bench, trace_seed, cycles)
+                    .expect_err("shrunk case fails");
                 eprintln!(
                     "seed {seed} FAILED ({bench} on {:?}, shrunk to {cycles} cycles):",
                     config.floorplan

@@ -5,6 +5,7 @@
 //! `max_temp` bias actually makes mitigation fire within the fuzzer's
 //! default cycle budget.
 
+use powerbalance::experiments::PolicyKind;
 use powerbalance::{
     DutyLadder, DvfsParams, Fidelity, FloorplanKind, GateParams, GlobalPolicy, MappingPolicy,
     OppLadder, SelectPolicy, SimConfig,
@@ -144,6 +145,55 @@ fn pick<'a, T>(rng: &mut Xoshiro256, options: &'a [T]) -> &'a T {
     &options[rng.below(options.len() as u64) as usize]
 }
 
+/// Salt separating the batch-sibling RNG stream from `derive_case`'s, so
+/// adding batched draws never perturbs what existing seeds derive.
+const BATCH_SALT: u64 = 0xBA7C4ED0_C0FFEE42;
+
+/// Whether this seed additionally cross-checks batched lockstep execution
+/// against sequential scalar runs (one seed in four).
+#[must_use]
+pub fn draws_batch(seed: u64) -> bool {
+    seed % 4 == 3
+}
+
+/// Derives the lockstep sibling configs for a batch-drawing seed: a random
+/// width K in 2..=6, each sibling the base case with a random policy
+/// family's mitigation substituted. The siblings share every non-mitigation
+/// field — exactly the harness's batch-eligibility rule — with the core
+/// geometry pinned to the full 6-ALU/4-adder/2-copy machine the turnoff
+/// families' per-unit walks assume. The base case's (possibly biased-low)
+/// thresholds are kept, and global-policy ladders are rebuilt from them, so
+/// short budgets still reach trip decisions.
+#[must_use]
+pub fn derive_batch_siblings(seed: u64, base: &SimConfig) -> Vec<SimConfig> {
+    let mut rng = Xoshiro256::new(seed ^ BATCH_SALT);
+    let k = 2 + rng.below(5) as usize;
+    let mut shared = base.clone();
+    shared.core.int_alus = 6;
+    shared.core.fp_adders = 4;
+    shared.core.int_rf_copies = 2;
+    (0..k)
+        .map(|_| {
+            let kind = *pick(&mut rng, &PolicyKind::ALL);
+            let mut mitigation = kind.mitigation();
+            mitigation.thresholds = base.mitigation.thresholds;
+            mitigation.global = match mitigation.global {
+                GlobalPolicy::Dvfs(_) => {
+                    GlobalPolicy::Dvfs(DvfsParams::for_thresholds(&mitigation.thresholds))
+                }
+                GlobalPolicy::FetchGate(_) => {
+                    GlobalPolicy::FetchGate(GateParams::for_thresholds(&mitigation.thresholds))
+                }
+                GlobalPolicy::ClockThrottle(_) => {
+                    GlobalPolicy::ClockThrottle(GateParams::for_thresholds(&mitigation.thresholds))
+                }
+                GlobalPolicy::None => GlobalPolicy::None,
+            };
+            SimConfig { mitigation, ..shared.clone() }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +209,29 @@ mod tests {
             assert_eq!(trace_a, trace_b);
             a.validate().unwrap_or_else(|e| panic!("seed {seed} derived an invalid config: {e}"));
         }
+    }
+
+    #[test]
+    fn batch_siblings_are_valid_and_batch_eligible() {
+        use powerbalance::batch_key;
+        use serde::json;
+        let mut widths = std::collections::HashSet::new();
+        for seed in (0..200u64).filter(|s| draws_batch(*s)) {
+            let (base, _, _) = derive_case(seed);
+            let siblings = derive_batch_siblings(seed, &base);
+            assert!((2..=6).contains(&siblings.len()), "seed {seed}: width out of range");
+            widths.insert(siblings.len());
+            let key = json::to_string(&batch_key(&siblings[0]));
+            for (i, cfg) in siblings.iter().enumerate() {
+                cfg.validate().unwrap_or_else(|e| panic!("seed {seed} sibling {i} invalid: {e}"));
+                assert_eq!(
+                    json::to_string(&batch_key(cfg)),
+                    key,
+                    "seed {seed} sibling {i} is not batch-eligible with sibling 0"
+                );
+            }
+        }
+        assert!(widths.len() > 1, "batch widths must vary across the first 200 seeds");
     }
 
     /// The PR-4 coverage note: with `max_temp` biased into the 322–348 K

@@ -161,6 +161,7 @@ impl BenchArgs {
             warm_cache: self.warm_cache,
             checkpoint_dir: self.checkpoint_dir.clone(),
             resume: self.resume,
+            ..RunnerOptions::default()
         }
     }
 

@@ -76,6 +76,9 @@ USAGE:
       --threads <n>         worker threads inside each campaign
                             [POWERBALANCE_THREADS or all cores]
       --job-timeout <secs>  per-job wall-clock budget; 0 disables [600]
+      --max-batch <n>       lockstep-batch width cap for sibling jobs
+                            (same bench/seed, differing only in
+                            mitigation); 1 disables batching    [6]
 
 EXAMPLES:
   powerbalance run --bench eon --floorplan issue --toggling
@@ -317,6 +320,7 @@ fn run(args: RunArgs) -> Result<(), String> {
         warm_cache: args.warm_cache,
         checkpoint_dir: args.checkpoint_dir,
         resume: args.resume,
+        ..RunnerOptions::default()
     };
     let campaign = run_campaign(&spec, &options).map_err(|e| e.to_string())?;
 
@@ -422,6 +426,13 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
                     value("--job-timeout")?.parse().map_err(|e| format!("--job-timeout: {e}"))?;
                 config.service.job_timeout =
                     (secs > 0).then(|| std::time::Duration::from_secs(secs));
+            }
+            "--max-batch" => {
+                config.service.max_batch =
+                    value("--max-batch")?.parse().map_err(|e| format!("--max-batch: {e}"))?;
+                if config.service.max_batch == 0 {
+                    return Err("--max-batch must be at least 1".to_string());
+                }
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -543,6 +554,8 @@ mod tests {
             "2",
             "--job-timeout",
             "30",
+            "--max-batch",
+            "4",
         ]))
         .expect("valid serve command line");
         assert_eq!(a.config.addr, "0.0.0.0:9000");
@@ -550,6 +563,7 @@ mod tests {
         assert_eq!(a.config.service.workers, 3);
         assert_eq!(a.config.service.campaign_threads, Some(2));
         assert_eq!(a.config.service.job_timeout, Some(std::time::Duration::from_secs(30)));
+        assert_eq!(a.config.service.max_batch, 4);
 
         let b = parse_serve(&[]).expect("defaults are valid");
         assert_eq!(b.config.addr, "127.0.0.1:8484");
@@ -559,6 +573,7 @@ mod tests {
 
         assert!(parse_serve(&strs(&["--queue-depth", "0"])).is_err());
         assert!(parse_serve(&strs(&["--workers", "0"])).is_err());
+        assert!(parse_serve(&strs(&["--max-batch", "0"])).is_err());
         assert!(parse_serve(&strs(&["--frobnicate"])).is_err());
     }
 

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod config;
 mod error;
 pub mod experiments;
@@ -45,6 +46,7 @@ mod result;
 mod simulator;
 mod snapshot;
 
+pub use batch::{batch_key, BatchSimulator};
 pub use config::{Fidelity, SimConfig, DEFAULT_FAST_WINDOW};
 pub use error::Error;
 pub use result::{BlockTemperature, RunResult};
@@ -54,6 +56,7 @@ pub use snapshot::{FastEngineState, SimulatorState, Snapshot, FORMAT_VERSION};
 // Re-export the subsystem vocabulary users need to configure runs.
 // `spec2000` rides along so downstream crates (harness, bench, cli) can
 // name benchmarks without depending on `powerbalance-workloads` directly.
+pub use powerbalance_isa::{TraceCursor, TraceSource};
 pub use powerbalance_mitigation::{
     DutyLadder, DvfsParams, GateParams, GlobalPolicy, MitigationConfig, OppLadder, OppLevel,
     Thresholds, TripPoint, TripSeverity, TripTable,

@@ -4,10 +4,10 @@ use crate::config::Fidelity;
 use crate::snapshot::{decode_bits, encode_bits};
 use crate::{BlockTemperature, Error, RunResult, SimConfig, SimulatorState};
 use powerbalance_isa::TraceSource;
-use powerbalance_mitigation::{Sensors, ThermalManager};
+use powerbalance_mitigation::{MitigationStats, Sensors, ThermalManager};
 use powerbalance_power::PowerModel;
 use powerbalance_thermal::{ev6, Floorplan, ThermalModel};
-use powerbalance_uarch::{ActivitySample, Core, IqActivity};
+use powerbalance_uarch::{ActivitySample, Core, CoreStats, IqActivity};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
@@ -347,13 +347,7 @@ impl Simulator {
                 break;
             }
             let window = self.config.sample_interval.min(cycles - elapsed);
-            for _ in 0..window {
-                self.checked_cycle(trace);
-                elapsed += 1;
-                if self.core.is_done() {
-                    break;
-                }
-            }
+            elapsed += self.run_window(trace, window);
             self.sample(true);
         }
         (self.result(), cause)
@@ -393,16 +387,34 @@ impl Simulator {
                 return stop;
             }
             let window = self.config.sample_interval.min(cycles - elapsed);
-            for _ in 0..window {
-                self.checked_cycle(trace);
-                elapsed += 1;
-                if self.core.is_done() {
-                    break;
-                }
-            }
+            elapsed += self.run_window(trace, window);
             self.sample(false);
         }
         StopCause::Completed
+    }
+
+    /// Advances the core cycle-by-cycle for up to `window` cycles, stopping
+    /// early when the trace drains; returns the cycles actually run.
+    ///
+    /// One phase of a sampling window. The phases
+    /// ([`run_window`](Self::run_window) →
+    /// [`window_activity`](Self::window_activity) → power →
+    /// [`sample_prepare`](Self::sample_prepare) → thermal →
+    /// [`sample_stats`](Self::sample_stats)) are split out so the batched
+    /// campaign engine ([`crate::BatchSimulator`]) can drive each phase
+    /// across all lockstep siblings before moving to the next; the scalar
+    /// [`sample`](Self::sample) chains them directly, which is what keeps
+    /// the two paths bit-identical by construction.
+    pub(crate) fn run_window<T: TraceSource>(&mut self, trace: &mut T, window: u64) -> u64 {
+        let mut ran = 0u64;
+        for _ in 0..window {
+            self.checked_cycle(trace);
+            ran += 1;
+            if self.core.is_done() {
+                break;
+            }
+        }
+        ran
     }
 
     /// The interval engine ([`Fidelity::Fast`]).
@@ -453,76 +465,18 @@ impl Simulator {
             let sub = self.config.sample_interval.min(cycles - elapsed);
             let in_prefix = self.fast.prefix_left > 0;
             if in_prefix || self.fast.window_pos == 0 {
-                let first_sample = self.fast.sample_cycles == 0;
                 let before = *self.core.stats();
-                for _ in 0..sub {
-                    self.checked_cycle(trace);
-                    elapsed += 1;
-                    if self.core.is_done() {
-                        break;
-                    }
-                }
+                elapsed += self.run_window(trace, sub);
                 self.sample(consult_manager);
-                let after = self.core.stats();
-                self.fast.sample_cycles = after.cycles - before.cycles;
-                self.fast.sample_committed = after.committed - before.committed;
-                self.fast.sample_fetched = after.fetched - before.fetched;
-                self.fast.sample_frozen = after.frozen_cycles - before.frozen_cycles;
-                self.fast.sample_throttled = after.throttled_cycles - before.throttled_cycles;
-                self.fast.sample_fetch_gated = after.fetch_gated_cycles - before.fetch_gated_cycles;
-                if first_sample {
-                    self.fast.window_watts.copy_from_slice(&self.watts);
-                } else {
-                    // One detailed window is a noisy estimate of the power
-                    // the skipped cycles will dissipate; blending recent
-                    // windows halves the estimator variance at the cost of
-                    // one macro window of lag (EWMA, α = 1/2).
-                    for (held, w) in self.fast.window_watts.iter_mut().zip(&self.watts) {
-                        *held = 0.5 * *held + 0.5 * w;
-                    }
-                }
+                self.fast_record_window(&before);
             } else {
                 elapsed += sub;
-                let dt = sub as f64 / self.config.frequency_hz;
-                // Captured before the consult below, mirroring the
-                // `was_frozen` the detailed path reads at its sample.
-                let frozen = self.core.is_frozen();
-                if frozen {
-                    // A frozen core fetches, commits, and switches nothing:
-                    // the die sees pure leakage and the whole sub-interval
-                    // is stall time.
-                    self.thermal.advance(&self.idle_watts, dt);
-                    self.fast.extra_cycles += sub;
-                    self.fast.extra_frozen += sub;
-                } else {
-                    self.thermal.advance(&self.fast.window_watts, dt);
-                    self.fast.extra_cycles += sub;
-                    let len = self.fast.sample_cycles;
-                    // Fast-forward the workload past the instructions the
-                    // skipped cycles would have consumed, so the next
-                    // detailed window samples the phase of the program
-                    // that virtual time has actually reached.
-                    trace.skip_ops(FastState::scaled(self.fast.sample_fetched, sub, len));
-                    self.fast.extra_committed +=
-                        FastState::scaled(self.fast.sample_committed, sub, len);
-                    self.fast.extra_frozen += FastState::scaled(self.fast.sample_frozen, sub, len);
-                    self.fast.extra_throttled +=
-                        FastState::scaled(self.fast.sample_throttled, sub, len);
-                    self.fast.extra_fetch_gated +=
-                        FastState::scaled(self.fast.sample_fetch_gated, sub, len);
-                }
-                // The closed-form advance is outside the backward-Euler
-                // residual's reach; re-base the checker so the next
-                // detailed step is measured from the advanced state.
-                #[cfg(feature = "check")]
-                if let Some(checker) = &mut self.checker {
-                    checker.resync_thermal(&self.thermal);
-                }
+                let frozen = self.fast_skip_advance(trace, sub);
                 // Keep the mitigation loop on its Exact-mode cadence: one
                 // consult per sampling interval, at virtual time, against
                 // the analytically advanced temperatures.
+                let now = self.virtual_now();
                 if consult_manager {
-                    let now = self.core.stats().cycles + self.fast.extra_cycles;
                     self.manager.on_sample(
                         &mut self.core,
                         self.thermal.temperatures(),
@@ -532,44 +486,105 @@ impl Simulator {
                     );
                 }
                 // Mirror the statistics a detailed sample would record.
-                if !frozen {
-                    for (sum, t) in self.temp_sum.iter_mut().zip(self.thermal.temperatures()) {
-                        *sum += t;
-                    }
-                    self.temp_samples += 1;
-                }
-                for (max, t) in self.temp_max.iter_mut().zip(self.thermal.temperatures()) {
-                    *max = max.max(*t);
-                }
-                if let Some(history) = &mut self.history {
-                    let now = self.core.stats().cycles + self.fast.extra_cycles;
-                    history.push((now, self.thermal.temperatures().to_vec()));
-                }
+                self.sample_stats(frozen, now);
             }
-            if in_prefix {
-                // The prefix is detailed wall-to-wall; the macro-window
-                // phase only starts counting once it is spent, so the
-                // first post-prefix sub-interval begins a fresh window.
-                self.fast.prefix_left = self.fast.prefix_left.saturating_sub(sub);
-            } else {
-                self.fast.window_pos = (self.fast.window_pos + 1) % stretch;
-            }
+            self.fast_tick(in_prefix, sub, stretch);
         }
         StopCause::Completed
     }
 
-    /// One sense/react step: power → thermal → (optionally) mitigation →
-    /// statistics.
-    fn sample(&mut self, consult_manager: bool) {
-        let activity = self.core.take_activity();
-        if activity.cycles == 0 {
-            return;
+    /// Records the throughput deltas and power vector of the detailed
+    /// sub-interval that just ended (core stats snapshotted in `before`) as
+    /// the extrapolation basis for the skipped sub-intervals that follow.
+    ///
+    /// Must run after [`sample`](Self::sample) (or, in the batched engine,
+    /// after the power phase) so `self.watts` holds the window's measured
+    /// power.
+    pub(crate) fn fast_record_window(&mut self, before: &CoreStats) {
+        // Nothing between the window's start and this call mutates the
+        // basis, so "is this the first detailed window?" can be read here.
+        let first_sample = self.fast.sample_cycles == 0;
+        let after = self.core.stats();
+        self.fast.sample_cycles = after.cycles - before.cycles;
+        self.fast.sample_committed = after.committed - before.committed;
+        self.fast.sample_fetched = after.fetched - before.fetched;
+        self.fast.sample_frozen = after.frozen_cycles - before.frozen_cycles;
+        self.fast.sample_throttled = after.throttled_cycles - before.throttled_cycles;
+        self.fast.sample_fetch_gated = after.fetch_gated_cycles - before.fetch_gated_cycles;
+        if first_sample {
+            self.fast.window_watts.copy_from_slice(&self.watts);
+        } else {
+            // One detailed window is a noisy estimate of the power
+            // the skipped cycles will dissipate; blending recent
+            // windows halves the estimator variance at the cost of
+            // one macro window of lag (EWMA, α = 1/2).
+            for (held, w) in self.fast.window_watts.iter_mut().zip(&self.watts) {
+                *held = 0.5 * *held + 0.5 * w;
+            }
         }
-        // Held for the interval engine's skipped-interval consults; a pair
-        // of Copy structs, so the Exact path pays two register-width
-        // stores and reads nothing back.
-        self.fast.window_int_iq = activity.int_iq;
-        self.fast.window_fp_iq = activity.fp_iq;
+    }
+
+    /// Advances one analytically skipped sub-interval of `sub` cycles:
+    /// closed-form thermal advance, workload fast-forward, extrapolated
+    /// counter updates. Returns whether the core was frozen at entry —
+    /// the `was_frozen` the caller must hand to
+    /// [`sample_stats`](Self::sample_stats), captured before any consult.
+    pub(crate) fn fast_skip_advance<T: TraceSource>(&mut self, trace: &mut T, sub: u64) -> bool {
+        let dt = sub as f64 / self.config.frequency_hz;
+        let frozen = self.core.is_frozen();
+        if frozen {
+            // A frozen core fetches, commits, and switches nothing:
+            // the die sees pure leakage and the whole sub-interval
+            // is stall time.
+            self.thermal.advance(&self.idle_watts, dt);
+            self.fast.extra_cycles += sub;
+            self.fast.extra_frozen += sub;
+        } else {
+            self.thermal.advance(&self.fast.window_watts, dt);
+            self.fast.extra_cycles += sub;
+            let len = self.fast.sample_cycles;
+            // Fast-forward the workload past the instructions the
+            // skipped cycles would have consumed, so the next
+            // detailed window samples the phase of the program
+            // that virtual time has actually reached.
+            trace.skip_ops(FastState::scaled(self.fast.sample_fetched, sub, len));
+            self.fast.extra_committed += FastState::scaled(self.fast.sample_committed, sub, len);
+            self.fast.extra_frozen += FastState::scaled(self.fast.sample_frozen, sub, len);
+            self.fast.extra_throttled += FastState::scaled(self.fast.sample_throttled, sub, len);
+            self.fast.extra_fetch_gated +=
+                FastState::scaled(self.fast.sample_fetch_gated, sub, len);
+        }
+        // The closed-form advance is outside the backward-Euler
+        // residual's reach; re-base the checker so the next
+        // detailed step is measured from the advanced state.
+        #[cfg(feature = "check")]
+        if let Some(checker) = &mut self.checker {
+            checker.resync_thermal(&self.thermal);
+        }
+        frozen
+    }
+
+    /// Closes one Fast sub-interval: burns warmup-prefix budget or steps
+    /// the macro-window phase counter.
+    pub(crate) fn fast_tick(&mut self, in_prefix: bool, sub: u64, stretch: u64) {
+        if in_prefix {
+            // The prefix is detailed wall-to-wall; the macro-window
+            // phase only starts counting once it is spent, so the
+            // first post-prefix sub-interval begins a fresh window.
+            self.fast.prefix_left = self.fast.prefix_left.saturating_sub(sub);
+        } else {
+            self.fast.window_pos = (self.fast.window_pos + 1) % stretch;
+        }
+    }
+
+    /// One sense/react step: power → thermal → (optionally) mitigation →
+    /// statistics. Chains the window phases the batched engine drives
+    /// individually; keeping the scalar path on the same helpers is what
+    /// pins batched execution bit-identical to scalar.
+    fn sample(&mut self, consult_manager: bool) {
+        let Some(activity) = self.window_activity() else {
+            return;
+        };
         // DVFS scales dynamic energy by V²f; the unscaled path is kept for
         // the common case so spatial-only runs execute the identical code.
         let scale = self.manager.dynamic_power_scale();
@@ -578,13 +593,10 @@ impl Simulator {
         } else {
             self.power.block_power_scaled_into(&activity, scale, &mut self.watts);
         }
-        let dt = activity.cycles as f64 / self.config.frequency_hz;
-
-        let settled = self.config.warm_start && !self.warmed;
+        let (dt, settled) = self.sample_prepare(&activity);
         if settled {
             // Jump to this workload's own steady state instead of heating
             // from ambient for millions of cycles.
-            self.warmed = true;
             self.thermal.settle(&self.watts);
         } else {
             self.thermal.step(&self.watts, dt);
@@ -596,7 +608,7 @@ impl Simulator {
         // Virtual time: under Exact the offset is always zero; under Fast
         // this keeps manager deadlines (cooling times, transition stalls)
         // measured in simulated cycles rather than detailed-only cycles.
-        let now = self.core.stats().cycles + self.fast.extra_cycles;
+        let now = self.virtual_now();
         #[cfg(feature = "check")]
         if let Some(checker) = &mut self.checker {
             checker.check_thermal(&self.thermal, &self.watts, dt, settled, now);
@@ -625,7 +637,41 @@ impl Simulator {
                 );
             }
         }
+        self.sample_stats(was_frozen, now);
+    }
 
+    /// Harvests the window's activity counters, or `None` for an empty
+    /// window (no cycles ran — the trace drained at the window boundary).
+    /// Also latches the issue-queue activity the interval engine replays
+    /// into skipped-interval consults: a pair of Copy structs, so the
+    /// Exact path pays two register-width stores and reads nothing back.
+    pub(crate) fn window_activity(&mut self) -> Option<ActivitySample> {
+        let activity = self.core.take_activity();
+        if activity.cycles == 0 {
+            return None;
+        }
+        self.fast.window_int_iq = activity.int_iq;
+        self.fast.window_fp_iq = activity.fp_iq;
+        Some(activity)
+    }
+
+    /// The thermal decision for a window whose power is already in
+    /// `self.watts`: returns `(dt, settled)` where `settled` means this
+    /// window performs the one-time warm-start settle (latched here)
+    /// instead of a backward-Euler step.
+    pub(crate) fn sample_prepare(&mut self, activity: &ActivitySample) -> (f64, bool) {
+        let dt = activity.cycles as f64 / self.config.frequency_hz;
+        let settled = self.config.warm_start && !self.warmed;
+        if settled {
+            self.warmed = true;
+        }
+        (dt, settled)
+    }
+
+    /// Accumulates the per-window temperature statistics and the optional
+    /// history row. `was_frozen` must be the freeze state *before* the
+    /// window's consult; `now` the virtual cycle stamp.
+    pub(crate) fn sample_stats(&mut self, was_frozen: bool, now: u64) {
         // The paper's table temperatures average over execution (non
         // -stalled) time; track the peak unconditionally.
         if !was_frozen {
@@ -640,6 +686,45 @@ impl Simulator {
         if let Some(history) = &mut self.history {
             history.push((now, self.thermal.temperatures().to_vec()));
         }
+    }
+
+    /// Virtual time: core cycles plus analytically skipped cycles. Under
+    /// Exact the offset is always zero.
+    pub(crate) fn virtual_now(&self) -> u64 {
+        self.core.stats().cycles + self.fast.extra_cycles
+    }
+
+    /// Mutable core access for the batched engine's external actuation.
+    pub(crate) fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
+    /// The per-block power scratch as a power-accumulation target.
+    pub(crate) fn watts_mut(&mut self) -> &mut [f64] {
+        &mut self.watts
+    }
+
+    /// This simulator as one lane of a batched thermal solve: its model
+    /// plus the power vector the current window accumulated.
+    pub(crate) fn thermal_lane(&mut self) -> (&mut ThermalModel, &[f64]) {
+        (&mut self.thermal, &self.watts)
+    }
+
+    /// The held issue-queue activity of the last detailed window — what
+    /// skipped-interval consults replay.
+    pub(crate) fn window_iqs(&self) -> (IqActivity, IqActivity) {
+        (self.fast.window_int_iq, self.fast.window_fp_iq)
+    }
+
+    /// Whether the interval engine is still inside its detailed warmup
+    /// prefix.
+    pub(crate) fn fast_in_prefix(&self) -> bool {
+        self.fast.prefix_left > 0
+    }
+
+    /// Sub-intervals completed in the current macro window.
+    pub(crate) fn fast_window_pos(&self) -> u64 {
+        self.fast.window_pos
     }
 
     /// Captures the simulator's dynamic state for [`crate::Snapshot`].
@@ -799,6 +884,13 @@ impl Simulator {
     /// Snapshot of the accumulated results.
     #[must_use]
     pub fn result(&self) -> RunResult {
+        self.result_with_stats(self.manager.stats())
+    }
+
+    /// Like [`result`](Self::result) but reporting `mstats` instead of the
+    /// internal manager's counters — the batched engine holds each
+    /// sibling's mitigation statistics outside the shared class simulator.
+    pub(crate) fn result_with_stats(&self, mstats: &MitigationStats) -> RunResult {
         let stats = self.core.stats();
         let samples = self.temp_samples.max(1) as f64;
         let temperatures = self
@@ -821,7 +913,6 @@ impl Simulator {
                 last: self.thermal.temperature(i),
             })
             .collect();
-        let mstats = self.manager.stats();
         // Fold the interval engine's extrapolated cycles back into the
         // headline counters. Under Exact fidelity every `extra_*` is zero
         // and the arithmetic below reduces bit-for-bit to the core's own

@@ -8,9 +8,12 @@
 //! * [`CampaignSpec`] — the typed description of a campaign: named
 //!   [`SimConfig`]s, a benchmark list, cycles, and the workload seed;
 //! * [`run_campaign`] — a bounded worker pool (`std::thread::scope` over a
-//!   shared atomic job cursor) that schedules at per-(benchmark × config)
-//!   job granularity, so mixed campaigns load-balance instead of
-//!   serializing every config behind the slowest benchmark;
+//!   shared atomic cursor) that schedules batch-eligible sibling jobs into
+//!   lockstep [`powerbalance::BatchSimulator`] units (bit-identical to
+//!   scalar execution, see [`RunnerOptions::max_batch`]) and everything
+//!   else at per-(benchmark × config) job granularity, so mixed campaigns
+//!   load-balance instead of serializing every config behind the slowest
+//!   benchmark;
 //! * [`CampaignResult`] — structured, serializable results: one
 //!   [`JobResult`] per (benchmark, config) with the full [`RunResult`],
 //!   per-job wall time, and simulated-cycles/second throughput, writable as
@@ -58,12 +61,12 @@ mod warmstart;
 
 pub use result::{CampaignResult, JobResult};
 pub use runner::{
-    resolve_threads, run_campaign, run_campaign_controlled, run_one, run_one_warmed,
-    run_one_warmed_controlled, CampaignControl, CampaignOutcome, JobProgress, RunnerOptions,
-    THREADS_ENV_VAR,
+    resolve_threads, run_batch_warmed_controlled, run_campaign, run_campaign_controlled, run_one,
+    run_one_warmed, run_one_warmed_controlled, CampaignControl, CampaignOutcome, JobProgress,
+    RunnerOptions, THREADS_ENV_VAR,
 };
 pub use spec::{CampaignSpec, NamedConfig};
-pub use warmstart::{compute_warmup, WarmStartCache};
+pub use warmstart::{compute_warmup, compute_warmup_controlled, WarmStartCache, WarmupOutcome};
 
 /// Default simulated cycles per run: long enough for several heat/stall
 /// cycles under the compressed thermal constants.

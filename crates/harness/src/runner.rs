@@ -2,8 +2,11 @@
 
 use crate::result::{CampaignResult, JobResult};
 use crate::spec::CampaignSpec;
-use crate::warmstart::WarmStartCache;
-use powerbalance::{spec2000, Error, RunControl, RunResult, SimConfig, Simulator, StopCause};
+use crate::warmstart::{WarmStartCache, WarmupOutcome};
+use powerbalance::{
+    batch_key, spec2000, BatchSimulator, Error, Fidelity, RunControl, RunResult, SimConfig,
+    Simulator, Snapshot, StopCause, TraceCursor, TraceSource,
+};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -38,6 +41,14 @@ pub struct RunnerOptions {
     /// recomputing them (a mismatched or unreadable file silently falls
     /// back to computation).
     pub resume: bool,
+    /// Upper bound on how many batch-eligible jobs — same benchmark, same
+    /// measured cycle budget, configurations identical outside
+    /// `mitigation` (see [`powerbalance::batch_key`]) — execute together
+    /// in one lockstep [`BatchSimulator`] unit (default 6). `1` disables
+    /// batching. Batched and scalar execution are bit-identical (pinned by
+    /// the differential test layer), so this trades scheduling granularity
+    /// against wall-clock throughput, never results.
+    pub max_batch: usize,
 }
 
 impl Default for RunnerOptions {
@@ -48,6 +59,7 @@ impl Default for RunnerOptions {
             warm_cache: true,
             checkpoint_dir: None,
             resume: false,
+            max_batch: 6,
         }
     }
 }
@@ -142,12 +154,11 @@ pub fn run_one_warmed(
 /// flag and/or deadline) through the warmup and measured phases, both of
 /// which check it between sampling windows.
 ///
-/// One deliberate gap: a *shared* cached warmup ([`WarmStartCache::
-/// get_or_compute`]) is not interruptible, because several jobs may be
-/// blocked on the one computation — only the private-warmup path and the
-/// measured run observe the control. Callers that need a hard bound on
-/// warmup time should bound `warmup_cycles` at admission instead (the
-/// server does).
+/// The *shared* cached warmup observes the control too
+/// ([`WarmStartCache::get_or_compute_controlled`]): a job stopped while
+/// blocked on (or computing) a shared warmup returns promptly with the
+/// stop cause and an empty result, and the half-warmed state is discarded
+/// rather than cached.
 ///
 /// # Errors
 ///
@@ -170,7 +181,19 @@ pub fn run_one_warmed_controlled(
     }
     match cache {
         Some(cache) => {
-            let snapshot = cache.get_or_compute(bench, seed, warmup_cycles, config)?;
+            let snapshot = match cache.get_or_compute_controlled(
+                bench,
+                seed,
+                warmup_cycles,
+                config,
+                control,
+            )? {
+                WarmupOutcome::Ready(snapshot) => snapshot,
+                WarmupOutcome::Stopped(cause) => {
+                    let sim = Simulator::new(config.clone())?;
+                    return Ok((sim.result(), cause));
+                }
+            };
             let (mut sim, mut trace) = snapshot.resume_with_config(config.clone())?;
             Ok(sim.run_controlled(&mut trace, cycles, control))
         }
@@ -186,6 +209,113 @@ pub fn run_one_warmed_controlled(
             Ok(sim.run_controlled(&mut trace, cycles, control))
         }
     }
+}
+
+/// Runs K batch-eligible sibling jobs in one lockstep [`BatchSimulator`]:
+/// the batched mirror of [`run_one_warmed_controlled`], bit-identical to
+/// calling it K times with the same arguments.
+///
+/// All `configs` must share a [`powerbalance::batch_key`] (same benchmark
+/// trace, core, floorplan, package, energy tables, cadence, fidelity —
+/// only `mitigation` may differ). Warm-start handling mirrors the scalar
+/// path exactly: with a cache, one shared snapshot (interruptibly
+/// computed) is restored into the unforked batch; without one, the batch
+/// runs the mitigation-free warmup inline. Under Exact fidelity the
+/// siblings share generated micro-ops through a [`TraceCursor`] ring;
+/// under Fast each equivalence class keeps a private generator clone so
+/// skipped intervals stay O(1).
+///
+/// Results come back in `configs` order. A stop (cancel/timeout) stops
+/// the whole batch at the same window boundary, so every sibling's
+/// partial statistics cover the same simulated span.
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] if the benchmark is unknown, a config fails
+/// validation, or the configs are not batch-eligible siblings.
+pub fn run_batch_warmed_controlled(
+    configs: &[SimConfig],
+    bench: &str,
+    cycles: u64,
+    seed: u64,
+    warmup_cycles: u64,
+    cache: Option<&WarmStartCache>,
+    control: &RunControl<'_>,
+) -> Result<(Vec<RunResult>, StopCause), Error> {
+    let profile = spec2000::by_name(bench)
+        .ok_or_else(|| Error::Config(format!("unknown benchmark '{bench}'")))?;
+    let Some(first) = configs.first() else {
+        return Err(Error::Config("a batch needs at least one sibling configuration".into()));
+    };
+    let warm = match cache {
+        Some(cache) if warmup_cycles > 0 => {
+            match cache.get_or_compute_controlled(bench, seed, warmup_cycles, first, control)? {
+                WarmupOutcome::Ready(snapshot) => Some(snapshot),
+                WarmupOutcome::Stopped(cause) => {
+                    // Nothing ran; report every sibling's empty result.
+                    let batch = BatchSimulator::new(configs.to_vec(), profile.trace(seed))?;
+                    return Ok((batch.results(), cause));
+                }
+            }
+        }
+        _ => None,
+    };
+    match warm {
+        Some(snapshot) => {
+            // `resume_with_config` validates structural compatibility and
+            // rebuilds the trace at its post-warmup position; the throwaway
+            // scalar simulator it also builds is negligible next to K
+            // measured runs.
+            let (_, trace) = snapshot.resume_with_config(first.clone())?;
+            match first.fidelity {
+                Fidelity::Exact => batch_over(
+                    configs,
+                    TraceCursor::new(trace),
+                    Some(&snapshot),
+                    0,
+                    cycles,
+                    control,
+                ),
+                Fidelity::Fast => batch_over(configs, trace, Some(&snapshot), 0, cycles, control),
+            }
+        }
+        None => {
+            let trace = profile.trace(seed);
+            match first.fidelity {
+                Fidelity::Exact => batch_over(
+                    configs,
+                    TraceCursor::new(trace),
+                    None,
+                    warmup_cycles,
+                    cycles,
+                    control,
+                ),
+                Fidelity::Fast => batch_over(configs, trace, None, warmup_cycles, cycles, control),
+            }
+        }
+    }
+}
+
+/// Monomorphized batch body: build, optionally warm (restore or inline
+/// warmup), then run under `control`.
+fn batch_over<T: TraceSource + Clone>(
+    configs: &[SimConfig],
+    trace: T,
+    warm: Option<&Snapshot>,
+    warmup_cycles: u64,
+    cycles: u64,
+    control: &RunControl<'_>,
+) -> Result<(Vec<RunResult>, StopCause), Error> {
+    let mut batch = BatchSimulator::new(configs.to_vec(), trace)?;
+    if let Some(snapshot) = warm {
+        batch.restore_state(&snapshot.state)?;
+    } else if warmup_cycles > 0 {
+        let cause = batch.run_warmup_controlled(warmup_cycles, control);
+        if !cause.is_completed() {
+            return Ok((batch.results(), cause));
+        }
+    }
+    Ok(batch.run_controlled(cycles, control))
 }
 
 /// Summary of one finished job, exposed as live progress while a
@@ -289,12 +419,17 @@ pub enum CampaignOutcome {
 /// Runs every (benchmark × config) job of `spec` on a bounded worker pool
 /// and returns the results in deterministic spec order.
 ///
-/// Workers pull jobs from a shared atomic cursor, so scheduling is at job
-/// granularity: a slow benchmark on one config does not serialize the rest
-/// of the campaign behind it. Each finished job lands in its own result
-/// slot, indexed by position in the spec, so the output order — and, since
-/// every simulation is seeded, the output *content* — is identical whether
-/// the pool has one worker or many.
+/// Jobs are first grouped into execution *units*: batch-eligible siblings
+/// (same benchmark and cycle budget, configs identical outside
+/// `mitigation`) run together in one lockstep [`BatchSimulator`], up to
+/// [`RunnerOptions::max_batch`] per unit; everything else runs on the
+/// scalar path. Workers pull units from a shared atomic cursor, so
+/// scheduling stays fine-grained: a slow benchmark on one config does not
+/// serialize the rest of the campaign behind it. Each finished job lands
+/// in its own result slot, indexed by position in the spec, so the output
+/// order — and, since every simulation is seeded and batching is
+/// bit-identical to scalar execution, the output *content* — is identical
+/// whether the pool has one worker or many, batching or not.
 ///
 /// # Errors
 ///
@@ -348,8 +483,9 @@ pub fn run_campaign_controlled(
     spec.validate()?;
     let total = spec.job_count();
     control.set_total(total);
-    let threads = resolve_threads(options.threads).min(total).max(1);
     let ncfg = spec.configs.len();
+    let units = plan_units(spec, options.max_batch);
+    let threads = resolve_threads(options.threads).min(units.len()).max(1);
 
     let private_cache = if shared_cache.is_none() && spec.warmup_cycles > 0 && options.warm_cache {
         Some(match &options.checkpoint_dir {
@@ -378,31 +514,46 @@ pub fn run_campaign_controlled(
                 if control.is_cancelled() {
                     break;
                 }
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                if index >= total {
+                let unit_index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(unit) = units.get(unit_index) else {
                     break;
-                }
-                let bench_index = index / ncfg;
-                let config_index = index % ncfg;
+                };
+                let bench_index = unit[0] / ncfg;
                 let bench = &spec.benchmarks[bench_index];
-                let named = &spec.configs[config_index];
-                let cycles = spec.cycles_for(config_index);
+                let cycles = spec.cycles_for(unit[0] % ncfg);
 
                 let start = Instant::now();
                 let mut run_control = RunControl::unlimited().with_cancel(control.cancel_flag());
                 if let Some(timeout) = job_timeout {
                     run_control = run_control.with_deadline(start + timeout);
                 }
-                let (result, cause) = run_one_warmed_controlled(
-                    &named.config,
-                    bench,
-                    cycles,
-                    spec.seed,
-                    spec.warmup_cycles,
-                    cache,
-                    &run_control,
-                )
-                .expect("spec was validated before dispatch");
+                let (results, cause) = if unit.len() == 1 {
+                    let named = &spec.configs[unit[0] % ncfg];
+                    run_one_warmed_controlled(
+                        &named.config,
+                        bench,
+                        cycles,
+                        spec.seed,
+                        spec.warmup_cycles,
+                        cache,
+                        &run_control,
+                    )
+                    .map(|(result, cause)| (vec![result], cause))
+                    .expect("spec was validated before dispatch")
+                } else {
+                    let configs: Vec<SimConfig> =
+                        unit.iter().map(|&i| spec.configs[i % ncfg].config.clone()).collect();
+                    run_batch_warmed_controlled(
+                        &configs,
+                        bench,
+                        cycles,
+                        spec.seed,
+                        spec.warmup_cycles,
+                        cache,
+                        &run_control,
+                    )
+                    .expect("spec was validated and grouped by batch key before dispatch")
+                };
                 match cause {
                     StopCause::Completed => {}
                     StopCause::Cancelled => break,
@@ -410,7 +561,8 @@ pub fn run_campaign_controlled(
                         let mut slot =
                             timed_out.lock().expect("no worker panicked holding this lock");
                         if slot.is_none() {
-                            *slot = Some((bench.clone(), named.name.clone()));
+                            *slot =
+                                Some((bench.clone(), spec.configs[unit[0] % ncfg].name.clone()));
                         }
                         drop(slot);
                         // Pull every other worker out of its run too: the
@@ -419,41 +571,55 @@ pub fn run_campaign_controlled(
                         break;
                     }
                 }
-                let wall = start.elapsed();
+                // A batched unit's wall time is shared work: attribute an
+                // equal share to each job so per-job throughput reflects
+                // what the lockstep sharing actually bought.
+                let wall = start.elapsed() / unit.len() as u32;
                 let wall_secs = wall.as_secs_f64();
-                let sim_cycles_per_sec =
-                    if wall_secs > 0.0 { result.cycles as f64 / wall_secs } else { 0.0 };
 
-                if options.progress {
-                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    eprintln!(
-                        "[{} {finished}/{total}] {bench}/{}: IPC {:.3}, {:.0} ms, {:.1} Mcyc/s",
-                        spec.name,
-                        named.name,
-                        result.ipc,
-                        wall_secs * 1e3,
-                        sim_cycles_per_sec / 1e6,
-                    );
-                }
-                control.record(JobProgress {
-                    bench: bench.clone(),
-                    config: named.name.clone(),
-                    ipc: result.ipc,
-                    wall_nanos: wall.as_nanos() as u64,
-                });
+                for (&index, result) in unit.iter().zip(results) {
+                    let config_index = index % ncfg;
+                    let named = &spec.configs[config_index];
+                    let sim_cycles_per_sec =
+                        if wall_secs > 0.0 { result.cycles as f64 / wall_secs } else { 0.0 };
 
-                *slots[index].lock().expect("no worker panicked holding this lock") =
-                    Some(JobResult {
+                    if options.progress {
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        let tag = if unit.len() > 1 {
+                            format!(" [batch of {}]", unit.len())
+                        } else {
+                            String::new()
+                        };
+                        eprintln!(
+                            "[{} {finished}/{total}] {bench}/{}: IPC {:.3}, {:.0} ms, \
+                             {:.1} Mcyc/s{tag}",
+                            spec.name,
+                            named.name,
+                            result.ipc,
+                            wall_secs * 1e3,
+                            sim_cycles_per_sec / 1e6,
+                        );
+                    }
+                    control.record(JobProgress {
                         bench: bench.clone(),
                         config: named.name.clone(),
-                        bench_index,
-                        config_index,
-                        seed: spec.seed,
-                        cycles_requested: cycles,
+                        ipc: result.ipc,
                         wall_nanos: wall.as_nanos() as u64,
-                        sim_cycles_per_sec,
-                        result,
                     });
+
+                    *slots[index].lock().expect("no worker panicked holding this lock") =
+                        Some(JobResult {
+                            bench: bench.clone(),
+                            config: named.name.clone(),
+                            bench_index,
+                            config_index,
+                            seed: spec.seed,
+                            cycles_requested: cycles,
+                            wall_nanos: wall.as_nanos() as u64,
+                            sim_cycles_per_sec,
+                            result,
+                        });
+                }
             });
         }
     });
@@ -494,10 +660,94 @@ pub fn run_campaign_controlled(
     }))
 }
 
+/// Groups the spec's flat job indices into execution units: per benchmark,
+/// config slots sharing a (serialized [`batch_key`], measured cycle
+/// budget) pair batch together in first-appearance order, chunked to
+/// `max_batch`; singleton groups fall through to the scalar path. With
+/// `max_batch <= 1` every job is its own unit — the pre-batching
+/// scheduler, verbatim.
+fn plan_units(spec: &CampaignSpec, max_batch: usize) -> Vec<Vec<usize>> {
+    let ncfg = spec.configs.len();
+    let max = max_batch.max(1);
+    let mut units = Vec::with_capacity(spec.job_count());
+    for bench_index in 0..spec.benchmarks.len() {
+        if max == 1 {
+            units.extend((0..ncfg).map(|ci| vec![bench_index * ncfg + ci]));
+            continue;
+        }
+        let mut groups: Vec<(String, u64, Vec<usize>)> = Vec::new();
+        for config_index in 0..ncfg {
+            let key = serde::json::to_string(&batch_key(&spec.configs[config_index].config));
+            let cycles = spec.cycles_for(config_index);
+            match groups.iter_mut().find(|(k, c, _)| *k == key && *c == cycles) {
+                Some((_, _, members)) => members.push(config_index),
+                None => groups.push((key, cycles, vec![config_index])),
+            }
+        }
+        for (_, _, members) in groups {
+            for chunk in members.chunks(max) {
+                units.push(chunk.iter().map(|&ci| bench_index * ncfg + ci).collect());
+            }
+        }
+    }
+    units
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use powerbalance::experiments;
+    use powerbalance::experiments::{self, PolicyKind};
+    use powerbalance::FloorplanKind;
+
+    #[test]
+    fn plan_units_groups_by_batch_key_and_chunks() {
+        let spec = CampaignSpec::new("plan")
+            .config("a", experiments::policy(PolicyKind::None, FloorplanKind::IssueConstrained))
+            .config("b", experiments::policy(PolicyKind::Spatial, FloorplanKind::IssueConstrained))
+            .config("c", experiments::policy(PolicyKind::Dvfs, FloorplanKind::AluConstrained))
+            .config("d", experiments::policy(PolicyKind::Combined, FloorplanKind::IssueConstrained))
+            .benchmarks(["gzip", "mesa"])
+            .cycles(10_000);
+        // Per bench: configs 0, 1, 3 share a floorplan and batch; config 2
+        // (different floorplan) stays scalar. First-appearance order.
+        assert_eq!(plan_units(&spec, 6), vec![vec![0, 1, 3], vec![2], vec![4, 5, 7], vec![6]]);
+        // Chunking respects the cap.
+        assert_eq!(
+            plan_units(&spec, 2),
+            vec![vec![0, 1], vec![3], vec![2], vec![4, 5], vec![7], vec![6]]
+        );
+        // max_batch 1 is the pre-batching scheduler: one job per unit.
+        let singletons = plan_units(&spec, 1);
+        assert_eq!(singletons.len(), 8);
+        assert!(singletons.iter().enumerate().all(|(i, u)| *u == vec![i]));
+    }
+
+    #[test]
+    fn batched_campaign_matches_unbatched() {
+        let spec = CampaignSpec::new("batchdiff")
+            .config("none", experiments::policy(PolicyKind::None, FloorplanKind::IssueConstrained))
+            .config(
+                "spatial",
+                experiments::policy(PolicyKind::Spatial, FloorplanKind::IssueConstrained),
+            )
+            .config(
+                "fetch-gate",
+                experiments::policy(PolicyKind::FetchGate, FloorplanKind::IssueConstrained),
+            )
+            .benchmark("gzip")
+            .cycles(40_000)
+            .warmup(20_000)
+            .seed(7);
+        let batched =
+            run_campaign(&spec, &RunnerOptions { threads: Some(2), ..Default::default() })
+                .expect("batched campaign");
+        let scalar = run_campaign(
+            &spec,
+            &RunnerOptions { threads: Some(2), max_batch: 1, ..Default::default() },
+        )
+        .expect("scalar campaign");
+        assert!(batched.same_outcome(&scalar), "batching must not change results");
+    }
 
     #[test]
     fn resolve_prefers_explicit() {

@@ -10,9 +10,11 @@
 //! geometries, floorplans, or packages do not.
 //!
 //! [`WarmStartCache`] keeps computed snapshots in memory for the lifetime
-//! of a campaign (each computed exactly once, concurrent requesters block
-//! on the first computation) and can additionally persist them to a
-//! checkpoint directory so later *processes* skip the warmup too:
+//! of a campaign (each computed exactly once; concurrent requesters wait
+//! on the first computation, interruptibly — see
+//! [`WarmStartCache::get_or_compute_controlled`]) and can additionally
+//! persist them to a checkpoint directory so later *processes* skip the
+//! warmup too:
 //!
 //! * with a checkpoint directory set, every computed snapshot is written
 //!   to `<dir>/<fnv1a-of-key>.json` (atomically: temp file + rename);
@@ -22,14 +24,43 @@
 //!   file from an incompatible run falls back to recomputation instead of
 //!   poisoning results).
 
-use powerbalance::{spec2000, Error, MitigationConfig, SimConfig, Simulator, Snapshot};
+use powerbalance::{
+    spec2000, Error, MitigationConfig, RunControl, SimConfig, Simulator, Snapshot, StopCause,
+};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 /// One cache slot: computed exactly once, shareable across workers, and
-/// able to remember a failed computation (hence `Result` inside).
-type Slot = Arc<OnceLock<Result<Arc<Snapshot>, Error>>>;
+/// able to remember a failed computation (hence `Result` inside the cell).
+///
+/// The computing worker holds `claimed` while it runs the warmup; everyone
+/// else polls the cell *and their own [`RunControl`]* instead of blocking
+/// inside the `OnceLock`, so a cancelled or timed-out job unblocks even
+/// while another worker keeps computing. If the computing worker itself is
+/// stopped early it never publishes into the cell — it drops the claim and
+/// removes the map entry, so a later request recomputes from scratch
+/// instead of inheriting a half-warmed snapshot.
+#[derive(Debug, Default)]
+struct SlotState {
+    claimed: AtomicBool,
+    cell: OnceLock<Result<Arc<Snapshot>, Error>>,
+}
+
+type Slot = Arc<SlotState>;
+
+/// How a controlled cache request ended.
+#[derive(Debug, Clone)]
+pub enum WarmupOutcome {
+    /// The snapshot is available (computed here, by another worker, or
+    /// loaded from the checkpoint directory).
+    Ready(Arc<Snapshot>),
+    /// The caller's [`RunControl`] stopped the request before a snapshot
+    /// was available; the cache is left unpoisoned.
+    Stopped(StopCause),
+}
 
 /// A shared, thread-safe cache of warmup snapshots.
 ///
@@ -128,26 +159,106 @@ impl WarmStartCache {
         warmup_cycles: u64,
         config: &SimConfig,
     ) -> Result<Arc<Snapshot>, Error> {
+        match self.get_or_compute_controlled(
+            bench,
+            seed,
+            warmup_cycles,
+            config,
+            &RunControl::unlimited(),
+        )? {
+            WarmupOutcome::Ready(snapshot) => Ok(snapshot),
+            WarmupOutcome::Stopped(_) => {
+                unreachable!("an unlimited control never stops a warmup")
+            }
+        }
+    }
+
+    /// Like [`get_or_compute`](Self::get_or_compute), but observes
+    /// `control` throughout: the computing worker threads it into the
+    /// warmup itself ([`Simulator::run_warmup_controlled`]) and everyone
+    /// else polls it while waiting on that computation — so a cancelled
+    /// job blocked on a *shared* warmup unblocks at the next sampling
+    /// window instead of riding the whole warmup out.
+    ///
+    /// A stop is never cached: if the computing worker is stopped early,
+    /// the partial warmup is discarded and the key forgotten, so the next
+    /// request (possibly one of the former waiters, if its own control
+    /// allows) recomputes from scratch. Only completed snapshots — and
+    /// configuration errors — are published.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the benchmark is unknown or the
+    /// configuration fails validation.
+    pub fn get_or_compute_controlled(
+        &self,
+        bench: &str,
+        seed: u64,
+        warmup_cycles: u64,
+        config: &SimConfig,
+        control: &RunControl<'_>,
+    ) -> Result<WarmupOutcome, Error> {
         let key = Self::key(bench, seed, warmup_cycles, config);
+        let mut computed_here = false;
+        let result = loop {
+            // Re-fetch each iteration: an aborted computation removes the
+            // entry, and waiters must migrate to the replacement slot.
+            let slot = self.slot(&key);
+            if let Some(result) = slot.cell.get() {
+                break result.clone();
+            }
+            if let Some(stop) = control.stop_cause() {
+                return Ok(WarmupOutcome::Stopped(stop));
+            }
+            if slot.claimed.swap(true, Ordering::AcqRel) {
+                // Another worker is computing this key. Sleep briefly and
+                // re-check both the cell and our own control.
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            computed_here = true;
+            match self.load_or_compute(&key, bench, seed, warmup_cycles, config, control) {
+                Ok(Ok(snapshot)) => {
+                    let _ = slot.cell.set(Ok(Arc::clone(&snapshot)));
+                    break Ok(snapshot);
+                }
+                Ok(Err(stop)) => {
+                    self.forget(&key, &slot);
+                    slot.claimed.store(false, Ordering::Release);
+                    return Ok(WarmupOutcome::Stopped(stop));
+                }
+                Err(e) => {
+                    // Config errors are deterministic; cache the failure so
+                    // sibling jobs fail fast instead of re-simulating.
+                    let _ = slot.cell.set(Err(e.clone()));
+                    break Err(e);
+                }
+            }
+        };
+        if !computed_here {
+            *self.hits.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+        }
+        result.map(WarmupOutcome::Ready)
+    }
+
+    /// The live slot for `key`, created on first request.
+    fn slot(&self, key: &str) -> Slot {
         // Lock poisoning is recovered rather than propagated: a worker that
         // panicked mid-campaign leaves the map/counters in a consistent
         // state (every mutation here is a single insert or increment), and
         // failing every later job over it would turn one bad run into a
         // dead campaign.
-        let cell = {
-            let mut entries =
-                self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            Arc::clone(entries.entry(key.clone()).or_default())
-        };
-        let mut was_new = false;
-        let result = cell.get_or_init(|| {
-            was_new = true;
-            self.load_or_compute(&key, bench, seed, warmup_cycles, config)
-        });
-        if !was_new {
-            *self.hits.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+        let mut entries = self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(entries.entry(key.to_string()).or_default())
+    }
+
+    /// Drops `key`'s entry, but only if it still maps to `slot` — a
+    /// replacement published by a later generation must survive.
+    fn forget(&self, key: &str, slot: &Slot) {
+        let mut entries = self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if entries.get(key).is_some_and(|current| Arc::ptr_eq(current, slot)) {
+            entries.remove(key);
         }
-        result.clone()
     }
 
     /// Cache statistics: `(computed, loaded from disk, in-memory hits)`.
@@ -167,23 +278,28 @@ impl WarmStartCache {
         seed: u64,
         warmup_cycles: u64,
         config: &SimConfig,
-    ) -> Result<Arc<Snapshot>, Error> {
+        control: &RunControl<'_>,
+    ) -> Result<Result<Arc<Snapshot>, StopCause>, Error> {
         if self.resume {
             if let Some(dir) = &self.checkpoint_dir {
                 if let Some(snapshot) = load_checkpoint(&Self::checkpoint_path(dir, key), key) {
                     *self.loaded.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
-                    return Ok(Arc::new(snapshot));
+                    return Ok(Ok(Arc::new(snapshot)));
                 }
             }
         }
 
-        let snapshot = compute_warmup(bench, seed, warmup_cycles, config)?;
+        let snapshot = match compute_warmup_controlled(bench, seed, warmup_cycles, config, control)?
+        {
+            Ok(snapshot) => snapshot,
+            Err(stop) => return Ok(Err(stop)),
+        };
         *self.computed.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
         if let Some(dir) = &self.checkpoint_dir {
             // Best-effort persistence; a full disk must not fail the run.
             let _ = write_checkpoint(dir, key, &snapshot);
         }
-        Ok(Arc::new(snapshot))
+        Ok(Ok(Arc::new(snapshot)))
     }
 }
 
@@ -203,13 +319,41 @@ pub fn compute_warmup(
     warmup_cycles: u64,
     config: &SimConfig,
 ) -> Result<Snapshot, Error> {
+    match compute_warmup_controlled(bench, seed, warmup_cycles, config, &RunControl::unlimited())? {
+        Ok(snapshot) => Ok(snapshot),
+        Err(_) => unreachable!("an unlimited control never stops a warmup"),
+    }
+}
+
+/// [`compute_warmup`] with a [`RunControl`] threaded through the warmup
+/// simulation, which checks it between sampling windows.
+///
+/// The outer `Result` is the configuration check; the inner one is the
+/// control: `Ok(Err(cause))` means the warmup was stopped early and **no**
+/// snapshot was captured (a partial warmup must never masquerade as a
+/// complete one).
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] if the benchmark is unknown or `config`
+/// fails validation.
+pub fn compute_warmup_controlled(
+    bench: &str,
+    seed: u64,
+    warmup_cycles: u64,
+    config: &SimConfig,
+    control: &RunControl<'_>,
+) -> Result<Result<Snapshot, StopCause>, Error> {
     let profile = spec2000::by_name(bench)
         .ok_or_else(|| Error::Config(format!("unknown benchmark '{bench}'")))?;
     let normalized = SimConfig { mitigation: MitigationConfig::baseline(), ..config.clone() };
     let mut sim = Simulator::new(normalized)?;
     let mut trace = profile.trace(seed);
-    sim.run_warmup(&mut trace, warmup_cycles);
-    Ok(Snapshot::capture(&sim, &profile, &trace))
+    let cause = sim.run_warmup_controlled(&mut trace, warmup_cycles, control);
+    if !cause.is_completed() {
+        return Ok(Err(cause));
+    }
+    Ok(Ok(Snapshot::capture(&sim, &profile, &trace)))
 }
 
 /// 64-bit FNV-1a — the checkpoint file-name hash. Stable across runs and
@@ -257,6 +401,64 @@ mod tests {
             .join(format!("powerbalance-warmstart-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    #[test]
+    fn pre_stopped_controlled_request_leaves_the_cache_unpoisoned() {
+        let cache = WarmStartCache::in_memory();
+        let config = experiments::issue_queue(false);
+        let flag = AtomicBool::new(true);
+        let control = RunControl::unlimited().with_cancel(&flag);
+        let outcome = cache
+            .get_or_compute_controlled("gzip", 4, 20_000, &config, &control)
+            .expect("valid config");
+        assert!(matches!(outcome, WarmupOutcome::Stopped(StopCause::Cancelled)), "{outcome:?}");
+        let (computed, _, _) = cache.stats();
+        assert_eq!(computed, 0, "a stopped request must not count as computed");
+
+        // The aborted key was forgotten, not poisoned: an uncontrolled
+        // retry computes the full warmup.
+        let snap = cache.get_or_compute("gzip", 4, 20_000, &config).expect("recompute");
+        let reference = compute_warmup("gzip", 4, 20_000, &config).expect("warmup");
+        assert_eq!(*snap, reference, "the retry must produce the full, untainted warmup");
+        let (computed, _, _) = cache.stats();
+        assert_eq!(computed, 1);
+    }
+
+    #[test]
+    fn cancel_during_shared_warmup_unblocks_computer_and_waiters() {
+        // Two workers land on the same (huge) warmup key: one computes,
+        // one waits on the computation. Cancelling their shared flag must
+        // unblock *both* promptly — the waiter from its poll loop, the
+        // computer from inside `run_warmup_controlled` — and must not
+        // publish the partial warmup.
+        let cache = WarmStartCache::in_memory();
+        let config = experiments::issue_queue(false);
+        let flag = AtomicBool::new(false);
+        let outcomes: Vec<WarmupOutcome> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let control = RunControl::unlimited().with_cancel(&flag);
+                        cache
+                            .get_or_compute_controlled("gzip", 8, 50_000_000, &config, &control)
+                            .expect("valid config")
+                    })
+                })
+                .collect();
+            std::thread::sleep(Duration::from_millis(100));
+            flag.store(true, Ordering::Relaxed);
+            workers.into_iter().map(|w| w.join().expect("worker panicked")).collect()
+        });
+        for outcome in &outcomes {
+            assert!(matches!(outcome, WarmupOutcome::Stopped(StopCause::Cancelled)), "{outcome:?}");
+        }
+        let (computed, _, _) = cache.stats();
+        assert_eq!(computed, 0, "the 50M-cycle warmup must not have completed in 100ms");
+        assert!(
+            cache.entries.lock().unwrap().is_empty(),
+            "an aborted computation must forget its key"
+        );
     }
 
     #[test]

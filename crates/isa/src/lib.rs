@@ -31,10 +31,12 @@
 
 mod op;
 mod reg;
+mod ring;
 mod trace;
 mod uop;
 
 pub use op::{ExecDomain, OpClass};
 pub use reg::{ArchReg, RegClass, FP_ARCH_REGS, INT_ARCH_REGS, TOTAL_ARCH_REGS};
+pub use ring::{SharedTraceRing, TraceCursor};
 pub use trace::{SliceTrace, TraceSource};
 pub use uop::{BranchInfo, MemRef, MicroOp};

@@ -161,6 +161,35 @@ pub fn apply(
     }
 }
 
+/// Projects the [`PolicyState`] effects of `actions` without touching a
+/// core, stats, or the freeze deadline — the pure subset of [`apply`].
+///
+/// The batched campaign engine partitions lockstep siblings by what their
+/// next consult will do; two siblings that emit identical commands can
+/// still diverge next window if those commands land them on *different
+/// ladders* (a `SetOpp` carries a level, not a voltage — the volt scale
+/// lives in each config's ladder). Projecting the post-apply state lets
+/// the engine compute each sibling's next-window dynamic-power scale
+/// before deciding whether to fork. Must mutate `state` exactly as
+/// [`apply`] would — pinned by a differential unit test below.
+pub fn project(actions: &[Actuation], state: &mut PolicyState) {
+    for &action in actions {
+        match action {
+            Actuation::SetOpp { level, .. } => state.opp_level = level,
+            Actuation::Stall { until } => state.stall_until = Some(until),
+            Actuation::SetFetchDuty { level, .. } | Actuation::SetClockDuty { level, .. } => {
+                state.gate_level = level;
+            }
+            Actuation::Unfreeze => state.stall_until = None,
+            Actuation::ToggleIq { .. }
+            | Actuation::SetUnitEnabled { .. }
+            | Actuation::DisableRfCopy { .. }
+            | Actuation::EnableRfCopy { .. }
+            | Actuation::Freeze { .. } => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +264,30 @@ mod tests {
         assert_eq!(core.clock_duty(), DutyCycle::new(3, 4));
         assert_eq!(stats.opp_transitions, 1);
         assert_eq!(stats.freezes, 1, "transition stalls are not thermal freezes");
+    }
+
+    #[test]
+    fn project_matches_apply_on_policy_state() {
+        // Every action kind at least once, in an order that exercises
+        // overwrites: project must land on the exact state apply does.
+        let actions = [
+            Actuation::ToggleIq { domain: ExecDomain::Int },
+            Actuation::SetUnitEnabled { kind: UnitKind::IntAlu, index: 1, enabled: false },
+            Actuation::DisableRfCopy { copy: 0, gate_writes: true },
+            Actuation::EnableRfCopy { copy: 0, restore: true },
+            Actuation::Freeze { until: 77 },
+            Actuation::SetOpp { level: 2, duty: DutyCycle::new(1, 2) },
+            Actuation::Stall { until: 1234 },
+            Actuation::SetFetchDuty { level: 3, duty: DutyCycle::new(1, 4) },
+            Actuation::SetClockDuty { level: 1, duty: DutyCycle::new(3, 4) },
+            Actuation::Unfreeze,
+            Actuation::SetOpp { level: 1, duty: DutyCycle::new(3, 4) },
+        ];
+        let (mut core, mut stats, mut applied, mut frozen) = ctx();
+        apply(&mut core, &actions, &mut stats, &mut applied, &mut frozen);
+        let mut projected = PolicyState::default();
+        project(&actions, &mut projected);
+        assert_eq!(projected, applied, "project drifted from apply");
     }
 
     #[test]

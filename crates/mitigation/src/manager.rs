@@ -234,9 +234,43 @@ impl ThermalManager {
         int_iq: &IqActivity,
         fp_iq: &IqActivity,
     ) {
+        self.decide(core, temps, now, int_iq, fp_iq);
+        self.apply_decided(core);
+    }
+
+    /// The decision half of [`on_sample`](Self::on_sample): asks the policy
+    /// for its commands and buffers them, touching neither the core nor
+    /// the manager's own dynamic state.
+    ///
+    /// The batched campaign engine uses the split to evaluate every
+    /// sibling's reaction against one shared core *before* committing any
+    /// mutation: siblings whose decisions agree keep sharing the core,
+    /// the rest fork. Calling [`apply_decided`](Self::apply_decided) next
+    /// completes the sample; calling `decide` again discards the buffer.
+    pub fn decide(
+        &mut self,
+        core: &Core,
+        temps: &[f64],
+        now: u64,
+        int_iq: &IqActivity,
+        fp_iq: &IqActivity,
+    ) {
         self.actions.clear();
         let view = CoreView { core, int_iq, fp_iq, now, frozen_until: self.frozen_until };
         self.policy.on_sample(&self.zones, temps, &view, &self.pstate, &mut self.actions);
+    }
+
+    /// The commands buffered by the last [`decide`](Self::decide), in
+    /// emission order.
+    #[must_use]
+    pub fn decided_actions(&self) -> &[Actuation] {
+        &self.actions
+    }
+
+    /// The execution half of [`on_sample`](Self::on_sample): applies the
+    /// buffered commands to `core` and folds their effects into the
+    /// manager's stats, policy state, and freeze deadline.
+    pub fn apply_decided(&mut self, core: &mut Core) {
         actuators::apply(
             core,
             &self.actions,
@@ -244,6 +278,20 @@ impl ThermalManager {
             &mut self.pstate,
             &mut self.frozen_until,
         );
+    }
+
+    /// The dynamic-power scale this manager will report *after* the
+    /// buffered commands are applied ([`actuators::project`] of the
+    /// decision), without applying anything.
+    ///
+    /// Two lockstep siblings that emit identical commands still diverge if
+    /// their ladders map the commanded level to different voltage scales;
+    /// the batch engine folds this value into its partition key.
+    #[must_use]
+    pub fn projected_power_scale(&self) -> f64 {
+        let mut state = self.pstate;
+        actuators::project(&self.actions, &mut state);
+        self.policy.dynamic_power_scale(&state)
     }
 }
 

@@ -36,9 +36,11 @@ pub struct ServiceConfig {
     /// Admission cap on `spec.job_count()` — a cheap guard against a
     /// single request occupying a worker for hours.
     pub max_jobs_per_campaign: usize,
-    /// Admission cap on per-job simulated cycles (budget + warmup). This
-    /// also bounds the one uninterruptible phase, shared cached warmups.
+    /// Admission cap on per-job simulated cycles (budget + warmup).
     pub max_cycles_per_job: u64,
+    /// Upper bound on lockstep batching inside each campaign (see
+    /// [`RunnerOptions::max_batch`]); `1` disables batching.
+    pub max_batch: usize,
 }
 
 impl Default for ServiceConfig {
@@ -50,6 +52,7 @@ impl Default for ServiceConfig {
             job_timeout: Some(Duration::from_secs(600)),
             max_jobs_per_campaign: 256,
             max_cycles_per_job: 100_000_000,
+            max_batch: 6,
         }
     }
 }
@@ -383,6 +386,7 @@ impl JobService {
             warm_cache: true,
             checkpoint_dir: None,
             resume: false,
+            max_batch: self.config.max_batch,
         };
         let outcome = run_campaign_controlled(
             &spec,

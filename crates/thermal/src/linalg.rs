@@ -122,6 +122,62 @@ impl LuFactors {
             x[row] = sum / self.lu[row * n + row];
         }
     }
+
+    /// Solves `A xᵢ = bᵢ` for `k` right-hand sides at once, reusing this
+    /// factorization for every lane.
+    ///
+    /// `b` and `x` are lane-major: entry `i` of lane `lane` lives at
+    /// `[i * k + lane]`, so the `k` values of one row are contiguous and
+    /// the inner loops vectorize across lanes. Each lane performs the
+    /// exact floating-point operation sequence of
+    /// [`solve_into`](Self::solve_into) — permutation gather, forward
+    /// substitution in column order, back substitution ending in the
+    /// diagonal divide — so lane `lane` of `x` is **bit-identical** to
+    /// `solve_into(b_lane, x_lane)` on the de-interleaved vectors. The
+    /// batched campaign engine depends on that equivalence; it is pinned
+    /// by property tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or either slice is not `n * k` long.
+    pub fn solve_many_into(&self, b: &[f64], x: &mut [f64], k: usize) {
+        assert!(k > 0, "at least one right-hand side");
+        assert_eq!(b.len(), self.n * k, "rhs length mismatch");
+        assert_eq!(x.len(), self.n * k, "solution length mismatch");
+        let n = self.n;
+        for (i, &p) in self.perm.iter().enumerate() {
+            x[i * k..i * k + k].copy_from_slice(&b[p * k..p * k + k]);
+        }
+        for row in 1..n {
+            // Split so the already-finalized rows (the subtrahends) and the
+            // row being accumulated can be borrowed simultaneously.
+            let (done, rest) = x.split_at_mut(row * k);
+            let xr = &mut rest[..k];
+            for col in 0..row {
+                let l = self.lu[row * n + col];
+                let xc = &done[col * k..col * k + k];
+                for lane in 0..k {
+                    xr[lane] -= l * xc[lane];
+                }
+            }
+        }
+        for row in (0..n).rev() {
+            let (head, tail) = x.split_at_mut((row + 1) * k);
+            let xr = &mut head[row * k..];
+            for col in row + 1..n {
+                let u = self.lu[row * n + col];
+                let off = (col - row - 1) * k;
+                let xc = &tail[off..off + k];
+                for lane in 0..k {
+                    xr[lane] -= u * xc[lane];
+                }
+            }
+            let diag = self.lu[row * n + row];
+            for xv in xr.iter_mut() {
+                *xv /= diag;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

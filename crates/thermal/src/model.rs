@@ -168,17 +168,7 @@ impl ThermalModel {
         assert_eq!(watts.len(), self.block_count, "one power entry per block");
         assert!(dt > 0.0, "dt must be positive");
         let n = self.network.node_count();
-
-        if self.cached_lu.is_none() || (self.cached_dt - dt).abs() > 1e-18 {
-            let g = self.network.conductance();
-            let c = self.network.capacitance();
-            let mut a = g.to_vec();
-            for i in 0..n {
-                a[i * n + i] += c[i] / dt;
-            }
-            self.cached_lu = Some(LuFactors::factor(a, n).expect("network matrix is SPD"));
-            self.cached_dt = dt;
-        }
+        self.ensure_step_lu(dt);
 
         let c = self.network.capacitance();
         let ambient_power = self.network.ambient_power();
@@ -265,6 +255,25 @@ impl ThermalModel {
         std::mem::swap(&mut self.temps, &mut self.solution);
     }
 
+    /// Ensures the backward-Euler factorization for `dt` is cached, and
+    /// returns it. Shared by [`step`](Self::step) and the batched
+    /// [`BatchThermalSolver::step_many`], so both paths factor the exact
+    /// same matrix with the exact same code.
+    fn ensure_step_lu(&mut self, dt: f64) -> &LuFactors {
+        let n = self.network.node_count();
+        if self.cached_lu.is_none() || (self.cached_dt - dt).abs() > 1e-18 {
+            let g = self.network.conductance();
+            let c = self.network.capacitance();
+            let mut a = g.to_vec();
+            for i in 0..n {
+                a[i * n + i] += c[i] / dt;
+            }
+            self.cached_lu = Some(LuFactors::factor(a, n).expect("network matrix is SPD"));
+            self.cached_dt = dt;
+        }
+        self.cached_lu.as_ref().expect("factor computed above")
+    }
+
     fn ensure_steady_lu(&mut self) {
         if self.steady_lu.is_none() {
             let n = self.network.node_count();
@@ -333,6 +342,142 @@ impl ThermalModel {
 
         self.advance_phi = Some(m);
         self.advance_dt = dt;
+    }
+}
+
+/// Structure-of-arrays driver for stepping several [`ThermalModel`]s that
+/// share one network (same floorplan and package) under a single LU
+/// factorization.
+///
+/// The batched campaign engine runs K sibling configurations whose thermal
+/// networks are identical by construction; factoring `(C/Δt + G)` once and
+/// solving all K right-hand sides through
+/// [`LuFactors::solve_many_into`] turns K dense solves into one
+/// factorization plus a lane-vectorized substitution. Every lane performs
+/// the scalar code's exact operation sequence, so each model's
+/// temperatures are **bit-identical** to what its own
+/// [`ThermalModel::step`]/[`ThermalModel::settle`] would have produced.
+///
+/// The solver owns the lane-major scratch so steady-state batch loops
+/// allocate nothing per window.
+#[derive(Debug, Default)]
+pub struct BatchThermalSolver {
+    /// Lane-major right-hand sides: entry `node * k + lane`.
+    rhs: Vec<f64>,
+    /// Lane-major solutions, scattered back into each model's `temps`.
+    x: Vec<f64>,
+}
+
+impl BatchThermalSolver {
+    /// A solver with empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        BatchThermalSolver::default()
+    }
+
+    /// Checks the lanes share one network shape and returns
+    /// `(node_count, k)`. Full matrix equality is a debug assertion: the
+    /// caller's eligibility rules (same floorplan + package) guarantee it,
+    /// and the O(n²k) compare is too hot for release windows.
+    fn check_lanes(lanes: &[(&mut ThermalModel, &[f64])]) -> (usize, usize) {
+        let k = lanes.len();
+        let n = lanes[0].0.network.node_count();
+        for (model, watts) in lanes.iter() {
+            assert_eq!(model.network.node_count(), n, "lanes must share the network shape");
+            assert_eq!(watts.len(), model.block_count, "one power entry per block");
+            debug_assert_eq!(
+                model.network.conductance(),
+                lanes[0].0.network.conductance(),
+                "lanes must share one conductance matrix"
+            );
+            debug_assert_eq!(
+                model.network.capacitance(),
+                lanes[0].0.network.capacitance(),
+                "lanes must share one capacitance vector"
+            );
+        }
+        (n, k)
+    }
+
+    /// Advances every `(model, watts)` lane by `dt` seconds, exactly as
+    /// `model.step(watts, dt)` would, sharing lane 0's factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`, a power vector is the wrong length, or the
+    /// lanes disagree on the network shape.
+    pub fn step_many(&mut self, lanes: &mut [(&mut ThermalModel, &[f64])], dt: f64) {
+        assert!(dt > 0.0, "dt must be positive");
+        if lanes.is_empty() {
+            return;
+        }
+        if lanes.len() == 1 {
+            // One lane is the scalar path; keep its own cache warm.
+            let (model, watts) = &mut lanes[0];
+            model.step(watts, dt);
+            return;
+        }
+        let (n, k) = Self::check_lanes(lanes);
+        self.rhs.resize(n * k, 0.0);
+        self.x.resize(n * k, 0.0);
+        for (lane, (model, watts)) in lanes.iter().enumerate() {
+            let c = model.network.capacitance();
+            let ambient_power = model.network.ambient_power();
+            for i in 0..n {
+                self.rhs[i * k + lane] = c[i] / dt * model.temps[i] + ambient_power[i];
+            }
+            for (i, w) in watts.iter().enumerate() {
+                self.rhs[i * k + lane] += w;
+            }
+        }
+        {
+            let lu = lanes[0].0.ensure_step_lu(dt);
+            lu.solve_many_into(&self.rhs, &mut self.x, k);
+        }
+        for (lane, (model, _)) in lanes.iter_mut().enumerate() {
+            for i in 0..n {
+                model.temps[i] = self.x[i * k + lane];
+            }
+        }
+    }
+
+    /// Jumps every `(model, watts)` lane to its steady state, exactly as
+    /// `model.settle(watts)` would, sharing lane 0's bare-`G` factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a power vector is the wrong length or the lanes disagree
+    /// on the network shape.
+    pub fn settle_many(&mut self, lanes: &mut [(&mut ThermalModel, &[f64])]) {
+        if lanes.is_empty() {
+            return;
+        }
+        if lanes.len() == 1 {
+            let (model, watts) = &mut lanes[0];
+            model.settle(watts);
+            return;
+        }
+        let (n, k) = Self::check_lanes(lanes);
+        self.rhs.resize(n * k, 0.0);
+        self.x.resize(n * k, 0.0);
+        for (lane, (model, watts)) in lanes.iter().enumerate() {
+            for (i, p) in model.network.ambient_power().iter().enumerate() {
+                self.rhs[i * k + lane] = *p;
+            }
+            for (i, w) in watts.iter().enumerate() {
+                self.rhs[i * k + lane] += w;
+            }
+        }
+        {
+            lanes[0].0.ensure_steady_lu();
+            let lu = lanes[0].0.steady_lu.as_ref().expect("factored above");
+            lu.solve_many_into(&self.rhs, &mut self.x, k);
+        }
+        for (lane, (model, _)) in lanes.iter_mut().enumerate() {
+            for i in 0..n {
+                model.temps[i] = self.x[i * k + lane];
+            }
+        }
     }
 }
 

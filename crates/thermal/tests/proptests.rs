@@ -1,6 +1,8 @@
 //! Property-based tests on the thermal model's physical invariants.
 
-use powerbalance_thermal::{ev6, Floorplan, PackageConfig, ThermalModel};
+use powerbalance_thermal::{
+    ev6, BatchThermalSolver, Floorplan, LuFactors, PackageConfig, ThermalModel,
+};
 use proptest::prelude::*;
 
 fn arbitrary_powers(blocks: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -198,6 +200,106 @@ proptest! {
             );
             prop_assert!(now >= -1e-9, "stored energy went negative: {now}");
             prev = now;
+        }
+    }
+
+    /// `solve_many_into` is bitwise identical to K independent
+    /// `solve_into` calls, for any well-conditioned matrix, any lane
+    /// count, and any right-hand sides — the contract the batched
+    /// campaign engine's thermal solve rests on.
+    #[test]
+    fn solve_many_matches_k_independent_solves_bitwise(
+        n in 1usize..14,
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = rnd();
+            }
+            a[i * n + i] += n as f64; // diagonal dominance
+        }
+        let lu = LuFactors::factor(a, n).expect("diagonally dominant");
+        // Lane-major rhs, plus the de-interleaved per-lane copies.
+        let b_many: Vec<f64> = (0..n * k).map(|_| rnd() * 10.0).collect();
+        let mut x_many = vec![0.0; n * k];
+        lu.solve_many_into(&b_many, &mut x_many, k);
+        let mut b_one = vec![0.0; n];
+        let mut x_one = vec![0.0; n];
+        for lane in 0..k {
+            for i in 0..n {
+                b_one[i] = b_many[i * k + lane];
+            }
+            lu.solve_into(&b_one, &mut x_one);
+            for i in 0..n {
+                prop_assert_eq!(
+                    x_one[i].to_bits(),
+                    x_many[i * k + lane].to_bits(),
+                    "lane {} row {} diverged", lane, i
+                );
+            }
+        }
+    }
+
+    /// Batched backward-Euler stepping and steady-state settling produce
+    /// bit-identical temperatures to each model stepping alone, from any
+    /// starting transient and any per-lane power vectors.
+    #[test]
+    fn batched_step_and_settle_match_scalar_bitwise(
+        warm in arbitrary_powers(26),
+        lane_watts in prop::collection::vec(arbitrary_powers(26), 2..6),
+        dt_exp in -6.0f64..-2.0,
+    ) {
+        let plan = plan();
+        let dt = 10f64.powf(dt_exp);
+        let k = lane_watts.len();
+        // Scalar references: each model steps alone.
+        let mut scalar: Vec<ThermalModel> = (0..k)
+            .map(|_| ThermalModel::new(&plan, PackageConfig::default()))
+            .collect();
+        let mut batched: Vec<ThermalModel> = (0..k)
+            .map(|_| ThermalModel::new(&plan, PackageConfig::default()))
+            .collect();
+        for m in scalar.iter_mut().chain(batched.iter_mut()) {
+            for _ in 0..3 {
+                m.step(&warm, 1e-3);
+            }
+        }
+        for (m, w) in scalar.iter_mut().zip(&lane_watts) {
+            for _ in 0..4 {
+                m.step(w, dt);
+            }
+            m.settle(w);
+        }
+        let mut solver = BatchThermalSolver::new();
+        for _ in 0..4 {
+            let mut lanes: Vec<(&mut ThermalModel, &[f64])> = batched
+                .iter_mut()
+                .zip(&lane_watts)
+                .map(|(m, w)| (m, w.as_slice()))
+                .collect();
+            solver.step_many(&mut lanes, dt);
+        }
+        {
+            let mut lanes: Vec<(&mut ThermalModel, &[f64])> = batched
+                .iter_mut()
+                .zip(&lane_watts)
+                .map(|(m, w)| (m, w.as_slice()))
+                .collect();
+            solver.settle_many(&mut lanes);
+        }
+        for (lane, (s, b)) in scalar.iter().zip(&batched).enumerate() {
+            for (i, (ts, tb)) in
+                s.node_temperatures().iter().zip(b.node_temperatures()).enumerate()
+            {
+                prop_assert_eq!(ts.to_bits(), tb.to_bits(), "lane {} node {}", lane, i);
+            }
         }
     }
 

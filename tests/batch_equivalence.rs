@@ -1,0 +1,109 @@
+//! Batched lockstep execution is an optimization, never a behavior change:
+//! a campaign scheduled into K-wide [`powerbalance::BatchSimulator`] units
+//! must be *bit-identical* — every field of every [`powerbalance::RunResult`],
+//! temperatures included — to the same campaign run as K sequential scalar
+//! jobs.
+//!
+//! The grid here is the one the paper's experiments actually sweep: all
+//! mitigation families ([`PolicyKind::ALL`]) on each of the three
+//! constrained floorplans, under both integration fidelities. Budgets are
+//! chosen so trips fire and the policies genuinely diverge (forking the
+//! lockstep classes) on at least one cell; the remaining cells pin the
+//! cheaper no-divergence and warm-start paths.
+
+use powerbalance::experiments::{self, PolicyKind};
+use powerbalance::{Fidelity, FloorplanKind, SimConfig};
+use powerbalance_harness::{run_campaign, CampaignResult, CampaignSpec, RunnerOptions};
+
+const FLOORPLANS: [FloorplanKind; 3] = [
+    FloorplanKind::IssueConstrained,
+    FloorplanKind::AluConstrained,
+    FloorplanKind::RegfileConstrained,
+];
+
+/// One campaign over every mitigation family on `floorplan`, with each
+/// config passed through `shape` (identity for Exact, fast-mode fields for
+/// Fast).
+fn family_spec(
+    name: &str,
+    floorplan: FloorplanKind,
+    bench: &str,
+    seed: u64,
+    cycles: u64,
+    warmup: u64,
+    shape: impl Fn(SimConfig) -> SimConfig,
+) -> CampaignSpec {
+    let mut spec =
+        CampaignSpec::new(name).benchmark(bench).cycles(cycles).warmup(warmup).seed(seed);
+    for kind in PolicyKind::ALL {
+        spec = spec.config(kind.name(), shape(experiments::policy(kind, floorplan)));
+    }
+    spec
+}
+
+/// Runs `spec` batched (default `max_batch`) and unbatched (`max_batch: 1`)
+/// and demands bit-identical jobs.
+fn assert_batched_matches_scalar(spec: &CampaignSpec, context: &str) -> CampaignResult {
+    let batched = run_campaign(spec, &RunnerOptions::default()).expect("batched campaign runs");
+    let scalar = run_campaign(spec, &RunnerOptions { max_batch: 1, ..Default::default() })
+        .expect("scalar campaign runs");
+    assert!(batched.same_outcome(&scalar), "{context}: batched campaign diverged from scalar");
+    for (b, s) in batched.jobs.iter().zip(&scalar.jobs) {
+        assert_eq!(b.result, s.result, "{context}: {}/{} drifted", b.bench, b.config);
+    }
+    batched
+}
+
+#[test]
+fn batched_campaign_is_bit_identical_to_scalar_exact() {
+    for floorplan in FLOORPLANS {
+        // eon/42 trips the issue-constrained floorplan within 1M cycles
+        // (the recipe tests/techniques.rs relies on); the other floorplans
+        // get a shorter budget since they pin the same code paths.
+        let cycles = if floorplan == FloorplanKind::IssueConstrained { 1_000_000 } else { 200_000 };
+        let spec = family_spec("batch-diff-exact", floorplan, "eon", 42, cycles, 0, |c| c);
+        let result = assert_batched_matches_scalar(&spec, &format!("exact/{floorplan:?}"));
+        if floorplan == FloorplanKind::IssueConstrained {
+            // The cell must actually exercise divergence: if every policy
+            // produced the same result, no class ever forked and the test
+            // would be vacuous.
+            let first = &result.jobs[0].result;
+            assert!(
+                result.jobs.iter().any(|j| j.result != *first),
+                "policies never diverged on the trip-firing recipe"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_campaign_is_bit_identical_to_scalar_fast() {
+    for floorplan in FLOORPLANS {
+        let spec = family_spec("batch-diff-fast", floorplan, "crafty", 5, 300_000, 0, |config| {
+            SimConfig {
+                fidelity: Fidelity::Fast,
+                fast_window: 40_000,
+                fast_warmup: 20_000,
+                ..config
+            }
+        });
+        assert_batched_matches_scalar(&spec, &format!("fast/{floorplan:?}"));
+    }
+}
+
+#[test]
+fn batched_warmed_campaign_matches_scalar() {
+    // Warm-started batches resume from the shared snapshot (trace position
+    // included) rather than replaying the warmup — the path where a
+    // trace-offset bug would silently shift every sibling's workload.
+    let spec = family_spec(
+        "batch-diff-warm",
+        FloorplanKind::IssueConstrained,
+        "eon",
+        42,
+        150_000,
+        100_000,
+        |c| c,
+    );
+    assert_batched_matches_scalar(&spec, "warmed/exact");
+}
