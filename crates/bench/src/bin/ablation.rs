@@ -13,14 +13,22 @@
 //! 5. **Thermal-policy sweep** (paper §5 / DESIGN.md §12) — every policy
 //!    family ({none, spatial, dvfs, fetch-gate, clock-throttle, combined})
 //!    on each constrained floorplan, compared at one thermal budget.
+//! 6. **Multi-core sweep** (DESIGN.md §15) — {1, 2, 4} cores × every
+//!    scheduler × the paper's three balancing techniques at the 358 K
+//!    design point, exposing hot-neighbor interference (die peak rises and
+//!    per-core throughput falls as cores tile closer) and the scheduler
+//!    deltas (coolest-first spreads heat; threshold defers admission).
 //!
 //! `--smoke` runs only the policy sweep, on a single floorplan with a
 //! short cycle budget — the CI configuration.
 
-use powerbalance::experiments::{self, PolicyKind};
-use powerbalance::{FloorplanKind, MappingPolicy};
+use powerbalance::experiments::{self, AluPolicy, PolicyKind};
+use powerbalance::{
+    FloorplanKind, MappingPolicy, MultiCoreSimulator, SchedulerKind, SimConfig, Task, TaskSet,
+};
 use powerbalance_bench::BenchArgs;
 use powerbalance_harness::CampaignResult;
+use powerbalance_workloads::spec2000;
 
 /// Thermal budget for the *smoke* policy sweep: the smoke run is too short
 /// to approach the ~363 K free-running steady state, so the limit is pulled
@@ -77,7 +85,86 @@ fn main() {
         ],
         None,
     ));
+    multicore_sweep(&args);
     args.finish(&campaigns.iter().collect::<Vec<_>>());
+}
+
+/// Ablation 6: {1, 2, 4} cores × every scheduler × the paper's three
+/// balancing techniques, each on that technique's constrained floorplan at
+/// the default 358 K limit. The engine is driven directly (not through the
+/// campaign harness) so the workload can be *segmented*: each job is split
+/// into three bounded segments and the segments of all jobs interleave in
+/// the queue, which is what gives the schedulers real decisions to make —
+/// re-dispatch onto a hot vs. cool core, admission deferral, and job
+/// migration with its fetch-stall penalty. Every cell runs with the
+/// runtime checkers armed (per-core energy balance, cross-core energy
+/// conservation, coupling antisymmetry); a violation fails the ablation.
+fn multicore_sweep(args: &BenchArgs) {
+    /// Micro-ops per segment: three segments per job keep each core busy
+    /// for roughly half the 1 M-cycle budget at single-core IPC, leaving
+    /// idle-cooling windows in which admission decisions differ.
+    const SEGMENT_OPS: u64 = 150_000;
+    const SEGMENTS_PER_JOB: u64 = 3;
+
+    let profile = spec2000::by_name("eon").expect("eon is a known benchmark");
+    let techniques: [(&str, SimConfig); 3] = [
+        ("iq-toggling", experiments::issue_queue(true)),
+        ("alu-turnoff", experiments::alu(AluPolicy::FineGrainTurnoff)),
+        ("rf-turnoff", experiments::regfile(MappingPolicy::Priority, true)),
+    ];
+
+    for (slug, base) in techniques {
+        println!("Ablation 6: multi-core sweep ({slug}, eon segments, limit 358 K)");
+        println!(
+            "{:<22} {:>9} {:>8} {:>6} {:>8} {:>9} {:>5} {:>5}",
+            "die", "committed", "IPC/core", "done", "peak K", "stallcyc", "migr", "check"
+        );
+        for cores in [1usize, 2, 4] {
+            for scheduler in SchedulerKind::ALL {
+                let cfg = SimConfig { cores, scheduler, ..base.clone() };
+                let mut sim = MultiCoreSimulator::new(cfg).expect("sweep configs are valid");
+                sim.enable_checking().expect("checker arms on a fresh engine");
+                // `cores` jobs, each split into bounded segments; queue
+                // order interleaves jobs so a job's later segments arrive
+                // while other cores are busy or hot. Each segment draws its
+                // own trace stream.
+                let mut tasks = TaskSet::new(
+                    (0..SEGMENTS_PER_JOB).flat_map(|s| (0..cores as u64).map(move |j| (s, j))).map(
+                        |(s, j)| {
+                            let stream = args.seed.wrapping_add(j * 16 + s);
+                            Task::ops(j, SEGMENT_OPS, profile.trace(stream))
+                        },
+                    ),
+                );
+                let result = sim.run(&mut tasks, args.cycles);
+                let violations = sim.finish_checking();
+
+                let merged = result.merged();
+                println!(
+                    "{:<22} {:>9} {:>8.2} {:>3}/{:<2} {:>8.2} {:>9} {:>5} {:>5}",
+                    format!("{cores}core+{}", scheduler.name()),
+                    merged.committed,
+                    merged.ipc / cores as f64,
+                    result.tasks_completed,
+                    cores as u64 * SEGMENTS_PER_JOB,
+                    result.die_peak(),
+                    merged.frozen_cycles + merged.throttled_cycles,
+                    result.migrations,
+                    if violations.is_empty() { "clean" } else { "FAIL" },
+                );
+                assert!(
+                    violations.is_empty(),
+                    "invariant violations on {cores}-core {}: {violations:?}",
+                    scheduler.name()
+                );
+            }
+        }
+        println!();
+    }
+    println!("(per-core throughput falls and die peak rises with core count — the");
+    println!(" lateral-coupling interference a single-core model cannot express;");
+    println!(" threshold defers admission onto hot cores, trading committed work");
+    println!(" for peak temperature, and placement differences show as migrations)");
 }
 
 /// Ablation 5: one campaign per floorplan, sweeping every policy family.

@@ -24,9 +24,21 @@
 //! case, run as one [`BatchSimulator`] and cross-checked bitwise against K
 //! sequential scalar runs. Any drift — a temperature bit, an event count —
 //! fails the seed.
+//!
+//! A disjoint one-in-four of the seeds instead draws the *multi-core
+//! engine*: a die of 1–4 cores under a random scheduler runs the seed's
+//! case with the full checker armed per lane — including the cross-core
+//! energy-balance and lateral-symmetry invariants on multi-core dies —
+//! and 1-core draws are additionally cross-checked bitwise against the
+//! scalar simulator.
 
-use powerbalance::{BatchSimulator, Fidelity, SimConfig, Simulator, TraceCursor};
-use powerbalance_bench::fuzz::{derive_batch_siblings, derive_case, draws_batch};
+use powerbalance::{
+    BatchSimulator, Fidelity, MultiCoreSimulator, SchedulerKind, SimConfig, Simulator, Task,
+    TaskSet, TraceCursor,
+};
+use powerbalance_bench::fuzz::{
+    derive_batch_siblings, derive_case, derive_multicore_case, draws_batch, draws_multicore,
+};
 use powerbalance_workloads::spec2000;
 use serde::{json, Deserialize, Serialize};
 use std::panic::{self, AssertUnwindSafe};
@@ -163,6 +175,9 @@ fn run_case(
         if draws_batch(seed) && failures.is_empty() {
             failures.extend(batch_cross_check(seed, config, bench, trace_seed, cycles));
         }
+        if draws_multicore(seed) && failures.is_empty() {
+            failures.extend(multicore_cross_check(seed, config, bench, trace_seed, cycles));
+        }
         Ok(failures)
     }));
     match outcome {
@@ -227,6 +242,65 @@ fn batch_cross_check(
                 batch_result.committed,
                 scalar.committed,
                 batch_result.hottest().last,
+                scalar.hottest().last,
+            ));
+        }
+    }
+    failures
+}
+
+/// Runs the seed's case through the multi-core engine with the checker
+/// armed on every lane (cross-core energy invariants included on dies of
+/// two or more cores). 1-core draws under a placing scheduler are also
+/// cross-checked bitwise against the scalar simulator. Returns the
+/// failure descriptions (empty when clean).
+fn multicore_cross_check(
+    seed: u64,
+    base: &SimConfig,
+    bench: &str,
+    trace_seed: u64,
+    cycles: u64,
+) -> Vec<String> {
+    let shape = derive_multicore_case(seed);
+    let profile = match spec2000::by_name(bench) {
+        Some(p) => p,
+        None => return vec![format!("unknown bench {bench}")],
+    };
+    let config = SimConfig { cores: shape.cores, scheduler: shape.scheduler, ..base.clone() };
+    let mut sim = match MultiCoreSimulator::new(config) {
+        Ok(sim) => sim,
+        Err(e) => return vec![format!("multicore setup failed ({shape:?}): {e}")],
+    };
+    if let Err(e) = sim.enable_checking() {
+        return vec![format!("multicore checking setup failed ({shape:?}): {e}")];
+    }
+    // One unbounded job per core; each lane gets its own trace stream.
+    let mut tasks = TaskSet::new(
+        (0..shape.cores)
+            .map(|c| Task::unbounded(c as u64, profile.trace(trace_seed.wrapping_add(c as u64)))),
+    );
+    let result = sim.run(&mut tasks, cycles);
+    let mut failures: Vec<String> = sim
+        .finish_checking()
+        .iter()
+        .take(8)
+        .map(|v| format!("multicore ({shape:?}): {v}"))
+        .collect();
+    // A threshold scheduler may legitimately defer the only segment and
+    // idle-cool, so the bitwise contract covers the placing schedulers.
+    if shape.cores == 1 && shape.scheduler != SchedulerKind::Threshold && failures.is_empty() {
+        let scalar = match Simulator::new(base.clone()) {
+            Ok(mut sim) => sim.run(&mut profile.trace(trace_seed), cycles),
+            Err(e) => return vec![format!("multicore scalar reference setup failed: {e}")],
+        };
+        if result.cores[0] != scalar {
+            failures.push(format!(
+                "1-core multicore run diverged from scalar under {:?} \
+                 (multi committed {} vs scalar {}, hottest {:.3} K vs {:.3} K)",
+                shape.scheduler,
+                result.cores[0].committed,
+                scalar.committed,
+                result.cores[0].hottest().last,
                 scalar.hottest().last,
             ));
         }

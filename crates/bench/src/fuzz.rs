@@ -8,7 +8,7 @@
 use powerbalance::experiments::PolicyKind;
 use powerbalance::{
     DutyLadder, DvfsParams, Fidelity, FloorplanKind, GateParams, GlobalPolicy, MappingPolicy,
-    OppLadder, SelectPolicy, SimConfig,
+    OppLadder, SchedulerKind, SelectPolicy, SimConfig,
 };
 use powerbalance_workloads::{spec2000, Xoshiro256};
 
@@ -194,6 +194,39 @@ pub fn derive_batch_siblings(seed: u64, base: &SimConfig) -> Vec<SimConfig> {
         .collect()
 }
 
+/// Salt separating the multi-core RNG stream from `derive_case`'s and the
+/// batch stream's, so adding multi-core draws never perturbs what existing
+/// seeds derive.
+const MULTICORE_SALT: u64 = 0x0000_D1E5_A1AD_CAFE;
+
+/// Whether this seed additionally runs the seed's case through the
+/// multi-core engine (one seed in four, disjoint from the batch-drawing
+/// seeds so no seed pays for both cross-checks).
+#[must_use]
+pub fn draws_multicore(seed: u64) -> bool {
+    seed % 4 == 1
+}
+
+/// The multi-core shape a multicore-drawing seed runs: a die size and a
+/// scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiCoreCase {
+    /// Cores on the die (1..=4; 1-core draws bitwise cross-check against
+    /// the scalar engine, larger dies run with invariants armed).
+    pub cores: usize,
+    /// The placement policy.
+    pub scheduler: SchedulerKind,
+}
+
+/// Derives the multi-core shape for a multicore-drawing seed.
+#[must_use]
+pub fn derive_multicore_case(seed: u64) -> MultiCoreCase {
+    let mut rng = Xoshiro256::new(seed ^ MULTICORE_SALT);
+    let cores = 1 + rng.below(4) as usize;
+    let scheduler = *pick(&mut rng, &SchedulerKind::ALL);
+    MultiCoreCase { cores, scheduler }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +265,25 @@ mod tests {
             }
         }
         assert!(widths.len() > 1, "batch widths must vary across the first 200 seeds");
+    }
+
+    #[test]
+    fn multicore_draws_cover_every_die_size_and_scheduler() {
+        // Deterministic, disjoint from batch draws, and the first 200
+        // seeds must reach every die size and every scheduler kind so the
+        // multi-core cross-check isn't vacuously narrow.
+        let mut sizes = std::collections::HashSet::new();
+        let mut kinds = std::collections::HashSet::new();
+        for seed in (0..200u64).filter(|s| draws_multicore(*s)) {
+            assert!(!draws_batch(seed), "a seed must never pay for both cross-checks");
+            let a = derive_multicore_case(seed);
+            assert_eq!(a, derive_multicore_case(seed), "seed {seed} must derive one case");
+            assert!((1..=4).contains(&a.cores), "seed {seed}: die size out of range");
+            sizes.insert(a.cores);
+            kinds.insert(a.scheduler.name());
+        }
+        assert_eq!(sizes.len(), 4, "die sizes 1..=4 must all appear: {sizes:?}");
+        assert_eq!(kinds.len(), SchedulerKind::ALL.len(), "all schedulers must appear: {kinds:?}");
     }
 
     /// The PR-4 coverage note: with `max_temp` biased into the 322–348 K

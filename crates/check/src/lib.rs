@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod crosscore;
 mod invariants;
 mod mitigation;
 mod oracle;
@@ -60,6 +61,9 @@ pub enum ViolationKind {
     Mitigation,
     /// Thermal bounds or RC-network residual checks failed.
     Thermal,
+    /// A multi-core die's per-core energy balance or lateral-coupling
+    /// antisymmetry failed.
+    CrossCoreEnergy,
 }
 
 /// One invariant failure, with enough context to diagnose it offline.
@@ -117,6 +121,9 @@ pub struct RuntimeChecker {
     core_watch: invariants::CoreWatch,
     mitigation_watch: mitigation::MitigationWatch,
     thermal_watch: thermal::ThermalWatch,
+    /// Cross-core invariants; armed only on multi-core dies
+    /// ([`enable_crosscore`](Self::enable_crosscore)).
+    crosscore_watch: Option<crosscore::CrossCoreWatch>,
     // Scratch buffers for draining the core's op logs without allocating.
     fetched: Vec<MicroOp>,
     committed: Vec<(u64, MicroOp)>,
@@ -146,9 +153,20 @@ impl RuntimeChecker {
             core_watch: invariants::CoreWatch::new(core),
             mitigation_watch: mitigation::MitigationWatch::new(plan, mitigation)?,
             thermal_watch: thermal::ThermalWatch::new(thermal),
+            crosscore_watch: None,
             fetched: Vec::new(),
             committed: Vec::new(),
         })
+    }
+
+    /// Arms the cross-core invariants for a multi-core die of `cores`
+    /// copies of a `blocks`-block floorplan (nodes core-major). Checks
+    /// the static conductance symmetry immediately and the per-core
+    /// energy balance plus lateral-flow antisymmetry on every subsequent
+    /// [`check_thermal`](Self::check_thermal).
+    pub fn enable_crosscore(&mut self, cores: usize, blocks: usize, thermal: &ThermalModel) {
+        self.crosscore_watch =
+            Some(crosscore::CrossCoreWatch::new(cores, blocks, thermal, &mut self.sink));
     }
 
     /// Captures the pre-cycle boundary state the invariants compare against.
@@ -207,6 +225,9 @@ impl RuntimeChecker {
         now: u64,
     ) {
         self.thermal_watch.check(model, watts, dt, settled, now, &mut self.sink);
+        if let Some(crosscore) = &mut self.crosscore_watch {
+            crosscore.check(model, watts, dt, settled, now, &mut self.sink);
+        }
     }
 
     /// Re-bases the thermal watch on the model's current state after a
@@ -214,6 +235,9 @@ impl RuntimeChecker {
     /// which the backward-Euler residual deliberately does not cover.
     pub fn resync_thermal(&mut self, model: &ThermalModel) {
         self.thermal_watch.resync(model);
+        if let Some(crosscore) = &mut self.crosscore_watch {
+            crosscore.resync(model);
+        }
     }
 
     /// Closes out the oracle: end-of-run retirement counts and the final

@@ -6,6 +6,7 @@
 //! powerbalance run --bench eon --floorplan regfile --mapping priority --turnoff
 //! powerbalance run --bench eon --bench gzip --floorplan issue --json out.json
 //! powerbalance run --bench eon --floorplan issue --policy dvfs
+//! powerbalance run --bench eon --cores 4 --scheduler coolest-first
 //! powerbalance serve --addr 127.0.0.1:8484 --queue-depth 16
 //! powerbalance list
 //! ```
@@ -18,7 +19,7 @@
 
 use powerbalance::{
     experiments::{self, AluPolicy, PolicyKind},
-    FloorplanKind, MappingPolicy, MitigationConfig, SimConfig,
+    FloorplanKind, MappingPolicy, MitigationConfig, SchedulerKind, SimConfig,
 };
 use powerbalance_harness::{run_campaign, CampaignSpec, JobResult, RunnerOptions};
 use powerbalance_server::ServerConfig;
@@ -37,6 +38,13 @@ USAGE:
       --bench <name>        benchmark to run (required; see `list`);
                             repeat the flag to run several in one campaign
       --floorplan <kind>    baseline | issue | alu | regfile  [baseline]
+      --cores <n>           cores tiled on the die (1..=8)    [1]
+                            each core runs its own workload copy
+                            (seed, seed+1, ...) under one shared
+                            thermal solve with lateral coupling
+      --scheduler <s>       round-robin | coolest-first | threshold
+                            segment-placement policy for multi-core
+                            runs; ignored at --cores 1  [round-robin]
       --cycles <n>          cycles to simulate                [1000000]
       --seed <n>            workload seed                     [42]
       --toggling            enable issue-queue activity toggling
@@ -85,6 +93,7 @@ EXAMPLES:
   powerbalance run --bench perlbmk --floorplan alu --turnoff
   powerbalance run --bench eon --bench gzip --floorplan issue --json out.json
   powerbalance run --bench eon --floorplan issue --policy dvfs
+  powerbalance run --bench eon --cores 4 --scheduler coolest-first
   powerbalance serve --addr 127.0.0.1:0 --queue-depth 8 --workers 1
 ";
 
@@ -139,6 +148,8 @@ struct RunArgs {
 fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut benches = Vec::new();
     let mut floorplan = FloorplanKind::Baseline;
+    let mut cores = 1usize;
+    let mut scheduler = SchedulerKind::RoundRobin;
     let mut cycles = 1_000_000u64;
     let mut seed = 42u64;
     let mut toggling = false;
@@ -169,6 +180,13 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
                     "regfile" => FloorplanKind::RegfileConstrained,
                     other => return Err(format!("unknown floorplan '{other}'")),
                 }
+            }
+            "--cores" => cores = value("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?,
+            "--scheduler" => {
+                let name = value("--scheduler")?;
+                scheduler = SchedulerKind::from_name(&name).ok_or_else(|| {
+                    format!("unknown scheduler '{name}' (round-robin | coolest-first | threshold)")
+                })?;
             }
             "--cycles" => {
                 cycles = value("--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?
@@ -260,6 +278,8 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     };
     let mut config = config;
     config.fidelity = fidelity;
+    config.cores = cores;
+    config.scheduler = scheduler;
     config.validate()?;
 
     // A short config label for reports and JSON artifacts, e.g.
@@ -286,6 +306,11 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     }
     if fidelity == powerbalance::Fidelity::Fast {
         label.push_str("+fast");
+    }
+    if cores > 1 {
+        // The scheduler only matters on a multi-core die, so the label
+        // carries it exactly when it carries the core count.
+        label.push_str(&format!("+{cores}core+{}", scheduler.name()));
     }
 
     if resume && checkpoint_dir.is_none() {
@@ -646,6 +671,31 @@ mod tests {
         assert_eq!(c.label, "alu+dvfs+fast");
 
         assert!(parse_run(&strs(&["--bench", "eon", "--fidelity", "sloppy"])).is_err());
+    }
+
+    #[test]
+    fn cores_and_scheduler_flags_parse() {
+        let a =
+            parse_run(&strs(&["--bench", "eon", "--cores", "4", "--scheduler", "coolest-first"]))
+                .expect("valid");
+        assert_eq!(a.config.cores, 4);
+        assert_eq!(a.config.scheduler, SchedulerKind::CoolestFirst);
+        assert_eq!(a.label, "baseline+4core+coolest-first");
+
+        let b = parse_run(&strs(&["--bench", "eon"])).expect("valid");
+        assert_eq!(b.config.cores, 1);
+        assert_eq!(b.config.scheduler, SchedulerKind::RoundRobin);
+        assert_eq!(b.label, "baseline", "single-core stays untagged");
+
+        // Composes with policy presets; the config must round-trip validate.
+        let c = parse_run(&strs(&["--bench", "eon", "--policy", "dvfs", "--cores", "2"]))
+            .expect("valid");
+        assert_eq!(c.config.cores, 2);
+        assert_eq!(c.label, "baseline+dvfs+2core+round-robin");
+
+        assert!(parse_run(&strs(&["--bench", "eon", "--cores", "0"])).is_err());
+        assert!(parse_run(&strs(&["--bench", "eon", "--cores", "9"])).is_err());
+        assert!(parse_run(&strs(&["--bench", "eon", "--scheduler", "hottest-first"])).is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use powerbalance_mitigation::MitigationConfig;
 use powerbalance_power::EnergyTables;
+use powerbalance_sched::SchedulerKind;
 use powerbalance_thermal::ev6::FloorplanKind;
 use powerbalance_thermal::PackageConfig;
 use powerbalance_uarch::CoreConfig;
@@ -76,6 +77,12 @@ pub const DEFAULT_FAST_WINDOW: u64 = 200_000;
 /// bookkeeping).
 pub const DEFAULT_FAST_WARMUP: u64 = 200_000;
 
+/// Most cores a multi-core die may instantiate. The tiling is linear
+/// (cores abut along x), so very wide dies stop being physically
+/// meaningful long before they stop being computable; eight covers every
+/// sweep in the evaluation with headroom.
+pub const MAX_CORES: usize = 8;
+
 /// Everything needed to build a [`crate::Simulator`].
 ///
 /// Defaults reproduce the paper's Table 2 machine: a 6-wide core at
@@ -130,6 +137,15 @@ pub struct SimConfig {
     /// under [`Fidelity::Exact`]) before interval sampling engages.
     /// Ignored under [`Fidelity::Exact`].
     pub fast_warmup: u64,
+    /// Number of cores tiled on the die (1..=[`MAX_CORES`]). `1` is the
+    /// scalar single-core machine every golden artifact was pinned on;
+    /// above 1 the floorplan is replicated with lateral RC coupling
+    /// between adjacent cores and runs under
+    /// [`crate::MultiCoreSimulator`].
+    pub cores: usize,
+    /// Which scheduler places workload segments onto cores. Ignored at
+    /// `cores == 1` (there is nothing to place).
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SimConfig {
@@ -146,14 +162,16 @@ impl Default for SimConfig {
             fidelity: Fidelity::Exact,
             fast_window: DEFAULT_FAST_WINDOW,
             fast_warmup: DEFAULT_FAST_WARMUP,
+            cores: 1,
+            scheduler: SchedulerKind::RoundRobin,
         }
     }
 }
 
-// Manual serde: the fidelity fields are omitted at their defaults
-// so configs written before the interval engine existed (and every Exact
-// run) keep a byte-identical wire form — the pinned campaign/ablation
-// goldens must not churn.
+// Manual serde: the fidelity and multi-core fields are omitted at their
+// defaults so configs written before those features existed (and every
+// single-core Exact run) keep a byte-identical wire form — the pinned
+// campaign/ablation goldens must not churn.
 impl Serialize for SimConfig {
     fn serialize(&self) -> Value {
         let mut fields = vec![
@@ -174,6 +192,12 @@ impl Serialize for SimConfig {
         }
         if self.fast_warmup != DEFAULT_FAST_WARMUP {
             fields.push(("fast_warmup".to_string(), self.fast_warmup.serialize()));
+        }
+        if self.cores != 1 {
+            fields.push(("cores".to_string(), self.cores.serialize()));
+        }
+        if self.scheduler != SchedulerKind::RoundRobin {
+            fields.push(("scheduler".to_string(), self.scheduler.name().serialize()));
         }
         Value::Object(fields)
     }
@@ -201,6 +225,18 @@ impl<'de> Deserialize<'de> for SimConfig {
             fast_warmup: match value.get("fast_warmup") {
                 Some(v) => Deserialize::deserialize(v)?,
                 None => DEFAULT_FAST_WARMUP,
+            },
+            cores: match value.get("cores") {
+                Some(v) => Deserialize::deserialize(v)?,
+                None => 1,
+            },
+            scheduler: match value.get("scheduler") {
+                Some(v) => {
+                    let name: String = Deserialize::deserialize(v)?;
+                    SchedulerKind::from_name(&name)
+                        .ok_or_else(|| Error::custom(format!("unknown scheduler '{name}'")))?
+                }
+                None => SchedulerKind::RoundRobin,
             },
         })
     }
@@ -230,6 +266,9 @@ impl SimConfig {
             if !self.fast_window.is_multiple_of(self.sample_interval) {
                 return Err("fast_window must be a multiple of sample_interval".into());
             }
+        }
+        if self.cores == 0 || self.cores > MAX_CORES {
+            return Err(format!("cores must be in 1..={MAX_CORES}"));
         }
         Ok(())
     }
@@ -288,6 +327,42 @@ mod tests {
         assert!(!json.contains("fast_warmup"), "default config leaks fast_warmup: {json}");
         let parsed: SimConfig = serde::json::from_str(&json).unwrap();
         assert_eq!(parsed, SimConfig::default());
+    }
+
+    #[test]
+    fn single_core_wire_form_omits_multicore_fields() {
+        // Artifacts written before the multi-core subsystem existed must
+        // stay byte-identical at the N=1 defaults.
+        let json = serde::json::to_string(&SimConfig::default());
+        assert!(!json.contains("cores"), "default config leaks cores: {json}");
+        assert!(!json.contains("scheduler"), "default config leaks scheduler: {json}");
+        let parsed: SimConfig = serde::json::from_str(&json).unwrap();
+        assert_eq!(parsed, SimConfig::default());
+    }
+
+    #[test]
+    fn multicore_wire_form_round_trips() {
+        let cfg =
+            SimConfig { cores: 4, scheduler: SchedulerKind::CoolestFirst, ..SimConfig::default() };
+        let json = serde::json::to_string(&cfg);
+        assert!(json.contains("\"cores\":4"), "{json}");
+        assert!(json.contains("\"scheduler\":\"coolest-first\""), "{json}");
+        let parsed: SimConfig = serde::json::from_str(&json).unwrap();
+        assert_eq!(parsed, cfg);
+        assert!(
+            serde::json::from_str::<SimConfig>(&json.replace("coolest-first", "hottest")).is_err()
+        );
+    }
+
+    #[test]
+    fn cores_validation() {
+        let cfg = SimConfig { cores: 0, ..SimConfig::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = SimConfig { cores: MAX_CORES + 1, ..SimConfig::default() };
+        assert!(cfg.validate().is_err());
+        let cfg =
+            SimConfig { cores: 4, scheduler: SchedulerKind::Threshold, ..SimConfig::default() };
+        cfg.validate().expect("4-core config is valid");
     }
 
     #[test]

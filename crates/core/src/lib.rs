@@ -42,6 +42,7 @@ mod batch;
 mod config;
 mod error;
 pub mod experiments;
+mod multicore;
 mod result;
 mod simulator;
 mod snapshot;
@@ -49,9 +50,17 @@ mod snapshot;
 pub use batch::{batch_key, BatchSimulator};
 pub use config::{Fidelity, SimConfig, DEFAULT_FAST_WINDOW};
 pub use error::Error;
+pub use multicore::{
+    JobCore, LaneState, MultiCoreResult, MultiCoreSimulator, MultiCoreState, TaskSet,
+};
 pub use result::{BlockTemperature, RunResult};
 pub use simulator::{RunControl, Simulator, StopCause};
 pub use snapshot::{FastEngineState, SimulatorState, Snapshot, FORMAT_VERSION};
+
+// The scheduling vocabulary rides along with the multi-core engine so
+// callers can build task queues without a direct `powerbalance-sched`
+// dependency.
+pub use powerbalance_sched::{SchedulerKind, SegmentLen, Task, TaskQueue, DEFAULT_MIGRATION_STALL};
 
 // Re-export the subsystem vocabulary users need to configure runs.
 // `spec2000` rides along so downstream crates (harness, bench, cli) can

@@ -1,0 +1,1337 @@
+//! The multi-core simulator: N cores, one die, one shared thermal solve.
+//!
+//! [`MultiCoreSimulator`] steps N independent [`Core`]s against a single
+//! RC network built from N translated copies of the per-core floorplan
+//! ([`powerbalance_thermal::multicore::replicate`]), so adjacent cores
+//! couple laterally and a hot neighbor genuinely heats a cool one. A
+//! pluggable [`Scheduler`] places workload segments (a typed
+//! [`TaskSet`]) onto free cores; moving a job between cores charges a
+//! fetch-stall migration penalty.
+//!
+//! # The N = 1 contract
+//!
+//! A 1-core `MultiCoreSimulator` running one unbounded segment is
+//! **bit-identical** to the scalar [`Simulator`] on the same trace: the
+//! replicated floorplan is a clone, the per-lane sampling phases reuse
+//! the scalar helpers' exact ordering, and the unbounded
+//! [`BudgetedTrace`] wrapper is a pure passthrough. The release-mode
+//! equivalence suite (`tests/multicore_equivalence.rs`) enforces this
+//! across floorplans, fidelities, and policy families. (The one
+//! documented exception: a [`SchedulerKind::Threshold`] policy may defer
+//! work and insert idle-cooling windows the scalar engine has no notion
+//! of.)
+//!
+//! # Sampling windows
+//!
+//! Each window, every busy lane runs up to `sample_interval` cycles
+//! (consuming any pending migration stall first), then one die-wide
+//! sense/react step runs: per-lane activity → per-lane power into the
+//! lane's slice of the die power vector (idle lanes contribute leakage
+//! only) → one thermal solve → per-lane mitigation consult against the
+//! lane's temperature slice. Under [`Fidelity::Fast`] the macro-window
+//! clock is die-global: all lanes are detailed together and skipped
+//! together, so the shared thermal solve always sees one coherent die.
+
+use crate::config::Fidelity;
+use crate::simulator::{FastState, RunControl, StopCause};
+use crate::snapshot::{decode_bits, encode_bits, FastEngineState};
+use crate::{BlockTemperature, Error, RunResult, SimConfig};
+use powerbalance_isa::{MicroOp, TraceSource};
+use powerbalance_mitigation::{ManagerState, Sensors, ThermalManager};
+use powerbalance_power::PowerModel;
+use powerbalance_sched::{CoreView, Scheduler, SegmentLen, Task, DEFAULT_MIGRATION_STALL};
+use powerbalance_thermal::{ev6, multicore, Floorplan, ThermalModel};
+use powerbalance_uarch::{ActivitySample, Core, CoreState, CoreStats};
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle of one segment in a [`TaskSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SegState {
+    /// Waiting in FIFO order for the scheduler to place it.
+    Pending,
+    /// Running on the given core.
+    Running(usize),
+    /// Retired: its trace drained (or its op budget was spent) and the
+    /// core's pipeline emptied.
+    Done,
+}
+
+/// One segment plus its dispatch state and remaining op budget.
+#[derive(Debug)]
+struct Segment<T> {
+    job: u64,
+    trace: T,
+    /// Micro-ops this segment may still fetch; `u64::MAX` means
+    /// unbounded (and is deliberately never decremented, which keeps the
+    /// wrapper a bit-exact passthrough for the N = 1 contract).
+    ops_left: u64,
+    state: SegState,
+}
+
+/// The typed work queue a [`MultiCoreSimulator`] dispatches from.
+///
+/// Built from [`Task`]s (job id + segment length + trace payload) and
+/// dispatched strictly in FIFO order: a deferred head blocks the queue.
+/// The set owns the traces; pass the *same* `TaskSet` to every `run`
+/// call of one campaign — segment positions and op budgets persist
+/// across calls.
+#[derive(Debug)]
+pub struct TaskSet<T> {
+    segments: Vec<Segment<T>>,
+}
+
+impl<T: TraceSource> TaskSet<T> {
+    /// Builds a set from segments in dispatch (FIFO) order.
+    pub fn new(tasks: impl IntoIterator<Item = Task<T>>) -> Self {
+        let segments = tasks
+            .into_iter()
+            .map(|t| Segment {
+                job: t.job,
+                trace: t.payload,
+                ops_left: match t.len {
+                    SegmentLen::Unbounded => u64::MAX,
+                    SegmentLen::Ops(n) => n,
+                },
+                state: SegState::Pending,
+            })
+            .collect();
+        TaskSet { segments }
+    }
+
+    /// One unbounded segment per trace, each its own job — the shape
+    /// campaign runs use (one benchmark instance per core).
+    pub fn one_per_job(traces: impl IntoIterator<Item = T>) -> Self {
+        TaskSet::new(traces.into_iter().enumerate().map(|(j, t)| Task::unbounded(j as u64, t)))
+    }
+
+    /// Total segments in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// `true` when the set holds no segments at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Segments retired so far.
+    #[must_use]
+    pub fn done(&self) -> usize {
+        self.segments.iter().filter(|s| s.state == SegState::Done).count()
+    }
+
+    /// `true` once every segment has retired.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.segments.iter().all(|s| s.state == SegState::Done)
+    }
+
+    /// Index of the next segment to dispatch (FIFO: first pending).
+    fn first_pending(&self) -> Option<usize> {
+        self.segments.iter().position(|s| s.state == SegState::Pending)
+    }
+
+    fn payload_mut(&mut self, idx: usize) -> (&mut T, &mut u64) {
+        let seg = &mut self.segments[idx];
+        (&mut seg.trace, &mut seg.ops_left)
+    }
+}
+
+/// Budget-limiting trace adapter: reports end-of-trace once the
+/// segment's op budget is spent, so the core drains and retires the
+/// segment through its ordinary `is_done` path. With an unbounded
+/// budget (`u64::MAX`) every call forwards untouched — a bit-exact
+/// passthrough.
+struct BudgetedTrace<'a, T> {
+    inner: &'a mut T,
+    left: &'a mut u64,
+}
+
+impl<T: TraceSource> TraceSource for BudgetedTrace<'_, T> {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if *self.left == 0 {
+            return None;
+        }
+        let op = self.inner.next_op();
+        if op.is_some() && *self.left != u64::MAX {
+            *self.left -= 1;
+        }
+        op
+    }
+
+    fn skip_ops(&mut self, n: u64) {
+        let take = if *self.left == u64::MAX {
+            n
+        } else {
+            let take = n.min(*self.left);
+            *self.left -= take;
+            take
+        };
+        self.inner.skip_ops(take);
+    }
+}
+
+/// One core's private state inside the multi-core engine: the pipeline,
+/// its own mitigation manager (per-core thermal zones over the core's
+/// floorplan slice), its temperature statistics, and its lane of the
+/// interval engine.
+#[derive(Debug)]
+struct Lane {
+    core: Core,
+    manager: ThermalManager,
+    temp_sum: Vec<f64>,
+    temp_samples: u64,
+    temp_max: Vec<f64>,
+    /// Interval-engine basis and extrapolated totals for this lane. The
+    /// die-global macro-window clock lives on the simulator
+    /// (`fast_prefix_left` / `fast_window_pos`); the per-lane copies of
+    /// those two fields stay at zero.
+    fast: FastState,
+    /// Index into the [`TaskSet`] of the running segment, if any.
+    task: Option<usize>,
+    /// Remaining migration fetch-stall cycles, consumed from the front
+    /// of the next window(s) before the core cycles.
+    stall_left: u64,
+    /// Activity harvested by the current sampling window (`None` for an
+    /// idle window); scratch, never snapshotted.
+    win_act: Option<ActivitySample>,
+    /// Core stats at the start of the current detailed window (interval
+    /// engine extrapolation basis capture); scratch.
+    before: CoreStats,
+    /// Freeze state captured at the top of a skipped sub-interval;
+    /// scratch.
+    skip_frozen: bool,
+}
+
+/// Serialized dynamic state of one lane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaneState {
+    /// Full pipeline state.
+    pub core: CoreState,
+    /// Mitigation counters and any in-progress stall.
+    pub manager: ManagerState,
+    /// Bit patterns of the per-block temperature running sums.
+    pub temp_sum_bits: Vec<u64>,
+    /// Bit patterns of the per-block temperature maxima.
+    pub temp_max_bits: Vec<u64>,
+    /// Non-stalled samples behind `temp_sum_bits`.
+    pub temp_samples: u64,
+    /// Interval-engine lane state (basis + extrapolated totals).
+    pub fast: FastEngineState,
+    /// Remaining migration fetch-stall cycles.
+    pub stall_left: u64,
+}
+
+/// Which core last ran a job (migration detection survives snapshots).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobCore {
+    /// Job identity.
+    pub job: u64,
+    /// Core that last ran one of its segments.
+    pub core: usize,
+}
+
+/// Serializable dynamic state of a [`MultiCoreSimulator`].
+///
+/// Running task assignments are *not* captured: restore leaves every
+/// lane idle and the next `run` re-dispatches from the caller's
+/// [`TaskSet`] (whose traces carry their own positions). The job→core
+/// map rides along, so re-dispatching a job to the core it already ran
+/// on charges no migration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiCoreState {
+    /// Per-lane state, core-major.
+    pub lanes: Vec<LaneState>,
+    /// Bit patterns of every RC node temperature of the shared die.
+    pub thermal_node_bits: Vec<u64>,
+    /// Whether the warm-start settle has happened.
+    pub warmed: bool,
+    /// Die-global interval-engine warmup prefix remaining.
+    pub fast_prefix_left: u64,
+    /// Die-global macro-window phase.
+    pub fast_window_pos: u64,
+    /// Scheduler rotation word ([`Scheduler::state_word`]).
+    pub sched_word: u64,
+    /// Job migrations performed.
+    pub migrations: u64,
+    /// Fetch-stall cycles charged to migrations.
+    pub migration_stall_cycles: u64,
+    /// Segments retired.
+    pub tasks_completed: u64,
+    /// Which core last ran each job.
+    pub job_cores: Vec<JobCore>,
+}
+
+/// Aggregate results of a multi-core run: one [`RunResult`] per core
+/// plus the scheduler-level counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCoreResult {
+    /// Per-core results, block names unprefixed (each core reports its
+    /// own floorplan). `cores[0]` of a 1-core run is bit-identical to
+    /// the scalar simulator's result.
+    pub cores: Vec<RunResult>,
+    /// Jobs moved between cores by the scheduler.
+    pub migrations: u64,
+    /// Fetch-stall cycles charged to those migrations.
+    pub migration_stall_cycles: u64,
+    /// Workload segments retired.
+    pub tasks_completed: u64,
+}
+
+impl MultiCoreResult {
+    /// Peak temperature reached anywhere on the die.
+    #[must_use]
+    pub fn die_peak(&self) -> f64 {
+        self.cores
+            .iter()
+            .flat_map(|r| r.temperatures.iter())
+            .map(|t| t.max)
+            .fold(f64::MIN, f64::max)
+    }
+
+    /// Total instructions committed across all cores.
+    #[must_use]
+    pub fn total_committed(&self) -> u64 {
+        self.cores.iter().map(|r| r.committed).sum()
+    }
+
+    /// Flattens the per-core results into one [`RunResult`] for display
+    /// paths built around the scalar shape: cycles are the die's
+    /// (maximum over cores), throughput counters sum, temperatures
+    /// concatenate under `C{c}.`-prefixed block names, and the cache /
+    /// predictor rates average over cores.
+    #[must_use]
+    pub fn merged(&self) -> RunResult {
+        let n = self.cores.len().max(1) as f64;
+        let cycles = self.cores.iter().map(|r| r.cycles).max().unwrap_or(0);
+        let committed = self.total_committed();
+        let mut int_issued_per_unit = [0u64; 6];
+        let mut int_rf_reads = [0u64; 2];
+        for r in &self.cores {
+            for (acc, v) in int_issued_per_unit.iter_mut().zip(&r.int_issued_per_unit) {
+                *acc += v;
+            }
+            for (acc, v) in int_rf_reads.iter_mut().zip(&r.int_rf_reads) {
+                *acc += v;
+            }
+        }
+        RunResult {
+            cycles,
+            committed,
+            ipc: if cycles == 0 { 0.0 } else { committed as f64 / cycles as f64 },
+            frozen_cycles: self.cores.iter().map(|r| r.frozen_cycles).sum(),
+            toggles: self.cores.iter().map(|r| r.toggles).sum(),
+            alu_turnoffs: self.cores.iter().map(|r| r.alu_turnoffs).sum(),
+            rf_turnoffs: self.cores.iter().map(|r| r.rf_turnoffs).sum(),
+            freezes: self.cores.iter().map(|r| r.freezes).sum(),
+            opp_transitions: self.cores.iter().map(|r| r.opp_transitions).sum(),
+            duty_shifts: self.cores.iter().map(|r| r.duty_shifts).sum(),
+            throttled_cycles: self.cores.iter().map(|r| r.throttled_cycles).sum(),
+            fetch_gated_cycles: self.cores.iter().map(|r| r.fetch_gated_cycles).sum(),
+            temperatures: self
+                .cores
+                .iter()
+                .enumerate()
+                .flat_map(|(c, r)| {
+                    r.temperatures.iter().map(move |t| BlockTemperature {
+                        name: multicore::core_block_name(&t.name, c, self.cores.len()),
+                        avg: t.avg,
+                        max: t.max,
+                        last: t.last,
+                    })
+                })
+                .collect(),
+            int_issued_per_unit,
+            int_rf_reads,
+            mispredict_rate: self.cores.iter().map(|r| r.mispredict_rate).sum::<f64>() / n,
+            l1d_miss_rate: self.cores.iter().map(|r| r.l1d_miss_rate).sum::<f64>() / n,
+        }
+    }
+}
+
+/// N cores stepping against one shared thermal solve, with a pluggable
+/// scheduler placing workload segments. See the module docs for the
+/// window structure and the N = 1 bit-identity contract.
+#[derive(Debug)]
+pub struct MultiCoreSimulator {
+    config: SimConfig,
+    /// The per-core floorplan (what each lane's power model, sensors,
+    /// and reported block names use).
+    core_plan: Floorplan,
+    /// The full die: `cores` translated copies of `core_plan`.
+    die_plan: Floorplan,
+    power: PowerModel,
+    thermal: ThermalModel,
+    scheduler: Box<dyn Scheduler + Send>,
+    lanes: Vec<Lane>,
+    /// Blocks per core (`core_plan.blocks().len()`).
+    blocks: usize,
+    warmed: bool,
+    /// Die-wide per-block power scratch (lane `c` owns the slice
+    /// `c*blocks..(c+1)*blocks`); never snapshotted.
+    watts: Vec<f64>,
+    /// Leakage-only power of one idle core; derived, never snapshotted.
+    idle_watts: Vec<f64>,
+    /// Scheduler-view scratch.
+    views: Vec<CoreView>,
+    /// Die-global interval-engine clock (see [`FastState`] docs).
+    fast_prefix_left: u64,
+    fast_window_pos: u64,
+    migrations: u64,
+    migration_stall_cycles: u64,
+    tasks_completed: u64,
+    /// Which core last ran each job (small linear map; campaigns run a
+    /// handful of jobs).
+    job_cores: Vec<JobCore>,
+    /// Per-lane checkers, parallel to `lanes`; empty until
+    /// [`enable_checking`](Self::enable_checking). Checker 0 addition-
+    /// ally owns the die-level thermal and cross-core watches.
+    #[cfg(feature = "check")]
+    checkers: Vec<powerbalance_check::RuntimeChecker>,
+}
+
+impl MultiCoreSimulator {
+    /// Builds an N-core die from `config` (`config.cores` lanes,
+    /// `config.scheduler` placing segments; the threshold policy's θ is
+    /// the mitigation layer's emergency temperature).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if any subsystem rejects its
+    /// parameters.
+    pub fn new(config: SimConfig) -> Result<Self, Error> {
+        config.validate()?;
+        let core_plan = ev6::build(config.floorplan);
+        let die_plan = multicore::replicate(&core_plan, config.cores);
+        let power = PowerModel::new(&core_plan, config.energy, config.frequency_hz)?;
+        let thermal = ThermalModel::new(&die_plan, config.package);
+        let scheduler = config.scheduler.build(config.mitigation.thresholds.max_temp);
+        let blocks = core_plan.blocks().len();
+        let mut idle_watts = vec![0.0; blocks];
+        power.block_power_into(&ActivitySample::default(), &mut idle_watts);
+        let fast_prefix_left = match config.fidelity {
+            Fidelity::Fast => config.fast_warmup,
+            Fidelity::Exact => 0,
+        };
+        let mut lanes = Vec::with_capacity(config.cores);
+        for _ in 0..config.cores {
+            let core = Core::new(config.core.clone())?;
+            let sensors = Sensors::new(&core_plan)?;
+            let manager = ThermalManager::new(config.mitigation, sensors);
+            lanes.push(Lane {
+                core,
+                manager,
+                temp_sum: vec![0.0; blocks],
+                temp_samples: 0,
+                temp_max: vec![f64::MIN; blocks],
+                fast: FastState { window_watts: vec![0.0; blocks], ..FastState::default() },
+                task: None,
+                stall_left: 0,
+                win_act: None,
+                before: CoreStats::default(),
+                skip_frozen: false,
+            });
+        }
+        Ok(MultiCoreSimulator {
+            views: vec![CoreView { temp: 0.0, free: true }; config.cores],
+            watts: vec![0.0; blocks * config.cores],
+            config,
+            core_plan,
+            die_plan,
+            power,
+            thermal,
+            scheduler,
+            lanes,
+            blocks,
+            warmed: false,
+            idle_watts,
+            fast_prefix_left,
+            fast_window_pos: 0,
+            migrations: 0,
+            migration_stall_cycles: 0,
+            tasks_completed: 0,
+            job_cores: Vec::new(),
+            #[cfg(feature = "check")]
+            checkers: Vec::new(),
+        })
+    }
+
+    /// The configuration this simulator was built with.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The full die floorplan (all cores tiled).
+    #[must_use]
+    pub fn die_floorplan(&self) -> &Floorplan {
+        &self.die_plan
+    }
+
+    /// The per-core floorplan.
+    #[must_use]
+    pub fn core_floorplan(&self) -> &Floorplan {
+        &self.core_plan
+    }
+
+    /// Number of cores on the die.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Immutable access to core `c`'s pipeline.
+    #[must_use]
+    pub fn core(&self, c: usize) -> &Core {
+        &self.lanes[c].core
+    }
+
+    /// Core `c`'s mitigation manager.
+    #[must_use]
+    pub fn manager(&self, c: usize) -> &ThermalManager {
+        &self.lanes[c].manager
+    }
+
+    /// The shared die thermal model.
+    #[must_use]
+    pub fn thermal(&self) -> &ThermalModel {
+        &self.thermal
+    }
+
+    /// Runs for up to `cycles` die cycles, dispatching from `tasks`,
+    /// and returns the accumulated per-core results. Returns early once
+    /// every segment has retired. Call repeatedly with the same
+    /// `TaskSet` to extend a run.
+    pub fn run<T: TraceSource>(&mut self, tasks: &mut TaskSet<T>, cycles: u64) -> MultiCoreResult {
+        self.run_controlled(tasks, cycles, &RunControl::unlimited()).0
+    }
+
+    /// Like [`run`](Self::run), but checks `control` between sampling
+    /// windows and stops early on cancellation or a passed deadline.
+    pub fn run_controlled<T: TraceSource>(
+        &mut self,
+        tasks: &mut TaskSet<T>,
+        cycles: u64,
+        control: &RunControl<'_>,
+    ) -> (MultiCoreResult, StopCause) {
+        let cause = self.drive(tasks, cycles, control, true);
+        (self.result(), cause)
+    }
+
+    /// Runs without ever consulting the mitigation managers (the
+    /// multi-core analogue of [`Simulator::run_warmup`]): power and
+    /// thermal advance normally, statistics accumulate, but no toggles,
+    /// turnoffs, or freezes happen.
+    ///
+    /// [`Simulator::run_warmup`]: crate::Simulator::run_warmup
+    pub fn run_warmup<T: TraceSource>(&mut self, tasks: &mut TaskSet<T>, cycles: u64) {
+        let _ = self.run_warmup_controlled(tasks, cycles, &RunControl::unlimited());
+    }
+
+    /// Like [`run_warmup`](Self::run_warmup), but checks `control`
+    /// between sampling windows.
+    pub fn run_warmup_controlled<T: TraceSource>(
+        &mut self,
+        tasks: &mut TaskSet<T>,
+        cycles: u64,
+        control: &RunControl<'_>,
+    ) -> StopCause {
+        self.drive(tasks, cycles, control, false)
+    }
+
+    /// The shared outer loop of `run`/`run_warmup`. Mirrors the scalar
+    /// engine's loop structure exactly (dispatch replaces the scalar
+    /// `is_done` check): budget check, liveness check, stop check, one
+    /// window, one sample, retirement.
+    fn drive<T: TraceSource>(
+        &mut self,
+        tasks: &mut TaskSet<T>,
+        cycles: u64,
+        control: &RunControl<'_>,
+        consult: bool,
+    ) -> StopCause {
+        self.reconcile(tasks);
+        if self.config.fidelity == Fidelity::Fast {
+            return self.drive_fast(tasks, cycles, control, consult);
+        }
+        let mut elapsed = 0u64;
+        loop {
+            self.dispatch(tasks);
+            if elapsed >= cycles || self.all_idle(tasks) {
+                return StopCause::Completed;
+            }
+            if let Some(stop) = control.stop_cause() {
+                return stop;
+            }
+            let window = self.config.sample_interval.min(cycles - elapsed);
+            elapsed += self.run_lanes_window(tasks, window);
+            self.sample(window, consult);
+            self.retire(tasks);
+        }
+    }
+
+    /// The die-global interval engine: the macro-window clock is shared,
+    /// so every lane is detailed together and analytically skipped
+    /// together against one coherent held power vector.
+    fn drive_fast<T: TraceSource>(
+        &mut self,
+        tasks: &mut TaskSet<T>,
+        cycles: u64,
+        control: &RunControl<'_>,
+        consult: bool,
+    ) -> StopCause {
+        let stretch = self.config.fast_window / self.config.sample_interval;
+        let mut elapsed = 0u64;
+        loop {
+            self.dispatch(tasks);
+            if elapsed >= cycles || self.all_idle(tasks) {
+                return StopCause::Completed;
+            }
+            if let Some(stop) = control.stop_cause() {
+                return stop;
+            }
+            let sub = self.config.sample_interval.min(cycles - elapsed);
+            let in_prefix = self.fast_prefix_left > 0;
+            if in_prefix || self.fast_window_pos == 0 {
+                for lane in &mut self.lanes {
+                    if lane.task.is_some() {
+                        lane.before = *lane.core.stats();
+                    }
+                }
+                elapsed += self.run_lanes_window(tasks, sub);
+                self.sample(sub, consult);
+                self.fast_record_windows();
+            } else {
+                elapsed += sub;
+                self.fast_skip_advance(tasks, sub);
+                self.fast_skip_consult(consult);
+            }
+            self.retire(tasks);
+            if in_prefix {
+                self.fast_prefix_left = self.fast_prefix_left.saturating_sub(sub);
+            } else {
+                self.fast_window_pos = (self.fast_window_pos + 1) % stretch;
+            }
+        }
+    }
+
+    /// Requeues segments marked running on a lane that does not actually
+    /// hold them — the restore path leaves every lane idle, so a task
+    /// set carried across a snapshot boundary re-enters the FIFO here
+    /// (index order, so the original dispatch order is preserved).
+    fn reconcile<T: TraceSource>(&self, tasks: &mut TaskSet<T>) {
+        for (idx, seg) in tasks.segments.iter_mut().enumerate() {
+            if let SegState::Running(c) = seg.state {
+                if self.lanes.get(c).and_then(|l| l.task) != Some(idx) {
+                    seg.state = SegState::Pending;
+                }
+            }
+        }
+    }
+
+    /// `true` when no lane has a running segment and nothing more can
+    /// dispatch (the set is drained, or every remaining segment is
+    /// deferred — the caller just dispatched, so a pending head here
+    /// means the scheduler refused it and the die should idle-cool).
+    fn all_idle<T: TraceSource>(&self, tasks: &TaskSet<T>) -> bool {
+        self.lanes.iter().all(|l| l.task.is_none()) && tasks.first_pending().is_none()
+    }
+
+    /// Places pending segments onto free cores until the scheduler
+    /// defers or no free core remains. FIFO: a deferred head blocks the
+    /// queue.
+    fn dispatch<T: TraceSource>(&mut self, tasks: &mut TaskSet<T>) {
+        while let Some(idx) = tasks.first_pending() {
+            let temps = self.thermal.temperatures();
+            for (c, view) in self.views.iter_mut().enumerate() {
+                let slice = &temps[c * self.blocks..(c + 1) * self.blocks];
+                *view = CoreView {
+                    temp: slice.iter().copied().fold(f64::MIN, f64::max),
+                    free: self.lanes[c].task.is_none(),
+                };
+            }
+            let Some(c) = self.scheduler.select(&self.views) else {
+                break;
+            };
+            if !self.views[c].free {
+                debug_assert!(false, "scheduler placed a segment on a busy core");
+                break;
+            }
+            let job = tasks.segments[idx].job;
+            tasks.segments[idx].state = SegState::Running(c);
+            let lane = &mut self.lanes[c];
+            lane.task = Some(idx);
+            // A lane whose previous segment drained its trace latched
+            // `trace_done`; the new segment has its own trace.
+            lane.core.reset_trace_done();
+            match self.job_cores.iter_mut().find(|jc| jc.job == job) {
+                Some(jc) => {
+                    if jc.core != c {
+                        self.migrations += 1;
+                        lane.stall_left += DEFAULT_MIGRATION_STALL;
+                        jc.core = c;
+                    }
+                }
+                None => self.job_cores.push(JobCore { job, core: c }),
+            }
+        }
+    }
+
+    /// Runs every busy lane for up to `window` cycles (migration stall
+    /// first, then pipeline cycles); returns how far the die clock
+    /// advanced — the full window unless *every* busy lane ended early,
+    /// and the full window when no lane is busy (idle cooling).
+    fn run_lanes_window<T: TraceSource>(&mut self, tasks: &mut TaskSet<T>, window: u64) -> u64 {
+        let mut advanced = 0u64;
+        let mut any_busy = false;
+        for c in 0..self.lanes.len() {
+            let Some(idx) = self.lanes[c].task else {
+                continue;
+            };
+            any_busy = true;
+            let stall = self.lanes[c].stall_left.min(window);
+            if stall > 0 {
+                self.lanes[c].stall_left -= stall;
+                self.migration_stall_cycles += stall;
+            }
+            let (trace, left) = tasks.payload_mut(idx);
+            let mut src = BudgetedTrace { inner: trace, left };
+            let ran = self.lane_cycles(c, &mut src, window - stall);
+            advanced = advanced.max(stall + ran);
+        }
+        if any_busy {
+            advanced
+        } else {
+            window
+        }
+    }
+
+    /// Cycles lane `c` up to `budget` times, bracketed by its runtime
+    /// checker when one is armed; stops early when the segment drains.
+    fn lane_cycles<T: TraceSource>(
+        &mut self,
+        c: usize,
+        src: &mut BudgetedTrace<'_, T>,
+        budget: u64,
+    ) -> u64 {
+        let lane = &mut self.lanes[c];
+        let mut ran = 0u64;
+        #[cfg(feature = "check")]
+        if let Some(checker) = self.checkers.get_mut(c) {
+            for _ in 0..budget {
+                checker.before_cycle(&lane.core);
+                lane.core.cycle(src);
+                checker.after_cycle(&mut lane.core);
+                ran += 1;
+                if lane.core.is_done() {
+                    break;
+                }
+            }
+            return ran;
+        }
+        for _ in 0..budget {
+            lane.core.cycle(src);
+            ran += 1;
+            if lane.core.is_done() {
+                break;
+            }
+        }
+        ran
+    }
+
+    /// Retires segments whose core has drained (trace exhausted or op
+    /// budget spent, pipeline empty).
+    fn retire<T: TraceSource>(&mut self, tasks: &mut TaskSet<T>) {
+        for lane in &mut self.lanes {
+            if let Some(idx) = lane.task {
+                if lane.core.is_done() {
+                    tasks.segments[idx].state = SegState::Done;
+                    lane.task = None;
+                    self.tasks_completed += 1;
+                }
+            }
+        }
+    }
+
+    /// One die-wide sense/react step: per-lane activity → per-lane
+    /// power into the die vector → one thermal solve → per-lane consult
+    /// and statistics. Phase order within each lane mirrors the scalar
+    /// [`Simulator::sample`] exactly.
+    ///
+    /// [`Simulator::sample`]: crate::Simulator
+    fn sample(&mut self, window: u64, consult: bool) {
+        let blocks = self.blocks;
+        let mut max_cycles = 0u64;
+        for (c, lane) in self.lanes.iter_mut().enumerate() {
+            let chunk = &mut self.watts[c * blocks..(c + 1) * blocks];
+            let activity = lane.core.take_activity();
+            if activity.cycles == 0 {
+                // Idle (or fully stalled) lane: leakage only.
+                chunk.copy_from_slice(&self.idle_watts);
+                lane.win_act = None;
+                continue;
+            }
+            max_cycles = max_cycles.max(activity.cycles);
+            lane.fast.window_int_iq = activity.int_iq;
+            lane.fast.window_fp_iq = activity.fp_iq;
+            let scale = lane.manager.dynamic_power_scale();
+            // One-lane invocation of the batched power kernel: the
+            // `scale == 1.0` arm delegates to the identical scalar
+            // routine, which is what keeps N = 1 bit-identical.
+            self.power
+                .block_power_many_into(std::slice::from_ref(&(activity, scale)), &mut [chunk]);
+            lane.win_act = Some(activity);
+        }
+        // Idle-cooling windows advance by the window length; busy
+        // windows by the longest lane activity (== the scalar dt).
+        let dt_cycles = if max_cycles == 0 { window } else { max_cycles };
+        let dt = dt_cycles as f64 / self.config.frequency_hz;
+        let settled = self.config.warm_start && !self.warmed;
+        if settled {
+            self.warmed = true;
+            self.thermal.settle(&self.watts);
+        } else {
+            self.thermal.step(&self.watts, dt);
+        }
+        #[cfg(feature = "check")]
+        if let Some(checker) = self.checkers.first_mut() {
+            let now = self.lanes[0].core.stats().cycles + self.lanes[0].fast.extra_cycles;
+            checker.check_thermal(&self.thermal, &self.watts, dt, settled, now);
+        }
+        let temps = self.thermal.temperatures();
+        for (c, lane) in self.lanes.iter_mut().enumerate() {
+            let Some(activity) = lane.win_act else {
+                continue;
+            };
+            let slice = &temps[c * blocks..(c + 1) * blocks];
+            let was_frozen = lane.core.is_frozen();
+            let now = lane.core.stats().cycles + lane.fast.extra_cycles;
+            if consult {
+                #[cfg(feature = "check")]
+                let mut checker = self.checkers.get_mut(c);
+                #[cfg(feature = "check")]
+                if let Some(checker) = checker.as_mut() {
+                    checker.before_sample(&lane.core, &lane.manager);
+                }
+                lane.manager.on_sample(
+                    &mut lane.core,
+                    slice,
+                    now,
+                    &activity.int_iq,
+                    &activity.fp_iq,
+                );
+                #[cfg(feature = "check")]
+                if let Some(checker) = checker.as_mut() {
+                    checker.after_sample(
+                        &lane.core,
+                        &lane.manager,
+                        slice,
+                        now,
+                        &activity.int_iq,
+                        &activity.fp_iq,
+                    );
+                }
+            }
+            if !was_frozen {
+                for (sum, t) in lane.temp_sum.iter_mut().zip(slice) {
+                    *sum += t;
+                }
+                lane.temp_samples += 1;
+            }
+            for (max, t) in lane.temp_max.iter_mut().zip(slice) {
+                *max = max.max(*t);
+            }
+        }
+    }
+
+    /// Per-lane analogue of the scalar `fast_record_window`: captures
+    /// each busy lane's window deltas as its extrapolation basis and
+    /// blends its slice of the measured power into the held vector
+    /// (EWMA, α = 1/2; straight copy on a lane's first detailed
+    /// window).
+    fn fast_record_windows(&mut self) {
+        let blocks = self.blocks;
+        for (c, lane) in self.lanes.iter_mut().enumerate() {
+            if lane.win_act.is_none() {
+                continue;
+            }
+            let chunk = &self.watts[c * blocks..(c + 1) * blocks];
+            let first_sample = lane.fast.sample_cycles == 0;
+            let after = lane.core.stats();
+            lane.fast.sample_cycles = after.cycles - lane.before.cycles;
+            lane.fast.sample_committed = after.committed - lane.before.committed;
+            lane.fast.sample_fetched = after.fetched - lane.before.fetched;
+            lane.fast.sample_frozen = after.frozen_cycles - lane.before.frozen_cycles;
+            lane.fast.sample_throttled = after.throttled_cycles - lane.before.throttled_cycles;
+            lane.fast.sample_fetch_gated =
+                after.fetch_gated_cycles - lane.before.fetch_gated_cycles;
+            if first_sample {
+                lane.fast.window_watts.copy_from_slice(chunk);
+            } else {
+                for (held, w) in lane.fast.window_watts.iter_mut().zip(chunk) {
+                    *held = 0.5 * *held + 0.5 * w;
+                }
+            }
+        }
+    }
+
+    /// One analytically skipped sub-interval: compose the die's held
+    /// power vector (per-lane held watts; idle leakage for idle or
+    /// frozen lanes), advance the RC network in closed form, then
+    /// fast-forward each busy lane's workload and extrapolated
+    /// counters. Mirrors the scalar `fast_skip_advance` per lane.
+    fn fast_skip_advance<T: TraceSource>(&mut self, tasks: &mut TaskSet<T>, sub: u64) {
+        let blocks = self.blocks;
+        let dt = sub as f64 / self.config.frequency_hz;
+        for (c, lane) in self.lanes.iter_mut().enumerate() {
+            lane.skip_frozen = lane.core.is_frozen();
+            let chunk = &mut self.watts[c * blocks..(c + 1) * blocks];
+            if lane.task.is_some() && !lane.skip_frozen {
+                chunk.copy_from_slice(&lane.fast.window_watts);
+            } else {
+                chunk.copy_from_slice(&self.idle_watts);
+            }
+        }
+        self.thermal.advance(&self.watts, dt);
+        for lane in &mut self.lanes {
+            let Some(idx) = lane.task else {
+                continue;
+            };
+            if lane.skip_frozen {
+                lane.fast.extra_cycles += sub;
+                lane.fast.extra_frozen += sub;
+            } else {
+                lane.fast.extra_cycles += sub;
+                let len = lane.fast.sample_cycles;
+                let (trace, left) = tasks.payload_mut(idx);
+                let mut src = BudgetedTrace { inner: trace, left };
+                src.skip_ops(FastState::scaled(lane.fast.sample_fetched, sub, len));
+                lane.fast.extra_committed +=
+                    FastState::scaled(lane.fast.sample_committed, sub, len);
+                lane.fast.extra_frozen += FastState::scaled(lane.fast.sample_frozen, sub, len);
+                lane.fast.extra_throttled +=
+                    FastState::scaled(lane.fast.sample_throttled, sub, len);
+                lane.fast.extra_fetch_gated +=
+                    FastState::scaled(lane.fast.sample_fetch_gated, sub, len);
+            }
+        }
+        // The closed-form advance is outside the backward-Euler
+        // residual's reach; re-base the die-level watches.
+        #[cfg(feature = "check")]
+        if let Some(checker) = self.checkers.first_mut() {
+            checker.resync_thermal(&self.thermal);
+        }
+    }
+
+    /// The consult + statistics tail of a skipped sub-interval: each
+    /// busy lane's manager sees the analytically advanced temperatures
+    /// of its own slice at its own virtual time, fed the held IQ
+    /// activity — the scalar skip path, per lane.
+    fn fast_skip_consult(&mut self, consult: bool) {
+        let blocks = self.blocks;
+        let temps = self.thermal.temperatures();
+        for (c, lane) in self.lanes.iter_mut().enumerate() {
+            if lane.task.is_none() {
+                continue;
+            }
+            let slice = &temps[c * blocks..(c + 1) * blocks];
+            let now = lane.core.stats().cycles + lane.fast.extra_cycles;
+            if consult {
+                let (int_iq, fp_iq) = (lane.fast.window_int_iq, lane.fast.window_fp_iq);
+                lane.manager.on_sample(&mut lane.core, slice, now, &int_iq, &fp_iq);
+            }
+            if !lane.skip_frozen {
+                for (sum, t) in lane.temp_sum.iter_mut().zip(slice) {
+                    *sum += t;
+                }
+                lane.temp_samples += 1;
+            }
+            for (max, t) in lane.temp_max.iter_mut().zip(slice) {
+                *max = max.max(*t);
+            }
+        }
+    }
+
+    /// Snapshot of the accumulated results.
+    #[must_use]
+    pub fn result(&self) -> MultiCoreResult {
+        MultiCoreResult {
+            cores: (0..self.lanes.len()).map(|c| self.lane_result(c)).collect(),
+            migrations: self.migrations,
+            migration_stall_cycles: self.migration_stall_cycles,
+            tasks_completed: self.tasks_completed,
+        }
+    }
+
+    /// One lane's [`RunResult`], mirroring the scalar construction
+    /// field for field (bit-identical at N = 1).
+    fn lane_result(&self, c: usize) -> RunResult {
+        let lane = &self.lanes[c];
+        let base = c * self.blocks;
+        let stats = lane.core.stats();
+        let mstats = lane.manager.stats();
+        let samples = lane.temp_samples.max(1) as f64;
+        let temperatures = self
+            .core_plan
+            .blocks()
+            .iter()
+            .enumerate()
+            .map(|(i, b)| BlockTemperature {
+                name: b.name.clone(),
+                avg: if lane.temp_samples == 0 {
+                    self.thermal.temperature(base + i)
+                } else {
+                    lane.temp_sum[i] / samples
+                },
+                max: if lane.temp_max[i] == f64::MIN {
+                    self.thermal.temperature(base + i)
+                } else {
+                    lane.temp_max[i]
+                },
+                last: self.thermal.temperature(base + i),
+            })
+            .collect();
+        let cycles = stats.cycles + lane.fast.extra_cycles;
+        let committed = stats.committed + lane.fast.extra_committed;
+        RunResult {
+            cycles,
+            committed,
+            ipc: if cycles == 0 { 0.0 } else { committed as f64 / cycles as f64 },
+            frozen_cycles: stats.frozen_cycles + lane.fast.extra_frozen,
+            toggles: mstats.toggles,
+            alu_turnoffs: mstats.alu_turnoffs,
+            rf_turnoffs: mstats.rf_turnoffs,
+            freezes: mstats.freezes,
+            opp_transitions: mstats.opp_transitions,
+            duty_shifts: mstats.duty_shifts,
+            throttled_cycles: stats.throttled_cycles + lane.fast.extra_throttled,
+            fetch_gated_cycles: stats.fetch_gated_cycles + lane.fast.extra_fetch_gated,
+            temperatures,
+            int_issued_per_unit: stats.int_issued_per_unit,
+            int_rf_reads: stats.int_rf_reads,
+            mispredict_rate: lane.core.bpred().mispredict_rate(),
+            l1d_miss_rate: lane.core.memory().l1d().miss_rate(),
+        }
+    }
+
+    /// Captures the simulator's dynamic state (see [`MultiCoreState`]
+    /// for what is and is not included). Capture at a sampling-window
+    /// boundary with no segment mid-flight you cannot re-dispatch.
+    #[must_use]
+    pub fn state(&self) -> MultiCoreState {
+        MultiCoreState {
+            lanes: self
+                .lanes
+                .iter()
+                .map(|lane| LaneState {
+                    core: lane.core.snapshot(),
+                    manager: lane.manager.snapshot(),
+                    temp_sum_bits: encode_bits(&lane.temp_sum),
+                    temp_max_bits: encode_bits(&lane.temp_max),
+                    temp_samples: lane.temp_samples,
+                    fast: FastEngineState {
+                        prefix_left: 0,
+                        window_pos: 0,
+                        window_watts_bits: encode_bits(&lane.fast.window_watts),
+                        window_int_iq: lane.fast.window_int_iq,
+                        window_fp_iq: lane.fast.window_fp_iq,
+                        sample_cycles: lane.fast.sample_cycles,
+                        sample_committed: lane.fast.sample_committed,
+                        sample_fetched: lane.fast.sample_fetched,
+                        sample_frozen: lane.fast.sample_frozen,
+                        sample_throttled: lane.fast.sample_throttled,
+                        sample_fetch_gated: lane.fast.sample_fetch_gated,
+                        extra_cycles: lane.fast.extra_cycles,
+                        extra_committed: lane.fast.extra_committed,
+                        extra_frozen: lane.fast.extra_frozen,
+                        extra_throttled: lane.fast.extra_throttled,
+                        extra_fetch_gated: lane.fast.extra_fetch_gated,
+                    },
+                    stall_left: lane.stall_left,
+                })
+                .collect(),
+            thermal_node_bits: encode_bits(self.thermal.node_temperatures()),
+            warmed: self.warmed,
+            fast_prefix_left: self.fast_prefix_left,
+            fast_window_pos: self.fast_window_pos,
+            sched_word: self.scheduler.state_word(),
+            migrations: self.migrations,
+            migration_stall_cycles: self.migration_stall_cycles,
+            tasks_completed: self.tasks_completed,
+            job_cores: self.job_cores.clone(),
+        }
+    }
+
+    /// Restores dynamic state captured by [`state`](Self::state) into a
+    /// simulator built from the same configuration. Lanes come back
+    /// idle; the next `run` re-dispatches from the caller's [`TaskSet`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] naming the first piece of state that
+    /// does not fit this simulator.
+    pub fn restore_state(&mut self, state: &MultiCoreState) -> Result<(), Error> {
+        if state.lanes.len() != self.lanes.len() {
+            return Err(Error::Config(format!(
+                "state covers {} lanes, die has {}",
+                state.lanes.len(),
+                self.lanes.len()
+            )));
+        }
+        for (c, (lane, ls)) in self.lanes.iter_mut().zip(&state.lanes).enumerate() {
+            if ls.temp_sum_bits.len() != self.blocks
+                || ls.temp_max_bits.len() != self.blocks
+                || ls.fast.window_watts_bits.len() != self.blocks
+            {
+                return Err(Error::Config(format!(
+                    "lane {c} state vectors do not match the {}-block floorplan",
+                    self.blocks
+                )));
+            }
+            lane.core
+                .restore(&ls.core)
+                .map_err(|e| Error::Config(format!("lane {c} core: {e}")))?;
+            lane.manager.restore(&ls.manager);
+            lane.temp_sum = decode_bits(&ls.temp_sum_bits);
+            lane.temp_max = decode_bits(&ls.temp_max_bits);
+            lane.temp_samples = ls.temp_samples;
+            lane.fast.window_watts = decode_bits(&ls.fast.window_watts_bits);
+            lane.fast.window_int_iq = ls.fast.window_int_iq;
+            lane.fast.window_fp_iq = ls.fast.window_fp_iq;
+            lane.fast.sample_cycles = ls.fast.sample_cycles;
+            lane.fast.sample_committed = ls.fast.sample_committed;
+            lane.fast.sample_fetched = ls.fast.sample_fetched;
+            lane.fast.sample_frozen = ls.fast.sample_frozen;
+            lane.fast.sample_throttled = ls.fast.sample_throttled;
+            lane.fast.sample_fetch_gated = ls.fast.sample_fetch_gated;
+            lane.fast.extra_cycles = ls.fast.extra_cycles;
+            lane.fast.extra_committed = ls.fast.extra_committed;
+            lane.fast.extra_frozen = ls.fast.extra_frozen;
+            lane.fast.extra_throttled = ls.fast.extra_throttled;
+            lane.fast.extra_fetch_gated = ls.fast.extra_fetch_gated;
+            lane.stall_left = ls.stall_left;
+            lane.task = None;
+        }
+        self.thermal
+            .restore_node_temperatures(&decode_bits(&state.thermal_node_bits))
+            .map_err(|e| Error::Config(format!("thermal: {e}")))?;
+        self.warmed = state.warmed;
+        self.fast_prefix_left = state.fast_prefix_left;
+        self.fast_window_pos = state.fast_window_pos;
+        self.scheduler.restore_word(state.sched_word);
+        self.migrations = state.migrations;
+        self.migration_stall_cycles = state.migration_stall_cycles;
+        self.tasks_completed = state.tasks_completed;
+        self.job_cores = state.job_cores.clone();
+        #[cfg(feature = "check")]
+        if !self.checkers.is_empty() {
+            self.enable_checking()?;
+        }
+        Ok(())
+    }
+
+    /// Arms one runtime checker per lane (pipeline invariants, the
+    /// in-order oracle, and the mitigation mirror against each lane's
+    /// temperature slice) plus, on checker 0, the die-level thermal
+    /// residual watch and — on multi-core dies — the cross-core energy
+    /// and lateral-symmetry invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the floorplan lacks the sensor
+    /// blocks the mitigation mirror needs.
+    #[cfg(feature = "check")]
+    pub fn enable_checking(&mut self) -> Result<(), Error> {
+        self.checkers.clear();
+        for lane in &mut self.lanes {
+            lane.core.enable_op_log();
+            let checker = powerbalance_check::RuntimeChecker::new(
+                &self.core_plan,
+                &self.config.mitigation,
+                &lane.core,
+                &self.thermal,
+            )
+            .map_err(Error::Config)?;
+            self.checkers.push(checker);
+        }
+        if self.lanes.len() > 1 {
+            if let Some(checker) = self.checkers.first_mut() {
+                checker.enable_crosscore(self.lanes.len(), self.blocks, &self.thermal);
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes out every lane's oracle and returns all retained
+    /// violations across lanes. Empty when checking was never enabled.
+    #[cfg(feature = "check")]
+    pub fn finish_checking(&mut self) -> Vec<powerbalance_check::Violation> {
+        let mut all = Vec::new();
+        for (lane, checker) in self.lanes.iter().zip(&mut self.checkers) {
+            checker.finish(&lane.core);
+            all.extend_from_slice(checker.violations());
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use powerbalance_workloads::spec2000;
+
+    fn trace(name: &str, seed: u64) -> powerbalance_workloads::TraceGenerator {
+        spec2000::by_name(name).expect("profile").trace(seed)
+    }
+
+    #[test]
+    fn one_core_one_task_matches_the_scalar_simulator_bitwise() {
+        let mut scalar = Simulator::new(SimConfig::default()).expect("valid config");
+        let scalar_result = scalar.run(&mut trace("gzip", 7), 90_000);
+
+        let mut multi = MultiCoreSimulator::new(SimConfig::default()).expect("valid config");
+        let mut tasks = TaskSet::one_per_job([trace("gzip", 7)]);
+        let result = multi.run(&mut tasks, 90_000);
+        assert_eq!(result.cores.len(), 1);
+        assert_eq!(result.cores[0], scalar_result, "N=1 must be bit-identical");
+        assert_eq!(result.migrations, 0);
+    }
+
+    #[test]
+    fn two_cores_run_independent_workloads() {
+        let cfg = SimConfig { cores: 2, ..SimConfig::default() };
+        let mut sim = MultiCoreSimulator::new(cfg).expect("valid config");
+        let mut tasks = TaskSet::one_per_job([trace("gzip", 3), trace("mesa", 11)]);
+        let r = sim.run(&mut tasks, 60_000);
+        assert_eq!(r.cores.len(), 2);
+        assert!(r.cores[0].committed > 1_000);
+        assert!(r.cores[1].committed > 1_000);
+        assert_eq!(r.tasks_completed, 0, "unbounded segments outlive the budget");
+        let merged = r.merged();
+        assert_eq!(merged.committed, r.cores[0].committed + r.cores[1].committed);
+        assert!(merged.temperatures.iter().any(|t| t.name.starts_with("C1.")));
+    }
+
+    #[test]
+    fn hot_neighbor_heats_an_idle_core() {
+        // Core 0 runs; core 1 idles. Core 1 must still warm above
+        // ambient through the lateral coupling and shared package.
+        let cfg = SimConfig { cores: 2, ..SimConfig::default() };
+        let mut sim = MultiCoreSimulator::new(cfg).expect("valid config");
+        let mut tasks = TaskSet::one_per_job([trace("crafty", 5)]);
+        let r = sim.run(&mut tasks, 120_000);
+        let ambient = 318.0;
+        let idle_peak = r.cores[1].temperatures.iter().map(|t| t.last).fold(f64::MIN, f64::max);
+        let busy_peak = r.cores[0].temperatures.iter().map(|t| t.last).fold(f64::MIN, f64::max);
+        assert!(idle_peak > ambient + 0.05, "neighbor heat must arrive: {idle_peak}");
+        assert!(busy_peak > idle_peak, "the busy core stays the hotter one");
+    }
+
+    #[test]
+    fn bounded_segments_retire_and_round_robin_rotates() {
+        let cfg = SimConfig { cores: 2, ..SimConfig::default() };
+        let mut sim = MultiCoreSimulator::new(cfg).expect("valid config");
+        let mut tasks = TaskSet::new([
+            Task::ops(0, 4_000, trace("gzip", 1)),
+            Task::ops(1, 4_000, trace("gzip", 2)),
+            Task::ops(2, 4_000, trace("gzip", 3)),
+            Task::ops(3, 4_000, trace("gzip", 4)),
+        ]);
+        let r = sim.run(&mut tasks, 400_000);
+        assert_eq!(r.tasks_completed, 4, "all bounded segments retire");
+        assert!(tasks.is_drained());
+        assert!(
+            r.cores[0].committed > 0 && r.cores[1].committed > 0,
+            "round-robin spreads segments over both cores"
+        );
+    }
+
+    #[test]
+    fn migration_charges_the_fetch_stall_penalty() {
+        // The same job runs two segments; round-robin places them on
+        // different cores, so the second dispatch is a migration.
+        let cfg = SimConfig { cores: 2, ..SimConfig::default() };
+        let mut sim = MultiCoreSimulator::new(cfg).expect("valid config");
+        let mut tasks = TaskSet::new([
+            Task::ops(9, 3_000, trace("gzip", 1)),
+            Task::ops(9, 3_000, trace("gzip", 2)),
+        ]);
+        let r = sim.run(&mut tasks, 300_000);
+        assert_eq!(r.migrations, 1, "second segment of job 9 moved cores");
+        assert_eq!(r.migration_stall_cycles, DEFAULT_MIGRATION_STALL);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_bit_identically() {
+        let cfg = SimConfig { cores: 2, ..SimConfig::default() };
+        let budget = 40_000;
+        // Uninterrupted reference.
+        let mut reference = MultiCoreSimulator::new(cfg.clone()).expect("valid config");
+        let mut ref_tasks = TaskSet::one_per_job([trace("gzip", 3), trace("mesa", 11)]);
+        let expect = reference.run(&mut ref_tasks, 2 * budget);
+
+        // Run half, capture, restore into a fresh die, run the rest.
+        let mut first = MultiCoreSimulator::new(cfg.clone()).expect("valid config");
+        let mut tasks = TaskSet::one_per_job([trace("gzip", 3), trace("mesa", 11)]);
+        first.run(&mut tasks, budget);
+        let state = first.state();
+        let mut resumed = MultiCoreSimulator::new(cfg).expect("valid config");
+        resumed.restore_state(&state).expect("same shape");
+        let got = resumed.run(&mut tasks, budget);
+        assert_eq!(got, expect, "restored run must continue bit-identically");
+    }
+
+    #[test]
+    fn fast_fidelity_covers_the_budget_on_two_cores() {
+        let cfg = SimConfig {
+            cores: 2,
+            fidelity: Fidelity::Fast,
+            fast_window: 40_000,
+            fast_warmup: 20_000,
+            ..SimConfig::default()
+        };
+        let mut sim = MultiCoreSimulator::new(cfg).expect("valid config");
+        let mut tasks = TaskSet::one_per_job([trace("gzip", 3), trace("crafty", 5)]);
+        let r = sim.run(&mut tasks, 200_000);
+        for (c, core) in r.cores.iter().enumerate() {
+            assert!(core.cycles >= 200_000, "core {c} covers the budget: {}", core.cycles);
+            assert!(core.ipc > 0.0, "core {c} made progress");
+        }
+        let detailed = sim.core(0).stats().cycles;
+        assert!(detailed < 120_000, "interval engine skipped most cycles: {detailed}");
+    }
+
+    #[test]
+    fn one_core_fast_matches_the_scalar_simulator_bitwise() {
+        let cfg = SimConfig {
+            fidelity: Fidelity::Fast,
+            fast_window: 40_000,
+            fast_warmup: 20_000,
+            ..SimConfig::default()
+        };
+        let mut scalar = Simulator::new(cfg.clone()).expect("valid config");
+        let scalar_result = scalar.run(&mut trace("crafty", 5), 250_000);
+
+        let mut multi = MultiCoreSimulator::new(cfg).expect("valid config");
+        let mut tasks = TaskSet::one_per_job([trace("crafty", 5)]);
+        let result = multi.run(&mut tasks, 250_000);
+        assert_eq!(result.cores[0], scalar_result, "N=1 Fast must be bit-identical");
+    }
+
+    #[test]
+    fn multicore_state_json_round_trips() {
+        let cfg = SimConfig { cores: 3, ..SimConfig::default() };
+        let mut sim = MultiCoreSimulator::new(cfg).expect("valid config");
+        let mut tasks =
+            TaskSet::one_per_job([trace("gzip", 1), trace("mesa", 2), trace("crafty", 3)]);
+        sim.run(&mut tasks, 30_000);
+        let state = sim.state();
+        let json = serde::json::to_string(&state);
+        let value = serde::json::Value::parse(&json).expect("valid JSON");
+        let back: MultiCoreState = Deserialize::deserialize(&value).expect("round trip");
+        assert_eq!(back, state);
+    }
+}

@@ -95,54 +95,55 @@ impl<'a> RunControl<'a> {
 /// must resume bit-exactly — so the whole struct rides along in
 /// [`SimulatorState`].
 #[derive(Debug, Clone, Default)]
-struct FastState {
+pub(crate) struct FastState {
     /// Detailed warmup-prefix cycles still to run before interval
     /// sampling engages ([`SimConfig::fast_warmup`]); while positive,
     /// every sub-interval is simulated in detail and `window_pos` stays
-    /// at zero.
-    prefix_left: u64,
+    /// at zero. (The multi-core engine keeps this clock die-global and
+    /// leaves the per-lane copies at zero.)
+    pub(crate) prefix_left: u64,
     /// Sub-intervals completed in the current macro window; `0` means the
     /// next sub-interval is simulated in detail.
-    window_pos: u64,
+    pub(crate) window_pos: u64,
     /// Per-block power measured by the last detailed window, held constant
     /// across the analytic advances that follow it.
-    window_watts: Vec<f64>,
+    pub(crate) window_watts: Vec<f64>,
     /// Integer issue-queue activity of the last detailed window, replayed
     /// into skipped-interval mitigation consults so the toggling
     /// controller keeps seeing which queue half is compaction-active.
-    window_int_iq: IqActivity,
+    pub(crate) window_int_iq: IqActivity,
     /// FP issue-queue activity of the last detailed window.
-    window_fp_iq: IqActivity,
+    pub(crate) window_fp_iq: IqActivity,
     /// Core cycles the last detailed window actually ran (its length).
-    sample_cycles: u64,
+    pub(crate) sample_cycles: u64,
     /// Instructions committed during the last detailed window.
-    sample_committed: u64,
+    pub(crate) sample_committed: u64,
     /// Micro-ops fetched (consumed from the trace) during the last
     /// detailed window; the basis for fast-forwarding the workload across
     /// skipped sub-intervals.
-    sample_fetched: u64,
+    pub(crate) sample_fetched: u64,
     /// Frozen cycles during the last detailed window.
-    sample_frozen: u64,
+    pub(crate) sample_frozen: u64,
     /// Throttled cycles during the last detailed window.
-    sample_throttled: u64,
+    pub(crate) sample_throttled: u64,
     /// Fetch-gated cycles during the last detailed window.
-    sample_fetch_gated: u64,
+    pub(crate) sample_fetch_gated: u64,
     /// Cycles skipped (advanced analytically) so far.
-    extra_cycles: u64,
+    pub(crate) extra_cycles: u64,
     /// Commits attributed to skipped cycles by extrapolation.
-    extra_committed: u64,
+    pub(crate) extra_committed: u64,
     /// Frozen cycles attributed to skipped cycles.
-    extra_frozen: u64,
+    pub(crate) extra_frozen: u64,
     /// Throttled cycles attributed to skipped cycles.
-    extra_throttled: u64,
+    pub(crate) extra_throttled: u64,
     /// Fetch-gated cycles attributed to skipped cycles.
-    extra_fetch_gated: u64,
+    pub(crate) extra_fetch_gated: u64,
 }
 
 impl FastState {
     /// Extrapolates one of the detailed window's counters over `skipped`
     /// cycles, proportionally to the window's own length.
-    fn scaled(basis: u64, skipped: u64, window_len: u64) -> u64 {
+    pub(crate) fn scaled(basis: u64, skipped: u64, window_len: u64) -> u64 {
         if window_len == 0 {
             return 0;
         }
@@ -209,6 +210,13 @@ impl Simulator {
     /// Returns [`Error::Config`] if any subsystem rejects its parameters.
     pub fn new(config: SimConfig) -> Result<Self, Error> {
         config.validate()?;
+        if config.cores != 1 {
+            return Err(Error::Config(format!(
+                "config requests {} cores; the scalar Simulator is single-core — use \
+                 MultiCoreSimulator",
+                config.cores
+            )));
+        }
         let plan = ev6::build(config.floorplan);
         let core = Core::new(config.core.clone())?;
         let power = PowerModel::new(&plan, config.energy, config.frequency_hz)?;

@@ -56,7 +56,7 @@ use serde::{Deserialize, Serialize};
 /// mismatched versions outright — there is no migration machinery, by
 /// design: snapshots are caches of recomputable state, so invalidating
 /// them on a version bump is always safe.
-pub const FORMAT_VERSION: u32 = 3;
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Serializable dynamic state of a [`Simulator`] (everything except the
 /// configuration it was built from and the trace driving it).
@@ -264,6 +264,15 @@ impl Snapshot {
             if config.fast_warmup != captured.fast_warmup {
                 return mismatch("fast_warmup");
             }
+        }
+        // The die geometry (and with it every state-vector length) depends
+        // on the core count, and the scheduler's rotation word is part of
+        // the captured state — both are structure, not policy.
+        if config.cores != captured.cores {
+            return mismatch("cores");
+        }
+        if config.cores > 1 && config.scheduler != captured.scheduler {
+            return mismatch("scheduler");
         }
 
         let mut sim = Simulator::new(config)?;

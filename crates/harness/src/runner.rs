@@ -4,8 +4,8 @@ use crate::result::{CampaignResult, JobResult};
 use crate::spec::CampaignSpec;
 use crate::warmstart::{WarmStartCache, WarmupOutcome};
 use powerbalance::{
-    batch_key, spec2000, BatchSimulator, Error, Fidelity, RunControl, RunResult, SimConfig,
-    Simulator, Snapshot, StopCause, TraceCursor, TraceSource,
+    batch_key, spec2000, BatchSimulator, Error, Fidelity, MultiCoreSimulator, RunControl,
+    RunResult, SimConfig, Simulator, Snapshot, StopCause, Task, TaskSet, TraceCursor, TraceSource,
 };
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -173,6 +173,22 @@ pub fn run_one_warmed_controlled(
     cache: Option<&WarmStartCache>,
     control: &RunControl<'_>,
 ) -> Result<(RunResult, StopCause), Error> {
+    if config.cores > 1 {
+        // Multi-core dies run the multi-core engine: one unbounded
+        // instance of the benchmark per core (seeds `seed..seed+N`), the
+        // configured scheduler placing them, and the shared-die thermal
+        // solve coupling the lanes. The warm-start cache only holds
+        // scalar snapshots, so the warmup runs inline; the job reports
+        // the merged die-level result (`C{c}.`-prefixed block names).
+        return run_multicore_warmed_controlled(
+            config,
+            bench,
+            cycles,
+            seed,
+            warmup_cycles,
+            control,
+        );
+    }
     if warmup_cycles == 0 {
         let profile = spec2000::by_name(bench)
             .ok_or_else(|| Error::Config(format!("unknown benchmark '{bench}'")))?;
@@ -209,6 +225,35 @@ pub fn run_one_warmed_controlled(
             Ok(sim.run_controlled(&mut trace, cycles, control))
         }
     }
+}
+
+/// The multi-core arm of [`run_one_warmed_controlled`]: N cores on one
+/// die, each running its own seeded instance of the benchmark as an
+/// unbounded job, warmup inline (mitigation managers never consulted),
+/// then the measured window. Returns the merged die-level result.
+fn run_multicore_warmed_controlled(
+    config: &SimConfig,
+    bench: &str,
+    cycles: u64,
+    seed: u64,
+    warmup_cycles: u64,
+    control: &RunControl<'_>,
+) -> Result<(RunResult, StopCause), Error> {
+    let profile = spec2000::by_name(bench)
+        .ok_or_else(|| Error::Config(format!("unknown benchmark '{bench}'")))?;
+    let mut sim = MultiCoreSimulator::new(config.clone())?;
+    let mut tasks = TaskSet::new(
+        (0..config.cores)
+            .map(|c| Task::unbounded(c as u64, profile.trace(seed.wrapping_add(c as u64)))),
+    );
+    if warmup_cycles > 0 {
+        let cause = sim.run_warmup_controlled(&mut tasks, warmup_cycles, control);
+        if !cause.is_completed() {
+            return Ok((sim.result().merged(), cause));
+        }
+    }
+    let (result, cause) = sim.run_controlled(&mut tasks, cycles, control);
+    Ok((result.merged(), cause))
 }
 
 /// Runs K batch-eligible sibling jobs in one lockstep [`BatchSimulator`]:
@@ -677,6 +722,12 @@ fn plan_units(spec: &CampaignSpec, max_batch: usize) -> Vec<Vec<usize>> {
         }
         let mut groups: Vec<(String, u64, Vec<usize>)> = Vec::new();
         for config_index in 0..ncfg {
+            // Multi-core jobs run the multi-core engine, which has its own
+            // die-wide lockstep internally; keep them out of batch units.
+            if spec.configs[config_index].config.cores > 1 {
+                units.push(vec![bench_index * ncfg + config_index]);
+                continue;
+            }
             let key = serde::json::to_string(&batch_key(&spec.configs[config_index].config));
             let cycles = spec.cycles_for(config_index);
             match groups.iter_mut().find(|(k, c, _)| *k == key && *c == cycles) {
@@ -944,6 +995,32 @@ mod tests {
         let (computed, _, hits) = cache.stats();
         assert_eq!(computed, 1, "second campaign reuses the first warmup");
         assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn multicore_jobs_run_the_multicore_engine() {
+        let two_core = SimConfig { cores: 2, ..experiments::issue_queue(false) };
+        let spec = CampaignSpec::new("mc")
+            .config("scalar", experiments::issue_queue(false))
+            .config("2core", two_core)
+            .benchmark("gzip")
+            .cycles(30_000)
+            .warmup(10_000)
+            .seed(4);
+        // The multi-core job must never be grouped into a BatchSimulator
+        // unit (which is scalar-only).
+        for unit in plan_units(&spec, 6) {
+            if unit.contains(&1) {
+                assert_eq!(unit.len(), 1, "multi-core jobs stay singleton units");
+            }
+        }
+        let result = run_campaign(&spec, &RunnerOptions::default()).expect("campaign runs");
+        let die = &result.jobs[1].result;
+        assert!(
+            die.temperatures.iter().any(|t| t.name.starts_with("C1.")),
+            "the 2-core job reports die-level prefixed blocks"
+        );
+        assert!(die.committed > result.jobs[0].result.committed, "two cores commit more than one");
     }
 
     #[test]

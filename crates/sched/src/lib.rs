@@ -1,0 +1,379 @@
+//! Thermal-aware schedulers for the multi-core simulator.
+//!
+//! A [`Scheduler`] places pending workload segments onto cores using
+//! nothing but a per-core [`CoreView`] (current hottest-block temperature
+//! and whether the core is free). Three policies ship, spanning the
+//! design space the related work stakes out:
+//!
+//! * [`SchedulerKind::RoundRobin`] — thermally blind rotation. The
+//!   baseline every thermal-aware policy is measured against, and the
+//!   adversarial case in the oracle-bound tests: on an alternating
+//!   hot/cool arrival sequence it pins every hot job to the same core.
+//! * [`SchedulerKind::CoolestFirst`] — Hung-style predicted-temperature
+//!   allocation: always place on the coolest free core, so heat spreads
+//!   over the die and each core cools between hot segments.
+//! * [`SchedulerKind::Threshold`] — a Chrobak-style admission policy:
+//!   behave like Coolest-First but *refuse* to start work on any core
+//!   above a temperature threshold θ, deferring the segment instead.
+//!   Under the abstract cooling model `T' = (T + h)/2` (run) /
+//!   `T' = T/2` (idle), admission below θ caps the post-step peak at
+//!   `(θ + h_max)/2` — a closed-form bound the test suite pins.
+//!
+//! The crate is deliberately free of simulator dependencies: policies
+//! see only `&[CoreView]`, and the typed [`Task`] queue is generic over
+//! its payload (the simulator threads its trace sources through it).
+//! That is what lets `tests/oracle_bounds.rs` drive the *same* policy
+//! implementations with the abstract Chrobak recurrence and compare
+//! against analytic fixed points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+/// Scheduler selector vocabulary: config files, CLI `--scheduler`, and
+/// the fuzzer draw from this list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Thermally blind rotation over the cores.
+    #[default]
+    RoundRobin,
+    /// Place each segment on the coolest free core (Hung-style).
+    CoolestFirst,
+    /// Coolest-first admission, but defer rather than start a segment on
+    /// a core hotter than the threshold (Chrobak-style).
+    Threshold,
+}
+
+impl SchedulerKind {
+    /// Every kind, in the order sweeps and the fuzzer enumerate them.
+    pub const ALL: [SchedulerKind; 3] =
+        [SchedulerKind::RoundRobin, SchedulerKind::CoolestFirst, SchedulerKind::Threshold];
+
+    /// Stable wire/CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::RoundRobin => "round-robin",
+            SchedulerKind::CoolestFirst => "coolest-first",
+            SchedulerKind::Threshold => "threshold",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<SchedulerKind> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Instantiates the policy. `threshold` is the admission temperature
+    /// θ (kelvin in the simulator, model units in the abstract tests);
+    /// only [`SchedulerKind::Threshold`] reads it.
+    #[must_use]
+    pub fn build(self, threshold: f64) -> Box<dyn Scheduler + Send> {
+        match self {
+            SchedulerKind::RoundRobin => Box::new(RoundRobin::new()),
+            SchedulerKind::CoolestFirst => Box::new(CoolestFirst),
+            SchedulerKind::Threshold => Box::new(Threshold::new(threshold)),
+        }
+    }
+}
+
+/// What a scheduler is allowed to know about one core at a decision
+/// point: its current hottest-block temperature and whether it is free
+/// to accept a segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreView {
+    /// Hottest-block temperature of the core's floorplan slice.
+    pub temp: f64,
+    /// `true` when the core has no running segment (and no pending
+    /// migration stall) and can accept work.
+    pub free: bool,
+}
+
+/// A placement policy. Implementations must be deterministic functions
+/// of their own state and the observed [`CoreView`]s — the multi-core
+/// engine's reproducibility (and the fuzzer's replay) depends on it.
+pub trait Scheduler: std::fmt::Debug {
+    /// Which policy this is (round-trips through [`SchedulerKind`]).
+    fn kind(&self) -> SchedulerKind;
+
+    /// Picks a core for the next pending segment, or `None` to defer it.
+    /// Deferral blocks the queue head — segments are dispatched in FIFO
+    /// order, never reordered around a deferred one.
+    fn select(&mut self, cores: &[CoreView]) -> Option<usize>;
+
+    /// Opaque state word for snapshotting (rotation pointers and the
+    /// like). Stateless policies return 0.
+    fn state_word(&self) -> u64 {
+        0
+    }
+
+    /// Restores [`state_word`](Self::state_word).
+    fn restore_word(&mut self, _word: u64) {}
+}
+
+/// Thermally blind rotation: cores take turns in index order.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A rotation starting at core 0.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::RoundRobin
+    }
+
+    fn select(&mut self, cores: &[CoreView]) -> Option<usize> {
+        let n = cores.len();
+        for off in 0..n {
+            let c = (self.next + off) % n;
+            if cores[c].free {
+                self.next = (c + 1) % n;
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn state_word(&self) -> u64 {
+        self.next as u64
+    }
+
+    fn restore_word(&mut self, word: u64) {
+        self.next = word as usize;
+    }
+}
+
+/// Hung-style allocation: the coolest free core wins (ties go to the
+/// lowest index, keeping the policy deterministic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoolestFirst;
+
+impl Scheduler for CoolestFirst {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::CoolestFirst
+    }
+
+    fn select(&mut self, cores: &[CoreView]) -> Option<usize> {
+        coolest_free(cores, f64::INFINITY)
+    }
+}
+
+/// Chrobak-style admission: coolest-first, but never start a segment on
+/// a core at or above θ — defer and let it cool instead.
+#[derive(Debug, Clone, Copy)]
+pub struct Threshold {
+    theta: f64,
+}
+
+impl Threshold {
+    /// A policy admitting work only on cores strictly cooler than `theta`.
+    #[must_use]
+    pub fn new(theta: f64) -> Self {
+        Threshold { theta }
+    }
+
+    /// The admission threshold θ.
+    #[must_use]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+impl Scheduler for Threshold {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Threshold
+    }
+
+    fn select(&mut self, cores: &[CoreView]) -> Option<usize> {
+        coolest_free(cores, self.theta)
+    }
+}
+
+/// Index of the coolest free core strictly below `limit`, ties to the
+/// lowest index.
+fn coolest_free(cores: &[CoreView], limit: f64) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (c, view) in cores.iter().enumerate() {
+        if !view.free || view.temp >= limit {
+            continue;
+        }
+        match best {
+            Some(b) if cores[b].temp <= view.temp => {}
+            _ => best = Some(c),
+        }
+    }
+    best
+}
+
+/// How long a segment is for scheduling purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentLen {
+    /// Drain the payload completely (or run until the campaign's cycle
+    /// budget expires).
+    Unbounded,
+    /// Fetch at most this many micro-ops, then retire the segment.
+    Ops(u64),
+}
+
+/// One schedulable workload segment. `P` is the payload the simulator
+/// runs (a trace source); the scheduler layer never looks inside it.
+#[derive(Debug)]
+pub struct Task<P> {
+    /// Job identity: segments sharing a job id are phases of one logical
+    /// job, and moving a job between cores is a migration (charged a
+    /// fetch-stall penalty by the engine).
+    pub job: u64,
+    /// Segment length.
+    pub len: SegmentLen,
+    /// The workload itself.
+    pub payload: P,
+}
+
+impl<P> Task<P> {
+    /// A segment of `job` running `payload` to completion.
+    pub fn unbounded(job: u64, payload: P) -> Self {
+        Task { job, len: SegmentLen::Unbounded, payload }
+    }
+
+    /// A segment of `job` fetching at most `ops` micro-ops of `payload`.
+    pub fn ops(job: u64, ops: u64, payload: P) -> Self {
+        Task { job, len: SegmentLen::Ops(ops), payload }
+    }
+}
+
+/// FIFO queue of pending segments. Dispatch order is queue order; a
+/// deferred head blocks the queue (no overtaking), which is what makes
+/// the threshold policy's deferral observable rather than silently
+/// reordered away.
+#[derive(Debug, Default)]
+pub struct TaskQueue<P> {
+    tasks: VecDeque<Task<P>>,
+}
+
+impl<P> TaskQueue<P> {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        TaskQueue { tasks: VecDeque::new() }
+    }
+
+    /// Appends a segment at the back.
+    pub fn push(&mut self, task: Task<P>) {
+        self.tasks.push_back(task);
+    }
+
+    /// The segment that would dispatch next, if any.
+    #[must_use]
+    pub fn peek(&self) -> Option<&Task<P>> {
+        self.tasks.front()
+    }
+
+    /// Removes and returns the head segment.
+    pub fn pop(&mut self) -> Option<Task<P>> {
+        self.tasks.pop_front()
+    }
+
+    /// Number of pending segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when no segments are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+impl<P> FromIterator<Task<P>> for TaskQueue<P> {
+    fn from_iter<I: IntoIterator<Item = Task<P>>>(iter: I) -> Self {
+        TaskQueue { tasks: iter.into_iter().collect() }
+    }
+}
+
+/// Default migration penalty: cycles the destination core spends
+/// fetch-stalled (quiesced at idle power) before a migrated job's
+/// segment starts, modeling pipeline drain plus a cold front-end.
+pub const DEFAULT_MIGRATION_STALL: u64 = 2_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(temps: &[f64], free: &[bool]) -> Vec<CoreView> {
+        temps.iter().zip(free).map(|(&temp, &free)| CoreView { temp, free }).collect()
+    }
+
+    #[test]
+    fn kinds_round_trip_names() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(SchedulerKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.build(350.0).kind(), kind);
+        }
+        assert_eq!(SchedulerKind::from_name("fifo"), None);
+    }
+
+    #[test]
+    fn round_robin_rotates_and_skips_busy() {
+        let mut rr = RoundRobin::new();
+        let free = views(&[0.0; 3], &[true, true, true]);
+        assert_eq!(rr.select(&free), Some(0));
+        assert_eq!(rr.select(&free), Some(1));
+        assert_eq!(rr.select(&free), Some(2));
+        assert_eq!(rr.select(&free), Some(0));
+        let busy1 = views(&[0.0; 3], &[false, false, true]);
+        assert_eq!(rr.select(&busy1), Some(2));
+        assert_eq!(rr.select(&views(&[0.0; 3], &[false, false, false])), None);
+    }
+
+    #[test]
+    fn round_robin_state_word_round_trips() {
+        let mut rr = RoundRobin::new();
+        let free = views(&[0.0; 4], &[true; 4]);
+        rr.select(&free);
+        rr.select(&free);
+        let word = rr.state_word();
+        let mut copy = RoundRobin::new();
+        copy.restore_word(word);
+        assert_eq!(copy.select(&free), rr.select(&free));
+    }
+
+    #[test]
+    fn coolest_first_picks_min_temp_ties_to_lowest_index() {
+        let mut cf = CoolestFirst;
+        assert_eq!(cf.select(&views(&[5.0, 3.0, 4.0], &[true; 3])), Some(1));
+        assert_eq!(cf.select(&views(&[5.0, 3.0, 3.0], &[true; 3])), Some(1));
+        assert_eq!(cf.select(&views(&[5.0, 3.0, 4.0], &[true, false, true])), Some(2));
+        assert_eq!(cf.select(&views(&[5.0], &[false])), None);
+    }
+
+    #[test]
+    fn threshold_defers_above_theta() {
+        let mut th = Threshold::new(4.0);
+        assert_eq!(th.select(&views(&[5.0, 3.0], &[true; 2])), Some(1));
+        assert_eq!(th.select(&views(&[5.0, 4.0], &[true; 2])), None, "at θ is refused");
+        assert_eq!(th.select(&views(&[3.9, 3.5], &[true, false])), Some(0));
+    }
+
+    #[test]
+    fn task_queue_is_fifo() {
+        let mut q: TaskQueue<&str> =
+            [Task::unbounded(0, "a"), Task::ops(1, 10, "b")].into_iter().collect();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek().map(|t| t.job), Some(0));
+        assert_eq!(q.pop().map(|t| t.payload), Some("a"));
+        assert_eq!(q.pop().map(|t| t.payload), Some("b"));
+        assert!(q.is_empty());
+    }
+}

@@ -15,8 +15,9 @@
 use crate::{Block, Floorplan};
 use serde::{Deserialize, Serialize};
 
-/// Die width of the EV6-like plan (meters).
-const DIE_WIDTH: f64 = 8.0e-3;
+/// Die width of the EV6-like plan (meters). Also the tile pitch a
+/// multi-core die uses when replicating this plan ([`crate::multicore`]).
+pub const DIE_WIDTH: f64 = 8.0e-3;
 
 /// Which resource the floorplan makes the thermal bottleneck.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -43,6 +43,7 @@ pub mod ev6;
 mod floorplan;
 mod linalg;
 mod model;
+pub mod multicore;
 mod network;
 mod package;
 

@@ -1,0 +1,210 @@
+//! Multi-core die instantiation: tiles N translated copies of a per-core
+//! floorplan side by side on one die so that [`crate::ThermalNetwork`]
+//! picks up lateral RC coupling *between* adjacent cores exactly the way
+//! it couples blocks within one core.
+//!
+//! The construction is purely geometric. Copy `c` is the per-core plan
+//! shifted by `c * die_width` in x, with every block renamed
+//! `C{c}.<name>`. Because each per-core row spans the full die width, the
+//! right-edge blocks of copy `c` abut the left-edge blocks of copy
+//! `c + 1`, and [`crate::Floorplan::adjacency`] therefore emits
+//! cross-core shared edges — no network-construction code changes at
+//! all. Heat flowing from a hot core into a cool neighbor is then just
+//! another lateral conductance in the same symmetric Laplacian.
+//!
+//! The single-core case is special-cased to return an untouched clone of
+//! the input plan (same block names, same coordinates), so every matrix
+//! built from `replicate(plan, 1)` is bit-identical to one built from
+//! `plan` — the N=1 equivalence contract the simulator layers rely on.
+
+use crate::floorplan::{Block, Floorplan};
+
+/// Extent of `plan` along x: `max(block.x + block.w)`. This is the tile
+/// pitch used by [`replicate`]; for the EV6 plans it equals
+/// [`crate::ev6::DIE_WIDTH`].
+#[must_use]
+pub fn plan_width(plan: &Floorplan) -> f64 {
+    plan.blocks().iter().map(|b| b.x + b.w).fold(0.0, f64::max)
+}
+
+/// The die-plan name of block `base` on core `core`.
+///
+/// Matches the naming [`replicate`] uses: the bare base name when
+/// `cores == 1` (the single-core plan is untouched), `C{core}.<base>`
+/// otherwise.
+#[must_use]
+pub fn core_block_name(base: &str, core: usize, cores: usize) -> String {
+    if cores == 1 {
+        base.to_string()
+    } else {
+        format!("C{core}.{base}")
+    }
+}
+
+/// Tiles `cores` copies of `plan` along x on one shared die.
+///
+/// Block order is core-major: all of core 0's blocks (in `plan` order),
+/// then core 1's, and so on — so the die-plan slice
+/// `blocks[c * B .. (c + 1) * B]` is exactly core `c`'s copy, and
+/// per-core power/temperature vectors are contiguous slices of the
+/// die-wide ones.
+///
+/// `replicate(plan, 1)` returns a bit-identical clone of `plan`.
+///
+/// # Panics
+///
+/// Panics if `cores == 0`.
+#[must_use]
+pub fn replicate(plan: &Floorplan, cores: usize) -> Floorplan {
+    assert!(cores >= 1, "a die needs at least one core");
+    if cores == 1 {
+        return plan.clone();
+    }
+    let pitch = plan_width(plan);
+    let mut blocks = Vec::with_capacity(plan.blocks().len() * cores);
+    for core in 0..cores {
+        let dx = pitch * core as f64;
+        for b in plan.blocks() {
+            blocks.push(Block {
+                name: core_block_name(&b.name, core, cores),
+                x: b.x + dx,
+                y: b.y,
+                w: b.w,
+                h: b.h,
+            });
+        }
+    }
+    Floorplan::new(blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ev6, PackageConfig, ThermalModel, ThermalNetwork};
+
+    #[test]
+    fn single_core_replica_is_bit_identical() {
+        let plan = ev6::issue_constrained();
+        let replica = replicate(&plan, 1);
+        assert_eq!(plan, replica);
+        let a = ThermalNetwork::new(&plan, &PackageConfig::default());
+        let b = ThermalNetwork::new(&replica, &PackageConfig::default());
+        assert_eq!(a.node_count(), b.node_count());
+        for i in 0..a.node_count() * a.node_count() {
+            assert_eq!(a.conductance()[i].to_bits(), b.conductance()[i].to_bits());
+        }
+        for i in 0..a.node_count() {
+            assert_eq!(a.capacitance()[i].to_bits(), b.capacitance()[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn replica_blocks_are_core_major_contiguous() {
+        let plan = ev6::baseline();
+        let b = plan.blocks().len();
+        let die = replicate(&plan, 4);
+        assert_eq!(die.blocks().len(), 4 * b);
+        for core in 0..4 {
+            for (i, base) in plan.blocks().iter().enumerate() {
+                let block = &die.blocks()[core * b + i];
+                assert_eq!(block.name, format!("C{core}.{}", base.name));
+                assert!((block.x - (base.x + ev6::DIE_WIDTH * core as f64)).abs() < 1e-12);
+                assert_eq!(block.y.to_bits(), base.y.to_bits());
+                assert_eq!(block.w.to_bits(), base.w.to_bits());
+                assert_eq!(block.h.to_bits(), base.h.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_cores_are_laterally_coupled() {
+        let plan = ev6::baseline();
+        let b = plan.blocks().len();
+        let die = replicate(&plan, 2);
+        let cross: Vec<_> =
+            die.adjacency().into_iter().filter(|&(i, j, _)| (i < b) != (j < b)).collect();
+        // Each of the four rows abuts its neighbor's same row across the
+        // core boundary, so at least four cross-core edges must exist.
+        assert!(cross.len() >= 4, "expected cross-core edges, got {cross:?}");
+        for (i, j, edge) in &cross {
+            assert!(*edge > 0.0, "degenerate shared edge between {i} and {j}");
+        }
+        // And the network turns them into symmetric conductances.
+        let net = ThermalNetwork::new(&die, &PackageConfig::default());
+        let n = net.node_count();
+        for &(i, j, _) in &cross {
+            let g_ij = net.conductance()[i * n + j];
+            let g_ji = net.conductance()[j * n + i];
+            assert!(g_ij < 0.0, "coupling {i}->{j} missing");
+            assert_eq!(g_ij.to_bits(), g_ji.to_bits(), "asymmetric Laplacian");
+        }
+    }
+
+    #[test]
+    fn non_adjacent_cores_are_not_directly_coupled() {
+        let plan = ev6::baseline();
+        let b = plan.blocks().len();
+        let die = replicate(&plan, 3);
+        let net = ThermalNetwork::new(&die, &PackageConfig::default());
+        let n = net.node_count();
+        for i in 0..b {
+            for j in 2 * b..3 * b {
+                assert_eq!(
+                    net.conductance()[i * n + j],
+                    0.0,
+                    "core 0 block {i} directly coupled to core 2 block {j}"
+                );
+            }
+        }
+    }
+
+    /// Regression test for the mid-run `dt` change on an instantiated
+    /// multi-core die: the LU refactorization path must operate on the
+    /// N-core node count, not the single-core block count. A fresh model
+    /// stepped straight at the new `dt` is the oracle.
+    #[test]
+    fn dt_change_refactorizes_at_multicore_dimension() {
+        let die = replicate(&ev6::alu_constrained(), 3);
+        let nb = die.blocks().len();
+        let mut watts = vec![0.4; nb];
+        watts[0] = 9.0; // hot corner on core 0
+        watts[nb - 1] = 6.0; // and another on core 2
+
+        let mut model = ThermalModel::new(&die, PackageConfig::default());
+        model.step(&watts, 1e-4);
+        model.step(&watts, 1e-4);
+        let mid = model.node_temperatures().to_vec();
+        model.step(&watts, 2.5e-4); // dt change forces refactorization
+
+        let mut oracle = ThermalModel::new(&die, PackageConfig::default());
+        oracle.restore_node_temperatures(&mid).expect("same shape");
+        oracle.step(&watts, 2.5e-4);
+
+        for (a, b) in model.node_temperatures().iter().zip(oracle.node_temperatures()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "refactorized step diverged from fresh LU");
+        }
+    }
+
+    /// Same shape for the exponential-propagator path used by the fast
+    /// engine: `advance` at a new `dt` on a replicated die must rebuild
+    /// the propagator at the die dimension.
+    #[test]
+    fn advance_dt_change_rebuilds_propagator_at_multicore_dimension() {
+        let die = replicate(&ev6::baseline(), 2);
+        let nb = die.blocks().len();
+        let watts = vec![0.8; nb];
+
+        let mut model = ThermalModel::new(&die, PackageConfig::default());
+        model.advance(&watts, 5e-4);
+        let mid = model.node_temperatures().to_vec();
+        model.advance(&watts, 1.25e-4);
+
+        let mut oracle = ThermalModel::new(&die, PackageConfig::default());
+        oracle.restore_node_temperatures(&mid).expect("same shape");
+        oracle.advance(&watts, 1.25e-4);
+
+        for (a, b) in model.node_temperatures().iter().zip(oracle.node_temperatures()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "propagator rebuild diverged");
+        }
+    }
+}

@@ -522,6 +522,15 @@ impl Core {
         self.trace_done && self.fetch_queue.is_empty() && self.rob.is_empty()
     }
 
+    /// Clears the drained-trace latch so a fresh [`TraceSource`] can feed
+    /// the core. The multi-core engine calls this when it re-dispatches a
+    /// new workload segment onto a core whose previous segment ran to
+    /// completion; pipeline contents, predictor, and cache state are left
+    /// untouched (the new segment sees a warm machine).
+    pub fn reset_trace_done(&mut self) {
+        self.trace_done = false;
+    }
+
     /// Captures the core's complete dynamic state (pipeline contents,
     /// predictor and cache arrays, mitigation-visible enables, statistics)
     /// for snapshotting. The configuration itself is *not* captured; a

@@ -193,6 +193,51 @@ fn submit_status_result_round_trip() {
 }
 
 #[test]
+fn multicore_specs_ride_the_wire_and_run_the_multicore_engine() {
+    let server = start_server(ServiceConfig {
+        queue_depth: 4,
+        workers: 1,
+        campaign_threads: Some(1),
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::new(server.addr(), Duration::from_secs(30));
+
+    let spec = CampaignSpec::new("multicore")
+        .config(
+            "2core",
+            powerbalance::SimConfig {
+                cores: 2,
+                scheduler: powerbalance::SchedulerKind::CoolestFirst,
+                ..powerbalance::SimConfig::default()
+            },
+        )
+        .benchmark("gzip")
+        .cycles(20_000)
+        .seed(11);
+    let response = client
+        .request("POST", "/v1/campaigns", Some(&serde::json::to_string(&spec)))
+        .expect("submit answers");
+    assert_eq!(response.status, 202);
+    let id = extract_id(&response.text());
+
+    assert_eq!(poll_terminal(&mut client, id), "Completed");
+
+    let text = client
+        .request("GET", &format!("/v1/campaigns/{id}/result"), None)
+        .expect("result answers")
+        .text();
+    let parsed: powerbalance_harness::CampaignResult =
+        serde::json::from_str(&text).expect("result body is a CampaignResult");
+    // The archived spec keeps the multi-core shape, and the merged result
+    // carries the second lane's `C1.`-prefixed block temperatures — proof
+    // the multi-core engine, not a scalar fallback, served the campaign.
+    assert_eq!(parsed.spec.configs[0].config.cores, 2);
+    assert_eq!(parsed.spec.configs[0].config.scheduler, powerbalance::SchedulerKind::CoolestFirst);
+    assert!(parsed.jobs[0].result.temperatures.iter().any(|t| t.name.starts_with("C1.")));
+    assert!(parsed.jobs[0].result.ipc > 0.0);
+}
+
+#[test]
 fn fidelity_query_overrides_the_spec_and_is_metered() {
     let server = start_server(ServiceConfig {
         queue_depth: 4,
