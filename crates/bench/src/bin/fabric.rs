@@ -1,0 +1,215 @@
+//! Distributed-fabric benchmark: 1-vs-2-worker wall clock on the policy
+//! sweep, plus a bit-identity check against a plain local run.
+//!
+//! Starts an in-process coordinator (`powerbalance serve` internals on an
+//! ephemeral port), then runs the ablation-5-style policy sweep — `eon`
+//! under every [`PolicyKind`] — three ways: locally with the ordinary
+//! campaign runner, distributed over 1 worker node, and distributed over
+//! 2 worker nodes. Asserts every distributed result merges bit-identically
+//! (`same_outcome`) to the local reference, and reports wall-clock per
+//! mode. CI uploads the JSON (`--json BENCH_fabric_ci.json`) as a
+//! non-gating artifact; the EXPERIMENTS.md scaling table comes from the
+//! same binary.
+
+use powerbalance::experiments::{self, PolicyKind};
+use powerbalance::FloorplanKind;
+use powerbalance_harness::{run_campaign, CampaignResult, CampaignSpec, RunnerOptions};
+use powerbalance_server::client::Client;
+use powerbalance_server::service::ServiceConfig;
+use powerbalance_server::worker::{WorkerHandle, WorkerNode, WorkerOptions};
+use powerbalance_server::{Server, ServerConfig};
+use serde::Serialize;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+fabric — 1-vs-2-worker scaling benchmark for the campaign fabric
+
+USAGE: fabric [OPTIONS]
+
+OPTIONS:
+  --cycles <n>   simulated cycles per job            [40000]
+  --json <path>  write the summary as JSON
+  --help         show this help";
+
+#[derive(Debug, Serialize)]
+struct ModeReport {
+    workers: usize,
+    wall_secs: f64,
+    bit_identical_to_local: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Summary {
+    benchmarks: usize,
+    configs: usize,
+    cycles_per_job: u64,
+    local_wall_secs: f64,
+    modes: Vec<ModeReport>,
+    speedup_2_over_1: f64,
+}
+
+/// Benchmarks the sweep fans out over. One benchmark's six policy
+/// configs form a single batch group — and therefore a single shard,
+/// because the planner never splits a batch-eligible group — so the
+/// distributable unit count equals the benchmark count.
+const BENCHMARKS: [&str; 4] = ["eon", "gzip", "mesa", "perlbmk"];
+
+/// The ablation-5 policy sweep fanned out over [`BENCHMARKS`]: one
+/// config per mitigation policy, six sibling jobs per benchmark sharing
+/// a lockstep batch and a warmup. Four shards total.
+fn sweep_spec(cycles: u64) -> CampaignSpec {
+    let mut spec = CampaignSpec::new("fabric-policy-sweep").cycles(cycles).seed(7);
+    for kind in PolicyKind::ALL {
+        spec = spec.config(kind.name(), experiments::policy(kind, FloorplanKind::Baseline));
+    }
+    for bench in BENCHMARKS {
+        spec = spec.benchmark(bench);
+    }
+    spec
+}
+
+fn start_workers(addr: SocketAddr, count: usize) -> Vec<WorkerHandle> {
+    (0..count)
+        .map(|i| {
+            let mut options = WorkerOptions::new(addr);
+            options.name = format!("bench-worker-{i}");
+            options.poll_wait = Duration::from_secs(2);
+            options.heartbeat_interval = Duration::from_millis(250);
+            WorkerNode::start(options)
+        })
+        .collect()
+}
+
+/// Submits the sweep and long-polls the result; returns it with the
+/// submit-to-result wall clock.
+fn run_distributed(client: &mut Client, spec: &CampaignSpec) -> (CampaignResult, f64) {
+    let body = serde::json::to_string(spec);
+    let start = Instant::now();
+    let response = client
+        .request("POST", "/v1/campaigns", Some(&body))
+        .expect("coordinator accepts the submission");
+    assert_eq!(response.status, 202, "submit failed: {}", response.text());
+    let text = response.text();
+    let id: u64 = text
+        .split("\"id\":")
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|digits| digits.parse().ok())
+        .expect("submit response carries an id");
+
+    let path = format!("/v1/campaigns/{id}/result?wait=10");
+    loop {
+        let response = client.request("GET", &path, None).expect("result poll succeeds");
+        match response.status {
+            200 => {
+                let wall = start.elapsed().as_secs_f64();
+                let result: CampaignResult = serde::json::from_str(&response.text())
+                    .expect("result body is a CampaignResult");
+                return (result, wall);
+            }
+            409 => continue, // long-poll window lapsed; re-arm
+            other => panic!("result poll got status {other}: {}", response.text()),
+        }
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut cycles = 40_000u64;
+    let mut json: Option<std::path::PathBuf> = None;
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--cycles" => {
+                cycles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--cycles requires an integer"))
+            }
+            "--json" => {
+                json = Some(std::path::PathBuf::from(
+                    it.next().unwrap_or_else(|| panic!("--json requires a path")),
+                ))
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}'\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let spec = sweep_spec(cycles);
+
+    // Local reference: the ordinary in-process campaign runner.
+    let options = RunnerOptions { progress: false, ..RunnerOptions::default() };
+    let local_start = Instant::now();
+    let local = run_campaign(&spec, &options).expect("local reference run succeeds");
+    let local_wall = local_start.elapsed().as_secs_f64();
+    eprintln!("local reference: {} jobs in {local_wall:.2}s", local.jobs.len());
+
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        service: ServiceConfig { workers: 1, ..ServiceConfig::default() },
+        ..ServerConfig::default()
+    })
+    .expect("coordinator binds an ephemeral port");
+    let addr = handle.addr();
+    let mut client = Client::new(addr, Duration::from_secs(30));
+
+    let mut modes = Vec::new();
+    for count in [1usize, 2] {
+        let workers = start_workers(addr, count);
+        // Submitting before registration completes would fall back to a
+        // local run; wait until every worker has a fresh heartbeat.
+        let armed = Instant::now();
+        while handle.service().coordinator().stats().workers_alive < count as u64 {
+            assert!(armed.elapsed() < Duration::from_secs(30), "workers never registered");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let (result, wall) = run_distributed(&mut client, &spec);
+        for worker in workers {
+            worker.stop();
+        }
+        let identical = result.same_outcome(&local);
+        eprintln!("{count} worker(s): {wall:.2}s, bit-identical to local: {identical}",);
+        assert!(identical, "distributed result diverged from the local reference");
+        modes.push(ModeReport {
+            workers: count,
+            wall_secs: wall,
+            bit_identical_to_local: identical,
+        });
+    }
+    handle.shutdown();
+
+    let speedup = modes[0].wall_secs / modes[1].wall_secs.max(f64::EPSILON);
+    let summary = Summary {
+        benchmarks: BENCHMARKS.len(),
+        configs: spec.configs.len(),
+        cycles_per_job: cycles,
+        local_wall_secs: local_wall,
+        modes,
+        speedup_2_over_1: speedup,
+    };
+    println!(
+        "policy sweep ({} benchmarks x {} configs x {} cycles): local {:.2}s, 1 worker {:.2}s, \
+         2 workers {:.2}s (speedup {:.2}x)",
+        summary.benchmarks,
+        summary.configs,
+        cycles,
+        summary.local_wall_secs,
+        summary.modes[0].wall_secs,
+        summary.modes[1].wall_secs,
+        summary.speedup_2_over_1,
+    );
+
+    if let Some(path) = json {
+        let text = serde::json::to_string_pretty(&summary);
+        std::fs::write(&path, text).expect("summary is writable");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -29,6 +29,9 @@ OPTIONS:
   --campaigns-per-conn <n>  campaigns each connection submits   [4]
   --cycles <n>              simulated cycles per campaign       [50000]
   --json <path>             write the summary as JSON
+  --long-poll               fetch results via GET .../result?wait=<s>
+                            long-polls instead of status polling, and
+                            report time-to-result percentiles
   --shutdown                POST /v1/shutdown when done
   --help                    show this help";
 
@@ -39,6 +42,7 @@ struct Args {
     campaigns_per_conn: usize,
     cycles: u64,
     json: Option<std::path::PathBuf>,
+    long_poll: bool,
     shutdown: bool,
 }
 
@@ -48,6 +52,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut campaigns_per_conn = 4usize;
     let mut cycles = 50_000u64;
     let mut json = None;
+    let mut long_poll = false;
     let mut shutdown = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -71,6 +76,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 cycles = value("--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?
             }
             "--json" => json = Some(std::path::PathBuf::from(value("--json")?)),
+            "--long-poll" => long_poll = true,
             "--shutdown" => shutdown = true,
             "--help" | "-h" => return Err("help".to_string()),
             other => return Err(format!("unknown flag '{other}'")),
@@ -80,7 +86,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     if connections == 0 || campaigns_per_conn == 0 {
         return Err("--connections and --campaigns-per-conn must be at least 1".to_string());
     }
-    Ok(Args { addr, connections, campaigns_per_conn, cycles, json, shutdown })
+    Ok(Args { addr, connections, campaigns_per_conn, cycles, json, long_poll, shutdown })
 }
 
 /// Latency percentiles in microseconds, from a sorted sample set.
@@ -125,6 +131,8 @@ struct Summary {
     requests_per_sec: f64,
     request_latency: Percentiles,
     campaign_latency: Percentiles,
+    long_poll: bool,
+    time_to_result: Percentiles,
 }
 
 #[derive(Default)]
@@ -135,6 +143,7 @@ struct Tally {
     requests: AtomicU64,
     request_micros: Mutex<Vec<u64>>,
     campaign_micros: Mutex<Vec<u64>>,
+    time_to_result_micros: Mutex<Vec<u64>>,
 }
 
 /// The request body: a one-benchmark, one-config campaign. Built as a
@@ -206,6 +215,30 @@ fn drive_connection(args: &Args, tally: &Tally, conn: usize) {
             .and_then(|s| s.parse().ok())
             .unwrap_or(0);
 
+        if args.long_poll {
+            // One long-poll request usually suffices: the server parks the
+            // handler until the campaign turns terminal (or the 5 s window
+            // lapses, in which case we simply re-arm).
+            let result_path = format!("/v1/campaigns/{id}/result?wait=5");
+            while let Some(result) = timed_request(&mut client, tally, "GET", &result_path, None) {
+                match result.status {
+                    200 => {
+                        let micros = campaign_start.elapsed().as_micros() as u64;
+                        tally.completed.fetch_add(1, Ordering::Relaxed);
+                        tally.campaign_micros.lock().expect("no holder panics").push(micros);
+                        tally.time_to_result_micros.lock().expect("no holder panics").push(micros);
+                        break;
+                    }
+                    409 => continue, // window lapsed while still running; re-arm
+                    _ => {
+                        tally.errors.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+
         let status_path = format!("/v1/campaigns/{id}");
         while let Some(response) = timed_request(&mut client, tally, "GET", &status_path, None) {
             let body = response.text();
@@ -264,6 +297,8 @@ fn main() {
         std::mem::take(&mut *tally.request_micros.lock().expect("no holder panics"));
     let mut campaign_micros =
         std::mem::take(&mut *tally.campaign_micros.lock().expect("no holder panics"));
+    let mut time_to_result_micros =
+        std::mem::take(&mut *tally.time_to_result_micros.lock().expect("no holder panics"));
     let summary = Summary {
         connections: args.connections,
         campaigns_per_conn: args.campaigns_per_conn,
@@ -276,6 +311,8 @@ fn main() {
         requests_per_sec: if wall_secs > 0.0 { requests_total as f64 / wall_secs } else { 0.0 },
         request_latency: percentiles(&mut request_micros),
         campaign_latency: percentiles(&mut campaign_micros),
+        long_poll: args.long_poll,
+        time_to_result: percentiles(&mut time_to_result_micros),
     };
 
     println!(
@@ -301,6 +338,14 @@ fn main() {
         summary.campaign_latency.p95_micros,
         summary.campaign_latency.p99_micros,
     );
+    if summary.long_poll {
+        println!(
+            "long-poll time-to-result p50/p95/p99: {}/{}/{} us",
+            summary.time_to_result.p50_micros,
+            summary.time_to_result.p95_micros,
+            summary.time_to_result.p99_micros,
+        );
+    }
 
     let mut exit = 0;
     if summary.campaigns_completed == 0 {

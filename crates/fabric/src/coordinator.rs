@@ -1,0 +1,720 @@
+//! The coordinator: leases shards to worker nodes and merges the results.
+//!
+//! ## Lease/retry state machine (DESIGN.md §16)
+//!
+//! ```text
+//!            plan_shards
+//! submitted ────────────▶ pending ──acquire──▶ leased ──complete──▶ done
+//!                            ▲                   │
+//!                            │   expiry / fail   │ attempts ≥ max
+//!                            └───────────────────┴──────▶ campaign failed
+//! ```
+//!
+//! A shard is *pending* until a registered worker leases it, *leased*
+//! until the worker posts a [`ShardOutcome`] or the lease dies (deadline
+//! passed, or the node's heartbeat went stale), and *done* once its jobs
+//! are recorded. Every grant increments the shard's attempt counter; a
+//! shard that fails with `attempts >= max_attempts` fails the whole
+//! campaign rather than retrying forever. Completions for expired leases
+//! are rejected (`accepted: false`) and the shard's retry wins — the
+//! duplicate-delivery guard that keeps the merge exactly-once.
+//!
+//! Warm-start checkpoints flow both ways: a completing worker attaches the
+//! snapshot it computed, the coordinator stores it keyed by
+//! [`WarmStartCache::key`], and later leases for the same warmup carry it
+//! to whichever node leases them — so N nodes pay each distinct warmup
+//! once, like threads sharing the in-process cache.
+
+use crate::shard::{merge_shards, plan_shards, ShardSpec};
+use powerbalance::Snapshot;
+use powerbalance_harness::{
+    CampaignControl, CampaignResult, CampaignSpec, JobProgress, JobResult, WarmStartCache,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for lease lifetimes and liveness.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// How long a worker may hold a lease before the sweeper re-queues it.
+    pub lease_timeout: Duration,
+    /// Heartbeat staleness after which a node stops counting as alive and
+    /// its leases expire.
+    pub node_timeout: Duration,
+    /// Maximum grants per shard before its campaign fails.
+    pub max_attempts: u32,
+    /// Sweeper wake interval (also the coordinator's poll granularity for
+    /// cancellation).
+    pub sweep_interval: Duration,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            lease_timeout: Duration::from_secs(120),
+            node_timeout: Duration::from_secs(3),
+            max_attempts: 3,
+            sweep_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Worker registration body (`POST /v1/nodes`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeHello {
+    /// Human-readable node name, for logs and metrics.
+    pub name: String,
+}
+
+/// A warm-start snapshot in flight between nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The [`WarmStartCache::key`] this snapshot satisfies.
+    pub key: String,
+    /// The snapshot itself.
+    pub snapshot: Snapshot,
+}
+
+/// A granted work unit (`POST /v1/nodes/{id}/lease` response body).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lease {
+    /// Lease id; quote it back when posting the result.
+    pub lease_id: u64,
+    /// Campaign the shard belongs to.
+    pub campaign_id: u64,
+    /// The work unit.
+    pub shard: ShardSpec,
+    /// A warm-start checkpoint for the shard's warmup key, when the
+    /// coordinator has one.
+    pub checkpoint: Option<Checkpoint>,
+    /// Whether the coordinator wants the worker to send back the warmup
+    /// snapshot it computes (true exactly when the shard needs a warmup
+    /// the coordinator does not hold yet).
+    pub want_checkpoint: bool,
+}
+
+/// What a worker reports for a finished lease
+/// (`POST /v1/leases/{id}/result` body).
+// One value exists per shard completion; the size skew between the
+// variants is irrelevant at that allocation rate.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ShardOutcome {
+    /// The shard ran to completion.
+    Completed {
+        /// One [`JobResult`] per shard job, in sub-spec order.
+        jobs: Vec<JobResult>,
+        /// The warmup snapshot, when the lease asked for it.
+        checkpoint: Option<Checkpoint>,
+    },
+    /// The shard failed on the worker.
+    Failed {
+        /// Failure description.
+        error: String,
+    },
+}
+
+/// Result of [`Coordinator::acquire`].
+#[derive(Debug)]
+pub enum Acquire {
+    /// A lease was granted.
+    Granted(Box<Lease>),
+    /// No work became available within the wait window.
+    Empty,
+    /// The node id is not registered (the worker should re-register —
+    /// this is what it sees after a coordinator restart).
+    UnknownNode,
+}
+
+/// Point-in-time fabric gauges for `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Nodes ever registered with this coordinator incarnation.
+    pub workers_registered: u64,
+    /// Nodes with a fresh heartbeat.
+    pub workers_alive: u64,
+    /// Leases currently outstanding.
+    pub leases_outstanding: u64,
+    /// Shards queued and not yet leased.
+    pub pending_shards: u64,
+    /// Shards re-queued after a lease expired or failed.
+    pub shards_retried: u64,
+}
+
+/// How a distributed campaign ended.
+#[derive(Debug)]
+pub enum FabricOutcome {
+    /// All shards completed; the merged result.
+    Completed(Box<CampaignResult>),
+    /// The campaign's control was cancelled mid-run.
+    Cancelled,
+    /// A shard exhausted its attempts (or the merge was rejected).
+    Failed(String),
+    /// Every worker disappeared while work remained; the caller should
+    /// fall back to local execution.
+    NoWorkers,
+}
+
+struct NodeState {
+    #[allow(dead_code)] // surfaced in logs/debugging, not read programmatically yet
+    name: String,
+    last_heartbeat: Instant,
+}
+
+struct CampaignRun {
+    spec: Arc<CampaignSpec>,
+    shards: Vec<ShardSpec>,
+    results: Vec<Option<Vec<JobResult>>>,
+    remaining: usize,
+    attempts: Vec<u32>,
+    failed: Option<String>,
+    control: Arc<CampaignControl>,
+    started: Instant,
+}
+
+struct ActiveLease {
+    campaign: u64,
+    shard: usize,
+    node: u64,
+    deadline: Instant,
+}
+
+#[derive(Default)]
+struct State {
+    nodes: HashMap<u64, NodeState>,
+    campaigns: HashMap<u64, CampaignRun>,
+    pending: VecDeque<(u64, usize)>,
+    leases: HashMap<u64, ActiveLease>,
+    checkpoints: HashMap<String, Arc<Snapshot>>,
+    next_node: u64,
+    next_campaign: u64,
+    next_lease: u64,
+    shards_retried: u64,
+    shutdown: bool,
+}
+
+impl State {
+    fn node_alive(&self, node: u64, timeout: Duration) -> bool {
+        self.nodes.get(&node).is_some_and(|state| state.last_heartbeat.elapsed() <= timeout)
+    }
+
+    fn live_workers(&self, timeout: Duration) -> usize {
+        self.nodes.values().filter(|state| state.last_heartbeat.elapsed() <= timeout).count()
+    }
+
+    /// Drops every trace of `campaign`: queued shards and live leases.
+    fn purge_campaign(&mut self, campaign: u64) {
+        self.campaigns.remove(&campaign);
+        self.pending.retain(|&(c, _)| c != campaign);
+        self.leases.retain(|_, lease| lease.campaign != campaign);
+    }
+
+    /// Warm-start attachment for `shard`: the checkpoint to ship (if
+    /// held) and whether the worker should send one back.
+    fn checkpoint_for(&self, shard: &ShardSpec) -> (Option<Checkpoint>, bool) {
+        let spec = &shard.spec;
+        if spec.warmup_cycles == 0 {
+            return (None, false);
+        }
+        let key = WarmStartCache::key(
+            &spec.benchmarks[0],
+            spec.seed,
+            spec.warmup_cycles,
+            &spec.configs[0].config,
+        );
+        match self.checkpoints.get(&key) {
+            Some(snapshot) => (Some(Checkpoint { key, snapshot: (**snapshot).clone() }), false),
+            None => (None, true),
+        }
+    }
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Signalled when pending work appears (or on shutdown).
+    work_ready: Condvar,
+    /// Signalled when a campaign finishes, fails, or must be re-examined.
+    done: Condvar,
+    cfg: FabricConfig,
+}
+
+/// Shards campaigns across registered worker nodes. One per server.
+///
+/// All methods are callable from any thread; a background sweeper expires
+/// dead leases. Dropping the coordinator (or calling
+/// [`shutdown`](Coordinator::shutdown)) stops the sweeper and wakes every
+/// long-polling worker.
+pub struct Coordinator {
+    inner: Arc<Inner>,
+    sweeper: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator").field("cfg", &self.inner.cfg).finish()
+    }
+}
+
+impl Coordinator {
+    /// A coordinator with `cfg` knobs; spawns the lease sweeper.
+    #[must_use]
+    pub fn new(cfg: FabricConfig) -> Coordinator {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State::default()),
+            work_ready: Condvar::new(),
+            done: Condvar::new(),
+            cfg,
+        });
+        let sweeper_inner = Arc::clone(&inner);
+        let sweeper = std::thread::Builder::new()
+            .name("fabric-sweeper".into())
+            .spawn(move || sweep_loop(&sweeper_inner))
+            .expect("spawn fabric sweeper");
+        Coordinator { inner, sweeper: Mutex::new(Some(sweeper)) }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.inner.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Registers a worker node and returns its id. The registration also
+    /// counts as a heartbeat.
+    pub fn register(&self, name: &str) -> u64 {
+        let mut state = self.lock();
+        state.next_node += 1;
+        let id = state.next_node;
+        state
+            .nodes
+            .insert(id, NodeState { name: name.to_string(), last_heartbeat: Instant::now() });
+        id
+    }
+
+    /// Records a heartbeat. Returns false for an unknown node (the worker
+    /// should re-register — e.g. after a coordinator restart).
+    pub fn heartbeat(&self, node: u64) -> bool {
+        let mut state = self.lock();
+        match state.nodes.get_mut(&node) {
+            Some(entry) => {
+                entry.last_heartbeat = Instant::now();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Nodes with a fresh heartbeat right now.
+    #[must_use]
+    pub fn live_workers(&self) -> usize {
+        self.lock().live_workers(self.inner.cfg.node_timeout)
+    }
+
+    /// Long-polls for a lease on behalf of `node`, waiting up to `wait`
+    /// for work to appear. Each wakeup refreshes the node's heartbeat, so
+    /// a parked worker never reads as dead.
+    pub fn acquire(&self, node: u64, wait: Duration) -> Acquire {
+        let deadline = Instant::now() + wait;
+        let mut state = self.lock();
+        loop {
+            if !state.nodes.contains_key(&node) {
+                return Acquire::UnknownNode;
+            }
+            if let Some(entry) = state.nodes.get_mut(&node) {
+                entry.last_heartbeat = Instant::now();
+            }
+            if state.shutdown {
+                return Acquire::Empty;
+            }
+            while let Some((campaign_id, shard_index)) = state.pending.pop_front() {
+                // The campaign may have been cancelled/failed since this
+                // entry was queued; skip stale entries.
+                let Some(run) = state.campaigns.get_mut(&campaign_id) else { continue };
+                if run.failed.is_some() || run.results[shard_index].is_some() {
+                    continue;
+                }
+                run.attempts[shard_index] += 1;
+                let shard = run.shards[shard_index].clone();
+                let (checkpoint, want_checkpoint) = state.checkpoint_for(&shard);
+                state.next_lease += 1;
+                let lease_id = state.next_lease;
+                state.leases.insert(
+                    lease_id,
+                    ActiveLease {
+                        campaign: campaign_id,
+                        shard: shard_index,
+                        node,
+                        deadline: Instant::now() + self.inner.cfg.lease_timeout,
+                    },
+                );
+                return Acquire::Granted(Box::new(Lease {
+                    lease_id,
+                    campaign_id,
+                    shard,
+                    checkpoint,
+                    want_checkpoint,
+                }));
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Acquire::Empty;
+            }
+            // Cap the park so the heartbeat refresh above keeps running
+            // even when no work arrives for the whole wait window.
+            let park = remaining.min(self.inner.cfg.node_timeout / 2).max(Duration::from_millis(1));
+            let (next, _) = self
+                .inner
+                .work_ready
+                .wait_timeout(state, park)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = next;
+        }
+    }
+
+    /// Accepts a worker's outcome for `lease_id`. Returns whether the
+    /// delivery was accepted; a false return means the lease already
+    /// expired (the shard was or will be re-run) and the worker's results
+    /// were discarded — the exactly-once guard for the merge.
+    pub fn complete(&self, lease_id: u64, outcome: ShardOutcome) -> bool {
+        let mut state = self.lock();
+        let lease = state.leases.remove(&lease_id);
+        match outcome {
+            ShardOutcome::Completed { jobs, checkpoint } => {
+                // Keep the checkpoint even if the lease died: the warmup
+                // is canonical for its key no matter which lease computed
+                // it, and the retry will want it.
+                if let Some(Checkpoint { key, snapshot }) = checkpoint {
+                    state.checkpoints.entry(key).or_insert_with(|| Arc::new(snapshot));
+                }
+                let Some(lease) = lease else { return false };
+                let Some(run) = state.campaigns.get_mut(&lease.campaign) else { return false };
+                if run.results[lease.shard].is_some() {
+                    return false;
+                }
+                if jobs.len() != run.shards[lease.shard].job_indices.len() {
+                    // A malformed delivery counts as a shard failure.
+                    drop(state);
+                    self.fail_shard(lease.campaign, lease.shard, "worker returned wrong job count");
+                    return false;
+                }
+                for job in &jobs {
+                    run.control.record_external(JobProgress {
+                        bench: job.bench.clone(),
+                        config: job.config.clone(),
+                        ipc: job.result.ipc,
+                        wall_nanos: job.wall_nanos,
+                    });
+                }
+                run.results[lease.shard] = Some(jobs);
+                run.remaining -= 1;
+                if run.remaining == 0 {
+                    self.inner.done.notify_all();
+                }
+                true
+            }
+            ShardOutcome::Failed { error } => {
+                let Some(lease) = lease else { return false };
+                drop(state);
+                self.fail_shard(lease.campaign, lease.shard, &error);
+                true
+            }
+        }
+    }
+
+    /// Re-queues `shard` of `campaign` after a failed/expired lease, or
+    /// fails the campaign when the shard is out of attempts.
+    fn fail_shard(&self, campaign: u64, shard: usize, error: &str) {
+        let mut state = self.lock();
+        let cfg_max = self.inner.cfg.max_attempts;
+        let Some(run) = state.campaigns.get_mut(&campaign) else { return };
+        if run.results[shard].is_some() || run.failed.is_some() {
+            return;
+        }
+        if run.attempts[shard] >= cfg_max {
+            run.failed = Some(format!(
+                "shard {shard} failed after {} attempts: {error}",
+                run.attempts[shard]
+            ));
+            self.inner.done.notify_all();
+        } else {
+            state.shards_retried += 1;
+            state.pending.push_back((campaign, shard));
+            self.inner.work_ready.notify_all();
+        }
+    }
+
+    /// Runs `spec` across the registered workers and blocks until it
+    /// finishes (or is cancelled via `control`). `max_batch` shapes shard
+    /// granularity exactly like the local pool's unit planner.
+    pub fn execute(
+        &self,
+        spec: &Arc<CampaignSpec>,
+        control: &Arc<CampaignControl>,
+        max_batch: usize,
+    ) -> FabricOutcome {
+        let shards = plan_shards(spec, max_batch);
+        control.set_total(spec.job_count());
+        let campaign_id = {
+            let mut state = self.lock();
+            state.next_campaign += 1;
+            let id = state.next_campaign;
+            let nshards = shards.len();
+            state.campaigns.insert(
+                id,
+                CampaignRun {
+                    spec: Arc::clone(spec),
+                    shards,
+                    results: vec![None; nshards],
+                    remaining: nshards,
+                    attempts: vec![0; nshards],
+                    failed: None,
+                    control: Arc::clone(control),
+                    started: Instant::now(),
+                },
+            );
+            for shard in 0..nshards {
+                state.pending.push_back((id, shard));
+            }
+            self.inner.work_ready.notify_all();
+            id
+        };
+
+        let mut state = self.lock();
+        loop {
+            if control.is_cancelled() {
+                state.purge_campaign(campaign_id);
+                return FabricOutcome::Cancelled;
+            }
+            let Some(run) = state.campaigns.get(&campaign_id) else {
+                // Shutdown purged us.
+                return FabricOutcome::Failed("coordinator shut down".into());
+            };
+            if let Some(error) = run.failed.clone() {
+                state.purge_campaign(campaign_id);
+                return FabricOutcome::Failed(error);
+            }
+            if run.remaining == 0 {
+                let merged = merge_shards(
+                    &run.spec,
+                    &run.shards,
+                    &run.results
+                        .iter()
+                        .map(|slot| slot.clone().expect("remaining==0 means every slot filled"))
+                        .collect::<Vec<_>>(),
+                    state.live_workers(self.inner.cfg.node_timeout).max(1),
+                    run.started.elapsed().as_nanos() as u64,
+                );
+                state.purge_campaign(campaign_id);
+                return match merged {
+                    Ok(result) => FabricOutcome::Completed(Box::new(result)),
+                    Err(e) => FabricOutcome::Failed(e.to_string()),
+                };
+            }
+            let has_lease = state.leases.values().any(|lease| lease.campaign == campaign_id);
+            if !has_lease && state.live_workers(self.inner.cfg.node_timeout) == 0 {
+                state.purge_campaign(campaign_id);
+                return FabricOutcome::NoWorkers;
+            }
+            if state.shutdown {
+                state.purge_campaign(campaign_id);
+                return FabricOutcome::Failed("coordinator shut down".into());
+            }
+            let (next, _) = self
+                .inner
+                .done
+                .wait_timeout(state, self.inner.cfg.sweep_interval)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = next;
+        }
+    }
+
+    /// Point-in-time gauges for `/metrics`.
+    #[must_use]
+    pub fn stats(&self) -> FabricStats {
+        let state = self.lock();
+        FabricStats {
+            workers_registered: state.nodes.len() as u64,
+            workers_alive: state.live_workers(self.inner.cfg.node_timeout) as u64,
+            leases_outstanding: state.leases.len() as u64,
+            pending_shards: state.pending.len() as u64,
+            shards_retried: state.shards_retried,
+        }
+    }
+
+    /// Stops the sweeper and wakes every parked worker and campaign.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.lock();
+            state.shutdown = true;
+        }
+        self.inner.work_ready.notify_all();
+        self.inner.done.notify_all();
+        let handle = self.sweeper.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Expires leases whose deadline passed or whose node went silent, then
+/// re-queues (or fails) their shards.
+fn sweep_loop(inner: &Arc<Inner>) {
+    loop {
+        let expired: Vec<(u64, u64, usize)> = {
+            let mut state = inner.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                let now = Instant::now();
+                let node_timeout = inner.cfg.node_timeout;
+                let dead: Vec<u64> = state
+                    .leases
+                    .iter()
+                    .filter(|(_, lease)| {
+                        lease.deadline <= now || !state.node_alive(lease.node, node_timeout)
+                    })
+                    .map(|(&id, _)| id)
+                    .collect();
+                if !dead.is_empty() {
+                    break dead
+                        .into_iter()
+                        .filter_map(|id| {
+                            state.leases.remove(&id).map(|lease| (id, lease.campaign, lease.shard))
+                        })
+                        .collect();
+                }
+                let (next, _) = inner
+                    .work_ready
+                    .wait_timeout(state, inner.cfg.sweep_interval)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                state = next;
+            }
+        };
+        // Re-queue outside the scan so fail_shard-style logic stays in one
+        // place conceptually; the race window is harmless (results[shard]
+        // and failed are re-checked under the lock).
+        let mut state = inner.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (_, campaign, shard) in expired {
+            let cfg_max = inner.cfg.max_attempts;
+            let Some(run) = state.campaigns.get_mut(&campaign) else { continue };
+            if run.results[shard].is_some() || run.failed.is_some() {
+                continue;
+            }
+            if run.attempts[shard] >= cfg_max {
+                run.failed = Some(format!(
+                    "shard {shard} lease expired after {} attempts",
+                    run.attempts[shard]
+                ));
+            } else {
+                state.shards_retried += 1;
+                state.pending.push_back((campaign, shard));
+            }
+        }
+        drop(state);
+        inner.work_ready.notify_all();
+        inner.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> FabricConfig {
+        FabricConfig {
+            lease_timeout: Duration::from_millis(200),
+            node_timeout: Duration::from_millis(300),
+            max_attempts: 2,
+            sweep_interval: Duration::from_millis(5),
+        }
+    }
+
+    fn tiny_spec() -> Arc<CampaignSpec> {
+        Arc::new(
+            CampaignSpec::new("tiny")
+                .config("base", powerbalance::SimConfig::default())
+                .benchmark("gzip")
+                .cycles(1000),
+        )
+    }
+
+    #[test]
+    fn unknown_node_cannot_lease_and_heartbeat_fails() {
+        let coordinator = Coordinator::new(fast_cfg());
+        assert!(!coordinator.heartbeat(99));
+        assert!(matches!(coordinator.acquire(99, Duration::ZERO), Acquire::UnknownNode));
+        let id = coordinator.register("w1");
+        assert!(coordinator.heartbeat(id));
+        assert!(matches!(coordinator.acquire(id, Duration::ZERO), Acquire::Empty));
+    }
+
+    #[test]
+    fn expired_lease_requeues_then_fails_campaign() {
+        let coordinator = Arc::new(Coordinator::new(fast_cfg()));
+        let node = coordinator.register("w1");
+        let spec = tiny_spec();
+        let control = Arc::new(CampaignControl::new());
+
+        let runner = {
+            let coordinator = Arc::clone(&coordinator);
+            let spec = Arc::clone(&spec);
+            let control = Arc::clone(&control);
+            std::thread::spawn(move || coordinator.execute(&spec, &control, 1))
+        };
+
+        // Lease the only shard twice, never completing it; keep the node's
+        // heartbeat fresh so expiry comes from the deadline, not liveness.
+        let mut grants = 0;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while grants < 2 && Instant::now() < deadline {
+            coordinator.heartbeat(node);
+            if let Acquire::Granted(_) = coordinator.acquire(node, Duration::from_millis(50)) {
+                grants += 1;
+            }
+        }
+        assert_eq!(grants, 2, "shard should be granted max_attempts times");
+
+        let outcome = runner.join().expect("runner thread");
+        match outcome {
+            FabricOutcome::Failed(msg) => assert!(msg.contains("lease expired"), "{msg}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(coordinator.stats().shards_retried >= 1);
+    }
+
+    #[test]
+    fn no_workers_outcome_when_all_nodes_die() {
+        let coordinator = Arc::new(Coordinator::new(fast_cfg()));
+        // No nodes registered at all: execute should bail out NoWorkers.
+        let spec = tiny_spec();
+        let control = Arc::new(CampaignControl::new());
+        match coordinator.execute(&spec, &control, 1) {
+            FabricOutcome::NoWorkers => {}
+            other => panic!("expected NoWorkers, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_purges_pending_work() {
+        let coordinator = Arc::new(Coordinator::new(fast_cfg()));
+        let _node = coordinator.register("w1");
+        let spec = tiny_spec();
+        let control = Arc::new(CampaignControl::new());
+        control.cancel();
+        match coordinator.execute(&spec, &control, 1) {
+            FabricOutcome::Cancelled => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        let stats = coordinator.stats();
+        assert_eq!(stats.pending_shards, 0);
+        assert_eq!(stats.leases_outstanding, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! `powerbalance-fabric` — the distributed campaign fabric.
+//!
+//! The PR-5 daemon is one process with an in-memory queue: a crash loses
+//! every queued and running campaign, and capacity tops out at one box.
+//! This crate supplies the two pieces that fix both, designed so the
+//! server can adopt them *under* its existing API:
+//!
+//! * [`Journal`] — an append-only, versioned, fsync'd on-disk log of
+//!   campaign lifecycle records ([`Event`]). Opening a journal replays it:
+//!   campaigns that were submitted (or already running) but never reached
+//!   a terminal state come back as [`Recovery::pending`] for re-queueing,
+//!   terminal campaigns come back as tombstones, and a truncated or
+//!   garbage tail heals exactly like a corrupt `WarmStartCache`
+//!   checkpoint — the valid prefix survives, the damage is counted, and
+//!   the file is compacted so it cannot re-corrupt a later open.
+//!
+//! * [`Coordinator`] — shards a [`CampaignSpec`] matrix into work units
+//!   along the *same* unit boundaries the local pool uses
+//!   ([`powerbalance_harness::plan_units`], so batch-eligible groups stay
+//!   intact on whichever node runs them), leases the shards to registered
+//!   worker nodes with heartbeat liveness, deadline-based lease expiry and
+//!   bounded retries, ships warm-start checkpoints to the node that needs
+//!   them, and merges shard results bit-identically to a single-node run
+//!   ([`merge_shards`]).
+//!
+//! Determinism is the design constraint throughout: a shard is a
+//! self-contained sub-spec carrying the parent's seed and cycle budgets,
+//! each job's simulation outcome depends only on that spec (the pool-size
+//! invariance guarantee), and the merge places jobs back at their original
+//! flat matrix index — so 1 coordinator + N workers produce a
+//! `CampaignResult` bit-identical (modulo host timing) to a local run for
+//! any N. The node-count-invariance suite in `tests/fabric_integration.rs`
+//! pins this.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod coordinator;
+mod journal;
+mod shard;
+
+pub use coordinator::{
+    Acquire, Checkpoint, Coordinator, FabricConfig, FabricOutcome, FabricStats, Lease, NodeHello,
+    ShardOutcome,
+};
+pub use journal::{Event, Journal, Record, Recovery, TerminalKind, JOURNAL_VERSION};
+pub use shard::{merge_shards, plan_shards, MergeError, ShardSpec};

@@ -1,0 +1,215 @@
+//! Shard planning and deterministic result merging.
+//!
+//! A *shard* is one execution unit of the parent campaign, lifted into a
+//! self-contained [`CampaignSpec`] a worker node can run with the ordinary
+//! campaign runner. Units come from [`powerbalance_harness::plan_units`] —
+//! the exact grouping the local pool uses — so batch-eligible sibling
+//! configs stay together in one lockstep `BatchSimulator` on whichever
+//! node leases them, and the batch-vs-scalar equivalence guarantee carries
+//! over unchanged.
+//!
+//! ## Why the merge is bit-identical
+//!
+//! Each job's simulation outcome is a pure function of (benchmark, seed,
+//! warmup budget, cycle budget, config) — that is the pool-size-invariance
+//! guarantee the determinism suite pins. The shard sub-spec copies all
+//! five from the parent (per-config cycle overrides ride along inside
+//! [`powerbalance_harness::NamedConfig`]), so a worker computes exactly
+//! the value a local run would have. [`merge_shards`] then places each
+//! returned job at its original flat index `bench_index * ncfg +
+//! config_index` in the parent matrix and rewrites the two indices from
+//! that flat position, so the merged [`CampaignResult`] is
+//! field-for-field identical to a single-node run everywhere except the
+//! host-timing fields (`wall_nanos`, `sim_cycles_per_sec`, `threads`) that
+//! [`CampaignResult::same_outcome`] already excludes.
+
+use powerbalance_harness::{plan_units, CampaignResult, CampaignSpec, JobResult};
+use serde::{Deserialize, Serialize};
+
+/// One leasable work unit: a self-contained sub-spec plus its placement
+/// back into the parent matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Index of this shard in the parent's shard plan.
+    pub index: usize,
+    /// Flat parent job indices (`bench_index * ncfg + config_index`) this
+    /// shard computes, in sub-spec job order.
+    pub job_indices: Vec<usize>,
+    /// The self-contained spec the worker runs: one benchmark, the unit's
+    /// configs in unit order, parent cycles/seed/warmup.
+    pub spec: CampaignSpec,
+}
+
+/// Plans `spec` into shards along the local pool's unit boundaries.
+///
+/// `max_batch` mirrors the coordinator's batching config; it shapes unit
+/// *granularity* only — batching never changes results, so workers are
+/// free to run with a different `max_batch` of their own.
+#[must_use]
+pub fn plan_shards(spec: &CampaignSpec, max_batch: usize) -> Vec<ShardSpec> {
+    let ncfg = spec.configs.len();
+    plan_units(spec, max_batch)
+        .into_iter()
+        .enumerate()
+        .map(|(index, unit)| {
+            let bench_index = unit[0] / ncfg;
+            let mut sub = CampaignSpec::new(format!("{}#s{index}", spec.name))
+                .benchmark(spec.benchmarks[bench_index].clone())
+                .cycles(spec.cycles)
+                .seed(spec.seed)
+                .warmup(spec.warmup_cycles);
+            for &flat in &unit {
+                sub.configs.push(spec.configs[flat % ncfg].clone());
+            }
+            ShardSpec { index, job_indices: unit, spec: sub }
+        })
+        .collect()
+}
+
+/// Why a merge was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// A parent matrix slot received no job (shard missing or short).
+    MissingJob {
+        /// Flat index of the empty slot.
+        flat_index: usize,
+    },
+    /// A shard returned a different number of jobs than it was planned.
+    ShardShape {
+        /// Index of the malformed shard.
+        shard: usize,
+    },
+    /// Two shards (or a duplicate delivery) filled the same slot.
+    DuplicateJob {
+        /// Flat index of the contested slot.
+        flat_index: usize,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::MissingJob { flat_index } => {
+                write!(f, "merge: no job for flat index {flat_index}")
+            }
+            MergeError::ShardShape { shard } => {
+                write!(f, "merge: shard {shard} returned the wrong number of jobs")
+            }
+            MergeError::DuplicateJob { flat_index } => {
+                write!(f, "merge: duplicate job for flat index {flat_index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Merges per-shard job vectors back into the parent's
+/// [`CampaignResult`], bit-identically to a local run (modulo host
+/// timing).
+///
+/// `shard_jobs[i]` must be the jobs shard `shards[i]` returned, in the
+/// shard sub-spec's order.
+///
+/// # Errors
+///
+/// Returns a [`MergeError`] if any parent slot ends up empty, doubly
+/// filled, or a shard's job count disagrees with its plan — all of which
+/// indicate a coordinator bug rather than a recoverable condition.
+pub fn merge_shards(
+    spec: &CampaignSpec,
+    shards: &[ShardSpec],
+    shard_jobs: &[Vec<JobResult>],
+    threads: usize,
+    wall_nanos: u64,
+) -> Result<CampaignResult, MergeError> {
+    let ncfg = spec.configs.len();
+    let mut slots: Vec<Option<JobResult>> = vec![None; spec.job_count()];
+    for (shard, jobs) in shards.iter().zip(shard_jobs) {
+        if jobs.len() != shard.job_indices.len() {
+            return Err(MergeError::ShardShape { shard: shard.index });
+        }
+        for (&flat, job) in shard.job_indices.iter().zip(jobs) {
+            let slot = slots.get_mut(flat).ok_or(MergeError::MissingJob { flat_index: flat })?;
+            if slot.is_some() {
+                return Err(MergeError::DuplicateJob { flat_index: flat });
+            }
+            let mut job = job.clone();
+            // The worker computed under the sub-spec's coordinates;
+            // restore the parent matrix position.
+            job.bench_index = flat / ncfg;
+            job.config_index = flat % ncfg;
+            *slot = Some(job);
+        }
+    }
+    let mut jobs = Vec::with_capacity(slots.len());
+    for (flat_index, slot) in slots.into_iter().enumerate() {
+        jobs.push(slot.ok_or(MergeError::MissingJob { flat_index })?);
+    }
+    Ok(CampaignResult { spec: spec.clone(), threads, wall_nanos, jobs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerbalance::experiments::{self, PolicyKind};
+    use powerbalance::FloorplanKind;
+
+    fn sweep() -> CampaignSpec {
+        let mut spec = CampaignSpec::new("sweep")
+            .benchmarks(["gzip", "mesa"])
+            .cycles(20_000)
+            .seed(42)
+            .warmup(0);
+        for kind in PolicyKind::ALL {
+            spec = spec
+                .config(kind.name(), experiments::policy(kind, FloorplanKind::IssueConstrained));
+        }
+        spec
+    }
+
+    #[test]
+    fn shards_cover_the_matrix_exactly_once() {
+        let spec = sweep();
+        let shards = plan_shards(&spec, 4);
+        let mut seen = vec![false; spec.job_count()];
+        for shard in &shards {
+            assert_eq!(shard.job_indices.len(), shard.spec.configs.len());
+            assert_eq!(shard.spec.benchmarks.len(), 1);
+            assert_eq!(shard.spec.seed, spec.seed);
+            assert_eq!(shard.spec.cycles, spec.cycles);
+            for &flat in &shard.job_indices {
+                assert!(!seen[flat], "flat index {flat} planned twice");
+                seen[flat] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every job planned");
+    }
+
+    #[test]
+    fn shard_configs_match_parent_slots() {
+        let spec = sweep();
+        for shard in plan_shards(&spec, 3) {
+            let ncfg = spec.configs.len();
+            for (i, &flat) in shard.job_indices.iter().enumerate() {
+                assert_eq!(shard.spec.configs[i], spec.configs[flat % ncfg]);
+                assert_eq!(shard.spec.benchmarks[0], spec.benchmarks[flat / ncfg]);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_missing_and_duplicate_jobs() {
+        let spec = sweep();
+        let shards = plan_shards(&spec, 4);
+        let empty: Vec<Vec<JobResult>> = shards.iter().map(|_| Vec::new()).collect();
+        assert!(matches!(
+            merge_shards(&spec, &shards, &empty, 1, 0),
+            Err(MergeError::ShardShape { .. })
+        ));
+        assert!(matches!(
+            merge_shards(&spec, &[], &[], 1, 0),
+            Err(MergeError::MissingJob { flat_index: 0 })
+        ));
+    }
+}

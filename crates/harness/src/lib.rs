@@ -61,9 +61,9 @@ mod warmstart;
 
 pub use result::{CampaignResult, JobResult};
 pub use runner::{
-    resolve_threads, run_batch_warmed_controlled, run_campaign, run_campaign_controlled, run_one,
-    run_one_warmed, run_one_warmed_controlled, CampaignControl, CampaignOutcome, JobProgress,
-    RunnerOptions, THREADS_ENV_VAR,
+    plan_units, resolve_threads, run_batch_warmed_controlled, run_campaign,
+    run_campaign_controlled, run_one, run_one_warmed, run_one_warmed_controlled, CampaignControl,
+    CampaignOutcome, JobProgress, RunnerOptions, THREADS_ENV_VAR,
 };
 pub use spec::{CampaignSpec, NamedConfig};
 pub use warmstart::{compute_warmup, compute_warmup_controlled, WarmStartCache, WarmupOutcome};

@@ -13,9 +13,17 @@
 //! | `GET /v1/campaigns/<id>`      | status + live per-job progress                 |
 //! | `GET /v1/campaigns/<id>/result` | full `CampaignResult` JSON once complete     |
 //! | `DELETE /v1/campaigns/<id>`   | cooperative cancellation                       |
-//! | `GET /healthz`                | liveness probe                                 |
+//! | `GET /healthz`                | liveness probe (+ journal status when enabled) |
 //! | `GET /metrics`                | Prometheus text exposition                     |
 //! | `POST /v1/shutdown`           | request graceful shutdown                      |
+//! | `POST /v1/nodes`              | register a worker node (distributed fabric)    |
+//! | `POST /v1/nodes/<id>/heartbeat` | worker liveness ping                         |
+//! | `POST /v1/nodes/<id>/lease?wait=<s>` | long-poll for a shard lease             |
+//! | `POST /v1/leases/<id>/result` | deliver a shard outcome                        |
+//!
+//! `GET /v1/campaigns/<id>/result?wait=<secs>` long-polls: the handler
+//! parks on the service's terminal condvar instead of making the client
+//! busy-poll `409 Retry-After` loops.
 //!
 //! The architecture is three layers, each independently testable:
 //! [`http`] (wire parsing with hard limits and deadlines), [`service`]
@@ -36,14 +44,18 @@ pub mod http;
 pub mod metrics;
 pub mod service;
 pub mod signal;
+pub mod worker;
+
+pub use powerbalance_fabric as fabric;
 
 use http::{Limits, RecvError, Request, Response};
 use metrics::Endpoint;
+use powerbalance_fabric::{Acquire, NodeHello, ShardOutcome};
 use powerbalance_harness::CampaignSpec;
 use service::{JobService, JobState, ServiceConfig, SubmitError};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -335,9 +347,22 @@ fn route(shared: &Shared, request: &Request) -> (Endpoint, Response) {
     let path = request.path.split('?').next().unwrap_or("");
     let method = request.method.as_str();
     match (method, path) {
-        ("GET", "/healthz") => (Endpoint::Healthz, Response::text(200, "ok\n")),
+        ("GET", "/healthz") => {
+            // The body stays exactly "ok\n" without a journal so existing
+            // probes keep matching; with one, a second line reports it.
+            let body = match shared.service.journal_status() {
+                Some((depth, replayed)) => {
+                    format!("ok\njournal: depth={depth} replayed={replayed}\n")
+                }
+                None => "ok\n".to_string(),
+            };
+            (Endpoint::Healthz, Response::text(200, body))
+        }
         ("GET", "/metrics") => {
-            let text = shared.service.metrics().render(shared.service.cache_stats());
+            let text = shared
+                .service
+                .metrics()
+                .render(shared.service.cache_stats(), shared.service.fabric_gauges());
             (Endpoint::Metrics, Response::text(200, text))
         }
         ("POST", "/v1/shutdown") => {
@@ -345,8 +370,43 @@ fn route(shared: &Shared, request: &Request) -> (Endpoint, Response) {
             (Endpoint::Shutdown, Response::json(202, "{\"shutting_down\":true}"))
         }
         ("POST", "/v1/campaigns") => (Endpoint::Submit, submit(shared, request)),
-        (_, "/healthz" | "/metrics" | "/v1/shutdown" | "/v1/campaigns") => {
+        ("POST", "/v1/nodes") => (Endpoint::Register, register(shared, request)),
+        (_, "/healthz" | "/metrics" | "/v1/shutdown" | "/v1/campaigns" | "/v1/nodes") => {
             (Endpoint::Other, Response::error(405, &format!("method {method} not allowed here")))
+        }
+        (_, _) if path.starts_with("/v1/nodes/") => {
+            let rest = &path["/v1/nodes/".len()..];
+            let Some((id_part, action)) = rest.split_once('/') else {
+                return (Endpoint::Other, Response::error(404, "no such route"));
+            };
+            let Ok(node) = id_part.parse::<u64>() else {
+                return (Endpoint::Other, Response::error(404, "no such route"));
+            };
+            match (method, action) {
+                ("POST", "heartbeat") => (Endpoint::Heartbeat, heartbeat(shared, node)),
+                ("POST", "lease") => (Endpoint::Lease, lease(shared, request, node)),
+                (_, "heartbeat" | "lease") => (
+                    Endpoint::Other,
+                    Response::error(405, &format!("method {method} not allowed here")),
+                ),
+                _ => (Endpoint::Other, Response::error(404, "no such route")),
+            }
+        }
+        (_, _) if path.starts_with("/v1/leases/") => {
+            let rest = &path["/v1/leases/".len()..];
+            let Some(id_part) = rest.strip_suffix("/result") else {
+                return (Endpoint::Other, Response::error(404, "no such route"));
+            };
+            let Ok(lease_id) = id_part.parse::<u64>() else {
+                return (Endpoint::Other, Response::error(404, "no such route"));
+            };
+            if method != "POST" {
+                return (
+                    Endpoint::Other,
+                    Response::error(405, &format!("method {method} not allowed here")),
+                );
+            }
+            (Endpoint::ShardResult, shard_result(shared, request, lease_id))
         }
         (_, _) if path.starts_with("/v1/campaigns/") => {
             let rest = &path["/v1/campaigns/".len()..];
@@ -355,7 +415,7 @@ fn route(shared: &Shared, request: &Request) -> (Endpoint, Response) {
             };
             match (method, wants_result) {
                 ("GET", false) => (Endpoint::Status, status(shared, id)),
-                ("GET", true) => (Endpoint::Result, result(shared, id)),
+                ("GET", true) => (Endpoint::Result, result(shared, request, id)),
                 ("DELETE", false) => (Endpoint::Cancel, cancel(shared, id)),
                 _ => (
                     Endpoint::Other,
@@ -423,7 +483,7 @@ fn submit(shared: &Shared, request: &Request) -> Response {
         }
         Err(SubmitError::QueueFull) => {
             Response::error(429, "submission queue is full, retry later")
-                .with_header("Retry-After", "1")
+                .with_header("Retry-After", retry_after_jitter().to_string())
         }
         Err(SubmitError::Draining) => {
             Response::error(503, "server is shutting down").with_header("Retry-After", "5")
@@ -438,15 +498,28 @@ fn status(shared: &Shared, id: u64) -> Response {
     }
 }
 
-fn result(shared: &Shared, id: u64) -> Response {
-    let Some(report) = shared.service.status(id) else {
+fn result(shared: &Shared, request: &Request, id: u64) -> Response {
+    let wait = match parse_wait(&request.path) {
+        Ok(wait) => wait,
+        Err(detail) => return Response::error(400, &detail),
+    };
+    let report = match wait {
+        Some(secs) => shared.service.wait_terminal(id, Duration::from_secs(secs)),
+        None => shared.service.status(id),
+    };
+    let Some(report) = report else {
         return Response::error(404, &format!("no campaign with id {id}"));
     };
     match report.state {
-        JobState::Completed => {
-            let result = shared.service.result(id).expect("completed campaigns have results");
-            Response::json(200, result.to_json())
-        }
+        JobState::Completed => match shared.service.result(id) {
+            Some(result) => Response::json(200, result.to_json()),
+            // A journal tombstone: the previous incarnation completed the
+            // campaign, but results are not journaled. Gone, not pending.
+            None => Response::error(
+                410,
+                "campaign completed before a server restart; its result was not retained",
+            ),
+        },
         JobState::Queued | JobState::Running => {
             Response::error(409, "campaign has not completed yet").with_header("Retry-After", "1")
         }
@@ -455,6 +528,84 @@ fn result(shared: &Shared, id: u64) -> Response {
             Response::error(500, report.error.as_deref().unwrap_or("campaign failed"))
         }
     }
+}
+
+/// Parses a `wait=<secs>` query parameter (used by the long-poll result
+/// and lease routes). Capped at [`MAX_WAIT_SECS`] so a client cannot park
+/// a handler thread arbitrarily long; malformed values are an error.
+fn parse_wait(path: &str) -> Result<Option<u64>, String> {
+    let Some((_, query)) = path.split_once('?') else {
+        return Ok(None);
+    };
+    let mut wait = None;
+    for pair in query.split('&').filter(|pair| !pair.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        if key == "wait" {
+            let secs = value
+                .parse::<u64>()
+                .map_err(|_| format!("invalid wait '{value}' (expected whole seconds)"))?;
+            wait = Some(secs.min(MAX_WAIT_SECS));
+        }
+    }
+    Ok(wait)
+}
+
+/// Upper bound on `?wait=` long-polls, result and lease alike.
+const MAX_WAIT_SECS: u64 = 30;
+
+/// Bounded jitter for `Retry-After` on 429s: a Weyl-style counter hashed
+/// through the golden-ratio multiplier, folded to 1–3 seconds. Statefully
+/// desynchronizes retry herds without any per-connection RNG.
+fn retry_after_jitter() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    1 + (n.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % 3
+}
+
+fn register(shared: &Shared, request: &Request) -> Response {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "request body is not valid UTF-8");
+    };
+    let hello: NodeHello = match serde::json::from_str(text) {
+        Ok(hello) => hello,
+        Err(e) => return Response::error(400, &format!("invalid registration JSON: {e}")),
+    };
+    let id = shared.service.coordinator().register(&hello.name);
+    Response::json(201, format!("{{\"id\":{id}}}"))
+}
+
+fn heartbeat(shared: &Shared, node: u64) -> Response {
+    if shared.service.coordinator().heartbeat(node) {
+        Response::json(200, "{\"ok\":true}")
+    } else {
+        Response::error(404, &format!("no node with id {node}; re-register"))
+    }
+}
+
+fn lease(shared: &Shared, request: &Request, node: u64) -> Response {
+    let wait = match parse_wait(&request.path) {
+        Ok(wait) => wait.unwrap_or(0),
+        Err(detail) => return Response::error(400, &detail),
+    };
+    match shared.service.coordinator().acquire(node, Duration::from_secs(wait)) {
+        Acquire::Granted(lease) => Response::json(200, serde::json::to_string(&*lease)),
+        Acquire::Empty => Response::text(204, ""),
+        Acquire::UnknownNode => {
+            Response::error(404, &format!("no node with id {node}; re-register"))
+        }
+    }
+}
+
+fn shard_result(shared: &Shared, request: &Request, lease_id: u64) -> Response {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "request body is not valid UTF-8");
+    };
+    let outcome: ShardOutcome = match serde::json::from_str(text) {
+        Ok(outcome) => outcome,
+        Err(e) => return Response::error(400, &format!("invalid shard outcome JSON: {e}")),
+    };
+    let accepted = shared.service.coordinator().complete(lease_id, outcome);
+    Response::json(200, format!("{{\"accepted\":{accepted}}}"))
 }
 
 fn cancel(shared: &Shared, id: u64) -> Response {

@@ -40,13 +40,21 @@ pub enum Endpoint {
     Metrics,
     /// `POST /v1/shutdown`
     Shutdown,
+    /// `POST /v1/nodes` (worker registration)
+    Register,
+    /// `POST /v1/nodes/<id>/heartbeat`
+    Heartbeat,
+    /// `POST /v1/nodes/<id>/lease`
+    Lease,
+    /// `POST /v1/leases/<id>/result`
+    ShardResult,
     /// Anything else (unknown routes, protocol errors).
     Other,
 }
 
 impl Endpoint {
     /// Every endpoint, in render order.
-    pub const ALL: [Endpoint; 8] = [
+    pub const ALL: [Endpoint; 12] = [
         Endpoint::Submit,
         Endpoint::Status,
         Endpoint::Result,
@@ -54,6 +62,10 @@ impl Endpoint {
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Shutdown,
+        Endpoint::Register,
+        Endpoint::Heartbeat,
+        Endpoint::Lease,
+        Endpoint::ShardResult,
         Endpoint::Other,
     ];
 
@@ -68,6 +80,10 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Shutdown => "shutdown",
+            Endpoint::Register => "register",
+            Endpoint::Heartbeat => "heartbeat",
+            Endpoint::Lease => "lease",
+            Endpoint::ShardResult => "shard_result",
             Endpoint::Other => "other",
         }
     }
@@ -120,6 +136,28 @@ impl Histogram {
     }
 }
 
+/// Point-in-time distributed-fabric gauges, gathered by the service right
+/// before rendering (coordinator lease/node state plus journal state).
+/// Plain data so the metrics module stays dependency-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricGauges {
+    /// Worker nodes ever registered with this coordinator incarnation.
+    pub workers_registered: u64,
+    /// Worker nodes with a fresh heartbeat.
+    pub workers_alive: u64,
+    /// Shard leases currently outstanding.
+    pub leases_outstanding: u64,
+    /// Shards queued and not yet leased.
+    pub pending_shards: u64,
+    /// Shards re-queued after a lease expired or failed (counter).
+    pub shards_retried: u64,
+    /// Submitted-but-not-terminal campaigns in the journal (gauge); 0
+    /// when no journal is configured.
+    pub journal_depth: u64,
+    /// Campaigns re-queued from the journal at startup (counter).
+    pub journal_replayed: u64,
+}
+
 /// All counters and histograms for one server instance.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -147,6 +185,12 @@ pub struct Metrics {
     pub campaigns_failed: AtomicU64,
     /// Campaigns cancelled via `DELETE` before or during execution.
     pub campaigns_cancelled: AtomicU64,
+    /// Campaigns re-queued from the crash journal at startup. Replayed
+    /// campaigns also count under [`campaigns_submitted`], so the
+    /// reconciliation invariant is unchanged.
+    ///
+    /// [`campaigns_submitted`]: Metrics::campaigns_submitted
+    pub campaigns_replayed: AtomicU64,
     /// Jobs currently sitting in the bounded queue (gauge).
     pub queue_depth: AtomicU64,
     /// Campaigns currently executing on the worker pool (gauge).
@@ -188,11 +232,11 @@ impl Metrics {
 
     /// Renders everything in Prometheus text exposition format.
     /// `warm_cache` is the shared [`WarmStartCache`]'s `(computed, loaded,
-    /// hits)` triple.
+    /// hits)` triple; `fabric` is the coordinator/journal gauge snapshot.
     ///
     /// [`WarmStartCache`]: powerbalance_harness::WarmStartCache
     #[must_use]
-    pub fn render(&self, warm_cache: (u64, u64, u64)) -> String {
+    pub fn render(&self, warm_cache: (u64, u64, u64), fabric: FabricGauges) -> String {
         let mut out = String::with_capacity(4096);
         let counter = |out: &mut String, name: &str, help: &str, v: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -302,6 +346,48 @@ impl Metrics {
             "Warmup snapshot cache hits.",
             warm_cache.2,
         );
+        counter(
+            &mut out,
+            "powerbalance_campaigns_replayed_total",
+            "Campaigns re-queued from the crash journal at startup.",
+            load(&self.campaigns_replayed),
+        );
+        gauge(
+            &mut out,
+            "powerbalance_fabric_workers_registered",
+            "Worker nodes registered with this coordinator incarnation.",
+            fabric.workers_registered,
+        );
+        gauge(
+            &mut out,
+            "powerbalance_fabric_workers_alive",
+            "Worker nodes with a fresh heartbeat.",
+            fabric.workers_alive,
+        );
+        gauge(
+            &mut out,
+            "powerbalance_fabric_leases_outstanding",
+            "Shard leases currently held by worker nodes.",
+            fabric.leases_outstanding,
+        );
+        gauge(
+            &mut out,
+            "powerbalance_fabric_pending_shards",
+            "Shards queued at the coordinator and not yet leased.",
+            fabric.pending_shards,
+        );
+        counter(
+            &mut out,
+            "powerbalance_fabric_shards_retried_total",
+            "Shards re-queued after a lease expired or a worker failed.",
+            fabric.shards_retried,
+        );
+        gauge(
+            &mut out,
+            "powerbalance_journal_depth",
+            "Submitted-but-not-terminal campaigns recorded in the journal.",
+            fabric.journal_depth,
+        );
 
         let _ = writeln!(
             &mut out,
@@ -361,7 +447,11 @@ mod tests {
         m.campaigns_rejected.fetch_add(1, Ordering::Relaxed);
         m.observe(Endpoint::Submit, 202, Duration::from_micros(250));
         m.observe(Endpoint::Submit, 429, Duration::from_micros(80));
-        let text = m.render((4, 0, 9));
+        m.campaigns_replayed.fetch_add(1, Ordering::Relaxed);
+        let text = m.render(
+            (4, 0, 9),
+            FabricGauges { workers_alive: 2, journal_depth: 5, ..FabricGauges::default() },
+        );
         assert!(text.contains("powerbalance_campaigns_submitted_total 3"));
         assert!(text.contains("powerbalance_campaigns_completed_total 2"));
         assert!(text.contains("powerbalance_campaigns_rejected_total 1"));
@@ -373,5 +463,8 @@ mod tests {
             .contains("powerbalance_http_responses_total{endpoint=\"submit\",status=\"429\"} 1"));
         assert!(text
             .contains("powerbalance_http_request_duration_seconds_count{endpoint=\"submit\"} 2"));
+        assert!(text.contains("powerbalance_campaigns_replayed_total 1"));
+        assert!(text.contains("powerbalance_fabric_workers_alive 2"));
+        assert!(text.contains("powerbalance_journal_depth 5"));
     }
 }

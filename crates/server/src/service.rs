@@ -5,18 +5,20 @@
 //! The HTTP layer is a thin adapter over this; tests and the
 //! `serve_and_query` example drive it directly, with no sockets involved.
 
-use crate::metrics::Metrics;
+use crate::metrics::{FabricGauges, Metrics};
+use powerbalance_fabric::{Coordinator, Event, FabricConfig, FabricOutcome, Journal, TerminalKind};
 use powerbalance_harness::{
     run_campaign_controlled, CampaignControl, CampaignOutcome, CampaignResult, CampaignSpec,
     JobProgress, RunnerOptions, WarmStartCache,
 };
 use serde::Serialize;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`JobService`].
 #[derive(Debug, Clone)]
@@ -41,6 +43,12 @@ pub struct ServiceConfig {
     /// Upper bound on lockstep batching inside each campaign (see
     /// [`RunnerOptions::max_batch`]); `1` disables batching.
     pub max_batch: usize,
+    /// Directory for the crash-safe campaign journal. `None` (the
+    /// default) keeps the PR-5 in-memory behavior; `Some` makes every
+    /// submission durable and replays unfinished campaigns on restart.
+    pub journal_dir: Option<PathBuf>,
+    /// Lease/heartbeat tuning for the distributed fabric coordinator.
+    pub fabric: FabricConfig,
 }
 
 impl Default for ServiceConfig {
@@ -53,6 +61,8 @@ impl Default for ServiceConfig {
             max_jobs_per_campaign: 256,
             max_cycles_per_job: 100_000_000,
             max_batch: 6,
+            journal_dir: None,
+            fabric: FabricConfig::default(),
         }
     }
 }
@@ -119,36 +129,91 @@ struct JobRecord {
     control: Arc<CampaignControl>,
 }
 
+/// Builds the status snapshot for one record (shared by the instant and
+/// long-poll status paths).
+fn report(id: u64, record: &JobRecord) -> StatusReport {
+    let (completed_jobs, total_jobs) = record.control.progress();
+    StatusReport {
+        id,
+        name: record.spec.name.clone(),
+        state: record.state,
+        error: record.error.clone(),
+        total_jobs,
+        completed_jobs,
+        finished: record.control.finished_jobs(),
+    }
+}
+
 /// The job service: owns the queue, the worker pool, the job table, the
 /// shared warm-start cache, and the metrics registry.
 pub struct JobService {
     config: ServiceConfig,
     jobs: Mutex<HashMap<u64, JobRecord>>,
+    /// Signalled whenever any campaign reaches a terminal state; paired
+    /// with the `jobs` mutex for long-poll result delivery.
+    terminal: Condvar,
     next_id: AtomicU64,
     sender: Mutex<Option<SyncSender<u64>>>,
     draining: AtomicBool,
     metrics: Arc<Metrics>,
     cache: Arc<WarmStartCache>,
+    journal: Option<Journal>,
+    coordinator: Arc<Coordinator>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl JobService {
     /// Starts the worker pool and returns the service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ServiceConfig::journal_dir`] is set and the journal
+    /// cannot be opened; use [`try_start`](JobService::try_start) to
+    /// handle that case.
     #[must_use]
     pub fn start(config: ServiceConfig) -> Arc<JobService> {
+        JobService::try_start(config).expect("journal directory is usable")
+    }
+
+    /// Starts the worker pool, opening and replaying the crash journal
+    /// when [`ServiceConfig::journal_dir`] is set: terminal campaigns
+    /// from the previous incarnation come back as tombstone records
+    /// (state preserved, result gone), and submitted-but-unfinished ones
+    /// are re-queued under their original ids — no client resubmission.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from opening the journal directory.
+    pub fn try_start(config: ServiceConfig) -> std::io::Result<Arc<JobService>> {
+        let (journal, recovery) = match &config.journal_dir {
+            Some(dir) => {
+                let (journal, recovery) = Journal::open(dir)?;
+                (Some(journal), Some(recovery))
+            }
+            None => (None, None),
+        };
+        let fabric = config.fabric.clone();
         let (sender, receiver) = std::sync::mpsc::sync_channel::<u64>(config.queue_depth.max(1));
         let receiver = Arc::new(Mutex::new(receiver));
         let service = Arc::new(JobService {
             config,
             jobs: Mutex::new(HashMap::new()),
+            terminal: Condvar::new(),
             next_id: AtomicU64::new(1),
             sender: Mutex::new(Some(sender)),
             draining: AtomicBool::new(false),
             metrics: Arc::new(Metrics::new()),
             cache: Arc::new(WarmStartCache::in_memory()),
+            journal,
+            coordinator: Arc::new(Coordinator::new(fabric)),
             workers: Mutex::new(Vec::new()),
         });
         let mut handles = Vec::new();
+        if let Some(recovery) = recovery {
+            if let Some(handle) = service.recover(recovery) {
+                handles.push(handle);
+            }
+        }
         for worker in 0..service.config.workers.max(1) {
             let service = Arc::clone(&service);
             let receiver = Arc::clone(&receiver);
@@ -160,7 +225,125 @@ impl JobService {
             );
         }
         *service.workers.lock().expect("no holder panics") = handles;
-        service
+        Ok(service)
+    }
+
+    /// Installs the journal's recovery state: tombstones for terminal
+    /// campaigns, queued records for pending ones, and a replayer thread
+    /// that feeds the pending ids into the bounded queue (a blocking
+    /// sender, so recovery depth can exceed the queue capacity without
+    /// deadlocking startup).
+    fn recover(&self, recovery: powerbalance_fabric::Recovery) -> Option<JoinHandle<()>> {
+        self.next_id.store(recovery.max_id + 1, Ordering::Relaxed);
+        let mut jobs = self.jobs.lock().expect("no holder panics");
+        for (id, kind, spec) in recovery.terminal {
+            let spec = spec.unwrap_or_else(|| CampaignSpec::new("(recovered)"));
+            let (state, error) = match kind {
+                TerminalKind::Completed => (JobState::Completed, None),
+                TerminalKind::Failed(error) => (JobState::Failed, Some(error)),
+                TerminalKind::Cancelled => (JobState::Cancelled, None),
+            };
+            let record = JobRecord {
+                spec: Arc::new(spec),
+                state,
+                error,
+                result: None,
+                control: Arc::new(CampaignControl::new()),
+            };
+            jobs.insert(id, record);
+        }
+        let mut pending_ids = Vec::with_capacity(recovery.pending.len());
+        for (id, spec) in recovery.pending {
+            let is_fast = spec
+                .configs
+                .iter()
+                .any(|named| named.config.fidelity == powerbalance::Fidelity::Fast);
+            let record = JobRecord {
+                spec: Arc::new(spec),
+                state: JobState::Queued,
+                error: None,
+                result: None,
+                control: Arc::new(CampaignControl::new()),
+            };
+            record.control.set_total(record.spec.job_count());
+            jobs.insert(id, record);
+            pending_ids.push(id);
+            // Replayed campaigns count as submitted so the reconciliation
+            // invariant keeps holding across a restart.
+            self.metrics.campaigns_submitted.fetch_add(1, Ordering::Relaxed);
+            let per_fidelity = if is_fast {
+                &self.metrics.campaigns_submitted_fast
+            } else {
+                &self.metrics.campaigns_submitted_exact
+            };
+            per_fidelity.fetch_add(1, Ordering::Relaxed);
+            self.metrics.campaigns_replayed.fetch_add(1, Ordering::Relaxed);
+            self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(jobs);
+        if pending_ids.is_empty() {
+            return None;
+        }
+        let sender =
+            self.sender.lock().expect("no holder panics").clone().expect("sender exists at start");
+        Some(
+            std::thread::Builder::new()
+                .name("powerbalance-replayer".into())
+                .spawn(move || {
+                    for id in pending_ids {
+                        // Blocking send: recovered depth may exceed the
+                        // queue bound. A disconnect means drain() ran
+                        // before replay finished; the rest stays journaled
+                        // for the next incarnation.
+                        if sender.send(id).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawning the replayer thread succeeds"),
+        )
+    }
+
+    /// The distributed-fabric coordinator (worker registration, leases).
+    #[must_use]
+    pub fn coordinator(&self) -> &Arc<Coordinator> {
+        &self.coordinator
+    }
+
+    /// `(journal depth, campaigns replayed at startup)`, or `None` when
+    /// no journal is configured.
+    #[must_use]
+    pub fn journal_status(&self) -> Option<(u64, u64)> {
+        self.journal.as_ref().map(|journal| {
+            (journal.depth(), self.metrics.campaigns_replayed.load(Ordering::Relaxed))
+        })
+    }
+
+    /// Point-in-time fabric + journal gauges for `/metrics`.
+    #[must_use]
+    pub fn fabric_gauges(&self) -> FabricGauges {
+        let stats = self.coordinator.stats();
+        let (journal_depth, journal_replayed) = self.journal_status().unwrap_or((0, 0));
+        FabricGauges {
+            workers_registered: stats.workers_registered,
+            workers_alive: stats.workers_alive,
+            leases_outstanding: stats.leases_outstanding,
+            pending_shards: stats.pending_shards,
+            shards_retried: stats.shards_retried,
+            journal_depth,
+            journal_replayed,
+        }
+    }
+
+    /// Appends `event` to the journal, if one is configured. Journal
+    /// write failures must not take down a running campaign: they are
+    /// reported on stderr and the in-memory state stays authoritative.
+    fn journal_append(&self, event: Event) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.append(event) {
+                eprintln!("powerbalance-serve: journal append failed: {e}");
+            }
+        }
     }
 
     /// The service's metrics registry.
@@ -240,8 +423,9 @@ impl JobService {
         };
 
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let spec_arc = Arc::new(spec);
         let record = JobRecord {
-            spec: Arc::new(spec),
+            spec: Arc::clone(&spec_arc),
             state: JobState::Queued,
             error: None,
             result: None,
@@ -259,6 +443,11 @@ impl JobService {
             Ok(()) => {
                 note_submitted();
                 self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+                // Journal after the id is committed to the queue: a
+                // rejected submission must leave no durable trace. The
+                // worker may race ahead and journal `Started` first;
+                // replay is order-insensitive, so that is harmless.
+                self.journal_append(Event::Submitted { id, spec: (*spec_arc).clone() });
                 Ok(id)
             }
             Err(TrySendError::Full(_)) => {
@@ -278,17 +467,33 @@ impl JobService {
     #[must_use]
     pub fn status(&self, id: u64) -> Option<StatusReport> {
         let jobs = self.jobs.lock().expect("no holder panics");
-        let record = jobs.get(&id)?;
-        let (completed_jobs, total_jobs) = record.control.progress();
-        Some(StatusReport {
-            id,
-            name: record.spec.name.clone(),
-            state: record.state,
-            error: record.error.clone(),
-            total_jobs,
-            completed_jobs,
-            finished: record.control.finished_jobs(),
-        })
+        jobs.get(&id).map(|record| report(id, record))
+    }
+
+    /// Like [`status`](JobService::status), but blocks up to `wait` for
+    /// the campaign to reach a terminal state — the long-poll primitive
+    /// behind `GET /v1/campaigns/<id>/result?wait=<secs>`. Returns the
+    /// freshest snapshot either way; `None` only for unknown ids.
+    #[must_use]
+    pub fn wait_terminal(&self, id: u64, wait: Duration) -> Option<StatusReport> {
+        let deadline = Instant::now() + wait;
+        let mut jobs = self.jobs.lock().expect("no holder panics");
+        loop {
+            let snapshot = jobs.get(&id).map(|record| (record.state, report(id, record)))?;
+            let (state, status) = snapshot;
+            if state.is_terminal() {
+                return Some(status);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Some(status);
+            }
+            // Re-wake at least every 100ms as insurance against a missed
+            // notification; the condvar carries the fast path.
+            let park = remaining.min(Duration::from_millis(100));
+            let (next, _) = self.terminal.wait_timeout(jobs, park).expect("no holder panics");
+            jobs = next;
+        }
     }
 
     /// The full result for `id` once `Completed`. `None` for unknown ids
@@ -316,6 +521,10 @@ impl JobService {
                 record.state = JobState::Cancelled;
                 record.control.cancel();
                 self.metrics.campaigns_cancelled.fetch_add(1, Ordering::Relaxed);
+                drop(jobs);
+                self.journal_append(Event::Cancelled { id });
+                self.terminal.notify_all();
+                return Some(observed);
             }
             JobState::Running => {
                 // The owning worker observes the flag at the next window
@@ -338,6 +547,9 @@ impl JobService {
         for handle in handles {
             let _ = handle.join();
         }
+        // Only after the last in-flight campaign finished: a distributed
+        // campaign still needs the coordinator to collect its shards.
+        self.coordinator.shutdown();
     }
 
     /// Like [`drain`](JobService::drain), but first cancels everything
@@ -379,7 +591,64 @@ impl JobService {
             (Arc::clone(&record.spec), Arc::clone(&record.control))
         };
         self.metrics.jobs_inflight.fetch_add(1, Ordering::Relaxed);
+        self.journal_append(Event::Started { id });
 
+        let outcome = self.execute_campaign(&spec, &control);
+
+        self.metrics.jobs_inflight.fetch_sub(1, Ordering::Relaxed);
+        let mut jobs = self.jobs.lock().expect("no holder panics");
+        let Some(record) = jobs.get_mut(&id) else { return };
+        let event = match outcome {
+            Ok(CampaignOutcome::Completed(result)) => {
+                record.state = JobState::Completed;
+                record.result = Some(Arc::new(result));
+                self.metrics.campaigns_completed.fetch_add(1, Ordering::Relaxed);
+                Event::Completed { id }
+            }
+            Ok(CampaignOutcome::Cancelled) => {
+                record.state = JobState::Cancelled;
+                self.metrics.campaigns_cancelled.fetch_add(1, Ordering::Relaxed);
+                Event::Cancelled { id }
+            }
+            Ok(CampaignOutcome::TimedOut { bench, config }) => {
+                let error = format!("job {bench}/{config} exceeded the per-job wall-clock timeout");
+                record.state = JobState::Failed;
+                record.error = Some(error.clone());
+                self.metrics.campaigns_failed.fetch_add(1, Ordering::Relaxed);
+                Event::Failed { id, error }
+            }
+            // Validation already passed at submit; a failure here is a
+            // shard exhausting its retries or a harness bug, and either
+            // way must not wedge the record in `Running`.
+            Err(error) => {
+                record.state = JobState::Failed;
+                record.error = Some(error.clone());
+                self.metrics.campaigns_failed.fetch_add(1, Ordering::Relaxed);
+                Event::Failed { id, error }
+            }
+        };
+        drop(jobs);
+        self.journal_append(event);
+        self.terminal.notify_all();
+    }
+
+    /// Runs one campaign, preferring the distributed fabric when live
+    /// worker nodes are registered and falling back to the local pool
+    /// when there are none (or they all vanish before finishing — the
+    /// progress log is reset so jobs are not double-counted).
+    fn execute_campaign(
+        &self,
+        spec: &Arc<CampaignSpec>,
+        control: &Arc<CampaignControl>,
+    ) -> Result<CampaignOutcome, String> {
+        if self.coordinator.live_workers() > 0 {
+            match self.coordinator.execute(spec, control, self.config.max_batch) {
+                FabricOutcome::Completed(result) => return Ok(CampaignOutcome::Completed(*result)),
+                FabricOutcome::Cancelled => return Ok(CampaignOutcome::Cancelled),
+                FabricOutcome::Failed(error) => return Err(error),
+                FabricOutcome::NoWorkers => control.reset_progress(),
+            }
+        }
         let options = RunnerOptions {
             threads: self.config.campaign_threads,
             progress: false,
@@ -388,42 +657,8 @@ impl JobService {
             resume: false,
             max_batch: self.config.max_batch,
         };
-        let outcome = run_campaign_controlled(
-            &spec,
-            &options,
-            &control,
-            self.config.job_timeout,
-            Some(&self.cache),
-        );
-
-        self.metrics.jobs_inflight.fetch_sub(1, Ordering::Relaxed);
-        let mut jobs = self.jobs.lock().expect("no holder panics");
-        let Some(record) = jobs.get_mut(&id) else { return };
-        match outcome {
-            Ok(CampaignOutcome::Completed(result)) => {
-                record.state = JobState::Completed;
-                record.result = Some(Arc::new(result));
-                self.metrics.campaigns_completed.fetch_add(1, Ordering::Relaxed);
-            }
-            Ok(CampaignOutcome::Cancelled) => {
-                record.state = JobState::Cancelled;
-                self.metrics.campaigns_cancelled.fetch_add(1, Ordering::Relaxed);
-            }
-            Ok(CampaignOutcome::TimedOut { bench, config }) => {
-                record.state = JobState::Failed;
-                record.error =
-                    Some(format!("job {bench}/{config} exceeded the per-job wall-clock timeout"));
-                self.metrics.campaigns_failed.fetch_add(1, Ordering::Relaxed);
-            }
-            // Validation already passed at submit; re-validation failing
-            // here would indicate a harness bug, but it still must not
-            // wedge the record in `Running`.
-            Err(e) => {
-                record.state = JobState::Failed;
-                record.error = Some(e.to_string());
-                self.metrics.campaigns_failed.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        run_campaign_controlled(spec, &options, control, self.config.job_timeout, Some(&self.cache))
+            .map_err(|e| e.to_string())
     }
 }
 

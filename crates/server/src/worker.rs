@@ -1,0 +1,300 @@
+//! A worker node for the distributed campaign fabric.
+//!
+//! A worker is a small loop around the blocking [`client::Client`]: it
+//! registers with a coordinator (`POST /v1/nodes`), long-polls for shard
+//! leases (`POST /v1/nodes/<id>/lease?wait=<s>`), runs each leased
+//! sub-spec with the ordinary campaign runner (same batching, same
+//! warm-start cache machinery — so results are bit-identical to a local
+//! run), and posts a [`ShardOutcome`] back. A separate heartbeat thread
+//! keeps the node alive at the coordinator while a shard is executing.
+//!
+//! Warm-start checkpoints ride the lease protocol: a lease can carry a
+//! snapshot (installed into this node's [`WarmStartCache`] before the run)
+//! and can ask for the snapshot the run computes, which the completion
+//! report carries back — so N nodes pay each distinct warmup once.
+//!
+//! The same loop runs in-process for tests ([`WorkerNode::start`]) and
+//! behind the CLI's `worker --coordinator` verb for real deployments.
+//! [`WorkerHandle::kill`] emulates a SIGKILL for crash-path tests: the
+//! current shard is abandoned, its result is never posted, and heartbeats
+//! stop immediately, leaving lease expiry to the coordinator's sweeper.
+
+use crate::client::Client;
+use powerbalance_fabric::{Checkpoint, Lease, NodeHello, ShardOutcome};
+use powerbalance_harness::{
+    run_campaign_controlled, CampaignControl, CampaignOutcome, RunnerOptions, WarmStartCache,
+};
+use serde::Deserialize;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning for one worker node.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Coordinator address (the `serve` daemon).
+    pub coordinator: SocketAddr,
+    /// Node name reported at registration.
+    pub name: String,
+    /// Worker-pool threads per shard; `None` resolves like the local
+    /// runner.
+    pub threads: Option<usize>,
+    /// Lockstep batching bound inside each shard.
+    pub max_batch: usize,
+    /// `?wait=` horizon for the lease long-poll.
+    pub poll_wait: Duration,
+    /// Interval between liveness heartbeats; must be comfortably below
+    /// the coordinator's node timeout.
+    pub heartbeat_interval: Duration,
+}
+
+impl WorkerOptions {
+    /// Defaults for a worker talking to `coordinator`.
+    #[must_use]
+    pub fn new(coordinator: SocketAddr) -> Self {
+        WorkerOptions {
+            coordinator,
+            name: format!("worker-{}", std::process::id()),
+            threads: None,
+            max_batch: 6,
+            poll_wait: Duration::from_secs(5),
+            heartbeat_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+#[derive(Deserialize)]
+struct RegisterReply {
+    id: u64,
+}
+
+/// A running worker node; see [`WorkerNode::start`].
+pub struct WorkerNode;
+
+/// Handle to a running worker's threads.
+pub struct WorkerHandle {
+    stop: Arc<AtomicBool>,
+    killed: Arc<AtomicBool>,
+    current: Arc<Mutex<Option<Arc<CampaignControl>>>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerNode {
+    /// Starts the lease loop and the heartbeat thread.
+    #[must_use]
+    pub fn start(options: WorkerOptions) -> WorkerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let killed = Arc::new(AtomicBool::new(false));
+        let current = Arc::new(Mutex::new(None));
+        // Node id shared between the lease loop (which assigns it at
+        // registration) and the heartbeat thread. 0 = not registered yet.
+        let node_id = Arc::new(std::sync::atomic::AtomicU64::new(0));
+
+        let mut threads = Vec::new();
+        {
+            let options = options.clone();
+            let stop = Arc::clone(&stop);
+            let killed = Arc::clone(&killed);
+            let current = Arc::clone(&current);
+            let node_id = Arc::clone(&node_id);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-lease", options.name))
+                    .spawn(move || lease_loop(&options, &stop, &killed, &current, &node_id))
+                    .expect("spawning the worker lease thread succeeds"),
+            );
+        }
+        {
+            let stop = Arc::clone(&stop);
+            let killed = Arc::clone(&killed);
+            let node_id = Arc::clone(&node_id);
+            let name = format!("{}-heartbeat", options.name);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || heartbeat_loop(&options, &stop, &killed, &node_id))
+                    .expect("spawning the worker heartbeat thread succeeds"),
+            );
+        }
+        WorkerHandle { stop, killed, current, threads }
+    }
+}
+
+impl WorkerHandle {
+    /// Graceful stop: finish and deliver the current shard (if any), then
+    /// exit both threads.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Emulates a SIGKILL mid-shard: heartbeats stop instantly, the
+    /// current run is abandoned, and its result is never posted — the
+    /// coordinator's sweeper must notice and re-lease the shard. Used by
+    /// the crash-path tests.
+    pub fn kill(mut self) {
+        self.killed.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(control) = self.current.lock().expect("no holder panics").as_ref() {
+            control.cancel();
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn heartbeat_loop(
+    options: &WorkerOptions,
+    stop: &AtomicBool,
+    killed: &AtomicBool,
+    node_id: &std::sync::atomic::AtomicU64,
+) {
+    let mut client = Client::new(options.coordinator, Duration::from_secs(5));
+    while !stop.load(Ordering::Relaxed) && !killed.load(Ordering::Relaxed) {
+        let id = node_id.load(Ordering::Relaxed);
+        if id != 0 {
+            // A 404 means the coordinator restarted; the lease loop will
+            // re-register and publish the new id.
+            let _ = client.request("POST", &format!("/v1/nodes/{id}/heartbeat"), None);
+        }
+        std::thread::sleep(options.heartbeat_interval);
+    }
+}
+
+fn lease_loop(
+    options: &WorkerOptions,
+    stop: &AtomicBool,
+    killed: &AtomicBool,
+    current: &Mutex<Option<Arc<CampaignControl>>>,
+    node_id: &std::sync::atomic::AtomicU64,
+) {
+    // Socket timeout must outlast the lease long-poll horizon.
+    let mut client = Client::new(options.coordinator, options.poll_wait + Duration::from_secs(10));
+    let cache = WarmStartCache::in_memory();
+    let mut id = 0u64;
+    let wait_secs = options.poll_wait.as_secs().max(1);
+
+    while !stop.load(Ordering::Relaxed) {
+        if id == 0 {
+            match register(&mut client, &options.name) {
+                Some(new_id) => {
+                    id = new_id;
+                    node_id.store(id, Ordering::Relaxed);
+                }
+                None => {
+                    // Coordinator not reachable (yet); retry gently.
+                    std::thread::sleep(Duration::from_millis(200));
+                    continue;
+                }
+            }
+        }
+
+        let response =
+            match client.request("POST", &format!("/v1/nodes/{id}/lease?wait={wait_secs}"), None) {
+                Ok(response) => response,
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(200));
+                    continue;
+                }
+            };
+        match response.status {
+            200 => {}
+            404 => {
+                // Coordinator restarted and forgot us: re-register.
+                id = 0;
+                node_id.store(0, Ordering::Relaxed);
+                continue;
+            }
+            _ => continue, // 204 no work, or a transient error
+        }
+        let Ok(lease) = serde::json::from_str::<Lease>(&response.text()) else {
+            continue;
+        };
+        run_lease(options, &mut client, &cache, current, killed, lease);
+    }
+}
+
+fn register(client: &mut Client, name: &str) -> Option<u64> {
+    let hello = NodeHello { name: name.to_string() };
+    let response =
+        client.request("POST", "/v1/nodes", Some(&serde::json::to_string(&hello))).ok()?;
+    if response.status != 201 {
+        return None;
+    }
+    serde::json::from_str::<RegisterReply>(&response.text()).ok().map(|reply| reply.id)
+}
+
+/// Runs one leased shard and posts the outcome (unless killed mid-run).
+fn run_lease(
+    options: &WorkerOptions,
+    client: &mut Client,
+    cache: &WarmStartCache,
+    current: &Mutex<Option<Arc<CampaignControl>>>,
+    killed: &AtomicBool,
+    lease: Lease,
+) {
+    // Install the shipped warm-start checkpoint before the run so the
+    // warmup is a cache hit instead of a recomputation.
+    if let Some(Checkpoint { key, snapshot }) = lease.checkpoint {
+        cache.insert(&key, snapshot);
+    }
+
+    let control = Arc::new(CampaignControl::new());
+    *current.lock().expect("no holder panics") = Some(Arc::clone(&control));
+    let runner_options = RunnerOptions {
+        threads: options.threads,
+        progress: false,
+        warm_cache: true,
+        checkpoint_dir: None,
+        resume: false,
+        max_batch: options.max_batch,
+    };
+    // No per-job timeout here: the coordinator's lease deadline is the
+    // authority on runaway shards.
+    let outcome =
+        run_campaign_controlled(&lease.shard.spec, &runner_options, &control, None, Some(cache));
+    *current.lock().expect("no holder panics") = None;
+
+    if killed.load(Ordering::Relaxed) {
+        return; // emulated SIGKILL: the result dies with us
+    }
+
+    let report = match outcome {
+        Ok(CampaignOutcome::Completed(result)) => {
+            let spec = &lease.shard.spec;
+            let checkpoint = if lease.want_checkpoint && spec.warmup_cycles > 0 {
+                let key = WarmStartCache::key(
+                    &spec.benchmarks[0],
+                    spec.seed,
+                    spec.warmup_cycles,
+                    &spec.configs[0].config,
+                );
+                cache.lookup(&key).map(|snapshot| Checkpoint { key, snapshot: (*snapshot).clone() })
+            } else {
+                None
+            };
+            ShardOutcome::Completed { jobs: result.jobs, checkpoint }
+        }
+        Ok(CampaignOutcome::Cancelled) => return, // killed raced the flag load above
+        Ok(CampaignOutcome::TimedOut { bench, config }) => ShardOutcome::Failed {
+            error: format!("job {bench}/{config} exceeded the worker's wall-clock timeout"),
+        },
+        Err(e) => ShardOutcome::Failed { error: e.to_string() },
+    };
+    let body = serde::json::to_string(&report);
+    let _ = client.request("POST", &format!("/v1/leases/{}/result", lease.lease_id), Some(&body));
+}

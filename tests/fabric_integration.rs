@@ -1,0 +1,295 @@
+//! End-to-end tests for the distributed campaign fabric: node-count
+//! invariance over real HTTP, lease retry after a killed worker, journal
+//! crash-recovery, tombstones, and metrics reconciliation.
+//!
+//! These are the acceptance tests for the fabric PR: a sharded multi-node
+//! run must merge bit-identically to a single-node run, and a coordinator
+//! restart must replay its journal and complete every submitted campaign
+//! without resubmission.
+
+use powerbalance::experiments;
+use powerbalance_harness::{run_campaign, CampaignResult, CampaignSpec, RunnerOptions};
+use powerbalance_server::client::Client;
+use powerbalance_server::fabric::{Event, FabricConfig, Journal};
+use powerbalance_server::service::ServiceConfig;
+use powerbalance_server::worker::{WorkerHandle, WorkerNode, WorkerOptions};
+use powerbalance_server::{Server, ServerConfig, ServerHandle};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn start_server(service: ServiceConfig) -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        service,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        max_connections: 64,
+        ..ServerConfig::default()
+    })
+    .expect("server binds on an ephemeral port")
+}
+
+fn start_workers(handle: &ServerHandle, count: usize, tag: &str) -> Vec<WorkerHandle> {
+    (0..count)
+        .map(|i| {
+            let mut options = WorkerOptions::new(handle.addr());
+            options.name = format!("{tag}-{i}");
+            options.poll_wait = Duration::from_secs(1);
+            options.heartbeat_interval = Duration::from_millis(100);
+            WorkerNode::start(options)
+        })
+        .collect()
+}
+
+/// Blocks until `count` workers have a fresh heartbeat at the
+/// coordinator. Submitting before registration completes would make the
+/// coordinator (correctly) fall back to a local run, which is not what
+/// these tests are exercising.
+fn await_workers(handle: &ServerHandle, count: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while handle.service().coordinator().stats().workers_alive < count {
+        assert!(Instant::now() < deadline, "workers never registered");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// A fresh scratch directory under the system temp dir.
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "powerbalance-fabric-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+    dir
+}
+
+/// Three benchmarks x two configs with a warmup: three shards (one per
+/// benchmark batch group), exercising checkpoint shipping too.
+fn sweep_spec(cycles: u64) -> CampaignSpec {
+    CampaignSpec::new("fabric-sweep")
+        .config("base", experiments::issue_queue(false))
+        .config("toggling", experiments::issue_queue(true))
+        .benchmark("gzip")
+        .benchmark("mesa")
+        .benchmark("perlbmk")
+        .cycles(cycles)
+        .warmup(1_000)
+        .seed(11)
+}
+
+fn submit(client: &mut Client, spec: &CampaignSpec) -> u64 {
+    let body = serde::json::to_string(spec);
+    let response =
+        client.request("POST", "/v1/campaigns", Some(&body)).expect("submission round-trips");
+    assert_eq!(response.status, 202, "submit failed: {}", response.text());
+    let text = response.text();
+    text.split("\"id\":")
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or_else(|| panic!("no id in submit response: {text}"))
+}
+
+/// Long-polls `GET /v1/campaigns/{id}/result?wait=5` until 200.
+fn await_result(client: &mut Client, id: u64) -> CampaignResult {
+    let path = format!("/v1/campaigns/{id}/result?wait=5");
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let response = client.request("GET", &path, None).expect("result poll round-trips");
+        match response.status {
+            200 => {
+                return serde::json::from_str(&response.text())
+                    .expect("result body is a CampaignResult")
+            }
+            409 => assert!(Instant::now() < deadline, "campaign {id} never completed"),
+            other => panic!("result poll got status {other}: {}", response.text()),
+        }
+    }
+}
+
+/// 1 coordinator + {1,2,3} in-process workers all merge bit-identically
+/// to a plain local run — the node-count-invariance guarantee.
+#[test]
+fn node_count_invariance() {
+    let spec = sweep_spec(3_000);
+    let options = RunnerOptions { progress: false, ..RunnerOptions::default() };
+    let local = run_campaign(&spec, &options).expect("local reference run succeeds");
+
+    let handle = start_server(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let mut client = Client::new(handle.addr(), Duration::from_secs(30));
+    for count in [1usize, 2, 3] {
+        let workers = start_workers(&handle, count, "invariance");
+        await_workers(&handle, count as u64);
+        let id = submit(&mut client, &spec);
+        let result = await_result(&mut client, id);
+        assert!(result.same_outcome(&local), "{count}-worker merge diverged from the local run");
+        assert_eq!(result.jobs.len(), spec.job_count());
+        for worker in workers {
+            worker.stop();
+        }
+    }
+    handle.shutdown();
+}
+
+/// Killing a worker mid-shard (heartbeats stop, result never posted) must
+/// end with the lease expiring, the shard retried on the survivor, and
+/// the campaign completing.
+#[test]
+fn killed_worker_shard_is_retried() {
+    let fabric = FabricConfig {
+        node_timeout: Duration::from_millis(500),
+        sweep_interval: Duration::from_millis(25),
+        ..FabricConfig::default()
+    };
+    let handle = start_server(ServiceConfig { workers: 1, fabric, ..ServiceConfig::default() });
+    let mut client = Client::new(handle.addr(), Duration::from_secs(30));
+
+    let mut workers = start_workers(&handle, 2, "casualty");
+    await_workers(&handle, 2);
+    // Enough cycles that both shards are still running when the kill lands.
+    let spec = sweep_spec(400_000);
+    let id = submit(&mut client, &spec);
+
+    // Wait until shards are actually leased out, then kill one worker.
+    let armed = Instant::now();
+    while handle.service().coordinator().stats().leases_outstanding < 2 {
+        assert!(armed.elapsed() < Duration::from_secs(60), "shards were never leased");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    workers.remove(1).kill();
+
+    let result = await_result(&mut client, id);
+    assert_eq!(result.jobs.len(), spec.job_count(), "merge is complete despite the crash");
+    let stats = handle.service().coordinator().stats();
+    assert!(stats.shards_retried >= 1, "the killed worker's shard must be retried");
+    assert_eq!(stats.leases_outstanding, 0, "no lease outlives its campaign");
+
+    for worker in workers {
+        worker.stop();
+    }
+    handle.shutdown();
+}
+
+/// A journal holding a submitted-and-started (but unfinished) campaign is
+/// replayed on startup: the campaign re-queues under its original id and
+/// completes without resubmission.
+#[test]
+fn journal_recovery_completes_pending() {
+    let dir = tempdir("recovery");
+    let spec = CampaignSpec::new("interrupted")
+        .config("base", experiments::issue_queue(false))
+        .benchmark("gzip")
+        .cycles(2_000)
+        .seed(3);
+    {
+        let (journal, recovery) = Journal::open(&dir).expect("journal opens in an empty dir");
+        assert_eq!(recovery.pending.len(), 0);
+        journal.append(Event::Submitted { id: 5, spec: spec.clone() }).expect("append works");
+        journal.append(Event::Started { id: 5 }).expect("append works");
+        // Dropped here without a terminal record — the "crash".
+    }
+
+    let handle = start_server(ServiceConfig {
+        workers: 1,
+        journal_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::new(handle.addr(), Duration::from_secs(30));
+    let result = await_result(&mut client, 5);
+    assert_eq!(result.jobs.len(), 1, "replayed campaign runs to completion");
+    assert_eq!(result.spec, spec, "the journaled spec is what ran");
+
+    // Recovery preserves id allocation: the next submission must not
+    // collide with the replayed id.
+    let next = submit(&mut client, &spec);
+    assert!(next > 5, "fresh ids continue past the replayed maximum, got {next}");
+
+    let healthz = client.request("GET", "/healthz", None).expect("healthz round-trips");
+    assert!(
+        healthz.text().contains("journal:"),
+        "healthz reports journal status when journalling is on"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A campaign that reached a terminal state before the crash comes back
+/// as a tombstone: status is preserved, but the result (which is not
+/// journaled) answers 410 Gone rather than 404 or a hang.
+#[test]
+fn journal_tombstone_survives_restart() {
+    let dir = tempdir("tombstone");
+    let spec = CampaignSpec::new("done-before-crash")
+        .config("base", experiments::issue_queue(false))
+        .benchmark("gzip")
+        .cycles(2_000)
+        .seed(3);
+    {
+        let (journal, _) = Journal::open(&dir).expect("journal opens");
+        journal.append(Event::Submitted { id: 2, spec }).expect("append works");
+        journal.append(Event::Started { id: 2 }).expect("append works");
+        journal.append(Event::Completed { id: 2 }).expect("append works");
+    }
+
+    let handle = start_server(ServiceConfig {
+        workers: 1,
+        journal_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::new(handle.addr(), Duration::from_secs(30));
+
+    let status = client.request("GET", "/v1/campaigns/2", None).expect("status round-trips");
+    assert_eq!(status.status, 200);
+    assert!(status.text().contains("\"Completed\""), "tombstone keeps its terminal state");
+
+    let result = client.request("GET", "/v1/campaigns/2/result", None).expect("result round-trips");
+    assert_eq!(result.status, 410, "results are not retained across restarts: {}", result.text());
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The /metrics fabric gauges reconcile at quiescence: every registered
+/// worker is counted, no leases or shards are outstanding after the
+/// campaign completes, and replay/journal gauges are wired through.
+#[test]
+fn fabric_metrics_reconcile() {
+    let dir = tempdir("metrics");
+    let handle = start_server(ServiceConfig {
+        workers: 1,
+        journal_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::new(handle.addr(), Duration::from_secs(30));
+
+    let workers = start_workers(&handle, 2, "gauges");
+    await_workers(&handle, 2);
+    let spec = sweep_spec(2_000);
+    let id = submit(&mut client, &spec);
+    let _ = await_result(&mut client, id);
+
+    let text = client.request("GET", "/metrics", None).expect("metrics round-trips").text();
+    let gauge = |name: &str| -> u64 {
+        text.lines()
+            .find(|line| line.starts_with(name) && line.as_bytes().get(name.len()) == Some(&b' '))
+            .and_then(|line| line.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("gauge {name} missing from /metrics:\n{text}"))
+    };
+    assert_eq!(gauge("powerbalance_fabric_workers_registered"), 2);
+    assert_eq!(gauge("powerbalance_fabric_leases_outstanding"), 0);
+    assert_eq!(gauge("powerbalance_fabric_pending_shards"), 0);
+    assert_eq!(gauge("powerbalance_campaigns_replayed_total"), 0);
+    // Depth counts campaigns submitted but not yet terminal: the
+    // completed campaign must have reconciled back to zero.
+    assert_eq!(gauge("powerbalance_journal_depth"), 0);
+
+    for worker in workers {
+        worker.stop();
+    }
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
